@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the §3.2/§4.2 algorithms, including the
+//! KMP-vs-naive ablation the paper motivates ("the KMP algorithm is
+//! applied to reduce the number of comparisons to O(n)").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xdn_core::adv::AdvPath;
+use xdn_core::advmatch::{
+    abs_expr_and_adv, abs_expr_and_sim_rec_adv, des_expr_and_adv, rel_expr_and_adv,
+    rel_expr_and_adv_naive,
+};
+use xdn_core::cover::{covers, des_cov, rel_sim_cov, rel_sim_cov_naive};
+use xdn_xpath::Xpe;
+
+fn xpe(s: &str) -> Xpe {
+    s.parse().expect("valid bench expression")
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    // A pathological periodic advertisement rewards the KMP shift.
+    let adv = AdvPath::from_names(&[
+        "a", "a", "a", "b", "a", "a", "a", "b", "a", "a", "a", "b", "a", "a", "a", "c",
+    ]);
+    let sub = xpe("a/a/a/c");
+
+    let mut group = c.benchmark_group("overlap");
+    group.bench_function("rel_naive", |b| {
+        b.iter(|| rel_expr_and_adv_naive(std::hint::black_box(&adv), std::hint::black_box(&sub)))
+    });
+    group.bench_function("rel_kmp", |b| {
+        b.iter(|| rel_expr_and_adv(std::hint::black_box(&adv), std::hint::black_box(&sub)))
+    });
+
+    let abs_adv = AdvPath::from_names(&["a", "*", "c", "d", "e", "f", "g", "h"]);
+    let abs_sub = xpe("/a/b/c/d/e");
+    group.bench_function("abs", |b| {
+        b.iter(|| abs_expr_and_adv(std::hint::black_box(&abs_adv), std::hint::black_box(&abs_sub)))
+    });
+
+    let des_sub = xpe("*/a//d/*/c//b");
+    let des_adv = AdvPath::from_names(&["a", "x", "e", "y", "d", "z", "c", "b"]);
+    group.bench_function("descendant", |b| {
+        b.iter(|| des_expr_and_adv(std::hint::black_box(&des_adv), std::hint::black_box(&des_sub)))
+    });
+
+    let a1 = AdvPath::from_names(&["a", "*", "c"]);
+    let a2 = AdvPath::from_names(&["e", "d"]);
+    let a3 = AdvPath::from_names(&["*", "c", "e"]);
+    let rec_sub = xpe("/*/a/c/*/d/e/d/*");
+    group.bench_function("simple_recursive", |b| {
+        b.iter(|| abs_expr_and_sim_rec_adv(&a1, &a2, &a3, std::hint::black_box(&rec_sub)))
+    });
+    group.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering");
+    let wide = xpe("a/a/a");
+    let narrow = xpe("/x/a/a/a/b/a/a/a/c");
+    group.bench_function("rel_naive", |b| {
+        b.iter(|| rel_sim_cov_naive(std::hint::black_box(&wide), std::hint::black_box(&narrow)))
+    });
+    group.bench_function("rel_kmp", |b| {
+        b.iter(|| rel_sim_cov(std::hint::black_box(&wide), std::hint::black_box(&narrow)))
+    });
+
+    let des1 = xpe("/a/*//*/d");
+    let des2 = xpe("/a//b/c/d");
+    group.bench_function("descendant", |b| {
+        b.iter(|| des_cov(std::hint::black_box(&des1), std::hint::black_box(&des2)))
+    });
+
+    let abs1 = xpe("/a/*/c/d");
+    let abs2 = xpe("/a/b/c/d/e/f");
+    group.bench_function("abs_dispatch", |b| {
+        b.iter(|| covers(std::hint::black_box(&abs1), std::hint::black_box(&abs2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap, bench_covering);
+criterion_main!(benches);

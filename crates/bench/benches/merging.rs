@@ -1,0 +1,63 @@
+//! Criterion bench behind Figure 7 / §4.3: the merging engine and the
+//! imperfect-degree computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xdn_bench::{universe_sample, SEED};
+use xdn_core::merge::{imperfect_degree, merge_tree, MergeConfig};
+use xdn_core::subtree::SubscriptionTree;
+use xdn_workloads::{nitf_dtd, sets, universe};
+use xdn_xpath::Xpe;
+
+fn bench_merge_tree(c: &mut Criterion) {
+    let dtd = nitf_dtd();
+    let universe = universe_sample(&dtd, 2_000);
+    let mut group = c.benchmark_group("merge_tree");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let queries = sets::set_b(&dtd, n, SEED + 40);
+        let mut base: SubscriptionTree<()> = SubscriptionTree::new();
+        for q in &queries {
+            base.insert(q.clone(), ());
+        }
+        for (label, degree) in [("perfect", 0.0), ("imperfect_0.1", 0.1)] {
+            let cfg = MergeConfig { max_degree: degree, ..MergeConfig::default() };
+            group.bench_with_input(BenchmarkId::new(label, n), &base, |b, tree| {
+                b.iter_batched(
+                    || tree.clone(),
+                    |mut t| {
+                        merge_tree(&mut t, &universe, &cfg);
+                        t.root_count()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_degree(c: &mut Criterion) {
+    let dtd = nitf_dtd();
+    let full = universe(&dtd);
+    let merger: Xpe = "/nitf/body/body-content/block/*".parse().expect("valid");
+    let s1: Xpe = "/nitf/body/body-content/block/p".parse().expect("valid");
+    let s2: Xpe = "/nitf/body/body-content/block/table".parse().expect("valid");
+    let mut group = c.benchmark_group("imperfect_degree");
+    for &cap in &[500usize, 4_000] {
+        let sample: Vec<Vec<String>>;
+        let u: &[Vec<String>] = if full.len() > cap {
+            let stride = full.len() / cap;
+            sample = full.iter().step_by(stride.max(1)).take(cap).cloned().collect();
+            &sample
+        } else {
+            &full
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), u, |b, u| {
+            b.iter(|| imperfect_degree(&merger, &[&s1, &s2], u))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_tree, bench_degree);
+criterion_main!(benches);

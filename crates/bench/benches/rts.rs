@@ -1,0 +1,83 @@
+//! Criterion bench behind Figure 6: routing-table maintenance cost.
+//!
+//! Compares inserting a query workload into the flat table, the lazy
+//! covering tree (the default), and the eager-super-pointer tree (the
+//! paper's §4.1 remark that eager maintenance "becomes expensive" —
+//! the ablation measures how much).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use xdn_bench::SEED;
+use xdn_core::subtree::SubscriptionTree;
+use xdn_workloads::{nitf_dtd, sets};
+
+fn bench_insert(c: &mut Criterion) {
+    let dtd = nitf_dtd();
+    let mut group = c.benchmark_group("rts_insert");
+    for &n in &[500usize, 2_000] {
+        let set_a = sets::set_a(&dtd, n, SEED);
+        let set_b = sets::set_b(&dtd, n, SEED + 1);
+        for (set_name, queries) in [("setA", &set_a), ("setB", &set_b)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("covering_lazy_{set_name}"), n),
+                queries,
+                |b, qs| {
+                    b.iter_batched(
+                        SubscriptionTree::<()>::new,
+                        |mut tree| {
+                            for q in qs {
+                                tree.insert(q.clone(), ());
+                            }
+                            tree.root_count()
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+            // Eager super-pointer maintenance is O(n) per insert (a
+            // full-tree scan); bench it only at the small size or the
+            // ablation itself dominates the suite's runtime.
+            if n <= 500 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("covering_eager_supers_{set_name}"), n),
+                    queries,
+                    |b, qs| {
+                        b.iter_batched(
+                            SubscriptionTree::<()>::with_eager_super_pointers,
+                            |mut tree| {
+                                for q in qs {
+                                    tree.insert(q.clone(), ());
+                                }
+                                tree.root_count()
+                            },
+                            BatchSize::SmallInput,
+                        )
+                    },
+                );
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("flat_{set_name}"), n),
+                queries,
+                |b, qs| {
+                    b.iter_batched(
+                        Vec::new,
+                        |mut v: Vec<xdn_xpath::Xpe>| {
+                            for q in qs {
+                                v.push(q.clone());
+                            }
+                            v.len()
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench behind Figure 8: per-subscription processing.
+//!
+//! Measures the forwarding decision for one subscription against the
+//! NITF-like and PSD-like advertisement sets, with the covering check
+//! short-circuiting advertisement matching, plus the prepared-vs-
+//! dynamic advertisement matching ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xdn_bench::SEED;
+use xdn_core::adv::{derive_advertisements, Advertisement, DeriveOptions};
+use xdn_core::advmatch::{adv_overlaps_sub, PreparedAdv};
+use xdn_core::subtree::SubscriptionTree;
+use xdn_workloads::{nitf_dtd, psd_dtd, sets};
+use xdn_xpath::generate::generate_distinct_xpes;
+use xdn_xpath::Xpe;
+
+fn setup(dtd: &xdn_xml::dtd::Dtd, n: usize, seed: u64) -> (Vec<Advertisement>, Vec<Xpe>) {
+    let advs = derive_advertisements(dtd, &DeriveOptions::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let xpes = generate_distinct_xpes(dtd, n, &sets::set_a_config(), &mut rng);
+    (advs, xpes)
+}
+
+fn bench_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xpe_processing");
+    for (name, dtd) in [("nitf", nitf_dtd()), ("psd", psd_dtd())] {
+        let (advs, xpes) = setup(&dtd, 400, SEED + 20);
+        let prepared: Vec<PreparedAdv> =
+            advs.iter().map(|a| PreparedAdv::new(a.clone(), 16)).collect();
+
+        // Dynamic advertisement matching (no preparation) — the
+        // paper's baseline shape, and our ablation's slow side.
+        group.bench_with_input(BenchmarkId::new("match_dynamic", name), &xpes, |b, xs| {
+            let mut i = 0;
+            b.iter(|| {
+                let x = &xs[i % xs.len()];
+                i += 1;
+                advs.iter().filter(|a| adv_overlaps_sub(a, x)).count()
+            })
+        });
+
+        // Prepared advertisement matching.
+        group.bench_with_input(BenchmarkId::new("match_prepared", name), &xpes, |b, xs| {
+            let mut i = 0;
+            b.iter(|| {
+                let x = &xs[i % xs.len()];
+                i += 1;
+                prepared.iter().filter(|a| a.overlaps(x)).count()
+            })
+        });
+
+        // Covering-first processing: the Figure 8 "with covering" path.
+        group.bench_with_input(BenchmarkId::new("covering_first", name), &xpes, |b, xs| {
+            let mut tree: SubscriptionTree<()> = SubscriptionTree::new();
+            for x in xs {
+                tree.insert(x.clone(), ());
+            }
+            let mut i = 0;
+            b.iter(|| {
+                let x = &xs[i % xs.len()];
+                i += 1;
+                if tree.find_root_coverer(x).is_none() {
+                    prepared.iter().filter(|a| a.overlaps(x)).count()
+                } else {
+                    0
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_processing
+}
+criterion_main!(benches);

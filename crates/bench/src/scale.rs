@@ -1,0 +1,108 @@
+//! Experiment scales.
+
+/// Workload sizes for every experiment. The paper's sizes are large
+/// (100,000 XPEs, 127 brokers, PlanetLab); [`Scale::default`] is a
+/// laptop-scale configuration that finishes in minutes and preserves
+/// every qualitative relation; [`Scale::paper`] restores the paper's
+/// numbers; [`Scale::quick`] is for CI and integration tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scale {
+    /// Figure 6: queries per data set (paper: 100,000).
+    pub fig6_queries: usize,
+    /// Figure 7: Set B queries (paper: 100,000).
+    pub fig7_queries: usize,
+    /// Figure 8: XPEs processed (paper: 5,000).
+    pub fig8_queries: usize,
+    /// Table 1: subscriptions in the routing table (paper: 100,000).
+    pub table1_queries: usize,
+    /// Table 1: published documents (paper: 500 → 23,098 paths).
+    pub table1_docs: usize,
+    /// Tables 2/3: distinct XPEs per leaf subscriber (paper: 1,000).
+    pub traffic_queries_per_sub: usize,
+    /// Tables 2/3: published documents (paper: 50 → 4,182 paths).
+    pub traffic_docs: usize,
+    /// Figure 9: subscriber groups (models distinct downstream hops).
+    pub fig9_groups: usize,
+    /// Figure 9: queries per group.
+    pub fig9_queries_per_group: usize,
+    /// Figure 9: published documents.
+    pub fig9_docs: usize,
+    /// Figures 10/11: background queries loading each broker's table.
+    pub delay_bg_queries: usize,
+    /// Figures 10/11: documents published per (size, hop) point
+    /// (paper: averaged over four runs).
+    pub delay_docs_per_size: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            fig6_queries: 20_000,
+            fig7_queries: 10_000,
+            fig8_queries: 2_000,
+            table1_queries: 10_000,
+            table1_docs: 100,
+            traffic_queries_per_sub: 100,
+            traffic_docs: 10,
+            fig9_groups: 8,
+            fig9_queries_per_group: 700,
+            fig9_docs: 30,
+            delay_bg_queries: 1_000,
+            delay_docs_per_size: 4,
+        }
+    }
+}
+
+impl Scale {
+    /// The paper's workload sizes. Expect long runtimes (the flat
+    /// no-covering baselines are quadratic by design — that is the
+    /// point of the paper).
+    pub fn paper() -> Self {
+        Scale {
+            fig6_queries: 100_000,
+            fig7_queries: 100_000,
+            fig8_queries: 5_000,
+            table1_queries: 100_000,
+            table1_docs: 500,
+            traffic_queries_per_sub: 1_000,
+            traffic_docs: 50,
+            fig9_groups: 16,
+            fig9_queries_per_group: 1_000,
+            fig9_docs: 50,
+            delay_bg_queries: 4_000,
+            delay_docs_per_size: 4,
+        }
+    }
+
+    /// A seconds-scale configuration for CI and integration tests.
+    pub fn quick() -> Self {
+        Scale {
+            fig6_queries: 2_000,
+            fig7_queries: 1_500,
+            fig8_queries: 400,
+            table1_queries: 1_500,
+            table1_docs: 20,
+            traffic_queries_per_sub: 25,
+            traffic_docs: 4,
+            fig9_groups: 4,
+            fig9_queries_per_group: 400,
+            fig9_docs: 10,
+            delay_bg_queries: 200,
+            delay_docs_per_size: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let d = Scale::default();
+        let p = Scale::paper();
+        assert!(q.fig6_queries < d.fig6_queries && d.fig6_queries < p.fig6_queries);
+        assert!(q.traffic_docs <= d.traffic_docs && d.traffic_docs <= p.traffic_docs);
+    }
+}

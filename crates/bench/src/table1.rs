@@ -1,0 +1,115 @@
+//! Table 1 — publication routing time per message.
+//!
+//! Publications (paths of 500 NITF documents) are routed against
+//! 100,000 XPEs under four table organizations: flat (no covering),
+//! covering, covering + perfect merging, covering + imperfect merging
+//! (`D = 0.1`). The paper reports covering cutting Set A's routing
+//! time by 84.6 % and Set B's by 47.5 %, with merging improving both
+//! further.
+
+use crate::{universe_sample, Scale, SEED};
+use std::time::{Duration, Instant};
+use xdn_core::merge::MergeConfig;
+use xdn_core::rtable::{FlatPrt, Prt, SubId};
+use xdn_workloads::{docs, nitf_dtd, sets};
+use xdn_xpath::Xpe;
+
+/// Mean routing time per publication for one (method, set) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Methods in paper order: no covering, covering, perfect merging,
+    /// imperfect merging.
+    pub methods: [&'static str; 4],
+    /// Per-publication mean for Set A.
+    pub set_a: [Duration; 4],
+    /// Per-publication mean for Set B.
+    pub set_b: [Duration; 4],
+    /// Number of publications routed.
+    pub publications: usize,
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table1 {
+    let dtd = nitf_dtd();
+    let universe = universe_sample(&dtd, 4_000);
+    let documents = docs::documents(&dtd, scale.table1_docs, SEED + 5);
+    let paths = docs::publication_paths(&documents);
+    let pubs: Vec<Vec<String>> = paths.into_iter().map(|p| p.elements).collect();
+
+    let a = sets::set_a(&dtd, scale.table1_queries, SEED + 6);
+    let b = sets::set_b(&dtd, scale.table1_queries, SEED + 7);
+
+    Table1 {
+        methods: ["No Covering", "Covering", "Perfect Merging", "Imperfect Merging"],
+        set_a: run_set(&a, &pubs, &universe),
+        set_b: run_set(&b, &pubs, &universe),
+        publications: pubs.len(),
+    }
+}
+
+fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [Duration; 4] {
+    // Flat baseline.
+    let mut flat: FlatPrt<u32> = FlatPrt::new();
+    for (i, q) in queries.iter().enumerate() {
+        flat.subscribe(SubId(i as u64), q.clone(), i as u32);
+    }
+    let flat_time = time_per_pub(pubs, |p| flat.route(p).len());
+
+    // Covering.
+    let mut prt: Prt<u32> = Prt::new();
+    for (i, q) in queries.iter().enumerate() {
+        prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+    }
+    let cov_time = time_per_pub(pubs, |p| prt.route(p).len());
+
+    // Covering + perfect merging.
+    let mut seq = 1_000_000u64;
+    let pm_cfg = MergeConfig { max_degree: 0.0, ..MergeConfig::default() };
+    prt.apply_merging(universe, &pm_cfg, || {
+        seq += 1;
+        SubId(seq)
+    });
+    let pm_time = time_per_pub(pubs, |p| prt.route(p).len());
+
+    // Covering + imperfect merging (on top of the perfect pass, as in
+    // a broker that relaxes its degree budget).
+    let ipm_cfg = MergeConfig { max_degree: 0.1, ..MergeConfig::default() };
+    prt.apply_merging(universe, &ipm_cfg, || {
+        seq += 1;
+        SubId(seq)
+    });
+    let ipm_time = time_per_pub(pubs, |p| prt.route(p).len());
+
+    [flat_time, cov_time, pm_time, ipm_time]
+}
+
+fn time_per_pub(pubs: &[Vec<String>], mut route: impl FnMut(&[String]) -> usize) -> Duration {
+    let started = Instant::now();
+    for p in pubs {
+        std::hint::black_box(route(p));
+    }
+    started.elapsed() / pubs.len().max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_beats_flat_on_both_sets() {
+        let t = run(&Scale::quick());
+        assert!(t.publications > 100);
+        // Table 1's ordering: covering < no covering, merging <= covering
+        // (allowing jitter headroom on the small quick scale).
+        for set in [&t.set_a, &t.set_b] {
+            assert!(
+                set[1] < set[0],
+                "covering ({:?}) must beat flat ({:?})",
+                set[1],
+                set[0]
+            );
+            let merged_ok = set[2] <= set[1] + set[1] / 2;
+            assert!(merged_ok, "merging should not regress much: {set:?}");
+        }
+    }
+}

@@ -1,0 +1,700 @@
+//! The broker: routing state plus the message-handling state machine.
+
+use crate::message::{BrokerId, Dest, Message};
+use crate::stats::BrokerStats;
+use std::sync::Arc;
+use std::time::Instant;
+use xdn_core::merge::MergeConfig;
+use xdn_core::rtable::{FlatPrt, Prt, Srt, SubId};
+use xdn_xpath::Xpe;
+
+/// Which merging variant a broker runs (requires covering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergingMode {
+    /// Only mergers with `D_imperfect = 0` are applied.
+    Perfect,
+    /// Mergers up to the given imperfect degree are applied (the paper
+    /// uses `0.1` in Tables 1–3).
+    Imperfect(f64),
+}
+
+impl MergingMode {
+    fn max_degree(self) -> f64 {
+        match self {
+            MergingMode::Perfect => 0.0,
+            MergingMode::Imperfect(d) => d,
+        }
+    }
+}
+
+/// A broker's routing strategy — the experiment axis of Tables 2/3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingConfig {
+    /// Use advertisement-based subscription routing; without it,
+    /// subscriptions are flooded to every neighbour.
+    pub advertisements: bool,
+    /// Use the covering subscription tree; without it, a flat table.
+    pub covering: bool,
+    /// Merging mode, if any.
+    pub merging: Option<MergingMode>,
+}
+
+impl RoutingConfig {
+    /// `no-Adv-no-Cov`: flooding + flat tables.
+    pub fn no_adv_no_cov() -> Self {
+        RoutingConfig { advertisements: false, covering: false, merging: None }
+    }
+
+    /// `no-Adv-with-Cov`.
+    pub fn no_adv_with_cov() -> Self {
+        RoutingConfig { advertisements: false, covering: true, merging: None }
+    }
+
+    /// `with-Adv-no-Cov`.
+    pub fn with_adv_no_cov() -> Self {
+        RoutingConfig { advertisements: true, covering: false, merging: None }
+    }
+
+    /// `with-Adv-with-Cov`.
+    pub fn with_adv_with_cov() -> Self {
+        RoutingConfig { advertisements: true, covering: true, merging: None }
+    }
+
+    /// `with-Adv-with-CovPM` (perfect merging).
+    pub fn with_adv_cov_pm() -> Self {
+        RoutingConfig {
+            advertisements: true,
+            covering: true,
+            merging: Some(MergingMode::Perfect),
+        }
+    }
+
+    /// `with-Adv-with-CovIPM` (imperfect merging, default degree 0.1).
+    pub fn with_adv_cov_ipm(max_degree: f64) -> Self {
+        RoutingConfig {
+            advertisements: true,
+            covering: true,
+            merging: Some(MergingMode::Imperfect(max_degree)),
+        }
+    }
+
+    /// All six strategies in the paper's order, for experiment sweeps.
+    pub fn all_strategies() -> [(&'static str, RoutingConfig); 6] {
+        [
+            ("no-Adv-no-Cov", Self::no_adv_no_cov()),
+            ("no-Adv-with-Cov", Self::no_adv_with_cov()),
+            ("with-Adv-no-Cov", Self::with_adv_no_cov()),
+            ("with-Adv-with-Cov", Self::with_adv_with_cov()),
+            ("with-Adv-with-CovPM", Self::with_adv_cov_pm()),
+            ("with-Adv-with-CovIPM", Self::with_adv_cov_ipm(0.1)),
+        ]
+    }
+}
+
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one PRT per broker; indirection buys nothing
+enum PrtImpl {
+    Covering(Prt<Dest>),
+    Flat(FlatPrt<Dest>),
+}
+
+/// One content-based XML router.
+///
+/// A broker owns no I/O: [`Broker::handle`] consumes one incoming
+/// message and returns the messages to put on the wire, which makes the
+/// same implementation drivable by the discrete-event simulator, the
+/// threaded live transport, unit tests, and benchmarks.
+#[derive(Debug)]
+pub struct Broker {
+    id: BrokerId,
+    neighbors: Vec<BrokerId>,
+    config: RoutingConfig,
+    srt: Srt<Dest>,
+    prt: PrtImpl,
+    /// DTD path universe for computing `D_imperfect` (merging).
+    universe: Option<Arc<Vec<Vec<String>>>>,
+    merger_seq: u64,
+    /// Hops each forwarded subscription was sent to; deduplicates
+    /// re-forwarding when advertisements arrive after subscriptions.
+    sent_to: std::collections::HashMap<SubId, std::collections::BTreeSet<Dest>>,
+    stats: BrokerStats,
+}
+
+impl Broker {
+    /// Creates a broker with no neighbours.
+    pub fn new(id: BrokerId, config: RoutingConfig) -> Self {
+        let prt = if config.covering {
+            PrtImpl::Covering(Prt::new())
+        } else {
+            PrtImpl::Flat(FlatPrt::new())
+        };
+        Broker {
+            id,
+            neighbors: Vec::new(),
+            config,
+            srt: Srt::new(),
+            prt,
+            universe: None,
+            merger_seq: 0,
+            sent_to: std::collections::HashMap::new(),
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// The configured routing strategy.
+    pub fn config(&self) -> &RoutingConfig {
+        &self.config
+    }
+
+    /// Registers a neighbouring broker.
+    pub fn add_neighbor(&mut self, n: BrokerId) {
+        if !self.neighbors.contains(&n) {
+            self.neighbors.push(n);
+        }
+    }
+
+    /// The neighbouring brokers.
+    pub fn neighbors(&self) -> &[BrokerId] {
+        &self.neighbors
+    }
+
+    /// Supplies the producer-DTD path universe used to score imperfect
+    /// mergers (§4.3 assumes each broker knows the producer's DTD).
+    pub fn set_universe(&mut self, universe: Arc<Vec<Vec<String>>>) {
+        self.universe = Some(universe);
+    }
+
+    /// Performance counters.
+    pub fn stats(&self) -> &BrokerStats {
+        &self.stats
+    }
+
+    /// Resets the performance counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BrokerStats::default();
+    }
+
+    /// Number of advertisements in the SRT.
+    pub fn srt_size(&self) -> usize {
+        self.srt.len()
+    }
+
+    /// Compacts the SRT by dropping advertisements covered by another
+    /// one from the same hop (§4.2's advertisement-covering remark).
+    /// Returns the number of entries removed. Routing is unchanged.
+    pub fn compact_srt(&mut self) -> usize {
+        self.srt.compact()
+    }
+
+    /// Number of subscriptions stored in the PRT.
+    pub fn prt_size(&self) -> usize {
+        match &self.prt {
+            PrtImpl::Covering(p) => p.len(),
+            PrtImpl::Flat(p) => p.len(),
+        }
+    }
+
+    /// Effective routing-table size: top-level subscriptions after
+    /// covering (equals [`Self::prt_size`] for flat tables).
+    pub fn prt_effective_size(&self) -> usize {
+        match &self.prt {
+            PrtImpl::Covering(p) => p.effective_size(),
+            PrtImpl::Flat(p) => p.len(),
+        }
+    }
+
+    /// Processes one message and returns the messages to transmit, as
+    /// `(destination, message)` pairs. Never returns a message to
+    /// `from`.
+    pub fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+        let out = match msg {
+            Message::Advertise { id, adv } => {
+                self.stats.received_advertise += 1;
+                self.srt.insert(id, adv.clone(), from);
+                // Advertisements are flooded through the overlay.
+                let mut out = self.broadcast_except(from, Message::Advertise { id, adv: adv.clone() });
+                // Subscriptions that arrived before this advertisement
+                // were not forwarded toward it; re-evaluate the stored
+                // (top-level) subscriptions so the reverse path exists.
+                if self.config.advertisements && !from.is_client() {
+                    let forwarded = match &self.prt {
+                        PrtImpl::Covering(prt) => prt.forwarded_subs(),
+                        PrtImpl::Flat(prt) => prt.forwarded_subs(),
+                    };
+                    for (sid, xpe, hops) in forwarded {
+                        let only_from_there = hops.iter().all(|h| *h == from);
+                        let already_sent = self
+                            .sent_to
+                            .get(&sid)
+                            .is_some_and(|dests| dests.contains(&from));
+                        if !only_from_there
+                            && !already_sent
+                            && xdn_core::advmatch::adv_overlaps_sub(&adv, &xpe)
+                        {
+                            out.push((from, Message::Subscribe { id: sid, xpe }));
+                            self.sent_to.entry(sid).or_default().insert(from);
+                        }
+                    }
+                }
+                out
+            }
+            Message::Unadvertise { id } => {
+                self.stats.received_unadvertise += 1;
+                self.srt.remove(id);
+                self.broadcast_except(from, Message::Unadvertise { id })
+            }
+            Message::Subscribe { id, xpe } => self.handle_subscribe(from, id, xpe),
+            Message::Unsubscribe { id } => self.handle_unsubscribe(from, id),
+            Message::Publish(p) => {
+                self.stats.received_publish += 1;
+                let started = Instant::now();
+                let dests = match &self.prt {
+                    PrtImpl::Covering(prt) => prt.route_with_attrs(&p.elements, &p.attributes),
+                    PrtImpl::Flat(prt) => prt.route_with_attrs(&p.elements, &p.attributes),
+                };
+                self.stats.pub_routing += started.elapsed();
+                dests
+                    .into_iter()
+                    .filter(|d| *d != from)
+                    .map(|d| {
+                        if d.is_client() {
+                            self.stats.deliveries += 1;
+                        }
+                        (d, Message::Publish(p.clone()))
+                    })
+                    .collect()
+            }
+        };
+        self.stats.sent += out.len() as u64;
+        out
+    }
+
+    fn handle_subscribe(&mut self, from: Dest, id: SubId, xpe: Xpe) -> Vec<(Dest, Message)> {
+        self.stats.received_subscribe += 1;
+        let started = Instant::now();
+        let outcome = match &mut self.prt {
+            PrtImpl::Covering(prt) => prt.subscribe(id, xpe.clone(), from),
+            PrtImpl::Flat(prt) => prt.subscribe(id, xpe.clone(), from),
+        };
+        let mut out = Vec::new();
+        if outcome.forward {
+            // Covered subscriptions skip advertisement matching
+            // entirely — the Figure 8 effect.
+            let targets = self.sub_targets(&xpe, Some(from));
+            for rid in &outcome.retract {
+                // The covered subscription's targets are a subset of
+                // the new subscription's (covering implies overlap
+                // containment over the same SRT), so retracting along
+                // the new targets reaches every broker that stores it.
+                for t in &targets {
+                    out.push((*t, Message::Unsubscribe { id: *rid }));
+                }
+                self.sent_to.remove(rid);
+            }
+            for t in &targets {
+                out.push((*t, Message::Subscribe { id, xpe: xpe.clone() }));
+            }
+            self.sent_to.entry(id).or_default().extend(targets.iter().copied());
+        } else {
+            // Covering suppression is only valid toward hops the
+            // coverer was itself sent to; it was never sent toward its
+            // own origins, so those directions are still owed.
+            let owed: Vec<Dest> = outcome
+                .covered_root_hops
+                .iter()
+                .filter(|h| !h.is_client() && **h != from)
+                .copied()
+                .collect();
+            if !owed.is_empty() {
+                let targets = self.sub_targets(&xpe, Some(from));
+                for t in owed {
+                    if targets.contains(&t) {
+                        out.push((t, Message::Subscribe { id, xpe: xpe.clone() }));
+                        self.sent_to.entry(id).or_default().insert(t);
+                    }
+                }
+            }
+        }
+        self.stats.sub_processing += started.elapsed();
+        out
+    }
+
+    fn handle_unsubscribe(&mut self, from: Dest, id: SubId) -> Vec<(Dest, Message)> {
+        self.stats.received_unsubscribe += 1;
+        let mut out = Vec::new();
+        match &mut self.prt {
+            PrtImpl::Covering(prt) => {
+                let xpe = prt.xpe_of(id).cloned();
+                let outcome = prt.unsubscribe(id);
+                // Re-forward newly uncovered subscriptions first so no
+                // window without routing state opens upstream.
+                let promotions: Vec<(SubId, Xpe)> = outcome
+                    .promote
+                    .iter()
+                    .filter_map(|pid| prt.xpe_of(*pid).map(|x| (*pid, x.clone())))
+                    .collect();
+                for (pid, pxpe) in promotions {
+                    let targets = self.sub_targets(&pxpe, Some(from));
+                    for t in &targets {
+                        out.push((*t, Message::Subscribe { id: pid, xpe: pxpe.clone() }));
+                    }
+                    self.sent_to.entry(pid).or_default().extend(targets);
+                }
+                if outcome.forward {
+                    if let Some(xpe) = xpe {
+                        for t in self.sub_targets(&xpe, Some(from)) {
+                            out.push((t, Message::Unsubscribe { id }));
+                        }
+                    }
+                }
+                self.sent_to.remove(&id);
+            }
+            PrtImpl::Flat(prt) => {
+                let outcome = prt.unsubscribe(id);
+                if outcome.forward {
+                    // Without covering the unsubscription is flooded
+                    // like the subscription was.
+                    for t in self.flood_targets(Some(from)) {
+                        out.push((t, Message::Unsubscribe { id }));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Where to forward a subscription: the last hops of overlapping
+    /// advertisements (advertisement-based routing) or every neighbour
+    /// (flooding). Client hops never receive subscriptions.
+    fn sub_targets(&self, xpe: &Xpe, exclude: Option<Dest>) -> Vec<Dest> {
+        if self.config.advertisements {
+            self.srt
+                .match_sub(xpe)
+                .into_iter()
+                .filter(|d| !d.is_client())
+                .filter(|d| Some(*d) != exclude)
+                .collect()
+        } else {
+            self.flood_targets(exclude)
+        }
+    }
+
+    fn flood_targets(&self, exclude: Option<Dest>) -> Vec<Dest> {
+        self.neighbors
+            .iter()
+            .map(|&n| Dest::Broker(n))
+            .filter(|d| Some(*d) != exclude)
+            .collect()
+    }
+
+    fn broadcast_except(&self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+        self.flood_targets(Some(from)).into_iter().map(|d| (d, msg.clone())).collect()
+    }
+
+    /// Runs the merging pass (§4.3) if the strategy enables it, and
+    /// returns the control traffic: merger subscriptions plus
+    /// retractions of absorbed subscriptions.
+    ///
+    /// Requires [`Broker::set_universe`]; without a universe only
+    /// structural perfect mergers could be scored, so the pass is
+    /// skipped entirely.
+    pub fn apply_merging(&mut self) -> Vec<(Dest, Message)> {
+        let Some(mode) = self.config.merging else { return Vec::new() };
+        let Some(universe) = self.universe.clone() else { return Vec::new() };
+        let PrtImpl::Covering(prt) = &mut self.prt else { return Vec::new() };
+        let cfg = MergeConfig { max_degree: mode.max_degree(), ..MergeConfig::default() };
+        let broker_bits = (self.id.0 as u64) << 32;
+        let seq = &mut self.merger_seq;
+        let apps = prt.apply_merging(&universe, &cfg, || {
+            *seq += 1;
+            SubId((1 << 63) | broker_bits | *seq)
+        });
+        let mut out = Vec::new();
+        for app in apps {
+            let targets = self.sub_targets(&app.xpe, None);
+            for t in &targets {
+                out.push((*t, Message::Subscribe { id: app.merger_id, xpe: app.xpe.clone() }));
+            }
+            self.sent_to.entry(app.merger_id).or_default().extend(targets.iter().copied());
+            for rid in app.retract {
+                for t in &targets {
+                    out.push((*t, Message::Unsubscribe { id: rid }));
+                }
+                self.sent_to.remove(&rid);
+            }
+        }
+        self.stats.sent += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ClientId, Publication};
+    use xdn_core::adv::{AdvPath, Advertisement};
+    use xdn_core::rtable::AdvId;
+    use xdn_xml::{DocId, PathId};
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn adv(names: &[&str]) -> Advertisement {
+        Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    fn publication(elements: &[&str]) -> Publication {
+        Publication {
+            doc_id: DocId(1),
+            path_id: PathId(0),
+            elements: elements.iter().map(|s| s.to_string()).collect(),
+            attributes: Vec::new(),
+            doc_bytes: 1000,
+        }
+    }
+
+    fn client(n: u64) -> Dest {
+        Dest::Client(ClientId(n))
+    }
+
+    fn broker_hop(n: u32) -> Dest {
+        Dest::Broker(BrokerId(n))
+    }
+
+    #[test]
+    fn advertisement_flooded_except_origin() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(2));
+        let out = b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, broker_hop(2));
+        assert_eq!(b.srt_size(), 1);
+    }
+
+    #[test]
+    fn subscription_routed_toward_advertiser() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        for n in 1..=3 {
+            b.add_neighbor(BrokerId(n));
+        }
+        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        b.handle(broker_hop(2), Message::advertise(AdvId(2), adv(&["x", "y"])));
+        let out = b.handle(client(9), Message::subscribe(SubId(1), xpe("/a/*")));
+        assert_eq!(out.len(), 1, "only toward the overlapping advertisement");
+        assert_eq!(out[0].0, broker_hop(1));
+    }
+
+    #[test]
+    fn subscription_flooded_without_advertisements() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        for n in 1..=3 {
+            b.add_neighbor(BrokerId(n));
+        }
+        let out = b.handle(broker_hop(3), Message::subscribe(SubId(1), xpe("/a")));
+        assert_eq!(out.len(), 2, "all neighbours except the origin");
+        assert!(out.iter().all(|(d, _)| *d != broker_hop(3)));
+    }
+
+    #[test]
+    fn covered_subscription_not_forwarded() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        let first = b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/*")));
+        assert_eq!(first.len(), 1);
+        let second = b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/b")));
+        assert!(second.is_empty(), "covered by /a/*");
+    }
+
+    #[test]
+    fn takeover_retracts_covered_subscriptions() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/b")));
+        let out = b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/*")));
+        let unsubs: Vec<_> =
+            out.iter().filter(|(_, m)| matches!(m, Message::Unsubscribe { .. })).collect();
+        let subs: Vec<_> =
+            out.iter().filter(|(_, m)| matches!(m, Message::Subscribe { .. })).collect();
+        assert_eq!(unsubs.len(), 1);
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn publication_routed_to_matching_hops_only() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(2));
+        b.handle(broker_hop(2), Message::subscribe(SubId(1), xpe("/a/b")));
+        b.handle(client(7), Message::subscribe(SubId(2), xpe("//c")));
+        let out = b.handle(broker_hop(1), Message::Publish(publication(&["a", "b"])));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, broker_hop(2));
+        let out = b.handle(broker_hop(1), Message::Publish(publication(&["a", "c"])));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, client(7));
+        assert_eq!(b.stats().deliveries, 1);
+    }
+
+    #[test]
+    fn publication_never_returns_to_sender() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.handle(broker_hop(1), Message::subscribe(SubId(1), xpe("/a")));
+        let out = b.handle(broker_hop(1), Message::Publish(publication(&["a"])));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_promotes_covered() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/*")));
+        b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/b")));
+        let out = b.handle(client(1), Message::Unsubscribe { id: SubId(1) });
+        let kinds: Vec<&str> = out.iter().map(|(_, m)| m.kind()).collect();
+        assert!(kinds.contains(&"subscribe"), "promoted /a/b re-forwarded: {kinds:?}");
+        assert!(kinds.contains(&"unsubscribe"));
+    }
+
+    #[test]
+    fn flat_unsubscribe_floods() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(2));
+        b.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
+        let out = b.handle(client(1), Message::Unsubscribe { id: SubId(1) });
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn merging_emits_merger_and_retractions() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_cov_pm());
+        b.add_neighbor(BrokerId(1));
+        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b", "*"])));
+        // Universe: /a/b/{b,c} — subscribing to both makes /a/b/* perfect.
+        let universe = Arc::new(vec![
+            vec!["a".to_string(), "b".into(), "b".into()],
+            vec!["a".to_string(), "b".into(), "c".into()],
+        ]);
+        b.set_universe(universe);
+        b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/b/b")));
+        b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/b/c")));
+        assert_eq!(b.prt_effective_size(), 2);
+        let out = b.apply_merging();
+        assert_eq!(b.prt_effective_size(), 1);
+        let subs: Vec<_> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::Subscribe { xpe, .. } => Some(xpe.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subs, vec!["/a/b/*".to_string()]);
+        let unsubs =
+            out.iter().filter(|(_, m)| matches!(m, Message::Unsubscribe { .. })).count();
+        assert_eq!(unsubs, 2);
+    }
+
+    #[test]
+    fn merging_skipped_without_universe() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_cov_pm());
+        b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/b")));
+        assert!(b.apply_merging().is_empty());
+    }
+
+    #[test]
+    fn merging_disabled_for_plain_covering() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.set_universe(Arc::new(vec![]));
+        assert!(b.apply_merging().is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        b.add_neighbor(BrokerId(1));
+        b.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
+        b.handle(broker_hop(1), Message::Publish(publication(&["a"])));
+        assert_eq!(b.stats().received_subscribe, 1);
+        assert_eq!(b.stats().received_publish, 1);
+        assert!(b.stats().received_total() >= 2);
+        b.reset_stats();
+        assert_eq!(b.stats().received_total(), 0);
+    }
+
+    #[test]
+    fn unadvertise_removes_and_floods() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(2));
+        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a"])));
+        let out = b.handle(broker_hop(1), Message::Unadvertise { id: AdvId(1) });
+        assert_eq!(b.srt_size(), 0);
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod srt_compact_tests {
+    use super::*;
+    use crate::message::{ClientId, Publication};
+    use xdn_core::adv::{AdvPath, Advertisement};
+    use xdn_core::rtable::AdvId;
+    use xdn_xml::{DocId, PathId};
+
+    #[test]
+    fn compaction_preserves_subscription_routing() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        let from = Dest::Broker(BrokerId(1));
+        b.handle(
+            from,
+            Message::advertise(
+                AdvId(1),
+                Advertisement::non_recursive(AdvPath::from_names(&["a", "*"])),
+            ),
+        );
+        b.handle(
+            from,
+            Message::advertise(
+                AdvId(2),
+                Advertisement::non_recursive(AdvPath::from_names(&["a", "b"])),
+            ),
+        );
+        assert_eq!(b.srt_size(), 2);
+        assert_eq!(b.compact_srt(), 1);
+        assert_eq!(b.srt_size(), 1);
+
+        // The subscription still routes toward the surviving entry.
+        let out = b.handle(
+            Dest::Client(ClientId(9)),
+            Message::subscribe(SubId(1), "/a/b".parse().expect("xpe")),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, from);
+
+        // And publications still flow to the subscriber.
+        let out = b.handle(
+            from,
+            Message::Publish(Publication {
+                doc_id: DocId(1),
+                path_id: PathId(0),
+                elements: vec!["a".into(), "b".into()],
+                attributes: Vec::new(),
+                doc_bytes: 10,
+            }),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].0.is_client());
+    }
+}

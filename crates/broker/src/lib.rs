@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # xdn-broker — the content-based XML router
+//!
+//! A [`Broker`] is one node of the dissemination overlay (Figure 1):
+//! it holds a subscription routing table (SRT) and a publication
+//! routing table (PRT) and forwards messages purely on content. This
+//! crate composes the algorithms of [`xdn_core`] into the six routing
+//! strategies evaluated in Tables 2 and 3 of the paper:
+//!
+//! | strategy                | advertisements | covering | merging |
+//! |-------------------------|----------------|----------|---------|
+//! | `no-Adv-no-Cov`         | –              | –        | –       |
+//! | `no-Adv-with-Cov`       | –              | ✓        | –       |
+//! | `with-Adv-no-Cov`       | ✓              | –        | –       |
+//! | `with-Adv-with-Cov`     | ✓              | ✓        | –       |
+//! | `with-Adv-with-CovPM`   | ✓              | ✓        | perfect |
+//! | `with-Adv-with-CovIPM`  | ✓              | ✓        | imperfect |
+//!
+//! ```
+//! use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
+//! use xdn_core::rtable::{AdvId, SubId};
+//! use xdn_core::adv::{AdvPath, Advertisement};
+//!
+//! let mut broker = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+//! broker.add_neighbor(BrokerId(1));
+//!
+//! // A producer behind neighbor 1 advertises /quotes/nyse/price.
+//! let adv = Advertisement::non_recursive(AdvPath::from_names(&["quotes", "nyse", "price"]));
+//! broker.handle(Dest::Broker(BrokerId(1)), Message::advertise(AdvId(1), adv));
+//!
+//! // A local client subscribes; the subscription is forwarded toward
+//! // the advertisement's last hop.
+//! let out = broker.handle(
+//!     Dest::Client(ClientId(7)),
+//!     Message::subscribe(SubId(1), "/quotes/*/price".parse().unwrap()),
+//! );
+//! assert_eq!(out.len(), 1);
+//! assert_eq!(out[0].0, Dest::Broker(BrokerId(1)));
+//! ```
+
+pub mod broker;
+pub mod message;
+pub mod stats;
+pub mod wire;
+
+pub use broker::{Broker, MergingMode, RoutingConfig};
+pub use message::{BrokerId, ClientId, Dest, Message, Publication};
+pub use stats::BrokerStats;

@@ -1,0 +1,228 @@
+//! Message and addressing types of the dissemination network.
+
+use std::fmt;
+use xdn_core::adv::Advertisement;
+use xdn_core::rtable::{AdvId, SubId};
+use xdn_xml::{DocId, PathId};
+use xdn_xpath::Xpe;
+
+/// Identifier of a broker in the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BrokerId(pub u32);
+
+/// Identifier of a client (publisher or subscriber).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A message destination or source: a neighbouring broker or a locally
+/// attached client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dest {
+    /// A neighbouring broker.
+    Broker(BrokerId),
+    /// A locally attached client.
+    Client(ClientId),
+}
+
+impl Dest {
+    /// The broker id, if this destination is a broker.
+    pub fn as_broker(&self) -> Option<BrokerId> {
+        match self {
+            Dest::Broker(b) => Some(*b),
+            Dest::Client(_) => None,
+        }
+    }
+
+    /// True if this destination is a client.
+    pub fn is_client(&self) -> bool {
+        matches!(self, Dest::Client(_))
+    }
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::Broker(b) => write!(f, "{b}"),
+            Dest::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A publication on the wire: one root-to-leaf path of an XML document
+/// (§3.1), annotated with the document id, the path id, and the size of
+/// the document it belongs to (clients receive whole documents; the
+/// size drives the transmission-delay model).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Publication {
+    /// Document the path was extracted from.
+    pub doc_id: DocId,
+    /// Position of the path within the document.
+    pub path_id: PathId,
+    /// Element names from root to leaf.
+    pub elements: Vec<String>,
+    /// Per-element attributes aligned with `elements` (may be empty —
+    /// only subscriptions using the attribute-predicate extension read
+    /// them).
+    pub attributes: Vec<Vec<(String, String)>>,
+    /// Serialized size in bytes of the whole document.
+    pub doc_bytes: usize,
+}
+
+impl Publication {
+    /// Builds a publication from an extracted document path.
+    pub fn from_doc_path(path: &xdn_xml::DocPath, doc_bytes: usize) -> Self {
+        Publication {
+            doc_id: path.doc_id,
+            path_id: path.path_id,
+            elements: path.elements.clone(),
+            attributes: path.attributes.clone(),
+            doc_bytes,
+        }
+    }
+}
+
+impl fmt::Display for Publication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.elements {
+            write!(f, "/{e}")?;
+        }
+        write!(f, " [{} {}]", self.doc_id, self.path_id)
+    }
+}
+
+/// A protocol message exchanged between brokers and clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A producer announces future publications (flooded).
+    Advertise {
+        /// Network-wide advertisement id.
+        id: AdvId,
+        /// The advertised path language.
+        adv: Advertisement,
+    },
+    /// A producer retracts an advertisement (flooded).
+    Unadvertise {
+        /// The advertisement to retract.
+        id: AdvId,
+    },
+    /// A consumer registers interest (routed along advertisements).
+    Subscribe {
+        /// Network-wide subscription id.
+        id: SubId,
+        /// The filter expression.
+        xpe: Xpe,
+    },
+    /// A consumer (or a covering optimization) retracts a subscription.
+    Unsubscribe {
+        /// The subscription to retract.
+        id: SubId,
+    },
+    /// A publication routed toward matching subscribers.
+    Publish(Publication),
+}
+
+impl Message {
+    /// Convenience constructor for [`Message::Advertise`].
+    pub fn advertise(id: AdvId, adv: Advertisement) -> Self {
+        Message::Advertise { id, adv }
+    }
+
+    /// Convenience constructor for [`Message::Subscribe`].
+    pub fn subscribe(id: SubId, xpe: Xpe) -> Self {
+        Message::Subscribe { id, xpe }
+    }
+
+    /// Convenience constructor for [`Message::Publish`].
+    pub fn publish(p: Publication) -> Self {
+        Message::Publish(p)
+    }
+
+    /// Approximate wire size in bytes, used by the latency models. For
+    /// publications this is the *document* size — the paper's delay
+    /// experiments transfer whole documents between brokers.
+    pub fn wire_bytes(&self) -> usize {
+        const HEADER: usize = 24;
+        match self {
+            Message::Advertise { adv, .. } => HEADER + adv.to_string().len(),
+            Message::Unadvertise { .. } => HEADER,
+            Message::Subscribe { xpe, .. } => HEADER + xpe.to_string().len(),
+            Message::Unsubscribe { .. } => HEADER,
+            Message::Publish(p) => HEADER + p.doc_bytes,
+        }
+    }
+
+    /// Short tag for statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Advertise { .. } => "advertise",
+            Message::Unadvertise { .. } => "unadvertise",
+            Message::Subscribe { .. } => "subscribe",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::Publish(_) => "publish",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdn_core::adv::AdvPath;
+
+    #[test]
+    fn wire_bytes_scale_with_content() {
+        let small = Message::publish(Publication {
+            doc_id: DocId(1),
+            path_id: PathId(0),
+            elements: vec!["a".into()],
+            attributes: Vec::new(),
+            doc_bytes: 100,
+        });
+        let big = Message::publish(Publication {
+            doc_id: DocId(1),
+            path_id: PathId(0),
+            elements: vec!["a".into()],
+            attributes: Vec::new(),
+            doc_bytes: 10_000,
+        });
+        assert!(big.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn kinds() {
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a"]));
+        assert_eq!(Message::advertise(AdvId(1), adv).kind(), "advertise");
+        assert_eq!(Message::Unsubscribe { id: SubId(1) }.kind(), "unsubscribe");
+    }
+
+    #[test]
+    fn dest_accessors() {
+        assert_eq!(Dest::Broker(BrokerId(3)).as_broker(), Some(BrokerId(3)));
+        assert_eq!(Dest::Client(ClientId(1)).as_broker(), None);
+        assert!(Dest::Client(ClientId(1)).is_client());
+        assert_eq!(Dest::Broker(BrokerId(2)).to_string(), "B2");
+        assert_eq!(Dest::Client(ClientId(9)).to_string(), "C9");
+    }
+
+    #[test]
+    fn publication_from_doc_path() {
+        let doc = xdn_xml::parse_document("<a><b/></a>").unwrap();
+        let paths = xdn_xml::paths::extract_paths(&doc, DocId(5));
+        let p = Publication::from_doc_path(&paths[0], 42);
+        assert_eq!(p.doc_id, DocId(5));
+        assert_eq!(p.elements, vec!["a", "b"]);
+        assert_eq!(p.doc_bytes, 42);
+        assert_eq!(p.to_string(), "/a/b [doc5 path0]");
+    }
+}

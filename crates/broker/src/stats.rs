@@ -1,0 +1,109 @@
+//! Per-broker performance counters backing the paper's metrics.
+
+use std::time::Duration;
+
+/// Counters a broker accumulates while processing messages. These feed
+/// the evaluation directly: routing-table size (Figures 6/7), XPE
+/// processing time (Figure 8), and publication routing time (Table 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Messages received, by kind.
+    pub received_advertise: u64,
+    /// Unadvertise messages received.
+    pub received_unadvertise: u64,
+    /// Subscribe messages received.
+    pub received_subscribe: u64,
+    /// Unsubscribe messages received.
+    pub received_unsubscribe: u64,
+    /// Publish messages received.
+    pub received_publish: u64,
+    /// Messages emitted toward neighbours or clients.
+    pub sent: u64,
+    /// Publications delivered to locally attached clients.
+    pub deliveries: u64,
+    /// Wall-clock time spent processing subscriptions (covering check +
+    /// advertisement matching) — Figure 8's metric.
+    pub sub_processing: Duration,
+    /// Wall-clock time spent routing publications against the PRT —
+    /// Table 1's metric.
+    pub pub_routing: Duration,
+}
+
+impl BrokerStats {
+    /// Total messages received.
+    pub fn received_total(&self) -> u64 {
+        self.received_advertise
+            + self.received_unadvertise
+            + self.received_subscribe
+            + self.received_unsubscribe
+            + self.received_publish
+    }
+
+    /// Mean time per processed subscription.
+    pub fn mean_sub_processing(&self) -> Duration {
+        if self.received_subscribe == 0 {
+            Duration::ZERO
+        } else {
+            self.sub_processing / self.received_subscribe as u32
+        }
+    }
+
+    /// Mean time per routed publication.
+    pub fn mean_pub_routing(&self) -> Duration {
+        if self.received_publish == 0 {
+            Duration::ZERO
+        } else {
+            self.pub_routing / self.received_publish as u32
+        }
+    }
+
+    /// Merges another broker's counters into this one (network-wide
+    /// aggregation).
+    pub fn merge(&mut self, other: &BrokerStats) {
+        self.received_advertise += other.received_advertise;
+        self.received_unadvertise += other.received_unadvertise;
+        self.received_subscribe += other.received_subscribe;
+        self.received_unsubscribe += other.received_unsubscribe;
+        self.received_publish += other.received_publish;
+        self.sent += other.sent;
+        self.deliveries += other.deliveries;
+        self.sub_processing += other.sub_processing;
+        self.pub_routing += other.pub_routing;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_means() {
+        let s = BrokerStats {
+            received_subscribe: 4,
+            sub_processing: Duration::from_millis(8),
+            received_publish: 2,
+            pub_routing: Duration::from_millis(10),
+            ..Default::default()
+        };
+        assert_eq!(s.received_total(), 6);
+        assert_eq!(s.mean_sub_processing(), Duration::from_millis(2));
+        assert_eq!(s.mean_pub_routing(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn zero_counts_give_zero_means() {
+        let s = BrokerStats::default();
+        assert_eq!(s.mean_sub_processing(), Duration::ZERO);
+        assert_eq!(s.mean_pub_routing(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = BrokerStats { received_publish: 1, sent: 2, ..Default::default() };
+        let b = BrokerStats { received_publish: 3, deliveries: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.received_publish, 4);
+        assert_eq!(a.sent, 2);
+        assert_eq!(a.deliveries, 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Binary wire codec for broker messages.
+//!
+//! The simulator and the threaded transport move [`Message`] values in
+//! memory; a TCP deployment needs them on the wire. This module
+//! provides a compact, length-prefixed binary framing:
+//!
+//! ```text
+//! frame   := u32 length (BE) | u8 tag | body
+//! body    := varies by tag; strings are u16-length-prefixed UTF-8
+//! ```
+//!
+//! Advertisements and XPEs travel in their canonical textual forms —
+//! both round-trip losslessly through their parsers, the encodings are
+//! compact (a location step costs its name plus one or two operator
+//! bytes), and the text doubles as a cross-implementation contract.
+//!
+//! ```
+//! use xdn_broker::wire::{decode, encode};
+//! use xdn_broker::Message;
+//! use xdn_core::rtable::SubId;
+//!
+//! let msg = Message::subscribe(SubId(7), "/news//headline".parse().unwrap());
+//! let bytes = encode(&msg);
+//! assert_eq!(decode(&bytes).unwrap().0, msg);
+//! ```
+
+use crate::message::{Message, Publication};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+use xdn_core::adv::Advertisement;
+use xdn_core::rtable::{AdvId, SubId};
+use xdn_xml::{DocId, PathId};
+
+const TAG_ADVERTISE: u8 = 1;
+const TAG_UNADVERTISE: u8 = 2;
+const TAG_SUBSCRIBE: u8 = 3;
+const TAG_UNSUBSCRIBE: u8 = 4;
+const TAG_PUBLISH: u8 = 5;
+
+/// An error produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        WireError { message: message.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid wire frame: {}", self.message)
+    }
+}
+
+impl Error for WireError {}
+
+/// Encodes a message as one length-prefixed frame.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match msg {
+        Message::Advertise { id, adv } => {
+            body.put_u8(TAG_ADVERTISE);
+            body.put_u64(id.0);
+            put_str(&mut body, &adv.to_string());
+        }
+        Message::Unadvertise { id } => {
+            body.put_u8(TAG_UNADVERTISE);
+            body.put_u64(id.0);
+        }
+        Message::Subscribe { id, xpe } => {
+            body.put_u8(TAG_SUBSCRIBE);
+            body.put_u64(id.0);
+            put_str(&mut body, &xpe.to_string());
+        }
+        Message::Unsubscribe { id } => {
+            body.put_u8(TAG_UNSUBSCRIBE);
+            body.put_u64(id.0);
+        }
+        Message::Publish(p) => {
+            body.put_u8(TAG_PUBLISH);
+            body.put_u64(p.doc_id.0);
+            body.put_u32(p.path_id.0);
+            body.put_u64(p.doc_bytes as u64);
+            body.put_u16(p.elements.len() as u16);
+            for (i, e) in p.elements.iter().enumerate() {
+                put_str(&mut body, e);
+                let attrs: &[(String, String)] =
+                    p.attributes.get(i).map_or(&[], Vec::as_slice);
+                body.put_u8(attrs.len() as u8);
+                for (k, v) in attrs {
+                    put_str(&mut body, k);
+                    put_str(&mut body, v);
+                }
+            }
+        }
+    }
+    let mut frame = BytesMut::with_capacity(4 + body.len());
+    frame.put_u32(body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
+
+/// Decodes one frame from the front of `buf`, returning the message
+/// and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncated input, unknown tags, invalid
+/// UTF-8, or an unparsable advertisement/XPE body.
+pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    let mut b = buf;
+    if b.remaining() < 4 {
+        return Err(WireError::new("truncated length prefix"));
+    }
+    let len = b.get_u32() as usize;
+    if b.remaining() < len {
+        return Err(WireError::new(format!(
+            "truncated body: need {len}, have {}",
+            b.remaining()
+        )));
+    }
+    let mut body = &b[..len];
+    let consumed = 4 + len;
+    if body.remaining() < 1 {
+        return Err(WireError::new("empty body"));
+    }
+    let tag = body.get_u8();
+    let msg = match tag {
+        TAG_ADVERTISE => {
+            let id = AdvId(get_u64(&mut body)?);
+            let text = get_str(&mut body)?;
+            let adv = Advertisement::parse(&text)
+                .map_err(|e| WireError::new(format!("bad advertisement: {e}")))?;
+            Message::Advertise { id, adv }
+        }
+        TAG_UNADVERTISE => Message::Unadvertise { id: AdvId(get_u64(&mut body)?) },
+        TAG_SUBSCRIBE => {
+            let id = SubId(get_u64(&mut body)?);
+            let text = get_str(&mut body)?;
+            let xpe =
+                text.parse().map_err(|e| WireError::new(format!("bad expression: {e}")))?;
+            Message::Subscribe { id, xpe }
+        }
+        TAG_UNSUBSCRIBE => Message::Unsubscribe { id: SubId(get_u64(&mut body)?) },
+        TAG_PUBLISH => {
+            let doc_id = DocId(get_u64(&mut body)?);
+            if body.remaining() < 4 + 8 + 2 {
+                return Err(WireError::new("truncated publication header"));
+            }
+            let path_id = PathId(body.get_u32());
+            let doc_bytes = body.get_u64() as usize;
+            let n = body.get_u16() as usize;
+            let mut elements = Vec::with_capacity(n);
+            let mut attributes = Vec::with_capacity(n);
+            for _ in 0..n {
+                elements.push(get_str(&mut body)?);
+                if body.remaining() < 1 {
+                    return Err(WireError::new("truncated attribute count"));
+                }
+                let na = body.get_u8() as usize;
+                let mut attrs = Vec::with_capacity(na);
+                for _ in 0..na {
+                    let k = get_str(&mut body)?;
+                    let v = get_str(&mut body)?;
+                    attrs.push((k, v));
+                }
+                attributes.push(attrs);
+            }
+            if elements.is_empty() {
+                return Err(WireError::new("publication with no elements"));
+            }
+            Message::Publish(Publication { doc_id, path_id, elements, attributes, doc_bytes })
+        }
+        other => return Err(WireError::new(format!("unknown tag {other}"))),
+    };
+    if body.has_remaining() {
+        return Err(WireError::new(format!("{} trailing bytes", body.remaining())));
+    }
+    Ok((msg, consumed))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "wire strings are u16-prefixed");
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_u64(b: &mut &[u8]) -> Result<u64, WireError> {
+    if b.remaining() < 8 {
+        return Err(WireError::new("truncated u64"));
+    }
+    Ok(b.get_u64())
+}
+
+fn get_str(b: &mut &[u8]) -> Result<String, WireError> {
+    if b.remaining() < 2 {
+        return Err(WireError::new("truncated string length"));
+    }
+    let n = b.get_u16() as usize;
+    if b.remaining() < n {
+        return Err(WireError::new("truncated string body"));
+    }
+    let s = std::str::from_utf8(&b[..n])
+        .map_err(|_| WireError::new("invalid UTF-8"))?
+        .to_owned();
+    b.advance(n);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdn_core::adv::AdvPath;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::advertise(
+                AdvId(42),
+                Advertisement::parse("/a/b(/c/d)+/e").expect("valid"),
+            ),
+            Message::advertise(
+                AdvId(1),
+                Advertisement::non_recursive(AdvPath::from_names(&["x", "*", "z"])),
+            ),
+            Message::Unadvertise { id: AdvId(7) },
+            Message::subscribe(SubId(9), "/news/*//headline".parse().unwrap()),
+            Message::subscribe(SubId(10), "section/article".parse().unwrap()),
+            Message::Unsubscribe { id: SubId(u64::MAX) },
+            Message::Publish(Publication {
+                doc_id: DocId(3),
+                path_id: PathId(14),
+                elements: vec!["nitf".into(), "body".into(), "body-content".into()],
+                attributes: vec![
+                    vec![("version".into(), "3.0".into())],
+                    Vec::new(),
+                    vec![("lang".into(), "en".into()), ("id".into(), "7".into())],
+                ],
+                doc_bytes: 20_480,
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for msg in samples() {
+            let bytes = encode(&msg);
+            let (decoded, consumed) = decode(&bytes).expect("decode");
+            assert_eq!(decoded, msg);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let msgs = samples();
+        let mut stream = BytesMut::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut off = 0;
+        let mut decoded = Vec::new();
+        while off < stream.len() {
+            let (m, used) = decode(&stream[off..]).expect("decode stream");
+            decoded.push(m);
+            off += used;
+        }
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&samples()[0]);
+        for cut in [0, 2, 4, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut frame = BytesMut::new();
+        frame.put_u32(1);
+        frame.put_u8(99);
+        assert!(decode(&frame).is_err());
+    }
+
+    #[test]
+    fn garbage_expression_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(TAG_SUBSCRIBE);
+        body.put_u64(1);
+        body.put_u16(3);
+        body.put_slice(b"a//");
+        let mut frame = BytesMut::new();
+        frame.put_u32(body.len() as u32);
+        frame.extend_from_slice(&body);
+        assert!(decode(&frame).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let bytes = encode(&Message::Unsubscribe { id: SubId(1) });
+        let mut grown = BytesMut::new();
+        grown.put_u32(bytes.len() as u32 - 4 + 1);
+        grown.extend_from_slice(&bytes[4..]);
+        grown.put_u8(0);
+        assert!(decode(&grown).is_err());
+    }
+
+    #[test]
+    fn publish_size_overhead_is_small() {
+        let p = Message::Publish(Publication {
+            doc_id: DocId(1),
+            path_id: PathId(0),
+            elements: vec!["a".into(); 10],
+            attributes: Vec::new(),
+            doc_bytes: 0,
+        });
+        let frame = encode(&p);
+        // 4 len + 1 tag + 8 doc + 4 path + 8 bytes + 2 count +
+        // 10 * (2 len + 1 name + 1 attr-count)
+        assert_eq!(frame.len(), 4 + 1 + 8 + 4 + 8 + 2 + 40);
+    }
+}

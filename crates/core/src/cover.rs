@@ -1,0 +1,431 @@
+//! Covering (containment) of XPath expressions (§4.2).
+//!
+//! Subscription `s1` *covers* `s2` iff `P(s1) ⊇ P(s2)` — every
+//! publication matching `s2` also matches `s1`. Covering lets a broker
+//! drop covered subscriptions from downstream routing tables without
+//! changing delivery.
+//!
+//! Containment for the full `/`, `//`, `*` fragment is coNP-complete
+//! (Miklau & Suciu), so like the paper this module implements *sound*
+//! PTIME rules: [`covers`] never returns `true` unless containment
+//! provably holds (soundness is what correctness of covering-based
+//! routing requires — a false `true` would drop live subscriptions),
+//! and it is complete on the simple sub-fragments the paper analyses.
+//!
+//! Algorithms: `AbsSimCov` ([`abs_sim_cov`]) for two absolute simple
+//! XPEs, `RelSimCov` ([`rel_sim_cov`], with the KMP-style shift
+//! optimization of §4.2) for a relative simple coverer, and `DesCov`
+//! ([`des_cov`]) for expressions containing descendant operators,
+//! including the paper's trailing-wildcard special case.
+
+use crate::advmatch::overlap_borders;
+use xdn_xpath::{Axis, Step, Xpe};
+
+/// True if `s1` covers `s2` (`P(s1) ⊇ P(s2)`).
+///
+/// Dispatches to the specialised algorithms below. Sound for the whole
+/// fragment; complete for simple expressions.
+///
+/// ```
+/// use xdn_core::cover::covers;
+/// let wide: xdn_xpath::Xpe = "/a/*".parse().unwrap();
+/// let narrow: xdn_xpath::Xpe = "/a/b/c".parse().unwrap();
+/// assert!(covers(&wide, &narrow));
+/// ```
+pub fn covers(s1: &Xpe, s2: &Xpe) -> bool {
+    if s1.is_simple() && s2.is_simple() {
+        match (s1.is_absolute(), s2.is_absolute()) {
+            (true, true) => abs_sim_cov(s1, s2),
+            // An absolute XPE refers to a strictly smaller matching set
+            // than any relative XPE with comparable structure (§4.2).
+            (true, false) => false,
+            (false, _) => rel_sim_cov(s1, s2),
+        }
+    } else {
+        des_cov(s1, s2)
+    }
+}
+
+/// `AbsSimCov` (§4.2): covering between two absolute simple XPEs.
+///
+/// `s1` covers `s2` iff `s1` is no longer than `s2` (a shorter XPE
+/// constrains fewer positions, hence matches a superset) and each of
+/// `s1`'s positions covers the aligned position of `s2`.
+pub fn abs_sim_cov(s1: &Xpe, s2: &Xpe) -> bool {
+    debug_assert!(s1.is_absolute() && s1.is_simple());
+    debug_assert!(s2.is_absolute() && s2.is_simple());
+    s1.len() <= s2.len()
+        && s1.steps().iter().zip(s2.steps()).all(|(a, b)| a.covers(b))
+}
+
+/// Naive `RelSimCov` (§4.2): a relative simple `s1` covers `s2`
+/// (absolute or relative, simple) iff `s1` embeds position-wise at some
+/// offset of `s2`. `O(k·n)` reference implementation.
+pub fn rel_sim_cov_naive(s1: &Xpe, s2: &Xpe) -> bool {
+    debug_assert!(!s1.is_absolute() && s1.is_simple() && s2.is_simple());
+    let pat = s1.steps();
+    let text = s2.steps();
+    if pat.len() > text.len() {
+        return false;
+    }
+    (0..=text.len() - pat.len())
+        .any(|o| pat.iter().zip(&text[o..]).all(|(a, b)| a.covers(b)))
+}
+
+/// Optimized `RelSimCov` (§4.2): the same decision with the KMP-style
+/// shift rule. The shift is computed from the pattern's overlap borders
+/// (two tests are shift-compatible iff some concrete test satisfies
+/// both), which provably skips only impossible alignments; the carried
+/// prefix is re-verified because wildcards under-constrain the skipped
+/// window. Equivalence with [`rel_sim_cov_naive`] is property-tested.
+pub fn rel_sim_cov(s1: &Xpe, s2: &Xpe) -> bool {
+    debug_assert!(!s1.is_absolute() && s1.is_simple() && s2.is_simple());
+    let pat = s1.steps();
+    let text = s2.steps();
+    let k = pat.len();
+    let n = text.len();
+    if k > n {
+        return false;
+    }
+    let borders = overlap_borders(pat);
+    let mut o = 0usize;
+    let mut j = 0usize;
+    while o + k <= n {
+        while j < k && pat[j].covers(&text[o + j]) {
+            j += 1;
+        }
+        if j == k {
+            return true;
+        }
+        if j == 0 {
+            o += 1;
+        } else {
+            o += j - borders[j];
+            j = 0;
+        }
+    }
+    false
+}
+
+/// `DesCov` (§4.2): covering when either expression may contain `//`.
+///
+/// Both XPEs are split at descendant operators into child-connected
+/// fragments. `s1` covers `s2` when each fragment of `s1` can be
+/// justified against `s2`'s fragments, in order, by one of two rules:
+///
+/// 1. **Window rule** — the fragment covers a contiguous window inside
+///    a single fragment of `s2` (every path matching `s2` carries the
+///    window's elements contiguously, and `//` between `s1` fragments
+///    only requires the next placement not to precede the previous
+///    one).
+/// 2. **Trailing-wildcard rule** (the paper's special case, e.g.
+///    `/a/*//*/d` covers `/a//b/c/d`) — a fragment `g/*…*` whose tail
+///    is `k` wildcards may place `g` flush against the end of an `s2`
+///    fragment and let the wildcards consume the following elements;
+///    those `k` elements are only guaranteed to exist inside later
+///    `s2` fragments (gaps may be empty), so a *pending* count is
+///    carried forward and must be paid from guaranteed positions
+///    before — or after, for the final fragment — the next placement.
+///
+/// The search backtracks over placements, so the rules are applied
+/// exhaustively; the result is sound (each rule is containment-
+/// preserving) and complete on the paper's examples.
+pub fn des_cov(s1: &Xpe, s2: &Xpe) -> bool {
+    let anchored1 = s1.is_absolute() && s1.steps()[0].axis == Axis::Child;
+    let anchored2 = s2.is_absolute() && s2.steps()[0].axis == Axis::Child;
+    if anchored1 && !anchored2 {
+        // A root-anchored coverer cannot cover a floating coveree.
+        return false;
+    }
+    let f1 = s1.fragments();
+    let f2 = s2.fragments();
+    place(&f1, 0, &f2, 0, 0, 0, anchored1)
+}
+
+/// Recursive placement search. State: next `s1` fragment index `i`,
+/// current `s2` fragment `j`, next free offset `pos` within it, and
+/// `pending` wildcard positions still owed.
+fn place(
+    f1: &[&[Step]],
+    i: usize,
+    f2: &[&[Step]],
+    j: usize,
+    pos: usize,
+    pending: usize,
+    anchor_first: bool,
+) -> bool {
+    if i == f1.len() {
+        // All fragments placed; pending wildcards must be payable from
+        // guaranteed later positions (gaps may be empty and the path
+        // may end at s2's last matched element).
+        return pending <= guaranteed_from(f2, j, pos);
+    }
+    let frag = f1[i];
+    let (gpart, wilds) = split_trailing_wildcards(frag);
+    // Enumerate candidate s2 fragments.
+    for jj in j..f2.len() {
+        let start_pos = if jj == j { pos } else { 0 };
+        // Guaranteed elements strictly between the current point and
+        // the start of fragment jj.
+        let before_jj = guaranteed_between(f2, j, pos, jj);
+        let flen = f2[jj].len();
+
+        // Rule 1: whole fragment inside f2[jj].
+        if frag.len() <= flen {
+            for p in start_pos..=flen - frag.len() {
+                if anchor_first && i == 0 && (jj != 0 || p != 0) {
+                    break;
+                }
+                // Pay pending from guaranteed positions before p.
+                if before_jj + (p - start_pos) < pending_due(jj == j, pending, p, start_pos) {
+                    continue;
+                }
+                if window_covers(frag, f2[jj], p)
+                    && place(f1, i + 1, f2, jj, p + frag.len(), 0, anchor_first)
+                {
+                    return true;
+                }
+            }
+        }
+
+        // Rule 2: trailing wildcards absorbed past the fragment end.
+        if wilds > 0 && jj < f2.len() && gpart.len() <= flen {
+            let p = flen - gpart.len();
+            let p_ok = p >= start_pos
+                && before_jj + (p - start_pos) >= pending_due(jj == j, pending, p, start_pos);
+            let anchor_ok = !(anchor_first && i == 0) || (jj == 0 && p == 0);
+            if p_ok
+                && anchor_ok
+                && window_covers(gpart, f2[jj], p)
+                && place(f1, i + 1, f2, jj + 1, 0, wilds, anchor_first)
+            {
+                return true;
+            }
+        }
+
+        if anchor_first && i == 0 {
+            // The anchored first fragment may only sit at the very
+            // start; no later candidates.
+            break;
+        }
+    }
+    false
+}
+
+fn pending_due(same_fragment: bool, pending: usize, _p: usize, _start: usize) -> usize {
+    // Pending wildcards owed before the next placement; independent of
+    // the placement offset (the offset itself supplies positions, which
+    // the caller accounts for via `before_jj + (p - start_pos)`).
+    let _ = same_fragment;
+    pending
+}
+
+/// `s1` fragment window covers `f2[jj][p ..]` position-wise.
+fn window_covers(frag: &[Step], target: &[Step], p: usize) -> bool {
+    if p + frag.len() > target.len() {
+        return false;
+    }
+    frag.iter().zip(&target[p..]).all(|(a, b)| a.covers(b))
+}
+
+/// Splits a fragment into its head and the count of trailing wildcards.
+fn split_trailing_wildcards(frag: &[Step]) -> (&[Step], usize) {
+    let mut k = 0;
+    // A wildcard with predicates still constrains the element, so it
+    // cannot be absorbed into a descendant gap.
+    while k < frag.len()
+        && frag[frag.len() - 1 - k].test.is_wildcard()
+        && frag[frag.len() - 1 - k].predicates.is_empty()
+    {
+        k += 1;
+    }
+    (&frag[..frag.len() - k], k)
+}
+
+/// Guaranteed path elements from state `(j, pos)` to the end of `s2`'s
+/// fragments (gaps contribute nothing in the worst case).
+fn guaranteed_from(f2: &[&[Step]], j: usize, pos: usize) -> usize {
+    if j >= f2.len() {
+        return 0;
+    }
+    (f2[j].len() - pos.min(f2[j].len())) + f2[j + 1..].iter().map(|f| f.len()).sum::<usize>()
+}
+
+/// Guaranteed elements strictly between state `(j, pos)` and the start
+/// of fragment `jj` (0 when `jj == j`).
+fn guaranteed_between(f2: &[&[Step]], j: usize, pos: usize, jj: usize) -> usize {
+    if jj == j {
+        return 0;
+    }
+    (f2[j].len() - pos.min(f2[j].len()))
+        + f2[j + 1..jj].iter().map(|f| f.len()).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn c(a: &str, b: &str) -> bool {
+        covers(&xpe(a), &xpe(b))
+    }
+
+    #[test]
+    fn abs_sim_basic() {
+        assert!(c("/a", "/a/b"));
+        assert!(c("/a/*", "/a/b"));
+        assert!(c("/a/b", "/a/b"));
+        assert!(!c("/a/b", "/a"));
+        assert!(!c("/a/b", "/a/c"));
+        assert!(!c("/a/b/c", "/a/b")); // longer cannot cover shorter
+        assert!(!c("/a/b", "/a/*")); // name cannot cover wildcard
+    }
+
+    #[test]
+    fn absolute_cannot_cover_relative() {
+        assert!(!c("/a", "a"));
+        assert!(!c("/a/b", "a/b"));
+    }
+
+    #[test]
+    fn relative_covers_absolute_and_relative() {
+        assert!(c("b", "/a/b"));
+        assert!(c("b/c", "/a/b/c"));
+        assert!(c("b/c", "a/b/c/d"));
+        assert!(c("*", "/a"));
+        assert!(!c("b/c", "/a/c/b"));
+        assert!(!c("b/c/d", "b/c"));
+    }
+
+    #[test]
+    fn rel_naive_and_kmp_agree_on_wildcards() {
+        let cases = [
+            ("*/a", "/x/a/y"),
+            ("*/a", "/a/x"),
+            ("a/*", "/a/b"),
+            ("a/*/a", "/a/b/a"),
+            ("*/*", "/a/b"),
+            ("a/b", "/a/*"),
+            ("a/a", "/x/a/a/y"),
+        ];
+        for (a, b) in cases {
+            let (s1, s2) = (xpe(a), xpe(b));
+            assert_eq!(
+                rel_sim_cov_naive(&s1, &s2),
+                rel_sim_cov(&s1, &s2),
+                "disagree on {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_in_coveree_needs_wildcard_coverer() {
+        // s2 = /a/* matches paths /a/<anything>; s1 = a/b only matches
+        // paths with a literal b.
+        assert!(!c("a/b", "/a/*"));
+        assert!(c("a/*", "/a/*"));
+        assert!(c("*", "/a/*"));
+    }
+
+    #[test]
+    fn des_cov_paper_example_positive() {
+        // §4.2: s1 = /*/a//*/c covers s2 = /a/a/*//c/e/c/d.
+        assert!(c("/*/a//*/c", "/a/a/*//c/e/c/d"));
+    }
+
+    #[test]
+    fn des_cov_paper_example_negative() {
+        // §4.2: */c does not cover *//c, so s1 fails against s2.
+        assert!(!c("/*/a//*/c", "/a/a/*//c/b/d"));
+    }
+
+    #[test]
+    fn des_cov_trailing_wildcard_special_case() {
+        // §4.2: s1 = /a/*//*/d covers s2 = /a//b/c/d via the trailing
+        // wildcard crossing the // boundary.
+        assert!(c("/a/*//*/d", "/a//b/c/d"));
+    }
+
+    #[test]
+    fn des_cov_simple_vs_descendant() {
+        assert!(c("/a", "/a//b"));
+        assert!(!c("/a/b", "/a//b")); // path a/x/b breaks it
+        assert!(c("/a//b", "/a/b")); // descendant includes child
+        assert!(c("/a//c", "/a/b/c"));
+        // /a/c/b paths carry c at depth 2, which satisfies //c.
+        assert!(c("/a//c", "/a/c/b"));
+        // But /a//c/b genuinely requires b directly under a deep c.
+        assert!(!c("/a//c/b", "/a/b/c"));
+    }
+
+    #[test]
+    fn des_cov_descendant_both() {
+        assert!(c("/a//c", "/a//b//c"));
+        assert!(c("//c", "/a/b/c"));
+        assert!(c("//c", "a//c"));
+        assert!(!c("/a//b//c", "/a//c"));
+    }
+
+    #[test]
+    fn des_cov_relative() {
+        assert!(c("b//d", "/a/b/c/d"));
+        assert!(c("b//d", "/a/b//d"));
+        assert!(!c("b//d", "/a/d//b"));
+    }
+
+    #[test]
+    fn des_cov_wildcard_gap_needs_guaranteed_elements() {
+        // s1 = a/*/*/d needs two concrete elements between a and d;
+        // s2 = /a//d guarantees none.
+        assert!(!c("a/*/*//d", "/a//d"));
+        // But /a//b/c/d guarantees b and c.
+        assert!(c("a/*/*//d", "/a//b/c/d"));
+    }
+
+    #[test]
+    fn reflexive_on_descendant_expressions() {
+        for s in ["/a//b", "a//b/c", "//x/*", "/a/*//*/d"] {
+            assert!(c(s, s), "{s} must cover itself");
+        }
+    }
+
+    #[test]
+    fn covering_soundness_spot_checks() {
+        // For each claimed covering, every sampled path matching s2
+        // must match s1.
+        let claims = [
+            ("/*/a//*/c", "/a/a/*//c/e/c/d"),
+            ("/a/*//*/d", "/a//b/c/d"),
+            ("b//d", "/a/b/c/d"),
+            ("//c", "/a/b/c"),
+        ];
+        let paths: Vec<Vec<&str>> = vec![
+            vec!["a", "a", "x", "c", "e", "c", "d"],
+            vec!["a", "a", "x", "q", "c", "e", "c", "d"],
+            vec!["a", "b", "c", "d"],
+            vec!["a", "x", "b", "c", "d"],
+            vec!["a", "b", "c", "d", "e"],
+        ];
+        for (a, b) in claims {
+            let (s1, s2) = (xpe(a), xpe(b));
+            assert!(covers(&s1, &s2));
+            for p in &paths {
+                if s2.matches_path(p) {
+                    assert!(
+                        s1.matches_path(p),
+                        "{a} claimed to cover {b} but misses path {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transitivity_spot_checks() {
+        let (a, b, c_) = (xpe("/a"), xpe("/a/*"), xpe("/a/b/c"));
+        assert!(covers(&a, &b) && covers(&b, &c_) && covers(&a, &c_));
+    }
+}

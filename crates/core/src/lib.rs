@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # xdn-core — advertisement-based routing, covering, and merging
+//!
+//! This crate is the paper's primary contribution: the routing machinery
+//! of a content-based XML router.
+//!
+//! * [`adv`] — advertisements derived from DTDs (§3.1): non-recursive
+//!   paths plus the simple-, series-, and embedded-recursive forms
+//!   `a1(a2)+a3`, `a1(a2)+a3(a4)+a5`, `a1(a2(a3)+a4)+a5`.
+//! * [`advmatch`] — the advertisement–subscription overlap algorithms
+//!   of §3.2/§3.3 (`AbsExprAndAdv`, `RelExprAndAdv`, `DesExprAndAdv`,
+//!   `AbsExprAndSimRecAdv`, and the series/embedded generalizations).
+//! * [`cover`] — the covering (containment) algorithms of §4.2
+//!   (`AbsSimCov`, `RelSimCov`, `DesCov`).
+//! * [`subtree`] — the subscription tree with super pointers (§4.1),
+//!   the router's core data structure.
+//! * [`merge`] — the merging rules and the imperfect-merging degree
+//!   `D_imperfect` (§4.3).
+//! * [`rtable`] — the subscription routing table (SRT) and publication
+//!   routing table (PRT) that advertisement-based routing maintains
+//!   (§2.1, Figure 1).
+//!
+//! ```
+//! use xdn_core::cover::covers;
+//! use xdn_xpath::Xpe;
+//!
+//! let general: Xpe = "/a/*".parse()?;
+//! let specific: Xpe = "/a/b/c".parse()?;
+//! assert!(covers(&general, &specific));
+//! assert!(!covers(&specific, &general));
+//! # Ok::<(), xdn_xpath::XpeParseError>(())
+//! ```
+
+pub mod adv;
+pub mod advmatch;
+pub mod cover;
+pub mod merge;
+pub mod rtable;
+pub mod subtree;
+
+pub use adv::{AdvKind, AdvPath, AdvSegment, Advertisement};
+pub use cover::covers;
+pub use subtree::{Insertion, NodeId, SubscriptionTree};

@@ -1,0 +1,686 @@
+//! Routing tables (§2.1, Figure 1).
+//!
+//! Advertisement-based routing maintains two tables at each broker:
+//!
+//! * the **subscription routing table** ([`Srt`]) stores
+//!   ⟨advertisement, last hop⟩ tuples; a subscription is forwarded only
+//!   to the last hops of advertisements it overlaps;
+//! * the **publication routing table** ([`Prt`]) stores
+//!   ⟨subscription, last hop⟩ tuples; a publication is forwarded to the
+//!   last hops of subscriptions it matches, tracing the reverse path
+//!   the subscription built.
+//!
+//! [`Prt`] is built on the covering [`SubscriptionTree`]; [`FlatPrt`]
+//! is the non-covering baseline used by the paper's `no-Cov` routing
+//! strategies (Tables 2 and 3).
+
+use crate::adv::Advertisement;
+use crate::advmatch::PreparedAdv;
+use crate::subtree::{Insertion, NodeId, SubscriptionTree};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use xdn_xpath::Xpe;
+
+/// Network-wide identifier of an advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AdvId(pub u64);
+
+/// Network-wide identifier of a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubId(pub u64);
+
+impl fmt::Display for AdvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "adv{}", self.0)
+    }
+}
+
+impl fmt::Display for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// The subscription routing table: advertisements with the neighbour
+/// they arrived from. Generic over the hop type `H` (a broker id, a
+/// client handle, …).
+#[derive(Debug, Clone)]
+pub struct Srt<H> {
+    entries: HashMap<AdvId, (PreparedAdv, H)>,
+}
+
+/// Longest subscription the SRT pre-expands recursive advertisements
+/// for; longer subscriptions use the exact dynamic algorithm. The
+/// paper caps query length at 10.
+const SRT_PREPARED_SUB_LEN: usize = 16;
+
+impl<H> Default for Srt<H> {
+    fn default() -> Self {
+        Srt { entries: HashMap::new() }
+    }
+}
+
+impl<H: Clone + Ord> Srt<H> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an advertisement from `last_hop`, pre-expanding its
+    /// repetitions for fast repeated matching. Replaces any previous
+    /// entry for the same id (re-flooded advertisements).
+    pub fn insert(&mut self, id: AdvId, adv: Advertisement, last_hop: H) {
+        self.entries.insert(id, (PreparedAdv::new(adv, SRT_PREPARED_SUB_LEN), last_hop));
+    }
+
+    /// Removes an advertisement (producer departure).
+    pub fn remove(&mut self, id: AdvId) -> Option<(Advertisement, H)> {
+        self.entries.remove(&id).map(|(p, h)| (p.adv().clone(), h))
+    }
+
+    /// Number of stored advertisements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The last hops whose advertisements overlap `sub` — where the
+    /// subscription must be forwarded. Deduplicated.
+    pub fn match_sub(&self, sub: &Xpe) -> BTreeSet<H> {
+        self.entries
+            .values()
+            .filter(|(adv, _)| adv.overlaps(sub))
+            .map(|(_, hop)| hop.clone())
+            .collect()
+    }
+
+    /// Iterates over the stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (AdvId, &Advertisement, &H)> {
+        self.entries.iter().map(|(&id, (adv, hop))| (id, adv.adv(), hop))
+    }
+
+    /// Compacts the table by dropping non-recursive advertisements
+    /// covered by another non-recursive advertisement **from the same
+    /// last hop** (§4.2 notes advertisement covering works like
+    /// subscription covering). Routing is unchanged: `P(a2) ⊆ P(a1)`
+    /// means every subscription overlapping `a2` overlaps `a1`, and the
+    /// hop — the routing answer — is identical. Returns the number of
+    /// entries removed.
+    pub fn compact(&mut self) -> usize {
+        let mut ids: Vec<AdvId> = self.entries.keys().copied().collect();
+        ids.sort();
+        let mut dropped = Vec::new();
+        for &a in &ids {
+            let (pa, ha) = &self.entries[&a];
+            let Some(path_a) = pa.adv().as_non_recursive() else { continue };
+            let covered = ids.iter().any(|&b| {
+                if a == b || dropped.contains(&b) {
+                    return false;
+                }
+                let (pb, hb) = &self.entries[&b];
+                if ha != hb {
+                    return false;
+                }
+                let Some(path_b) = pb.adv().as_non_recursive() else { return false };
+                // Equal advertisements tie-break on id so exactly one
+                // survives.
+                crate::advmatch::adv_covers(path_b, path_a)
+                    && !(crate::advmatch::adv_covers(path_a, path_b) && b > a)
+            });
+            if covered {
+                dropped.push(a);
+            }
+        }
+        for id in &dropped {
+            self.entries.remove(id);
+        }
+        dropped.len()
+    }
+}
+
+/// Result of a [`Prt::subscribe`] call, telling the broker what to do
+/// on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeOutcome<H = ()> {
+    /// Forward this subscription to matching neighbours (it is not
+    /// covered by anything already forwarded).
+    pub forward: bool,
+    /// Previously forwarded subscriptions now covered by the new one:
+    /// send unsubscriptions for them (covering-based routing, §4.1).
+    pub retract: Vec<SubId>,
+    /// When covered (`forward == false`): the last hops of the
+    /// *top-level* covering subscription. Suppression is only valid
+    /// toward neighbours the coverer was itself sent to — it was sent
+    /// everywhere **except** its own last hops — so the broker must
+    /// still forward this subscription toward any of these hops that
+    /// are routing targets. Empty for synthetic mergers (which were
+    /// forwarded everywhere on creation).
+    pub covered_root_hops: Vec<H>,
+}
+
+/// Result of a [`Prt::unsubscribe`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsubscribeOutcome {
+    /// Forward the unsubscription (the subscription had been forwarded).
+    pub forward: bool,
+    /// Subscriptions uncovered by the removal that must now be
+    /// (re-)forwarded.
+    pub promote: Vec<SubId>,
+}
+
+/// The covering publication routing table: a [`SubscriptionTree`] whose
+/// payloads are the ⟨subscription id, last hop⟩ pairs sharing an
+/// expression.
+#[derive(Debug)]
+pub struct Prt<H> {
+    tree: SubscriptionTree<Vec<(SubId, H)>>,
+    by_sub: HashMap<SubId, NodeId>,
+    by_xpe: HashMap<Xpe, NodeId>,
+    /// Synthetic merger subscriptions (empty payload) by node.
+    synthetic: HashMap<NodeId, SubId>,
+}
+
+impl<H> Default for Prt<H> {
+    fn default() -> Self {
+        Prt {
+            tree: SubscriptionTree::new(),
+            by_sub: HashMap::new(),
+            by_xpe: HashMap::new(),
+            synthetic: HashMap::new(),
+        }
+    }
+}
+
+/// One merger produced by [`Prt::apply_merging`], with the control
+/// traffic it implies: subscribe `xpe` under `merger_id` upstream and
+/// retract the absorbed subscriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeApplication {
+    /// Fresh id under which the merger is forwarded.
+    pub merger_id: SubId,
+    /// The merger expression.
+    pub xpe: Xpe,
+    /// Previously forwarded subscription ids the merger replaces.
+    pub retract: Vec<SubId>,
+}
+
+impl<H: Clone + Ord> Prt<H> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscription from `last_hop`.
+    ///
+    /// Equal expressions share a tree node (their hops are unioned); a
+    /// covered expression is stored but not forwarded; a covering
+    /// expression demotes the top-level expressions it covers, which
+    /// are reported in [`SubscribeOutcome::retract`].
+    pub fn subscribe(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        if let Some(&node) = self.by_xpe.get(&xpe) {
+            let payload = self.tree.payload_mut(node);
+            // Re-forwarded subscriptions (advertisement re-evaluation)
+            // are idempotent.
+            if !payload.contains(&(id, last_hop.clone())) {
+                payload.push((id, last_hop.clone()));
+            }
+            self.by_sub.insert(id, node);
+            // An equal expression was already handled upstream except
+            // toward the hops it arrived from (including this one, if
+            // it differs).
+            return SubscribeOutcome {
+                forward: false,
+                retract: Vec::new(),
+                covered_root_hops: self.root_hops_of(node, &last_hop),
+            };
+        }
+        let insertion = self.tree.insert(xpe.clone(), vec![(id, last_hop.clone())]);
+        let node = insertion.id();
+        self.by_xpe.insert(xpe, node);
+        self.by_sub.insert(id, node);
+        match insertion {
+            Insertion::CoveredBy { .. } => SubscribeOutcome {
+                forward: false,
+                retract: Vec::new(),
+                covered_root_hops: self.root_hops_of(node, &last_hop),
+            },
+            Insertion::NewTop { demoted, .. } => SubscribeOutcome {
+                forward: true,
+                retract: demoted
+                    .iter()
+                    .flat_map(|&d| self.tree.payload(d).iter().map(|(s, _)| *s))
+                    .collect(),
+                covered_root_hops: Vec::new(),
+            },
+        }
+    }
+
+    /// The unique last hops of `node`'s top-level ancestor, excluding
+    /// `arriving` (the coverer was never forwarded toward its own
+    /// origins, so a covered subscription still owes those directions).
+    fn root_hops_of(&self, node: NodeId, arriving: &H) -> Vec<H> {
+        let mut root = node;
+        while let Some(p) = self.tree.parent(root) {
+            root = p;
+        }
+        if self.synthetic.contains_key(&root) {
+            // Mergers are created locally and forwarded to every
+            // routing target; nothing is owed.
+            return Vec::new();
+        }
+        let mut hops: Vec<H> =
+            self.tree.payload(root).iter().map(|(_, h)| h.clone()).collect();
+        hops.sort();
+        hops.dedup();
+        hops.retain(|h| h != arriving);
+        hops
+    }
+
+    /// Removes a subscription. When the last subscriber of an
+    /// expression leaves, the node is dropped and any children it was
+    /// covering are promoted — those must be re-forwarded upstream.
+    ///
+    /// Unknown ids are ignored (duplicate unsubscriptions are routine
+    /// in a network that retracts covered subscriptions).
+    pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
+        let Some(node) = self.by_sub.remove(&id) else {
+            return UnsubscribeOutcome { forward: false, promote: Vec::new() };
+        };
+        let subs = self.tree.payload_mut(node);
+        subs.retain(|(s, _)| *s != id);
+        if !subs.is_empty() {
+            return UnsubscribeOutcome { forward: false, promote: Vec::new() };
+        }
+        let was_top = self.tree.parent(node).is_none();
+        self.by_xpe.remove(&self.tree.xpe(node).clone());
+        self.synthetic.remove(&node);
+        let (_, promoted) = self.tree.remove(node);
+        UnsubscribeOutcome {
+            forward: was_top,
+            promote: promoted
+                .iter()
+                .flat_map(|&p| {
+                    self.tree
+                        .payload(p)
+                        .iter()
+                        .map(|(s, _)| *s)
+                        .chain(self.synthetic.get(&p).copied())
+                })
+                .collect(),
+        }
+    }
+
+    /// The last hops subscribed to publications matching `path`,
+    /// deduplicated — where the publication must be forwarded.
+    pub fn route<S: AsRef<str>>(&self, path: &[S]) -> BTreeSet<H> {
+        self.route_with_attrs(path, &[])
+    }
+
+    /// [`Self::route`] with per-element attribute data.
+    pub fn route_with_attrs<S: AsRef<str>>(
+        &self,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+    ) -> BTreeSet<H> {
+        let mut out = BTreeSet::new();
+        self.tree.for_each_matching_with_attrs(path, attrs, |_, subs| {
+            out.extend(subs.iter().map(|(_, h)| h.clone()));
+        });
+        out
+    }
+
+    /// The expression registered under `id`, if present.
+    pub fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        self.by_sub.get(&id).map(|&n| self.tree.xpe(n))
+    }
+
+    /// The top-level (forwarded) subscriptions: for each, a
+    /// representative id, the expression, and the last hops it was
+    /// received from. Used to re-forward state toward newly arrived
+    /// advertisements.
+    pub fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        self.tree
+            .roots()
+            .iter()
+            .filter_map(|&n| {
+                let payload = self.tree.payload(n);
+                let id = self
+                    .synthetic
+                    .get(&n)
+                    .copied()
+                    .or_else(|| payload.first().map(|(s, _)| *s))?;
+                let hops = payload.iter().map(|(_, h)| h.clone()).collect();
+                Some((id, self.tree.xpe(n).clone(), hops))
+            })
+            .collect()
+    }
+
+    /// Number of distinct expressions stored (tree nodes).
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if no subscriptions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The effective (top-level) routing table size after covering —
+    /// the metric of Figures 6 and 7.
+    pub fn effective_size(&self) -> usize {
+        self.tree.root_count()
+    }
+
+    /// Runs the merging engine (§4.3) over the table and returns, for
+    /// each merger created, the subscription to issue upstream and the
+    /// absorbed subscriptions to retract. `next_id` supplies fresh ids
+    /// for the synthetic merger subscriptions.
+    pub fn apply_merging<S: AsRef<str>>(
+        &mut self,
+        universe: &[Vec<S>],
+        cfg: &crate::merge::MergeConfig,
+        mut next_id: impl FnMut() -> SubId,
+    ) -> Vec<MergeApplication> {
+        let report = crate::merge::merge_tree(&mut self.tree, universe, cfg);
+        let mut out = Vec::new();
+        for (node, demoted) in report.mergers {
+            let merger_id = next_id();
+            self.by_sub.insert(merger_id, node);
+            self.by_xpe.insert(self.tree.xpe(node).clone(), node);
+            self.synthetic.insert(node, merger_id);
+            let mut retract = Vec::new();
+            for d in demoted {
+                retract.extend(self.tree.payload(d).iter().map(|(s, _)| *s));
+                if let Some(&syn) = self.synthetic.get(&d) {
+                    retract.push(syn);
+                }
+            }
+            out.push(MergeApplication {
+                merger_id,
+                xpe: self.tree.xpe(node).clone(),
+                retract,
+            });
+        }
+        out
+    }
+
+    /// Access to the underlying tree (merging, diagnostics).
+    pub fn tree_mut(&mut self) -> &mut SubscriptionTree<Vec<(SubId, H)>> {
+        &mut self.tree
+    }
+
+    /// Shared access to the underlying tree.
+    pub fn tree(&self) -> &SubscriptionTree<Vec<(SubId, H)>> {
+        &self.tree
+    }
+}
+
+/// The non-covering baseline: a flat list of subscriptions, each
+/// matched independently (the `no-Cov` strategies of Tables 2/3).
+#[derive(Debug, Clone)]
+pub struct FlatPrt<H> {
+    entries: HashMap<SubId, (Xpe, H)>,
+}
+
+impl<H> Default for FlatPrt<H> {
+    fn default() -> Self {
+        FlatPrt { entries: HashMap::new() }
+    }
+}
+
+impl<H: Clone + Ord> FlatPrt<H> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscription; always forwarded (no covering).
+    pub fn subscribe(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        self.entries.insert(id, (xpe, last_hop));
+        SubscribeOutcome { forward: true, retract: Vec::new(), covered_root_hops: Vec::new() }
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
+        let known = self.entries.remove(&id).is_some();
+        UnsubscribeOutcome { forward: known, promote: Vec::new() }
+    }
+
+    /// Scans every subscription for matches.
+    pub fn route<S: AsRef<str>>(&self, path: &[S]) -> BTreeSet<H> {
+        self.route_with_attrs(path, &[])
+    }
+
+    /// [`Self::route`] with per-element attribute data.
+    pub fn route_with_attrs<S: AsRef<str>>(
+        &self,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+    ) -> BTreeSet<H> {
+        self.entries
+            .values()
+            .filter(|(xpe, _)| {
+                xdn_xpath::matching::matches_path_with_attrs(xpe, path, attrs)
+            })
+            .map(|(_, h)| h.clone())
+            .collect()
+    }
+
+    /// Every stored subscription with its last hop (all are forwarded
+    /// in the flat scheme).
+    pub fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        self.entries
+            .iter()
+            .map(|(&id, (xpe, h))| (id, xpe.clone(), vec![h.clone()]))
+            .collect()
+    }
+
+    /// Number of stored subscriptions — also the effective routing
+    /// table size, since nothing is elided.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no subscriptions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adv::AdvPath;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn adv(names: &[&str]) -> Advertisement {
+        Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    #[test]
+    fn srt_matches_overlapping_advertisements() {
+        let mut srt = Srt::new();
+        srt.insert(AdvId(1), adv(&["quotes", "nyse", "price"]), "west");
+        srt.insert(AdvId(2), adv(&["news", "sports", "story"]), "east");
+        let hops = srt.match_sub(&xpe("/quotes/*/price"));
+        assert_eq!(hops.into_iter().collect::<Vec<_>>(), vec!["west"]);
+        let both = srt.match_sub(&xpe("//price"));
+        assert_eq!(both.len(), 1);
+        assert_eq!(srt.len(), 2);
+    }
+
+    #[test]
+    fn srt_dedups_hops() {
+        let mut srt = Srt::new();
+        srt.insert(AdvId(1), adv(&["a", "b"]), "n1");
+        srt.insert(AdvId(2), adv(&["a", "c"]), "n1");
+        assert_eq!(srt.match_sub(&xpe("/a")).len(), 1);
+    }
+
+    #[test]
+    fn srt_remove() {
+        let mut srt = Srt::new();
+        srt.insert(AdvId(1), adv(&["a"]), "n1");
+        assert!(srt.remove(AdvId(1)).is_some());
+        assert!(srt.remove(AdvId(1)).is_none());
+        assert!(srt.is_empty());
+    }
+
+    #[test]
+    fn prt_forwarding_and_covering() {
+        let mut prt = Prt::new();
+        let wide = prt.subscribe(SubId(1), xpe("/a/*"), "hopA");
+        assert!(wide.forward);
+        let narrow = prt.subscribe(SubId(2), xpe("/a/b"), "hopB");
+        assert!(!narrow.forward, "covered by /a/*");
+        assert_eq!(prt.effective_size(), 1);
+        assert_eq!(prt.len(), 2);
+    }
+
+    #[test]
+    fn prt_retracts_on_takeover() {
+        let mut prt = Prt::new();
+        prt.subscribe(SubId(1), xpe("/a/b"), "h1");
+        prt.subscribe(SubId(2), xpe("/a/c"), "h2");
+        let top = prt.subscribe(SubId(3), xpe("/a/*"), "h3");
+        assert!(top.forward);
+        let mut retract = top.retract;
+        retract.sort();
+        assert_eq!(retract, vec![SubId(1), SubId(2)]);
+    }
+
+    #[test]
+    fn prt_equal_xpes_share_node() {
+        let mut prt = Prt::new();
+        let first = prt.subscribe(SubId(1), xpe("/a/b"), "h1");
+        assert!(first.forward);
+        let second = prt.subscribe(SubId(2), xpe("/a/b"), "h2");
+        assert!(!second.forward);
+        assert_eq!(prt.len(), 1);
+        let hops = prt.route(&["a", "b"]);
+        assert_eq!(hops.len(), 2);
+    }
+
+    #[test]
+    fn prt_routing_collects_all_matching_hops() {
+        let mut prt = Prt::new();
+        prt.subscribe(SubId(1), xpe("/a/*"), "h1");
+        prt.subscribe(SubId(2), xpe("/a/b"), "h2");
+        prt.subscribe(SubId(3), xpe("/x"), "h3");
+        let hops = prt.route(&["a", "b"]);
+        assert_eq!(hops.into_iter().collect::<Vec<_>>(), vec!["h1", "h2"]);
+    }
+
+    #[test]
+    fn prt_unsubscribe_promotes() {
+        let mut prt = Prt::new();
+        prt.subscribe(SubId(1), xpe("/a/*"), "h1");
+        prt.subscribe(SubId(2), xpe("/a/b"), "h2");
+        let out = prt.unsubscribe(SubId(1));
+        assert!(out.forward, "the wide subscription had been forwarded");
+        assert_eq!(out.promote, vec![SubId(2)], "/a/b is now uncovered");
+        assert_eq!(prt.effective_size(), 1);
+    }
+
+    #[test]
+    fn prt_unsubscribe_shared_node_keeps_entry() {
+        let mut prt = Prt::new();
+        prt.subscribe(SubId(1), xpe("/a/b"), "h1");
+        prt.subscribe(SubId(2), xpe("/a/b"), "h2");
+        let out = prt.unsubscribe(SubId(1));
+        assert!(!out.forward, "another subscriber still needs the expression");
+        assert_eq!(prt.route(&["a", "b"]).len(), 1);
+    }
+
+    #[test]
+    fn prt_unknown_unsubscribe_is_noop() {
+        let mut prt = Prt::<&str>::new();
+        let out = prt.unsubscribe(SubId(42));
+        assert!(!out.forward && out.promote.is_empty());
+    }
+
+    #[test]
+    fn flat_prt_always_forwards() {
+        let mut flat = FlatPrt::new();
+        assert!(flat.subscribe(SubId(1), xpe("/a/*"), "h1").forward);
+        assert!(flat.subscribe(SubId(2), xpe("/a/b"), "h2").forward);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.route(&["a", "b"]).len(), 2);
+        assert!(flat.unsubscribe(SubId(1)).forward);
+        assert!(!flat.unsubscribe(SubId(1)).forward);
+    }
+
+    #[test]
+    fn flat_and_covering_route_identically() {
+        let subs = ["/a/*", "/a/b", "a//c", "/x/y", "//b"];
+        let mut prt = Prt::new();
+        let mut flat = FlatPrt::new();
+        for (i, s) in subs.iter().enumerate() {
+            prt.subscribe(SubId(i as u64), xpe(s), i);
+            flat.subscribe(SubId(i as u64), xpe(s), i);
+        }
+        let paths: [&[&str]; 4] =
+            [&["a", "b"], &["a", "q", "c"], &["x", "y"], &["z", "b", "c"]];
+        for p in paths {
+            assert_eq!(prt.route(p), flat.route(p), "divergence on {p:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+    use crate::adv::AdvPath;
+
+    fn adv(names: &[&str]) -> Advertisement {
+        Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    #[test]
+    fn compact_drops_covered_same_hop() {
+        let mut srt = Srt::new();
+        srt.insert(AdvId(1), adv(&["a", "*"]), "n1");
+        srt.insert(AdvId(2), adv(&["a", "b"]), "n1");
+        srt.insert(AdvId(3), adv(&["a", "b"]), "n2"); // different hop: kept
+        let removed = srt.compact();
+        assert_eq!(removed, 1);
+        assert_eq!(srt.len(), 2);
+        // Routing unchanged for the sub that only overlapped the
+        // dropped advertisement.
+        let hops = srt.match_sub(&"/a/b".parse().unwrap());
+        assert_eq!(hops.len(), 2);
+    }
+
+    #[test]
+    fn compact_keeps_one_of_equal_pair() {
+        let mut srt = Srt::new();
+        srt.insert(AdvId(1), adv(&["x", "y"]), "n1");
+        srt.insert(AdvId(2), adv(&["x", "y"]), "n1");
+        assert_eq!(srt.compact(), 1);
+        assert_eq!(srt.len(), 1);
+    }
+
+    #[test]
+    fn compact_ignores_recursive() {
+        let mut srt = Srt::new();
+        srt.insert(AdvId(1), Advertisement::parse("/a(/b)+/c").unwrap(), "n1");
+        srt.insert(AdvId(2), Advertisement::parse("/a(/b)+/c").unwrap(), "n1");
+        assert_eq!(srt.compact(), 0, "recursive advertisements are left alone");
+    }
+
+    #[test]
+    fn compact_empty_and_singleton() {
+        let mut srt: Srt<&str> = Srt::new();
+        assert_eq!(srt.compact(), 0);
+        srt.insert(AdvId(1), adv(&["a"]), "n1");
+        assert_eq!(srt.compact(), 0);
+        assert_eq!(srt.len(), 1);
+    }
+}

@@ -1,0 +1,819 @@
+//! The subscription tree (§4.1).
+//!
+//! Each broker maintains its subscriptions in a tree ordered by the
+//! covering relation: a node's expression covers every expression in
+//! its subtree. Because covering is a partial order, a tree cannot
+//! capture every relation; *super pointers* record covering relations
+//! that cross subtrees, turning the structure into a DAG.
+//!
+//! The tree serves three routing purposes:
+//!
+//! * **Forwarding decisions** — a newly arrived subscription that is
+//!   covered by an existing one need not be forwarded; one that covers
+//!   existing top-level subscriptions replaces them downstream
+//!   ([`Insertion`]).
+//! * **Compact routing tables** — the routing table a neighbour sees is
+//!   the set of *top-level* nodes ([`SubscriptionTree::root_count`]),
+//!   which covering keeps small (Figure 6).
+//! * **Fast publication matching** — matching descends only into
+//!   children of matching nodes, since a non-matching parent (which
+//!   covers its children) prunes its whole subtree
+//!   ([`SubscriptionTree::for_each_matching`]).
+//!
+//! Search is accelerated by bucketing top-level nodes on their first
+//! location step, an index justified by the paper's *absolute XPE node*
+//! and *relative XPE node* properties (§4.1): an absolute
+//! name-anchored expression can only be covered by one starting with
+//! the same name, a wildcard, or a floating (relative / `//`-headed)
+//! expression.
+
+use crate::cover::covers;
+use std::collections::HashMap;
+use std::fmt;
+use xdn_xpath::{Axis, NodeTest, Xpe};
+
+/// Handle to a node in a [`SubscriptionTree`]. Valid until the node is
+/// removed; stale ids are detected (panics) rather than aliased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Outcome of inserting a subscription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insertion {
+    /// The subscription is covered by an existing one: it was stored
+    /// (under `by`) but must **not** be forwarded.
+    CoveredBy {
+        /// The covering ancestor it was placed under.
+        by: NodeId,
+        /// The new node.
+        id: NodeId,
+    },
+    /// The subscription landed at the top level: it must be forwarded,
+    /// and the previously top-level subscriptions in `demoted` (now its
+    /// children) should be unsubscribed downstream.
+    NewTop {
+        /// The new node.
+        id: NodeId,
+        /// Former top-level nodes now covered by `id`.
+        demoted: Vec<NodeId>,
+    },
+}
+
+impl Insertion {
+    /// The id of the inserted node.
+    pub fn id(&self) -> NodeId {
+        match *self {
+            Insertion::CoveredBy { id, .. } | Insertion::NewTop { id, .. } => id,
+        }
+    }
+
+    /// True if the subscription should be forwarded to neighbours.
+    pub fn forward(&self) -> bool {
+        matches!(self, Insertion::NewTop { .. })
+    }
+}
+
+#[derive(Clone)]
+struct NodeData<T> {
+    xpe: Xpe,
+    payload: T,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Covering shortcuts to nodes outside this node's subtree.
+    supers: Vec<NodeId>,
+    /// Reverse of `supers`, for O(degree) cleanup on removal.
+    super_parents: Vec<NodeId>,
+}
+
+/// Bucket key for the top-level index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RootKey {
+    /// Absolute, child-anchored, first step is a name.
+    Name(String),
+    /// Absolute, child-anchored, first step is `*`.
+    Wild,
+    /// Relative or `//`-anchored: floats, may cover anything.
+    Complex,
+}
+
+fn root_key(xpe: &Xpe) -> RootKey {
+    let first = &xpe.steps()[0];
+    if !xpe.is_absolute() || first.axis == Axis::Descendant {
+        RootKey::Complex
+    } else {
+        match &first.test {
+            NodeTest::Name(n) => RootKey::Name(n.clone()),
+            NodeTest::Wildcard => RootKey::Wild,
+        }
+    }
+}
+
+/// The subscription tree: a covering-ordered forest with super
+/// pointers, generic over a per-subscription payload `T` (e.g. the set
+/// of last hops in a publication routing table).
+///
+/// ```
+/// use xdn_core::subtree::SubscriptionTree;
+///
+/// let mut tree = SubscriptionTree::new();
+/// let wide = tree.insert("/a/*".parse()?, "client-1");
+/// assert!(wide.forward());
+/// let narrow = tree.insert("/a/b".parse()?, "client-2");
+/// assert!(!narrow.forward()); // covered by /a/*
+/// assert_eq!(tree.root_count(), 1);
+/// # Ok::<(), xdn_xpath::XpeParseError>(())
+/// ```
+#[derive(Clone)]
+pub struct SubscriptionTree<T> {
+    nodes: Vec<Option<NodeData<T>>>,
+    roots: Vec<NodeId>,
+    root_index: HashMap<RootKey, Vec<NodeId>>,
+    free: Vec<u32>,
+    len: usize,
+    eager_supers: bool,
+}
+
+impl<T> Default for SubscriptionTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SubscriptionTree<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubscriptionTree")
+            .field("len", &self.len)
+            .field("roots", &self.roots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> SubscriptionTree<T> {
+    /// Creates an empty tree with lazy super-pointer maintenance (the
+    /// paper notes eager maintenance "becomes expensive when the
+    /// subscription tree grows larger" and that updating "can be
+    /// postponed").
+    pub fn new() -> Self {
+        SubscriptionTree {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            root_index: HashMap::new(),
+            free: Vec::new(),
+            len: 0,
+            eager_supers: false,
+        }
+    }
+
+    /// Creates a tree that maintains super pointers eagerly on every
+    /// insert — the ablation counterpart of the default lazy mode.
+    pub fn with_eager_super_pointers() -> Self {
+        SubscriptionTree { eager_supers: true, ..Self::new() }
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no subscriptions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of top-level (uncovered) subscriptions — the effective
+    /// routing-table size after covering.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The top-level nodes.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    fn node(&self, id: NodeId) -> &NodeData<T> {
+        self.nodes[id.0 as usize].as_ref().expect("stale NodeId")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeData<T> {
+        self.nodes[id.0 as usize].as_mut().expect("stale NodeId")
+    }
+
+    /// The expression stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was removed.
+    pub fn xpe(&self, id: NodeId) -> &Xpe {
+        &self.node(id).xpe
+    }
+
+    /// The payload stored at `id`.
+    pub fn payload(&self, id: NodeId) -> &T {
+        &self.node(id).payload
+    }
+
+    /// Mutable access to the payload at `id`.
+    pub fn payload_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.node_mut(id).payload
+    }
+
+    /// Children of `id` (subscriptions it covers, tree edges only).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Parent of `id`, if it is not top-level.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Super pointers of `id`: covered nodes outside its subtree
+    /// (populated in eager mode, or by [`Self::refresh_super_pointers`]).
+    pub fn super_pointers(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).supers
+    }
+
+    /// Iterates over every stored node.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Xpe, &T)> {
+        self.nodes.iter().enumerate().filter_map(|(i, slot)| {
+            slot.as_ref().map(|n| (NodeId(i as u32), &n.xpe, &n.payload))
+        })
+    }
+
+    /// Inserts a subscription, maintaining covering order.
+    ///
+    /// The insertion walks the forest breadth-wise: descending into the
+    /// first covering node (Case 3 of §4.1), adopting covered siblings
+    /// (Case 2), or joining the sibling list (Case 1).
+    pub fn insert(&mut self, xpe: Xpe, payload: T) -> Insertion {
+        let mut parent: Option<NodeId> = None;
+        loop {
+            // Find the first sibling covering the new subscription.
+            let coverer = match parent {
+                None => self.find_root_coverer(&xpe),
+                Some(p) => {
+                    self.node(p).children.iter().copied().find(|&c| covers(&self.node(c).xpe, &xpe))
+                }
+            };
+            if let Some(c) = coverer {
+                parent = Some(c);
+                continue;
+            }
+            // No coverer at this level: adopt covered siblings and join.
+            let covered: Vec<NodeId> = match parent {
+                None => self.find_covered_roots(&xpe),
+                Some(p) => self
+                    .node(p)
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&c| covers(&xpe, &self.node(c).xpe))
+                    .collect(),
+            };
+            let id = self.alloc(NodeData {
+                xpe,
+                payload,
+                parent,
+                children: covered.clone(),
+                supers: Vec::new(),
+                super_parents: Vec::new(),
+            });
+            for &c in &covered {
+                self.detach_from_parent_list(c);
+                self.node_mut(c).parent = Some(id);
+                // Super pointers from the demoted node's old parent that
+                // now fall inside the new subtree are redundant.
+            }
+            match parent {
+                None => {
+                    self.roots.push(id);
+                    let key = root_key(&self.node(id).xpe);
+                    self.root_index.entry(key).or_default().push(id);
+                }
+                Some(p) => self.node_mut(p).children.push(id),
+            }
+            self.len += 1;
+            if self.eager_supers {
+                self.add_super_pointers_for(id);
+            }
+            return match parent {
+                None => Insertion::NewTop { id, demoted: covered },
+                Some(_) => {
+                    // The nearest covering ancestor is the insertion
+                    // parent itself.
+                    Insertion::CoveredBy { by: parent.expect("checked"), id }
+                }
+            };
+        }
+    }
+
+    /// Removes a subscription; its children are promoted to its parent
+    /// (or to the top level). Returns the payload.
+    ///
+    /// Promoted top-level nodes are newly uncovered: callers performing
+    /// covering-based routing should forward them upstream (the reverse
+    /// of the demotion performed on insert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn remove(&mut self, id: NodeId) -> (T, Vec<NodeId>) {
+        // Drop super pointers in both directions.
+        let supers = std::mem::take(&mut self.node_mut(id).supers);
+        for s in supers {
+            self.node_mut(s).super_parents.retain(|&p| p != id);
+        }
+        let super_parents = std::mem::take(&mut self.node_mut(id).super_parents);
+        for p in super_parents {
+            self.node_mut(p).supers.retain(|&s| s != id);
+        }
+        self.detach_from_parent_list(id);
+        let parent = self.node(id).parent;
+        let children = std::mem::take(&mut self.node_mut(id).children);
+        let mut promoted = Vec::new();
+        for &c in &children {
+            self.node_mut(c).parent = parent;
+            match parent {
+                None => {
+                    self.roots.push(c);
+                    let key = root_key(&self.node(c).xpe);
+                    self.root_index.entry(key).or_default().push(c);
+                    promoted.push(c);
+                }
+                Some(p) => self.node_mut(p).children.push(c),
+            }
+        }
+        let data = self.nodes[id.0 as usize].take().expect("stale NodeId");
+        self.free.push(id.0);
+        self.len -= 1;
+        (data.payload, promoted)
+    }
+
+    /// The first top-level subscription covering `xpe`, if any. Because
+    /// covering is transitive along tree edges, `xpe` is covered by
+    /// *some* stored subscription iff it is covered by a top-level one.
+    pub fn find_root_coverer(&self, xpe: &Xpe) -> Option<NodeId> {
+        self.coverer_candidates(xpe, |id, tree| covers(&tree.node(id).xpe, xpe))
+    }
+
+    /// All top-level subscriptions covered by `xpe` — the set to
+    /// unsubscribe downstream when `xpe` takes over.
+    pub fn find_covered_roots(&self, xpe: &Xpe) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        match root_key(xpe) {
+            RootKey::Name(n) => {
+                self.collect_covered(&RootKey::Name(n), xpe, &mut out);
+            }
+            RootKey::Wild => {
+                let keys: Vec<RootKey> = self.root_index.keys().cloned().collect();
+                for k in keys {
+                    if k != RootKey::Complex {
+                        self.collect_covered(&k, xpe, &mut out);
+                    }
+                }
+            }
+            RootKey::Complex => {
+                let keys: Vec<RootKey> = self.root_index.keys().cloned().collect();
+                for k in keys {
+                    self.collect_covered(&k, xpe, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn collect_covered(&self, key: &RootKey, xpe: &Xpe, out: &mut Vec<NodeId>) {
+        if let Some(bucket) = self.root_index.get(key) {
+            out.extend(bucket.iter().copied().filter(|&id| covers(xpe, &self.node(id).xpe)));
+        }
+    }
+
+    fn coverer_candidates(
+        &self,
+        xpe: &Xpe,
+        pred: impl Fn(NodeId, &Self) -> bool,
+    ) -> Option<NodeId> {
+        let mut keys: Vec<RootKey> = vec![RootKey::Complex];
+        match root_key(xpe) {
+            RootKey::Name(n) => {
+                keys.push(RootKey::Name(n));
+                keys.push(RootKey::Wild);
+            }
+            RootKey::Wild => keys.push(RootKey::Wild),
+            RootKey::Complex => {}
+        }
+        for key in keys {
+            if let Some(bucket) = self.root_index.get(&key) {
+                if let Some(hit) = bucket.iter().copied().find(|&id| pred(id, self)) {
+                    return Some(hit);
+                }
+            }
+        }
+        None
+    }
+
+    fn detach_from_parent_list(&mut self, id: NodeId) {
+        match self.node(id).parent {
+            None => {
+                self.roots.retain(|&r| r != id);
+                let key = root_key(&self.node(id).xpe);
+                if let Some(bucket) = self.root_index.get_mut(&key) {
+                    bucket.retain(|&r| r != id);
+                }
+            }
+            Some(p) => {
+                self.node_mut(p).children.retain(|&c| c != id);
+            }
+        }
+    }
+
+    fn alloc(&mut self, data: NodeData<T>) -> NodeId {
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Some(data);
+                NodeId(slot)
+            }
+            None => {
+                self.nodes.push(Some(data));
+                NodeId((self.nodes.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Visits every stored subscription matching `path`, descending
+    /// only into children of matching nodes (a non-matching node covers
+    /// its subtree, so the subtree cannot match).
+    pub fn for_each_matching<S: AsRef<str>>(&self, path: &[S], f: impl FnMut(NodeId, &T)) {
+        self.for_each_matching_with_attrs(path, &[], f)
+    }
+
+    /// [`Self::for_each_matching`] with per-element attribute data, for
+    /// subscriptions using the attribute-predicate extension.
+    pub fn for_each_matching_with_attrs<S: AsRef<str>>(
+        &self,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+        mut f: impl FnMut(NodeId, &T),
+    ) {
+        let mut stack: Vec<NodeId> = self.roots.clone();
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if xdn_xpath::matching::matches_path_with_attrs(&node.xpe, path, attrs) {
+                f(id, &node.payload);
+                stack.extend(node.children.iter().copied());
+            }
+        }
+    }
+
+    /// Computes super pointers for `id`: the topmost stored nodes
+    /// covered by `id` that are not in its subtree. Eager trees call
+    /// this on every insert; lazy trees may call it on demand.
+    pub fn refresh_super_pointers(&mut self, id: NodeId) {
+        // Drop existing outgoing pointers.
+        let old = std::mem::take(&mut self.node_mut(id).supers);
+        for s in old {
+            self.node_mut(s).super_parents.retain(|&p| p != id);
+        }
+        self.add_super_pointers_for(id);
+    }
+
+    fn add_super_pointers_for(&mut self, id: NodeId) {
+        let xpe = self.node(id).xpe.clone();
+        let mut found = Vec::new();
+        let mut stack: Vec<NodeId> = self.roots.clone();
+        while let Some(n) = stack.pop() {
+            if n == id || self.is_descendant(n, id) {
+                continue;
+            }
+            if covers(&xpe, &self.node(n).xpe) {
+                found.push(n); // topmost: don't descend further
+            } else {
+                stack.extend(self.node(n).children.iter().copied());
+            }
+        }
+        for &t in &found {
+            self.node_mut(t).super_parents.push(id);
+        }
+        self.node_mut(id).supers = found;
+    }
+
+    fn is_descendant(&self, mut n: NodeId, ancestor: NodeId) -> bool {
+        while let Some(p) = self.node(n).parent {
+            if p == ancestor {
+                return true;
+            }
+            n = p;
+        }
+        false
+    }
+
+    /// Depth of the deepest node (empty tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec<T>(tree: &SubscriptionTree<T>, id: NodeId) -> usize {
+            1 + tree.node(id).children.iter().map(|&c| rec(tree, c)).max().unwrap_or(0)
+        }
+        self.roots.iter().map(|&r| rec(self, r)).max().unwrap_or(0)
+    }
+
+    /// Verifies the structural invariants (every child covered by its
+    /// parent; index consistent; parent links consistent). Used by
+    /// tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = 0usize;
+        for (i, slot) in self.nodes.iter().enumerate() {
+            let Some(n) = slot.as_ref() else { continue };
+            seen += 1;
+            let id = NodeId(i as u32);
+            match n.parent {
+                None => {
+                    if !self.roots.contains(&id) {
+                        return Err(format!("{id} parentless but not a root"));
+                    }
+                }
+                Some(p) => {
+                    if !self.node(p).children.contains(&id) {
+                        return Err(format!("{id} missing from parent's child list"));
+                    }
+                    if !covers(&self.node(p).xpe, &n.xpe) {
+                        return Err(format!(
+                            "parent {} does not cover child {id}",
+                            self.node(p).xpe
+                        ));
+                    }
+                }
+            }
+            for &c in &n.children {
+                if self.node(c).parent != Some(id) {
+                    return Err(format!("child {c} of {id} has wrong parent link"));
+                }
+            }
+            for &s in &n.supers {
+                if !covers(&n.xpe, &self.node(s).xpe) {
+                    return Err(format!("super pointer {id} -> {s} without covering"));
+                }
+            }
+        }
+        if seen != self.len {
+            return Err(format!("len {} != live nodes {seen}", self.len));
+        }
+        for (key, bucket) in &self.root_index {
+            for &id in bucket {
+                if self.node(id).parent.is_some() {
+                    return Err(format!("indexed node {id} ({key:?}) is not a root"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_forward_decisions() {
+        let mut t = SubscriptionTree::new();
+        let a = t.insert(xpe("/a/*"), 1);
+        assert!(a.forward());
+        let b = t.insert(xpe("/a/b"), 2);
+        assert!(!b.forward());
+        match b {
+            Insertion::CoveredBy { by, .. } => assert_eq!(by, a.id()),
+            other => panic!("expected CoveredBy, got {other:?}"),
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.root_count(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_demotes_covered_roots() {
+        let mut t = SubscriptionTree::new();
+        let b = t.insert(xpe("/a/b"), 1).id();
+        let c = t.insert(xpe("/a/c"), 2).id();
+        let top = t.insert(xpe("/a/*"), 3);
+        match &top {
+            Insertion::NewTop { demoted, .. } => {
+                let mut d = demoted.clone();
+                d.sort();
+                let mut expect = vec![b, c];
+                expect.sort();
+                assert_eq!(d, expect);
+            }
+            other => panic!("expected NewTop, got {other:?}"),
+        }
+        assert_eq!(t.root_count(), 1);
+        assert_eq!(t.children(top.id()).len(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unrelated_siblings() {
+        let mut t = SubscriptionTree::new();
+        t.insert(xpe("/a/b"), 1);
+        t.insert(xpe("/x/y"), 2);
+        assert_eq!(t.root_count(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deep_chain() {
+        let mut t = SubscriptionTree::new();
+        t.insert(xpe("/a"), 0);
+        t.insert(xpe("/a/*"), 1);
+        t.insert(xpe("/a/*/c"), 2);
+        t.insert(xpe("/a/b/c"), 3);
+        assert_eq!(t.root_count(), 1);
+        assert_eq!(t.depth(), 4);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn relative_nodes_not_under_absolute() {
+        // Property of a relative XPE node (§4.1): never inside an
+        // absolute-rooted subtree.
+        let mut t = SubscriptionTree::new();
+        t.insert(xpe("/a"), 0);
+        let r = t.insert(xpe("b/c"), 1);
+        assert!(r.forward());
+        assert_eq!(t.root_count(), 2);
+        // But a relative node can cover absolutes.
+        let cov = t.insert(xpe("c"), 2);
+        match cov {
+            Insertion::NewTop { ref demoted, .. } => assert!(demoted.contains(&r.id())),
+            ref other => panic!("expected NewTop, got {other:?}"),
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_promotes_children() {
+        let mut t = SubscriptionTree::new();
+        let top = t.insert(xpe("/a/*"), 0).id();
+        let c1 = t.insert(xpe("/a/b"), 1).id();
+        let c2 = t.insert(xpe("/a/c"), 2).id();
+        let (payload, promoted) = t.remove(top);
+        assert_eq!(payload, 0);
+        let mut p = promoted;
+        p.sort();
+        let mut expect = vec![c1, c2];
+        expect.sort();
+        assert_eq!(p, expect);
+        assert_eq!(t.root_count(), 2);
+        assert_eq!(t.len(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_mid_chain() {
+        let mut t = SubscriptionTree::new();
+        let a = t.insert(xpe("/a"), 0).id();
+        let b = t.insert(xpe("/a/*"), 1).id();
+        let c = t.insert(xpe("/a/b/c"), 2).id();
+        let (_, promoted) = t.remove(b);
+        assert!(promoted.is_empty(), "child promoted to grandparent, not to top");
+        assert_eq!(t.parent(c), Some(a));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn matching_descends_only_into_matches() {
+        let mut t = SubscriptionTree::new();
+        t.insert(xpe("/a/*"), "wide");
+        t.insert(xpe("/a/b"), "ab");
+        t.insert(xpe("/x"), "x");
+        let mut hits = Vec::new();
+        t.for_each_matching(&["a", "b"], |_, p| hits.push(*p));
+        hits.sort();
+        assert_eq!(hits, vec!["ab", "wide"]);
+        let mut hits2 = Vec::new();
+        t.for_each_matching(&["a", "c"], |_, p| hits2.push(*p));
+        assert_eq!(hits2, vec!["wide"]);
+    }
+
+    #[test]
+    fn eager_super_pointers() {
+        let mut t = SubscriptionTree::with_eager_super_pointers();
+        t.insert(xpe("/a/b"), 0);
+        t.insert(xpe("/x/b"), 1);
+        // `b` covers both, but the tree adopts them as children; a
+        // super pointer appears when a relation crosses subtrees:
+        let wide1 = t.insert(xpe("/a/*"), 2).id(); // adopts /a/b
+        let rel = t.insert(xpe("b"), 3).id(); // adopts /x/b, covers /a/b via subtree of /a/*
+        // rel covers /a/* ? no. rel covers /a/b which lives inside
+        // /a/*'s subtree → super pointer.
+        let supers = t.super_pointers(rel);
+        assert_eq!(supers.len(), 1);
+        assert!(covers(t.xpe(rel), t.xpe(supers[0])));
+        assert_ne!(t.parent(supers[0]), Some(rel));
+        let _ = wide1;
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lazy_supers_on_demand() {
+        let mut t = SubscriptionTree::new();
+        t.insert(xpe("/a/*"), 0);
+        let ab = t.insert(xpe("/a/b"), 1).id();
+        let rel = t.insert(xpe("b"), 2).id();
+        assert!(t.super_pointers(rel).is_empty());
+        t.refresh_super_pointers(rel);
+        assert_eq!(t.super_pointers(rel), &[ab]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn super_pointers_cleaned_on_remove() {
+        let mut t = SubscriptionTree::with_eager_super_pointers();
+        t.insert(xpe("/a/*"), 0);
+        let ab = t.insert(xpe("/a/b"), 1).id();
+        let rel = t.insert(xpe("b"), 2).id();
+        assert_eq!(t.super_pointers(rel), &[ab]);
+        t.remove(ab);
+        assert!(t.super_pointers(rel).is_empty());
+        t.check_invariants().unwrap();
+        t.remove(rel);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn payload_access() {
+        let mut t = SubscriptionTree::new();
+        let id = t.insert(xpe("/a"), vec![1]).id();
+        t.payload_mut(id).push(2);
+        assert_eq!(t.payload(id), &vec![1, 2]);
+        assert_eq!(t.xpe(id), &xpe("/a"));
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut t = SubscriptionTree::new();
+        t.insert(xpe("/a"), 1);
+        t.insert(xpe("/a/b"), 2);
+        t.insert(xpe("/z"), 3);
+        let mut payloads: Vec<i32> = t.iter().map(|(_, _, p)| *p).collect();
+        payloads.sort();
+        assert_eq!(payloads, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut t = SubscriptionTree::new();
+        let a = t.insert(xpe("/a"), 1).id();
+        t.remove(a);
+        let b = t.insert(xpe("/b"), 2).id();
+        assert_eq!(a, b, "freed slot is reused");
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale NodeId")]
+    fn stale_id_detected() {
+        let mut t = SubscriptionTree::new();
+        let a = t.insert(xpe("/a"), 1).id();
+        t.remove(a);
+        let _ = t.xpe(a);
+    }
+
+    #[test]
+    fn equal_xpes_nest() {
+        let mut t = SubscriptionTree::new();
+        let a = t.insert(xpe("/a/b"), 1);
+        let b = t.insert(xpe("/a/b"), 2);
+        assert!(a.forward());
+        assert!(!b.forward(), "an equal subscription is mutually covering; not reforwarded");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn large_insert_stays_consistent() {
+        let mut t = SubscriptionTree::new();
+        let names = ["a", "b", "c", "d"];
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let s = format!("/{}/{}/{}", names[i], names[j], names[k]);
+                    t.insert(xpe(&s), (i, j, k));
+                }
+            }
+            t.insert(xpe(&format!("/{}/*", names[i])), (i, 9, 9));
+        }
+        t.insert(xpe("/*"), (9, 9, 9));
+        assert_eq!(t.root_count(), 1);
+        assert_eq!(t.len(), 4 * 4 * 4 + 4 + 1);
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! `xdn-node` — run one content-based XML router on a TCP socket.
+//!
+//! ```text
+//! xdn-node --id 1 --listen 127.0.0.1:7001 \
+//!          [--peer 2=127.0.0.1:7002]... \
+//!          [--strategy with-adv-with-cov]
+//! ```
+//!
+//! Peers listed with `--peer` are dialled on startup; nodes started
+//! later simply list the earlier ones. Clients connect with the
+//! protocol in [`xdn_net::tcp`] (hello byte `0x02` + client id, then
+//! wire frames).
+
+use std::net::SocketAddr;
+use xdn_broker::{BrokerId, RoutingConfig};
+use xdn_net::tcp::TcpNode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xdn-node --id <u32> --listen <addr:port> \
+         [--peer <id>=<addr:port>]... [--strategy <name>]\n\
+         strategies: no-adv-no-cov | no-adv-with-cov | with-adv-no-cov | \
+         with-adv-with-cov | with-adv-with-cov-pm | with-adv-with-cov-ipm"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<u32> = None;
+    let mut listen: Option<SocketAddr> = None;
+    let mut peers: Vec<(BrokerId, SocketAddr)> = Vec::new();
+    let mut strategy = RoutingConfig::with_adv_with_cov();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--id" => {
+                i += 1;
+                id = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--listen" => {
+                i += 1;
+                listen = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--peer" => {
+                i += 1;
+                let Some((pid, paddr)) = args.get(i).and_then(|s| s.split_once('=')) else {
+                    usage()
+                };
+                match (pid.parse(), paddr.parse()) {
+                    (Ok(pid), Ok(paddr)) => peers.push((BrokerId(pid), paddr)),
+                    _ => usage(),
+                }
+            }
+            "--strategy" => {
+                i += 1;
+                strategy = match args.get(i).map(String::as_str) {
+                    Some("no-adv-no-cov") => RoutingConfig::no_adv_no_cov(),
+                    Some("no-adv-with-cov") => RoutingConfig::no_adv_with_cov(),
+                    Some("with-adv-no-cov") => RoutingConfig::with_adv_no_cov(),
+                    Some("with-adv-with-cov") => RoutingConfig::with_adv_with_cov(),
+                    Some("with-adv-with-cov-pm") => RoutingConfig::with_adv_cov_pm(),
+                    Some("with-adv-with-cov-ipm") => RoutingConfig::with_adv_cov_ipm(0.1),
+                    _ => usage(),
+                };
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(id), Some(listen)) = (id, listen) else { usage() };
+
+    match TcpNode::start(BrokerId(id), strategy, listen, &peers) {
+        Ok(node) => {
+            println!("xdn-node {id} listening on {} ({} peers)", node.addr(), peers.len());
+            // Run until interrupted.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to start node: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Link-latency models.
+//!
+//! Delay of one message over one link = propagation base + bytes /
+//! bandwidth. Per-link bases are drawn deterministically from the link
+//! endpoints, so a given topology always sees the same latencies —
+//! experiments are reproducible while still heterogeneous.
+
+use std::time::Duration;
+use xdn_broker::BrokerId;
+
+/// A model assigning a transmission delay to each (link, message size).
+pub trait LatencyModel: Send {
+    /// Delay for `bytes` sent from `from` to `to`.
+    fn link_delay(&mut self, from: BrokerId, to: BrokerId, bytes: usize) -> Duration;
+
+    /// Delay between a broker and a locally attached client (default:
+    /// negligible loopback).
+    fn client_delay(&mut self, _broker: BrokerId, _bytes: usize) -> Duration {
+        Duration::from_micros(20)
+    }
+}
+
+/// The 20-node cluster of the paper's §5: sub-millisecond LAN latency
+/// and gigabit-class bandwidth.
+#[derive(Debug, Clone)]
+pub struct ClusterLan {
+    /// Propagation delay per hop.
+    pub base: Duration,
+    /// Transfer rate in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl Default for ClusterLan {
+    fn default() -> Self {
+        ClusterLan { base: Duration::from_micros(120), bytes_per_sec: 120_000_000 }
+    }
+}
+
+impl LatencyModel for ClusterLan {
+    fn link_delay(&mut self, _from: BrokerId, _to: BrokerId, bytes: usize) -> Duration {
+        self.base + Duration::from_nanos(bytes as u64 * 1_000_000_000 / self.bytes_per_sec)
+    }
+}
+
+/// A PlanetLab-like WAN: heterogeneous per-link propagation delays
+/// (drawn deterministically per link from `min_base..max_base`) and
+/// modest bandwidth, with multiplicative jitter reproducing the
+/// performance variation the paper reports (up to ~15 % per point).
+#[derive(Debug, Clone)]
+pub struct PlanetLabWan {
+    /// Smallest per-link propagation delay.
+    pub min_base: Duration,
+    /// Largest per-link propagation delay.
+    pub max_base: Duration,
+    /// Transfer rate in bytes per second.
+    pub bytes_per_sec: u64,
+    /// Maximum multiplicative jitter (0.15 = ±15 %).
+    pub jitter: f64,
+    /// Seed for per-link draws and jitter.
+    pub seed: u64,
+    counter: u64,
+}
+
+impl PlanetLabWan {
+    /// A default model with a different seed (different link draws).
+    pub fn with_seed(seed: u64) -> Self {
+        PlanetLabWan { seed, ..Default::default() }
+    }
+}
+
+impl Default for PlanetLabWan {
+    fn default() -> Self {
+        PlanetLabWan {
+            min_base: Duration::from_micros(300),
+            max_base: Duration::from_millis(2),
+            bytes_per_sec: 12_000_000,
+            jitter: 0.15,
+            seed: 0x9e3779b97f4a7c15,
+            counter: 0,
+        }
+    }
+}
+
+impl PlanetLabWan {
+    fn hash(mut x: u64) -> u64 {
+        // SplitMix64 finalizer: cheap, deterministic, well mixed.
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+}
+
+impl LatencyModel for PlanetLabWan {
+    fn link_delay(&mut self, from: BrokerId, to: BrokerId, bytes: usize) -> Duration {
+        // Symmetric, per-link stable base.
+        let (a, b) = if from.0 <= to.0 { (from.0, to.0) } else { (to.0, from.0) };
+        let h = Self::hash(self.seed ^ ((a as u64) << 32 | b as u64));
+        let span = self.max_base.as_nanos() as u64 - self.min_base.as_nanos() as u64;
+        let base_ns = self.min_base.as_nanos() as u64 + h % span.max(1);
+        // Per-message jitter.
+        self.counter += 1;
+        let j = Self::hash(self.seed ^ self.counter.rotate_left(17));
+        let jitter = 1.0 + self.jitter * ((j % 2001) as f64 / 1000.0 - 1.0);
+        let transfer_ns = bytes as u64 * 1_000_000_000 / self.bytes_per_sec;
+        let total = ((base_ns + transfer_ns) as f64 * jitter) as u64;
+        Duration::from_nanos(total)
+    }
+
+    fn client_delay(&mut self, _broker: BrokerId, bytes: usize) -> Duration {
+        Duration::from_micros(50)
+            + Duration::from_nanos(bytes as u64 * 1_000_000_000 / self.bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_scales_with_bytes() {
+        let mut lan = ClusterLan::default();
+        let small = lan.link_delay(BrokerId(0), BrokerId(1), 100);
+        let big = lan.link_delay(BrokerId(0), BrokerId(1), 1_000_000);
+        assert!(big > small);
+        assert!(small >= lan.base);
+    }
+
+    #[test]
+    fn wan_is_per_link_stable_and_symmetric() {
+        let mk = || PlanetLabWan { jitter: 0.0, ..Default::default() };
+        let d1 = mk().link_delay(BrokerId(1), BrokerId(2), 1000);
+        let d2 = mk().link_delay(BrokerId(1), BrokerId(2), 1000);
+        let d3 = mk().link_delay(BrokerId(2), BrokerId(1), 1000);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn wan_links_are_heterogeneous() {
+        let mut wan = PlanetLabWan { jitter: 0.0, ..Default::default() };
+        let d12 = wan.link_delay(BrokerId(1), BrokerId(2), 1000);
+        let d34 = wan.link_delay(BrokerId(3), BrokerId(4), 1000);
+        assert_ne!(d12, d34, "different links should draw different bases");
+    }
+
+    #[test]
+    fn wan_jitter_varies_per_message() {
+        let mut wan = PlanetLabWan::default();
+        let a = wan.link_delay(BrokerId(1), BrokerId(2), 1000);
+        let b = wan.link_delay(BrokerId(1), BrokerId(2), 1000);
+        assert_ne!(a, b, "jitter should differ across messages");
+        // Bounded by the configured jitter.
+        let ratio = a.as_nanos() as f64 / b.as_nanos() as f64;
+        assert!(ratio > 0.6 && ratio < 1.6);
+    }
+
+    #[test]
+    fn wan_delay_within_bounds_without_jitter() {
+        let mut wan = PlanetLabWan { jitter: 0.0, ..Default::default() };
+        for i in 0..20u32 {
+            let d = wan.link_delay(BrokerId(i), BrokerId(i + 1), 0);
+            assert!(d >= wan.min_base && d <= wan.max_base);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! A live threaded transport running the same brokers.
+//!
+//! The simulator proves the algorithms; this module proves the broker
+//! is transport-agnostic: each broker runs on its own OS thread and
+//! exchanges messages over crossbeam channels, exactly as a deployment
+//! would over TCP sessions. Used by the `live_overlay` example.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
+
+enum Wire {
+    Data { from: Dest, msg: Message },
+    Stop,
+}
+
+/// Builder for a [`LiveNetwork`].
+#[derive(Default)]
+pub struct LiveNetworkBuilder {
+    brokers: Vec<(BrokerId, RoutingConfig)>,
+    links: Vec<(BrokerId, BrokerId)>,
+    clients: Vec<(ClientId, BrokerId)>,
+}
+
+impl LiveNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a broker.
+    pub fn broker(&mut self, id: BrokerId, config: RoutingConfig) -> &mut Self {
+        self.brokers.push((id, config));
+        self
+    }
+
+    /// Connects two brokers.
+    pub fn link(&mut self, a: BrokerId, b: BrokerId) -> &mut Self {
+        self.links.push((a, b));
+        self
+    }
+
+    /// Attaches a client to a broker.
+    pub fn client(&mut self, id: ClientId, home: BrokerId) -> &mut Self {
+        self.clients.push((id, home));
+        self
+    }
+
+    /// Spawns one thread per broker and returns the running network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link or client references an unknown broker.
+    pub fn start(&mut self) -> LiveNetwork {
+        let mut broker_tx: HashMap<BrokerId, Sender<Wire>> = HashMap::new();
+        let mut broker_rx: HashMap<BrokerId, Receiver<Wire>> = HashMap::new();
+        for &(id, _) in &self.brokers {
+            let (tx, rx) = unbounded();
+            broker_tx.insert(id, tx);
+            broker_rx.insert(id, rx);
+        }
+        let mut client_rx: HashMap<ClientId, Receiver<Message>> = HashMap::new();
+        let mut client_tx: HashMap<ClientId, Sender<Message>> = HashMap::new();
+        let mut client_home: HashMap<ClientId, BrokerId> = HashMap::new();
+        for &(cid, home) in &self.clients {
+            assert!(broker_tx.contains_key(&home), "unknown broker {home}");
+            let (tx, rx) = unbounded();
+            client_tx.insert(cid, tx);
+            client_rx.insert(cid, rx);
+            client_home.insert(cid, home);
+        }
+
+        let mut handles = Vec::new();
+        for &(id, config) in &self.brokers {
+            let mut broker = Broker::new(id, config);
+            for &(a, b) in &self.links {
+                if a == id {
+                    assert!(broker_tx.contains_key(&b), "unknown broker {b}");
+                    broker.add_neighbor(b);
+                }
+                if b == id {
+                    assert!(broker_tx.contains_key(&a), "unknown broker {a}");
+                    broker.add_neighbor(a);
+                }
+            }
+            let rx = broker_rx.remove(&id).expect("receiver");
+            let peers = broker_tx.clone();
+            let clients = client_tx.clone();
+            let stats_slot: Arc<Mutex<Option<xdn_broker::BrokerStats>>> =
+                Arc::new(Mutex::new(None));
+            let slot = stats_slot.clone();
+            let handle = std::thread::spawn(move || {
+                while let Ok(wire) = rx.recv() {
+                    match wire {
+                        Wire::Stop => break,
+                        Wire::Data { from, msg } => {
+                            for (dest, out) in broker.handle(from, msg) {
+                                match dest {
+                                    Dest::Broker(b) => {
+                                        // A send fails only during shutdown.
+                                        let _ = peers[&b]
+                                            .send(Wire::Data { from: Dest::Broker(id), msg: out });
+                                    }
+                                    Dest::Client(c) => {
+                                        if let Some(tx) = clients.get(&c) {
+                                            let _ = tx.send(out);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                *slot.lock() = Some(broker.stats().clone());
+            });
+            handles.push((id, handle, stats_slot));
+        }
+
+        LiveNetwork { broker_tx, client_rx, client_home, handles }
+    }
+}
+
+/// A broker thread handle together with its final-statistics slot.
+type BrokerHandle = (BrokerId, JoinHandle<()>, Arc<Mutex<Option<xdn_broker::BrokerStats>>>);
+
+/// A running threaded overlay.
+pub struct LiveNetwork {
+    broker_tx: HashMap<BrokerId, Sender<Wire>>,
+    client_rx: HashMap<ClientId, Receiver<Message>>,
+    client_home: HashMap<ClientId, BrokerId>,
+    handles: Vec<BrokerHandle>,
+}
+
+impl LiveNetwork {
+    /// Sends a message into the network on behalf of `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client was not registered at build time.
+    pub fn send(&self, client: ClientId, msg: Message) {
+        let home = self.client_home[&client];
+        // Failure means the network is shut down; surfaced on join.
+        let _ = self.broker_tx[&home].send(Wire::Data { from: Dest::Client(client), msg });
+    }
+
+    /// Receives the next message delivered to `client`, waiting up to
+    /// `timeout`.
+    pub fn recv_timeout(
+        &self,
+        client: ClientId,
+        timeout: std::time::Duration,
+    ) -> Option<Message> {
+        self.client_rx.get(&client)?.recv_timeout(timeout).ok()
+    }
+
+    /// Drains any already-delivered messages for `client`.
+    pub fn drain(&self, client: ClientId) -> Vec<Message> {
+        match self.client_rx.get(&client) {
+            Some(rx) => rx.try_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stops all broker threads and returns their final statistics.
+    pub fn shutdown(self) -> Vec<(BrokerId, xdn_broker::BrokerStats)> {
+        for tx in self.broker_tx.values() {
+            let _ = tx.send(Wire::Stop);
+        }
+        let mut out = Vec::new();
+        for (id, handle, slot) in self.handles {
+            handle.join().expect("broker thread panicked");
+            if let Some(stats) = slot.lock().take() {
+                out.push((id, stats));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use xdn_core::adv::{AdvPath, Advertisement};
+    use xdn_core::rtable::{AdvId, SubId};
+    use xdn_xml::{DocId, PathId};
+
+    #[test]
+    fn live_end_to_end() {
+        let mut b = LiveNetworkBuilder::new();
+        b.broker(BrokerId(0), RoutingConfig::with_adv_with_cov())
+            .broker(BrokerId(1), RoutingConfig::with_adv_with_cov())
+            .link(BrokerId(0), BrokerId(1))
+            .client(ClientId(1), BrokerId(0))
+            .client(ClientId(2), BrokerId(1));
+        let net = b.start();
+
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        net.send(ClientId(1), Message::advertise(AdvId(1), adv));
+        net.send(ClientId(2), Message::subscribe(SubId(1), "/a/*".parse().unwrap()));
+        // Give the control plane a moment to settle.
+        std::thread::sleep(Duration::from_millis(50));
+
+        net.send(
+            ClientId(1),
+            Message::Publish(xdn_broker::Publication {
+                doc_id: DocId(1),
+                path_id: PathId(0),
+                elements: vec!["a".into(), "b".into()],
+                attributes: Vec::new(),
+                doc_bytes: 64,
+            }),
+        );
+        let got = net.recv_timeout(ClientId(2), Duration::from_secs(5));
+        assert!(matches!(got, Some(Message::Publish(_))), "expected delivery, got {got:?}");
+
+        let stats = net.shutdown();
+        assert_eq!(stats.len(), 2);
+        let total: u64 = stats.iter().map(|(_, s)| s.received_total()).sum();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn live_non_matching_not_delivered() {
+        let mut b = LiveNetworkBuilder::new();
+        b.broker(BrokerId(0), RoutingConfig::no_adv_no_cov())
+            .client(ClientId(1), BrokerId(0))
+            .client(ClientId(2), BrokerId(0));
+        let net = b.start();
+        net.send(ClientId(2), Message::subscribe(SubId(1), "/x".parse().unwrap()));
+        std::thread::sleep(Duration::from_millis(20));
+        net.send(
+            ClientId(1),
+            Message::Publish(xdn_broker::Publication {
+                doc_id: DocId(1),
+                path_id: PathId(0),
+                elements: vec!["a".into()],
+                attributes: Vec::new(),
+                doc_bytes: 10,
+            }),
+        );
+        assert!(net.recv_timeout(ClientId(2), Duration::from_millis(100)).is_none());
+        net.shutdown();
+    }
+}

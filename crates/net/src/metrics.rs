@@ -1,0 +1,115 @@
+//! Network-wide measurements collected by the simulator.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+use xdn_broker::ClientId;
+use xdn_xml::DocId;
+
+/// One document delivery observed at a subscriber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// The receiving client.
+    pub client: ClientId,
+    /// The delivered document.
+    pub doc: DocId,
+    /// Time from the publisher's send to the first matching path's
+    /// arrival — the paper's *notification delay*.
+    pub delay: Duration,
+    /// Broker hops the winning path traversed.
+    pub hops: u32,
+}
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    /// Messages received by brokers, by message kind. The paper's
+    /// *network traffic* metric is the sum over all kinds.
+    pub broker_messages: HashMap<&'static str, u64>,
+    /// Messages delivered to clients (notifications on the last hop).
+    pub client_messages: u64,
+    /// Document deliveries (first matching path per client and doc).
+    pub notifications: Vec<Notification>,
+    /// Every delivered path, when recording is enabled
+    /// ([`crate::sim::Network::set_record_deliveries`]) — the input to
+    /// subscriber-side document reassembly.
+    pub delivered_paths: Vec<(ClientId, xdn_xml::DocPath)>,
+    pub(crate) publish_times: HashMap<DocId, Duration>,
+    pub(crate) delivered: HashSet<(ClientId, DocId)>,
+}
+
+impl NetMetrics {
+    /// Total messages received by all brokers — the "Network Traffic"
+    /// column of Tables 2 and 3.
+    pub fn network_traffic(&self) -> u64 {
+        self.broker_messages.values().sum()
+    }
+
+    /// Messages of one kind received by brokers.
+    pub fn traffic_of(&self, kind: &str) -> u64 {
+        self.broker_messages.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Mean notification delay, if any notifications were observed.
+    pub fn mean_notification_delay(&self) -> Option<Duration> {
+        if self.notifications.is_empty() {
+            return None;
+        }
+        let total: Duration = self.notifications.iter().map(|n| n.delay).sum();
+        Some(total / self.notifications.len() as u32)
+    }
+
+    /// Resets counters but keeps subscription state intact (used
+    /// between the setup phase and the measured publish phase).
+    pub fn reset(&mut self) {
+        self.broker_messages.clear();
+        self.client_messages = 0;
+        self.notifications.clear();
+        self.delivered_paths.clear();
+        self.publish_times.clear();
+        self.delivered.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_sums_kinds() {
+        let mut m = NetMetrics::default();
+        m.broker_messages.insert("subscribe", 3);
+        m.broker_messages.insert("publish", 4);
+        assert_eq!(m.network_traffic(), 7);
+        assert_eq!(m.traffic_of("subscribe"), 3);
+        assert_eq!(m.traffic_of("advertise"), 0);
+    }
+
+    #[test]
+    fn mean_delay() {
+        let mut m = NetMetrics::default();
+        assert!(m.mean_notification_delay().is_none());
+        m.notifications.push(Notification {
+            client: ClientId(1),
+            doc: DocId(1),
+            delay: Duration::from_millis(2),
+            hops: 1,
+        });
+        m.notifications.push(Notification {
+            client: ClientId(2),
+            doc: DocId(1),
+            delay: Duration::from_millis(4),
+            hops: 2,
+        });
+        assert_eq!(m.mean_notification_delay(), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = NetMetrics::default();
+        m.broker_messages.insert("publish", 1);
+        m.client_messages = 2;
+        m.reset();
+        assert_eq!(m.network_traffic(), 0);
+        assert_eq!(m.client_messages, 0);
+    }
+}

@@ -1,0 +1,618 @@
+//! The discrete-event overlay simulator.
+//!
+//! Brokers execute their real routing code; the simulator only replaces
+//! the wire. Each emitted message is scheduled at
+//! `now + processing + link delay`, where `processing` is the measured
+//! wall-clock time the broker spent handling the triggering message —
+//! so routing-table compaction genuinely shortens simulated
+//! notification delays, as it does on the paper's testbed.
+
+use crate::latency::LatencyModel;
+use crate::metrics::{NetMetrics, Notification};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, Publication, RoutingConfig};
+use xdn_core::adv::Advertisement;
+use xdn_core::rtable::{AdvId, SubId};
+use xdn_xml::paths::{dedup_paths, extract_paths};
+use xdn_xml::{DocId, Document};
+use xdn_xpath::Xpe;
+
+/// Whether broker compute time advances the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessingModel {
+    /// Add the measured wall-clock handling time (default; reproduces
+    /// the delay experiments).
+    Measured,
+    /// Links only (deterministic; used by traffic-count tests).
+    Zero,
+}
+
+#[derive(Debug)]
+struct Event {
+    to: Dest,
+    from: Dest,
+    msg: Message,
+    hops: u32,
+}
+
+/// The simulated overlay network.
+pub struct Network {
+    brokers: BTreeMap<BrokerId, Broker>,
+    client_home: HashMap<ClientId, BrokerId>,
+    latency: Box<dyn LatencyModel>,
+    queue: BinaryHeap<Reverse<(Duration, u64)>>,
+    events: HashMap<u64, Event>,
+    now: Duration,
+    seq: u64,
+    next_client: u64,
+    next_adv: u64,
+    next_sub: u64,
+    next_doc: u64,
+    metrics: NetMetrics,
+    processing: ProcessingModel,
+    record_deliveries: bool,
+    /// Safety valve against routing loops.
+    max_events: u64,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("brokers", &self.brokers.len())
+            .field("clients", &self.client_home.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with the given latency model.
+    pub fn new(latency: impl LatencyModel + 'static) -> Self {
+        Network {
+            brokers: BTreeMap::new(),
+            client_home: HashMap::new(),
+            latency: Box::new(latency),
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            now: Duration::ZERO,
+            seq: 0,
+            next_client: 0,
+            next_adv: 0,
+            next_sub: 0,
+            next_doc: 0,
+            metrics: NetMetrics::default(),
+            processing: ProcessingModel::Measured,
+            record_deliveries: false,
+            max_events: 100_000_000,
+        }
+    }
+
+    /// Enables per-path delivery recording
+    /// ([`NetMetrics::delivered_paths`]), the input to subscriber-side
+    /// document reassembly. Off by default: large experiments would
+    /// accumulate every delivered path.
+    pub fn set_record_deliveries(&mut self, on: bool) {
+        self.record_deliveries = on;
+    }
+
+    /// Selects whether broker compute time advances the clock.
+    pub fn set_processing_model(&mut self, p: ProcessingModel) {
+        self.processing = p;
+    }
+
+    /// Adds a broker with the given routing strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already present.
+    pub fn add_broker(&mut self, id: BrokerId, config: RoutingConfig) {
+        let prev = self.brokers.insert(id, Broker::new(id, config));
+        assert!(prev.is_none(), "duplicate broker {id}");
+    }
+
+    /// Connects two brokers bidirectionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either broker does not exist.
+    pub fn connect(&mut self, a: BrokerId, b: BrokerId) {
+        self.brokers.get_mut(&a).expect("unknown broker").add_neighbor(b);
+        self.brokers.get_mut(&b).expect("unknown broker").add_neighbor(a);
+    }
+
+    /// Attaches a fresh client to `home` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the broker does not exist.
+    pub fn attach_client(&mut self, home: BrokerId) -> ClientId {
+        assert!(self.brokers.contains_key(&home), "unknown broker {home}");
+        self.next_client += 1;
+        let id = ClientId(self.next_client);
+        self.client_home.insert(id, home);
+        id
+    }
+
+    /// Ids of all brokers, ascending.
+    pub fn broker_ids(&self) -> Vec<BrokerId> {
+        self.brokers.keys().copied().collect()
+    }
+
+    /// A broker by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if absent.
+    pub fn broker(&self, id: BrokerId) -> &Broker {
+        &self.brokers[&id]
+    }
+
+    /// Mutable broker access (e.g. to install a merging universe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if absent.
+    pub fn broker_mut(&mut self, id: BrokerId) -> &mut Broker {
+        self.brokers.get_mut(&id).expect("unknown broker")
+    }
+
+    /// Iterates over all brokers.
+    pub fn brokers(&self) -> impl Iterator<Item = &Broker> {
+        self.brokers.values()
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics (e.g. [`NetMetrics::reset`] between phases).
+    pub fn metrics_mut(&mut self) -> &mut NetMetrics {
+        &mut self.metrics
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Sum of effective routing-table sizes across brokers.
+    pub fn total_effective_rts(&self) -> usize {
+        self.brokers.values().map(Broker::prt_effective_size).sum()
+    }
+
+    fn home_of(&self, client: ClientId) -> BrokerId {
+        *self.client_home.get(&client).expect("unknown client")
+    }
+
+    fn schedule(&mut self, at: Duration, event: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq)));
+        self.events.insert(self.seq, event);
+    }
+
+    fn inject_from_client(&mut self, client: ClientId, msg: Message) {
+        let home = self.home_of(client);
+        let delay = self.latency.client_delay(home, msg.wire_bytes());
+        self.schedule(
+            self.now + delay,
+            Event { to: Dest::Broker(home), from: Dest::Client(client), msg, hops: 0 },
+        );
+    }
+
+    /// A producer announces an advertisement; returns its id.
+    pub fn advertise(&mut self, client: ClientId, adv: Advertisement) -> AdvId {
+        self.next_adv += 1;
+        let id = AdvId(self.next_adv);
+        self.inject_from_client(client, Message::Advertise { id, adv });
+        id
+    }
+
+    /// A producer announces a whole advertisement set (one DTD).
+    pub fn advertise_all(&mut self, client: ClientId, advs: Vec<Advertisement>) -> Vec<AdvId> {
+        advs.into_iter().map(|a| self.advertise(client, a)).collect()
+    }
+
+    /// A consumer registers an XPE; returns the subscription id.
+    pub fn subscribe(&mut self, client: ClientId, xpe: Xpe) -> SubId {
+        self.next_sub += 1;
+        let id = SubId(self.next_sub);
+        self.inject_from_client(client, Message::Subscribe { id, xpe });
+        id
+    }
+
+    /// A consumer retracts a subscription.
+    pub fn unsubscribe(&mut self, client: ClientId, id: SubId) {
+        self.inject_from_client(client, Message::Unsubscribe { id });
+    }
+
+    /// A producer publishes a document: it is decomposed into distinct
+    /// root-to-leaf paths (§3.1) which are routed independently.
+    /// Returns the document id.
+    pub fn publish_document(&mut self, client: ClientId, doc: &Document) -> DocId {
+        self.next_doc += 1;
+        let doc_id = DocId(self.next_doc);
+        let bytes = doc.to_xml_string().len();
+        let paths = dedup_paths(extract_paths(doc, doc_id));
+        self.metrics.publish_times.insert(doc_id, self.now);
+        for p in paths {
+            let publication = Publication::from_doc_path(&p, bytes);
+            self.inject_from_client(client, Message::Publish(publication));
+        }
+        doc_id
+    }
+
+    /// Publishes a single pre-extracted path (path-level experiments).
+    pub fn publish_path(&mut self, client: ClientId, elements: Vec<String>, doc_bytes: usize) -> DocId {
+        self.next_doc += 1;
+        let doc_id = DocId(self.next_doc);
+        self.metrics.publish_times.insert(doc_id, self.now);
+        let publication = Publication {
+            doc_id,
+            path_id: xdn_xml::PathId(0),
+            elements,
+            attributes: Vec::new(),
+            doc_bytes,
+        };
+        self.inject_from_client(client, Message::Publish(publication));
+        doc_id
+    }
+
+    /// Runs every broker's merging pass (§4.3) and schedules the
+    /// resulting control traffic. Call between the subscription phase
+    /// and the publish phase, as the paper applies merging
+    /// "periodically".
+    pub fn apply_merging(&mut self) {
+        let ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
+        for id in ids {
+            let outputs = self.brokers.get_mut(&id).expect("known").apply_merging();
+            self.dispatch_outputs(id, outputs, 0);
+        }
+    }
+
+    fn dispatch_outputs(&mut self, from: BrokerId, outputs: Vec<(Dest, Message)>, hops: u32) {
+        for (dest, msg) in outputs {
+            let delay = match dest {
+                Dest::Broker(b) => self.latency.link_delay(from, b, msg.wire_bytes()),
+                Dest::Client(_) => self.latency.client_delay(from, msg.wire_bytes()),
+            };
+            self.schedule(
+                self.now + delay,
+                Event { to: dest, from: Dest::Broker(from), msg, hops: hops + 1 },
+            );
+        }
+    }
+
+    /// Drains the event queue. Returns the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event cap is exceeded (a routing loop).
+    pub fn run(&mut self) -> u64 {
+        let mut processed = 0u64;
+        while let Some(Reverse((at, seq))) = self.queue.pop() {
+            processed += 1;
+            assert!(processed <= self.max_events, "event cap exceeded: routing loop?");
+            self.now = self.now.max(at);
+            let event = self.events.remove(&seq).expect("event payload");
+            match event.to {
+                Dest::Broker(b) => {
+                    *self.metrics.broker_messages.entry(event.msg.kind()).or_insert(0) += 1;
+                    let started = Instant::now();
+                    let outputs = self
+                        .brokers
+                        .get_mut(&b)
+                        .expect("unknown broker destination")
+                        .handle(event.from, event.msg);
+                    if self.processing == ProcessingModel::Measured {
+                        self.now += started.elapsed();
+                    }
+                    self.dispatch_outputs(b, outputs, event.hops);
+                }
+                Dest::Client(c) => {
+                    self.metrics.client_messages += 1;
+                    if let Message::Publish(p) = &event.msg {
+                        if self.record_deliveries {
+                            let path = xdn_xml::DocPath::new(
+                                p.doc_id,
+                                p.path_id,
+                                p.elements.clone(),
+                            )
+                            .with_attributes(if p.attributes.len() == p.elements.len() {
+                                p.attributes.clone()
+                            } else {
+                                vec![Vec::new(); p.elements.len()]
+                            });
+                            self.metrics.delivered_paths.push((c, path));
+                        }
+                        if self.metrics.delivered.insert((c, p.doc_id)) {
+                            if let Some(&sent) = self.metrics.publish_times.get(&p.doc_id) {
+                                self.metrics.notifications.push(Notification {
+                                    client: c,
+                                    doc: p.doc_id,
+                                    delay: self.now - sent,
+                                    hops: event.hops,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ClusterLan;
+    use xdn_core::adv::AdvPath;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn adv(names: &[&str]) -> Advertisement {
+        Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    fn two_broker_net(config: RoutingConfig) -> (Network, ClientId, ClientId) {
+        let mut net = Network::new(ClusterLan::default());
+        net.add_broker(BrokerId(0), config);
+        net.add_broker(BrokerId(1), config);
+        net.connect(BrokerId(0), BrokerId(1));
+        let publisher = net.attach_client(BrokerId(0));
+        let subscriber = net.attach_client(BrokerId(1));
+        (net, publisher, subscriber)
+    }
+
+    #[test]
+    fn end_to_end_delivery() {
+        let (mut net, publisher, subscriber) = two_broker_net(RoutingConfig::with_adv_with_cov());
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.run();
+        net.subscribe(subscriber, xpe("/a/*"));
+        net.run();
+        let doc = xdn_xml::parse_document("<a><b/></a>").unwrap();
+        net.publish_document(publisher, &doc);
+        net.run();
+        assert_eq!(net.metrics().notifications.len(), 1);
+        let n = &net.metrics().notifications[0];
+        assert_eq!(n.client, subscriber);
+        assert!(n.delay > Duration::ZERO);
+        assert_eq!(n.hops, 2, "two broker hops");
+    }
+
+    #[test]
+    fn non_matching_publication_not_delivered() {
+        let (mut net, publisher, subscriber) = two_broker_net(RoutingConfig::with_adv_with_cov());
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.subscribe(subscriber, xpe("/x"));
+        net.run();
+        let doc = xdn_xml::parse_document("<a><b/></a>").unwrap();
+        net.publish_document(publisher, &doc);
+        net.run();
+        assert!(net.metrics().notifications.is_empty());
+    }
+
+    #[test]
+    fn duplicate_paths_single_notification() {
+        let (mut net, publisher, subscriber) = two_broker_net(RoutingConfig::with_adv_with_cov());
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.advertise(publisher, adv(&["a", "c"]));
+        net.subscribe(subscriber, xpe("/a"));
+        net.run();
+        // Two matching paths, one document -> one notification.
+        let doc = xdn_xml::parse_document("<a><b/><c/></a>").unwrap();
+        net.publish_document(publisher, &doc);
+        net.run();
+        assert_eq!(net.metrics().notifications.len(), 1);
+        assert_eq!(net.metrics().client_messages, 2, "both paths arrive");
+    }
+
+    #[test]
+    fn advertisement_scoping_reduces_subscription_traffic() {
+        // Without advertisements the subscription floods the chain;
+        // with them it is not forwarded past brokers with no
+        // overlapping advertisement.
+        let run = |config: RoutingConfig, advertise: bool| {
+            let mut net = Network::new(ClusterLan::default());
+            net.set_processing_model(ProcessingModel::Zero);
+            for i in 0..4 {
+                net.add_broker(BrokerId(i), config);
+            }
+            for i in 0..3 {
+                net.connect(BrokerId(i), BrokerId(i + 1));
+            }
+            let publisher = net.attach_client(BrokerId(0));
+            let subscriber = net.attach_client(BrokerId(3));
+            if advertise {
+                net.advertise(publisher, adv(&["a", "b"]));
+                net.run();
+                net.metrics_mut().reset();
+            }
+            net.subscribe(subscriber, xpe("/zzz"));
+            net.run();
+            net.metrics().traffic_of("subscribe")
+        };
+        let flooded = run(RoutingConfig::no_adv_no_cov(), false);
+        let scoped = run(RoutingConfig::with_adv_with_cov(), true);
+        assert_eq!(flooded, 4, "flooding reaches every broker");
+        assert_eq!(scoped, 1, "no overlap -> dropped at the edge broker");
+    }
+
+    #[test]
+    fn covering_reduces_forwarded_subscriptions() {
+        let run = |config: RoutingConfig| {
+            let (mut net, _p, subscriber) = two_broker_net(config);
+            net.set_processing_model(ProcessingModel::Zero);
+            net.subscribe(subscriber, xpe("/a/*"));
+            net.subscribe(subscriber, xpe("/a/b"));
+            net.subscribe(subscriber, xpe("/a/c"));
+            net.run();
+            net.metrics().traffic_of("subscribe")
+        };
+        // Flooding: every subscription crosses to broker 0 (3 at B1 + 3 at B0).
+        assert_eq!(run(RoutingConfig::no_adv_no_cov()), 6);
+        // Covering: /a/b and /a/c stop at the edge broker.
+        assert_eq!(run(RoutingConfig::no_adv_with_cov()), 4);
+    }
+
+    #[test]
+    fn run_returns_event_count_and_clock_advances() {
+        let (mut net, publisher, _s) = two_broker_net(RoutingConfig::no_adv_no_cov());
+        let before = net.now();
+        net.publish_path(publisher, vec!["a".into()], 100);
+        let events = net.run();
+        assert!(events >= 1);
+        assert!(net.now() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate broker")]
+    fn duplicate_broker_panics() {
+        let mut net = Network::new(ClusterLan::default());
+        net.add_broker(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        net.add_broker(BrokerId(0), RoutingConfig::no_adv_no_cov());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown broker")]
+    fn attach_to_missing_broker_panics() {
+        let mut net = Network::new(ClusterLan::default());
+        net.attach_client(BrokerId(9));
+    }
+}
+
+#[cfg(test)]
+mod reassembly_tests {
+    use super::*;
+    use crate::latency::ClusterLan;
+    use xdn_core::adv::AdvPath;
+
+    #[test]
+    fn subscriber_reassembles_the_published_document() {
+        let mut net = Network::new(ClusterLan::default());
+        net.set_processing_model(ProcessingModel::Zero);
+        net.set_record_deliveries(true);
+        net.add_broker(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        net.add_broker(BrokerId(1), RoutingConfig::with_adv_with_cov());
+        net.connect(BrokerId(0), BrokerId(1));
+        let publisher = net.attach_client(BrokerId(0));
+        let subscriber = net.attach_client(BrokerId(1));
+
+        net.advertise(
+            publisher,
+            Advertisement::non_recursive(AdvPath::from_names(&["a", "*", "*"])),
+        );
+        net.advertise(
+            publisher,
+            Advertisement::non_recursive(AdvPath::from_names(&["a", "*"])),
+        );
+        net.subscribe(subscriber, "/a".parse().expect("xpe"));
+        net.run();
+
+        let original =
+            xdn_xml::parse_document(r#"<a x="1"><b><c/></b><d/></a>"#).expect("doc");
+        net.publish_document(publisher, &original);
+        net.run();
+
+        let paths: Vec<xdn_xml::DocPath> = net
+            .metrics()
+            .delivered_paths
+            .iter()
+            .filter(|(c, _)| *c == subscriber)
+            .map(|(_, p)| p.clone())
+            .collect();
+        assert_eq!(paths.len(), 2, "both distinct paths delivered");
+        let rebuilt = xdn_xml::reassemble::reassemble(&paths).expect("reassemble");
+        assert_eq!(rebuilt, original, "subscriber sees the whole document");
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use crate::latency::{ClusterLan, PlanetLabWan};
+    use xdn_core::adv::AdvPath;
+
+    fn run_once(latency_seed: u64) -> (u64, Duration) {
+        let mut net = Network::new(PlanetLabWan::with_seed(latency_seed));
+        net.set_processing_model(ProcessingModel::Zero);
+        net.add_broker(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        net.add_broker(BrokerId(1), RoutingConfig::with_adv_with_cov());
+        net.connect(BrokerId(0), BrokerId(1));
+        let publisher = net.attach_client(BrokerId(0));
+        let subscriber = net.attach_client(BrokerId(1));
+        net.advertise(
+            publisher,
+            Advertisement::non_recursive(AdvPath::from_names(&["a", "b"])),
+        );
+        net.subscribe(subscriber, "/a".parse().expect("xpe"));
+        net.run();
+        let doc = xdn_xml::parse_document("<a><b/></a>").expect("doc");
+        net.publish_document(publisher, &doc);
+        net.run();
+        (
+            net.metrics().network_traffic(),
+            net.metrics().mean_notification_delay().unwrap_or_default(),
+        )
+    }
+
+    #[test]
+    fn zero_processing_runs_are_deterministic() {
+        let (t1, d1) = run_once(42);
+        let (t2, d2) = run_once(42);
+        assert_eq!(t1, t2, "traffic must be reproducible");
+        assert_eq!(d1, d2, "delays must be reproducible under Zero processing");
+    }
+
+    #[test]
+    fn different_latency_seeds_change_delay_not_traffic() {
+        let (t1, d1) = run_once(1);
+        let (t2, d2) = run_once(2);
+        assert_eq!(t1, t2, "the latency model must not affect message counts");
+        assert_ne!(d1, d2, "different WAN draws should move the delay");
+    }
+
+    #[test]
+    fn hop_count_matches_topology_distance() {
+        let mut net = Network::new(ClusterLan::default());
+        net.set_processing_model(ProcessingModel::Zero);
+        for i in 0..5 {
+            net.add_broker(BrokerId(i), RoutingConfig::no_adv_no_cov());
+        }
+        for i in 0..4 {
+            net.connect(BrokerId(i), BrokerId(i + 1));
+        }
+        let publisher = net.attach_client(BrokerId(0));
+        let subscriber = net.attach_client(BrokerId(4));
+        net.subscribe(subscriber, "/a".parse().expect("xpe"));
+        net.run();
+        net.publish_path(publisher, vec!["a".into()], 10);
+        net.run();
+        assert_eq!(net.metrics().notifications.len(), 1);
+        assert_eq!(
+            net.metrics().notifications[0].hops,
+            5,
+            "five broker hops on a 5-broker chain"
+        );
+    }
+
+    #[test]
+    fn total_effective_rts_reflects_covering() {
+        let mut net = Network::new(ClusterLan::default());
+        net.set_processing_model(ProcessingModel::Zero);
+        net.add_broker(BrokerId(0), RoutingConfig::no_adv_with_cov());
+        let c = net.attach_client(BrokerId(0));
+        net.subscribe(c, "/a/*".parse().expect("xpe"));
+        net.subscribe(c, "/a/b".parse().expect("xpe"));
+        net.subscribe(c, "/a/c".parse().expect("xpe"));
+        net.run();
+        assert_eq!(net.total_effective_rts(), 1, "one covering root");
+        assert_eq!(net.broker(BrokerId(0)).prt_size(), 3);
+    }
+}

@@ -1,0 +1,431 @@
+//! TCP transport: brokers and clients over real sockets.
+//!
+//! The third substrate after the discrete-event simulator and the
+//! in-process threaded transport: each [`TcpNode`] runs one broker,
+//! listens for peers and clients, and exchanges frames encoded with
+//! [`xdn_broker::wire`]. This is the shape an actual deployment takes
+//! (one node per host, the `xdn-node` binary).
+//!
+//! Connection protocol: after connecting, a peer sends a 9-byte hello —
+//! `0x01 | u64 broker-id` for brokers, `0x02 | u64 client-id` for
+//! clients — then length-prefixed message frames in both directions.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xdn_broker::{wire, Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
+
+const HELLO_BROKER: u8 = 0x01;
+const HELLO_CLIENT: u8 = 0x02;
+
+/// Errors from the TCP transport.
+#[derive(Debug)]
+pub enum TcpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A malformed frame or hello.
+    Protocol(String),
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TcpError::Protocol(m) => write!(f, "transport protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
+
+impl From<std::io::Error> for TcpError {
+    fn from(e: std::io::Error) -> Self {
+        TcpError::Io(e)
+    }
+}
+
+enum Input {
+    FromPeer(Dest, Message),
+    PeerWriter(Dest, Arc<Mutex<TcpStream>>),
+    Stop,
+}
+
+/// One broker node on a TCP socket.
+pub struct TcpNode {
+    addr: SocketAddr,
+    inbox: Sender<Input>,
+    threads: Vec<JoinHandle<()>>,
+    listener_handle: JoinHandle<()>,
+    stopping: Arc<AtomicBool>,
+    /// Outbound peer sockets, shut down on close so reader threads
+    /// unblock.
+    peer_streams: Vec<TcpStream>,
+}
+
+impl TcpNode {
+    /// Starts a node: binds `listen` (use port 0 for an ephemeral
+    /// port), spawns the accept loop and the broker loop, and connects
+    /// to `peers` (id → address).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind or a peer
+    /// connection cannot be established.
+    pub fn start(
+        id: BrokerId,
+        config: RoutingConfig,
+        listen: SocketAddr,
+        peers: &[(BrokerId, SocketAddr)],
+    ) -> Result<TcpNode, TcpError> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = channel::<Input>();
+
+        let mut broker = Broker::new(id, config);
+        for &(pid, _) in peers {
+            broker.add_neighbor(pid);
+        }
+
+        // Broker loop: single-threaded state machine fed by readers.
+        let broker_tx = tx.clone();
+        let broker_thread = std::thread::spawn(move || broker_loop(broker, rx, broker_tx));
+
+        // Accept loop. The stop flag is checked after every accepted
+        // connection; shutdown() flips it and then dials the listener
+        // once to unblock `incoming()`.
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_stop = stopping.clone();
+        let accept_tx = tx.clone();
+        let listener_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { break };
+                if spawn_connection(stream, accept_tx.clone()).is_err() {
+                    continue;
+                }
+            }
+        });
+
+        let mut node = TcpNode {
+            addr,
+            inbox: tx,
+            threads: vec![broker_thread],
+            listener_handle,
+            stopping,
+            peer_streams: Vec::new(),
+        };
+
+        // Outbound peer connections.
+        for &(pid, paddr) in peers {
+            let stream = connect_with_retry(paddr, Duration::from_secs(5))?;
+            let mut s = stream.try_clone()?;
+            let mut hello = [0u8; 9];
+            hello[0] = HELLO_BROKER;
+            hello[1..9].copy_from_slice(&(id.0 as u64).to_be_bytes());
+            s.write_all(&hello)?;
+            let writer = Arc::new(Mutex::new(stream.try_clone()?));
+            node.inbox
+                .send(Input::PeerWriter(Dest::Broker(pid), writer))
+                .map_err(|_| TcpError::Protocol("broker loop gone".into()))?;
+            let reader_tx = node.inbox.clone();
+            node.peer_streams.push(stream.try_clone()?);
+            node.threads.push(std::thread::spawn(move || {
+                read_frames(stream, Dest::Broker(pid), reader_tx);
+            }));
+        }
+        Ok(node)
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the broker loop and joins the worker threads. The accept
+    /// loop is unblocked by a final self-connection.
+    pub fn shutdown(self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let _ = self.inbox.send(Input::Stop);
+        // Unblock reader threads parked on peer sockets.
+        for s in &self.peer_streams {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let _ = self.listener_handle.join();
+    }
+}
+
+fn broker_loop(mut broker: Broker, rx: Receiver<Input>, _tx: Sender<Input>) {
+    let mut writers: HashMap<Dest, Arc<Mutex<TcpStream>>> = HashMap::new();
+    while let Ok(input) = rx.recv() {
+        match input {
+            Input::Stop => break,
+            Input::PeerWriter(dest, writer) => {
+                writers.insert(dest, writer);
+            }
+            Input::FromPeer(from, msg) => {
+                for (dest, out) in broker.handle(from, msg) {
+                    if let Some(w) = writers.get(&dest) {
+                        let frame = wire::encode(&out);
+                        // A dead peer is dropped; reconnection is the
+                        // operator's concern in this minimal transport.
+                        if w.lock().write_all(&frame).is_err() {
+                            writers.remove(&dest);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn spawn_connection(mut stream: TcpStream, tx: Sender<Input>) -> Result<(), TcpError> {
+    let mut hello = [0u8; 9];
+    stream.read_exact(&mut hello)?;
+    let id = u64::from_be_bytes(hello[1..9].try_into().expect("9-byte hello"));
+    let from = match hello[0] {
+        HELLO_BROKER => Dest::Broker(BrokerId(id as u32)),
+        HELLO_CLIENT => Dest::Client(ClientId(id)),
+        other => return Err(TcpError::Protocol(format!("unknown hello kind {other}"))),
+    };
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    tx.send(Input::PeerWriter(from, writer))
+        .map_err(|_| TcpError::Protocol("broker loop gone".into()))?;
+    std::thread::spawn(move || read_frames(stream, from, tx));
+    Ok(())
+}
+
+fn read_frames(mut stream: TcpStream, from: Dest, tx: Sender<Input>) {
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > 16 * 1024 * 1024 {
+            return; // oversized frame: drop the connection
+        }
+        let mut frame = vec![0u8; 4 + len];
+        frame[..4].copy_from_slice(&len_buf);
+        if stream.read_exact(&mut frame[4..]).is_err() {
+            return;
+        }
+        match wire::decode(&frame) {
+            Ok((msg, _)) => {
+                if tx.send(Input::FromPeer(from, msg)).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return, // protocol violation: drop the connection
+        }
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, TcpError> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(TcpError::Io(e));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// A client connection to a [`TcpNode`].
+pub struct TcpClient {
+    writer: TcpStream,
+    reader: Receiver<Message>,
+    _reader_thread: JoinHandle<()>,
+}
+
+impl TcpClient {
+    /// Connects to a node as `id` (publisher and/or subscriber).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection or hello fails.
+    pub fn connect(addr: SocketAddr, id: ClientId) -> Result<TcpClient, TcpError> {
+        let mut stream = connect_with_retry(addr, Duration::from_secs(5))?;
+        let mut hello = [0u8; 9];
+        hello[0] = HELLO_CLIENT;
+        hello[1..9].copy_from_slice(&id.0.to_be_bytes());
+        stream.write_all(&hello)?;
+        let (tx, rx) = channel();
+        let read_stream = stream.try_clone()?;
+        let reader_thread = std::thread::spawn(move || {
+            client_read(read_stream, tx);
+        });
+        Ok(TcpClient { writer: stream, reader: rx, _reader_thread: reader_thread })
+    }
+
+    /// Sends a message to the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket write fails.
+    pub fn send(&mut self, msg: &Message) -> Result<(), TcpError> {
+        self.writer.write_all(&wire::encode(msg))?;
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for the next delivered message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.reader.recv_timeout(timeout).ok()
+    }
+}
+
+fn client_read(mut stream: TcpStream, tx: Sender<Message>) {
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        let mut frame = vec![0u8; 4 + len];
+        frame[..4].copy_from_slice(&len_buf);
+        if stream.read_exact(&mut frame[4..]).is_err() {
+            return;
+        }
+        let Ok((msg, _)) = wire::decode(&frame) else { return };
+        if tx.send(msg).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdn_core::adv::{AdvPath, Advertisement};
+    use xdn_core::rtable::{AdvId, SubId};
+    use xdn_xml::{DocId, PathId};
+
+    fn ephemeral() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("valid addr")
+    }
+
+    #[test]
+    fn tcp_end_to_end_two_nodes() {
+        // Node 1 first (no peers), node 0 dials it.
+        let n1 = TcpNode::start(
+            BrokerId(1),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node 1");
+        let n0 = TcpNode::start(
+            BrokerId(0),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+        )
+        .expect("node 0");
+
+        let mut publisher = TcpClient::connect(n0.addr(), ClientId(1)).expect("publisher");
+        let mut subscriber = TcpClient::connect(n1.addr(), ClientId(2)).expect("subscriber");
+
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        publisher.send(&Message::advertise(AdvId(1), adv)).expect("advertise");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a/*".parse().expect("xpe")))
+            .expect("subscribe");
+        std::thread::sleep(Duration::from_millis(150));
+
+        publisher
+            .send(&Message::Publish(xdn_broker::Publication {
+                doc_id: DocId(1),
+                path_id: PathId(0),
+                elements: vec!["a".into(), "b".into()],
+                attributes: Vec::new(),
+                doc_bytes: 32,
+            }))
+            .expect("publish");
+
+        let got = subscriber.recv_timeout(Duration::from_secs(5));
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "expected delivery over TCP, got {got:?}"
+        );
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn tcp_non_matching_not_delivered() {
+        let n = TcpNode::start(
+            BrokerId(0),
+            RoutingConfig::no_adv_no_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node");
+        let mut publisher = TcpClient::connect(n.addr(), ClientId(1)).expect("pub");
+        let mut subscriber = TcpClient::connect(n.addr(), ClientId(2)).expect("sub");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/x".parse().expect("xpe")))
+            .expect("subscribe");
+        std::thread::sleep(Duration::from_millis(100));
+        publisher
+            .send(&Message::Publish(xdn_broker::Publication {
+                doc_id: DocId(1),
+                path_id: PathId(0),
+                elements: vec!["a".into()],
+                attributes: Vec::new(),
+                doc_bytes: 8,
+            }))
+            .expect("publish");
+        assert!(subscriber.recv_timeout(Duration::from_millis(200)).is_none());
+        n.shutdown();
+    }
+
+    #[test]
+    fn tcp_attribute_predicates_over_the_wire() {
+        let n = TcpNode::start(
+            BrokerId(0),
+            RoutingConfig::no_adv_with_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node");
+        let mut publisher = TcpClient::connect(n.addr(), ClientId(1)).expect("pub");
+        let mut subscriber = TcpClient::connect(n.addr(), ClientId(2)).expect("sub");
+        subscriber
+            .send(&Message::subscribe(
+                SubId(1),
+                "//claim[@lang='en']".parse().expect("xpe"),
+            ))
+            .expect("subscribe");
+        std::thread::sleep(Duration::from_millis(100));
+        let doc = xdn_xml::parse_document(
+            r#"<claims><claim lang="en"><amount>5</amount></claim></claims>"#,
+        )
+        .expect("doc");
+        let bytes = doc.to_xml_string().len();
+        for p in xdn_xml::paths::extract_paths(&doc, DocId(1)) {
+            publisher
+                .send(&Message::Publish(xdn_broker::Publication::from_doc_path(&p, bytes)))
+                .expect("publish");
+        }
+        let got = subscriber.recv_timeout(Duration::from_secs(5));
+        assert!(matches!(got, Some(Message::Publish(_))), "predicate match over TCP");
+        n.shutdown();
+    }
+}

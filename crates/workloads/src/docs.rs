@@ -1,0 +1,87 @@
+//! Document workloads.
+//!
+//! §5 publishes IBM-XML-Generator documents with at most 10 levels:
+//! 500 documents (≈23,000 paths) for the routing-time experiment and
+//! 50 documents (≈4,200 paths) for the network-traffic experiments;
+//! the PlanetLab delay experiments sweep document sizes from 2 KB to
+//! 40 KB.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xdn_xml::dtd::Dtd;
+use xdn_xml::generate::{generate_document, generate_sized_document, GeneratorConfig};
+use xdn_xml::paths::{dedup_paths, extract_paths};
+use xdn_xml::{DocId, DocPath, Document};
+
+/// The generator configuration matching the paper's settings: default
+/// IBM-generator parameters except a 10-level cap.
+pub fn paper_generator_config() -> GeneratorConfig {
+    GeneratorConfig { max_depth: 10, ..GeneratorConfig::default() }
+}
+
+/// Generates `count` random documents conforming to `dtd`.
+pub fn documents(dtd: &Dtd, count: usize, seed: u64) -> Vec<Document> {
+    let cfg = paper_generator_config();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count).map(|_| generate_document(dtd, &cfg, &mut rng)).collect()
+}
+
+/// Generates one document per requested size (bytes), for the
+/// document-size sweeps of Figures 10/11.
+pub fn sized_documents(dtd: &Dtd, sizes: &[usize], seed: u64) -> Vec<Document> {
+    let cfg = paper_generator_config();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    sizes.iter().map(|&s| generate_sized_document(dtd, s, &cfg, &mut rng)).collect()
+}
+
+/// Extracts the distinct publication paths of a document batch,
+/// numbering documents sequentially — the unit the brokers route.
+pub fn publication_paths(docs: &[Document]) -> Vec<DocPath> {
+    let mut out = Vec::new();
+    for (i, d) in docs.iter().enumerate() {
+        out.extend(dedup_paths(extract_paths(d, DocId(i as u64))));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{nitf_dtd, psd_dtd};
+
+    #[test]
+    fn documents_respect_depth_cap() {
+        for dtd in [psd_dtd(), nitf_dtd()] {
+            for d in documents(&dtd, 10, 3) {
+                assert!(d.depth() <= 10, "document depth {} exceeds cap", d.depth());
+            }
+        }
+    }
+
+    #[test]
+    fn document_batches_yield_many_paths() {
+        let docs = documents(&psd_dtd(), 50, 5);
+        let paths = publication_paths(&docs);
+        assert!(paths.len() > 200, "only {} paths extracted", paths.len());
+        // Document ids are sequential.
+        assert_eq!(paths.first().unwrap().doc_id, DocId(0));
+        assert_eq!(paths.last().unwrap().doc_id, DocId(49));
+    }
+
+    #[test]
+    fn sized_documents_meet_targets() {
+        let sizes = [2_000, 10_000, 20_000];
+        let docs = sized_documents(&psd_dtd(), &sizes, 9);
+        for (d, &target) in docs.iter().zip(&sizes) {
+            let len = d.to_xml_string().len();
+            assert!(len >= target, "document of {len} bytes under the {target} target");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = documents(&nitf_dtd(), 3, 11);
+        let b = documents(&nitf_dtd(), 3, 11);
+        assert_eq!(a, b);
+    }
+}

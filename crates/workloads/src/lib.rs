@@ -1,0 +1,320 @@
+#![warn(missing_docs)]
+//! # xdn-workloads — DTDs, query sets, and document workloads
+//!
+//! The paper's evaluation (§5) is driven by two DTDs — the recursive
+//! News Industry Text Format (NITF) and the non-recursive Protein
+//! Sequence Database (PSD) — together with the Diao et al. XPath
+//! generator and the IBM XML Generator. None of those artifacts is
+//! redistributable here; this crate provides the documented synthetic
+//! substitutes (`DESIGN.md`):
+//!
+//! * [`nitf_dtd`] — a recursive news DTD statistically shaped like
+//!   NITF: deep, block-recursive, with an advertisement set roughly
+//!   35× larger than the PSD-like one (the ratio the paper reports
+//!   driving the Figure 8 gap);
+//! * [`psd_dtd`] — a flat, non-recursive protein-entry DTD;
+//! * [`sets`] — the query data sets: Set A (≈90 % covering rate) and
+//!   Set B (≈50 %), produced by tuning the wildcard probability `W`
+//!   and descendant probability `DO` exactly as §5 describes;
+//! * [`docs`] — document workloads, including the sized documents
+//!   (2 KB–40 KB) of the notification-delay experiments.
+
+pub mod analyze;
+pub mod docs;
+pub mod sets;
+
+use xdn_xml::dtd::Dtd;
+
+/// The PSD-like DTD: non-recursive, tree-shaped, moderate size.
+///
+/// # Panics
+///
+/// Panics only if the embedded DTD text is invalid, which the test
+/// suite rules out.
+pub fn psd_dtd() -> Dtd {
+    Dtd::parse(PSD_DTD_TEXT).expect("embedded PSD-like DTD is valid")
+}
+
+/// The NITF-like DTD: recursive (`block` nests within itself and via
+/// block-quotes), with a much larger derivable path set than
+/// [`psd_dtd`].
+///
+/// # Panics
+///
+/// Panics only if the embedded DTD text is invalid, which the test
+/// suite rules out.
+pub fn nitf_dtd() -> Dtd {
+    Dtd::parse(NITF_DTD_TEXT).expect("embedded NITF-like DTD is valid")
+}
+
+/// The publication-path universe of a DTD: its root-to-leaf paths,
+/// enumerated to the experiment bounds (max depth 10, as the paper
+/// fixes for both queries and documents). This is what brokers use to
+/// score imperfect mergers (§4.3).
+pub fn universe(dtd: &Dtd) -> Vec<Vec<String>> {
+    dtd.enumerate_paths(10, 2, 60_000)
+}
+
+const PSD_DTD_TEXT: &str = r#"
+<!ELEMENT ProteinDatabase (ProteinEntry+)>
+<!ELEMENT ProteinEntry (header, protein, organism?, reference*, genetics?, complex?, function?, classification?, keywords?, feature*, summary?, sequence)>
+<!ELEMENT header (uid, accession+, created?, seq-rev?, ann-rev?, release?, version?, curation?)>
+<!ELEMENT release (#PCDATA)>
+<!ELEMENT version (#PCDATA)>
+<!ELEMENT curation (#PCDATA)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created (#PCDATA)>
+<!ELEMENT seq-rev (#PCDATA)>
+<!ELEMENT ann-rev (#PCDATA)>
+<!ELEMENT protein (name, source?, classname?, contains*, ec-number?, alt-name*)>
+<!ELEMENT ec-number (#PCDATA)>
+<!ELEMENT alt-name (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT classname (#PCDATA)>
+<!ELEMENT contains (#PCDATA)>
+<!ELEMENT organism (formal?, common?, variety?, source-note?, strain?, tissue?, cell-line?, isolate?)>
+<!ELEMENT strain (#PCDATA)>
+<!ELEMENT tissue (#PCDATA)>
+<!ELEMENT cell-line (#PCDATA)>
+<!ELEMENT isolate (#PCDATA)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT variety (#PCDATA)>
+<!ELEMENT source-note (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo*)>
+<!ELEMENT refinfo (authors, citation, volume?, month?, year?, pages?, title?, xrefs?, note?, ref-num?, contents-note?)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT ref-num (#PCDATA)>
+<!ELEMENT contents-note (#PCDATA)>
+<!ELEMENT authors (author+, affiliation*, author-note?)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT author-note (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (cit-type?, cit-title?, cit-editors?, cit-publisher?, cit-place?, cit-isbn?)>
+<!ELEMENT cit-type (#PCDATA)>
+<!ELEMENT cit-title (#PCDATA)>
+<!ELEMENT cit-editors (#PCDATA)>
+<!ELEMENT cit-publisher (#PCDATA)>
+<!ELEMENT cit-place (#PCDATA)>
+<!ELEMENT cit-isbn (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT xrefs (xref+)>
+<!ELEMENT xref (db, xuid?, db-release?, db-note?)>
+<!ELEMENT db-release (#PCDATA)>
+<!ELEMENT db-note (#PCDATA)>
+<!ELEMENT db (#PCDATA)>
+<!ELEMENT xuid (#PCDATA)>
+<!ELEMENT accinfo (mol-type?, seq-spec?, label?, status?, seq-type?, genbank-ref?)>
+<!ELEMENT seq-type (#PCDATA)>
+<!ELEMENT genbank-ref (#PCDATA)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT genetics (gene*, gene-note?, introns?, mgi?, gene-map?, start-codon?, genome?)>
+<!ELEMENT gene-map (#PCDATA)>
+<!ELEMENT start-codon (#PCDATA)>
+<!ELEMENT genome (#PCDATA)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT gene-note (#PCDATA)>
+<!ELEMENT introns (#PCDATA)>
+<!ELEMENT mgi (#PCDATA)>
+<!ELEMENT complex (complex-name?, subunit*, stoichiometry?)>
+<!ELEMENT complex-name (#PCDATA)>
+<!ELEMENT subunit (#PCDATA)>
+<!ELEMENT stoichiometry (#PCDATA)>
+<!ELEMENT function (function-description?, pathway?, activity?, cofactor?, regulation?)>
+<!ELEMENT activity (#PCDATA)>
+<!ELEMENT cofactor (#PCDATA)>
+<!ELEMENT regulation (#PCDATA)>
+<!ELEMENT function-description (#PCDATA)>
+<!ELEMENT pathway (#PCDATA)>
+<!ELEMENT classification (superfamily?, family?, subfamily?, domain-arch?)>
+<!ELEMENT subfamily (#PCDATA)>
+<!ELEMENT domain-arch (#PCDATA)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT family (#PCDATA)>
+<!ELEMENT keywords (keyword+, keyword-source?, keyword-list-note?)>
+<!ELEMENT keyword-source (#PCDATA)>
+<!ELEMENT keyword-list-note (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (feature-type, description?, seq-spec?, feature-status?, region-type?, site-type?, modification?, binding-type?, product?)>
+<!ELEMENT region-type (#PCDATA)>
+<!ELEMENT site-type (#PCDATA)>
+<!ELEMENT modification (#PCDATA)>
+<!ELEMENT binding-type (#PCDATA)>
+<!ELEMENT product (#PCDATA)>
+<!ELEMENT feature-type (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT feature-status (#PCDATA)>
+<!ELEMENT summary (length?, weight?, checksum?, n-terminal?, c-terminal?)>
+<!ELEMENT checksum (#PCDATA)>
+<!ELEMENT n-terminal (#PCDATA)>
+<!ELEMENT c-terminal (#PCDATA)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT weight (#PCDATA)>
+<!ELEMENT sequence (seq-data, seq-length?, seq-checksum?, seq-fragment?)>
+<!ELEMENT seq-data (#PCDATA)>
+<!ELEMENT seq-length (#PCDATA)>
+<!ELEMENT seq-checksum (#PCDATA)>
+<!ELEMENT seq-fragment (#PCDATA)>
+"#;
+
+const NITF_DTD_TEXT: &str = r#"
+<!ELEMENT nitf (head, body)>
+<!ELEMENT head (title?, meta*, docdata?, tobject?, iim?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta (#PCDATA)>
+<!ELEMENT iim (ds*)>
+<!ELEMENT ds (#PCDATA)>
+<!ELEMENT docdata (doc-id?, urgency?, date-issue?, date-release?, date-expire?, key-list?, series?, ed-msg?, du-key?, doc-scope?, identified-content?)>
+<!ELEMENT doc-id (#PCDATA)>
+<!ELEMENT urgency (#PCDATA)>
+<!ELEMENT date-issue (#PCDATA)>
+<!ELEMENT date-release (#PCDATA)>
+<!ELEMENT date-expire (#PCDATA)>
+<!ELEMENT key-list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT series (series-name?, series-part?, series-totalpart?)>
+<!ELEMENT series-name (#PCDATA)>
+<!ELEMENT series-part (#PCDATA)>
+<!ELEMENT series-totalpart (#PCDATA)>
+<!ELEMENT ed-msg (#PCDATA)>
+<!ELEMENT du-key (#PCDATA)>
+<!ELEMENT doc-scope (#PCDATA)>
+<!ELEMENT identified-content (classifier*, org*, person*, location*, event*)>
+<!ELEMENT classifier (#PCDATA)>
+<!ELEMENT tobject (tobject-property?, tobject-subject*)>
+<!ELEMENT tobject-property (#PCDATA)>
+<!ELEMENT tobject-subject (subject-code?, subject-matter?, subject-detail?, subject-qualifier?)>
+<!ELEMENT subject-code (#PCDATA)>
+<!ELEMENT subject-matter (#PCDATA)>
+<!ELEMENT subject-detail (#PCDATA)>
+<!ELEMENT subject-qualifier (#PCDATA)>
+<!ELEMENT body (body-head?, body-content, body-end?)>
+<!ELEMENT body-head (hedline?, note?, rights?, byline*, distributor?, dateline*, abstract?, series?)>
+<!ELEMENT hedline (hl1, hl2*)>
+<!ELEMENT hl1 (#PCDATA)>
+<!ELEMENT hl2 (#PCDATA)>
+<!ELEMENT rights (rights-owner?, rights-startdate?, rights-enddate?, rights-agent?)>
+<!ELEMENT rights-owner (#PCDATA)>
+<!ELEMENT rights-startdate (#PCDATA)>
+<!ELEMENT rights-enddate (#PCDATA)>
+<!ELEMENT rights-agent (#PCDATA)>
+<!ELEMENT byline (person?, byttl?, virtloc?)>
+<!ELEMENT byttl (#PCDATA)>
+<!ELEMENT virtloc (#PCDATA)>
+<!ELEMENT distributor (org?)>
+<!ELEMENT dateline (location?, story-date?)>
+<!ELEMENT story-date (#PCDATA)>
+<!ELEMENT abstract (p | block)*>
+<!ELEMENT body-content (block | p | table | media | bq | ol | ul | dl | pre | note)*>
+<!ELEMENT block (block?, p*, table?, media?, bq?, hl2?, ol?, ul?, note?, datasource?)>
+<!ELEMENT datasource (#PCDATA)>
+<!ELEMENT bq (block?, credit?)>
+<!ELEMENT credit (#PCDATA)>
+<!ELEMENT note (body-content?)>
+<!ELEMENT pre (#PCDATA)>
+<!ELEMENT ol (li+)>
+<!ELEMENT ul (li+)>
+<!ELEMENT li (p | block)*>
+<!ELEMENT dl (dt | dd)*>
+<!ELEMENT dt (#PCDATA)>
+<!ELEMENT dd (p | block)*>
+<!ELEMENT media (media-reference*, media-caption?, media-producer?)>
+<!ELEMENT media-reference (#PCDATA)>
+<!ELEMENT media-producer (#PCDATA)>
+<!ELEMENT media-caption (p | block)*>
+<!ELEMENT table (caption?, tr+)>
+<!ELEMENT caption (#PCDATA)>
+<!ELEMENT tr (th*, td*)>
+<!ELEMENT th (#PCDATA)>
+<!ELEMENT td (p | block)*>
+<!ELEMENT p (org | person | location | chron | num | money | event | function-x | copyrite | postaddr)*>
+<!ELEMENT org (orgname?, alt-code?, symbol?)>
+<!ELEMENT orgname (#PCDATA)>
+<!ELEMENT alt-code (#PCDATA)>
+<!ELEMENT symbol (#PCDATA)>
+<!ELEMENT person (name-given?, name-family?, function-x?, alt-person?)>
+<!ELEMENT name-given (#PCDATA)>
+<!ELEMENT name-family (#PCDATA)>
+<!ELEMENT alt-person (#PCDATA)>
+<!ELEMENT location (sublocation?, city?, state?, region?, country?, alt-location?)>
+<!ELEMENT sublocation (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT alt-location (#PCDATA)>
+<!ELEMENT chron (#PCDATA)>
+<!ELEMENT num (frac?, sub-x?, sup-x?)>
+<!ELEMENT frac (#PCDATA)>
+<!ELEMENT sub-x (#PCDATA)>
+<!ELEMENT sup-x (#PCDATA)>
+<!ELEMENT money (#PCDATA)>
+<!ELEMENT event (event-name?, event-date?, alt-event?)>
+<!ELEMENT event-name (#PCDATA)>
+<!ELEMENT event-date (#PCDATA)>
+<!ELEMENT alt-event (#PCDATA)>
+<!ELEMENT function-x (#PCDATA)>
+<!ELEMENT copyrite (copyrite-year?, copyrite-holder?)>
+<!ELEMENT copyrite-year (#PCDATA)>
+<!ELEMENT copyrite-holder (#PCDATA)>
+<!ELEMENT postaddr (addr-line*, country?)>
+<!ELEMENT addr-line (#PCDATA)>
+<!ELEMENT body-end (tagline?, bibliography?)>
+<!ELEMENT tagline (#PCDATA)>
+<!ELEMENT bibliography (#PCDATA)>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdn_core::adv::{derive_advertisements, DeriveOptions};
+
+    #[test]
+    fn psd_is_non_recursive() {
+        let dtd = psd_dtd();
+        assert!(!dtd.is_recursive());
+        assert!(dtd.len() >= 30, "PSD-like DTD has {} elements", dtd.len());
+    }
+
+    #[test]
+    fn nitf_is_recursive() {
+        let dtd = nitf_dtd();
+        assert!(dtd.is_recursive());
+        let rec = dtd.recursive_elements();
+        assert!(rec.contains("block"), "block is the recursive backbone: {rec:?}");
+        assert!(dtd.len() >= 40, "NITF-like DTD has {} elements", dtd.len());
+    }
+
+    #[test]
+    fn advertisement_ratio_matches_paper_shape() {
+        // §5: "the number of advertisements generated from the NITF DTD
+        // is 35 times larger than that of the PSD DTD". We require the
+        // same order of magnitude.
+        let opts = DeriveOptions::default();
+        let psd = derive_advertisements(&psd_dtd(), &opts).len();
+        let nitf = derive_advertisements(&nitf_dtd(), &opts).len();
+        let ratio = nitf as f64 / psd as f64;
+        assert!(
+            (20.0..=60.0).contains(&ratio),
+            "NITF/PSD advertisement ratio {ratio:.1} (nitf={nitf}, psd={psd}) out of range"
+        );
+    }
+
+    #[test]
+    fn universes_are_bounded_and_nonempty() {
+        let u_psd = universe(&psd_dtd());
+        assert!(!u_psd.is_empty());
+        assert!(u_psd.iter().all(|p| p.len() <= 10));
+        let u_nitf = universe(&nitf_dtd());
+        assert!(u_nitf.len() > u_psd.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Query data sets with controlled covering rates.
+//!
+//! §5 generates two 100,000-XPE NITF data sets by varying `W` (the
+//! wildcard probability) and `DO` (the descendant-operator
+//! probability): Set A with a ≈90 % covering rate and Set B with ≈50 %.
+//! The *covering rate* is the fraction of queries covered by another
+//! query in the same set — exactly what the subscription tree measures
+//! as `1 − roots/len` after inserting the whole set.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xdn_core::subtree::SubscriptionTree;
+use xdn_xml::dtd::Dtd;
+use xdn_xpath::generate::{generate_distinct_xpes, XpeGeneratorConfig};
+use xdn_xpath::Xpe;
+
+/// Generator parameters reproducing Set A (≈90 % covering, calibrated
+/// on the NITF-like DTD): a per-query budget of two wildcards and one
+/// descendant operator yields broad queries that cover most concrete
+/// ones. (The paper varies the raw step probabilities `W`/`DO`; we
+/// additionally budget generalization per query — without a budget a
+/// single degenerate query like `/nitf//*` covers the entire set and
+/// no intermediate covering rate is reachable.)
+pub fn set_a_config() -> XpeGeneratorConfig {
+    XpeGeneratorConfig {
+        max_length: 10,
+        min_length: 10,
+        stop_p: 0.0,
+        wildcard_p: 0.08,
+        descendant_p: 0.02,
+        relative_p: 0.0,
+        first_concrete: true,
+        max_wildcards: 2,
+        max_descendants: 1,
+        generalize_min_walk: 6,
+        ..XpeGeneratorConfig::default()
+    }
+}
+
+/// Generator parameters reproducing Set B (≈50 % covering): at most a
+/// single wildcard per query and no descendant operators, so roughly
+/// half the set stays pairwise incomparable.
+pub fn set_b_config() -> XpeGeneratorConfig {
+    XpeGeneratorConfig {
+        max_length: 10,
+        min_length: 10,
+        stop_p: 0.0,
+        wildcard_p: 0.08,
+        descendant_p: 0.0,
+        relative_p: 0.0,
+        first_concrete: true,
+        max_wildcards: 1,
+        max_descendants: 0,
+        generalize_min_walk: 6,
+        ..XpeGeneratorConfig::default()
+    }
+}
+
+/// Generates `n` distinct Set A queries over `dtd`.
+pub fn set_a(dtd: &Dtd, n: usize, seed: u64) -> Vec<Xpe> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generate_distinct_xpes(dtd, n, &set_a_config(), &mut rng)
+}
+
+/// Generates `n` distinct Set B queries over `dtd`.
+pub fn set_b(dtd: &Dtd, n: usize, seed: u64) -> Vec<Xpe> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generate_distinct_xpes(dtd, n, &set_b_config(), &mut rng)
+}
+
+/// Measures the covering rate of a query set: the fraction of queries
+/// that end up covered by another query when the whole set is inserted
+/// into a subscription tree.
+pub fn covering_rate(xpes: &[Xpe]) -> f64 {
+    if xpes.is_empty() {
+        return 0.0;
+    }
+    let mut tree: SubscriptionTree<()> = SubscriptionTree::new();
+    for x in xpes {
+        tree.insert(x.clone(), ());
+    }
+    1.0 - tree.root_count() as f64 / xpes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nitf_dtd;
+
+    #[test]
+    fn sets_are_distinct_and_sized() {
+        let dtd = nitf_dtd();
+        let a = set_a(&dtd, 2000, 1);
+        let b = set_b(&dtd, 2000, 1);
+        assert!(a.len() >= 1900, "set A generated {} queries", a.len());
+        assert!(b.len() >= 1900, "set B generated {} queries", b.len());
+        let ua: std::collections::HashSet<String> = a.iter().map(|x| x.to_string()).collect();
+        assert_eq!(ua.len(), a.len());
+    }
+
+    #[test]
+    fn covering_rates_match_paper_shape() {
+        let dtd = nitf_dtd();
+        let a = set_a(&dtd, 3000, 7);
+        let b = set_b(&dtd, 3000, 7);
+        let ra = covering_rate(&a);
+        let rb = covering_rate(&b);
+        assert!(ra > rb + 0.15, "set A ({ra:.2}) must cover far more than set B ({rb:.2})");
+        assert!(ra >= 0.75, "set A covering rate {ra:.2} too low");
+        assert!((0.35..=0.70).contains(&rb), "set B covering rate {rb:.2} out of range");
+    }
+
+    #[test]
+    fn covering_rate_edge_cases() {
+        assert_eq!(covering_rate(&[]), 0.0);
+        let xpes: Vec<Xpe> = vec!["/a/b".parse().unwrap(), "/x/y".parse().unwrap()];
+        assert_eq!(covering_rate(&xpes), 0.0);
+        let nested: Vec<Xpe> = vec!["/a".parse().unwrap(), "/a/b".parse().unwrap()];
+        assert_eq!(covering_rate(&nested), 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let dtd = nitf_dtd();
+        assert_eq!(set_a(&dtd, 100, 42), set_a(&dtd, 100, 42));
+        assert_ne!(set_a(&dtd, 100, 1), set_a(&dtd, 100, 2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for XML and DTD parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing an XML document or a DTD.
+///
+/// The error carries the byte offset into the input at which the
+/// problem was detected, which makes malformed generator output and
+/// hand-written test fixtures easy to debug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    offset: usize,
+}
+
+/// The specific kind of [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlErrorKind {
+    /// The input ended while more content was expected.
+    UnexpectedEof,
+    /// An unexpected character was found.
+    UnexpectedChar(char),
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// Name of the element that was open.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+    },
+    /// The document has no root element.
+    EmptyDocument,
+    /// Trailing non-whitespace content after the root element.
+    TrailingContent,
+    /// An element name was empty or contained an invalid character.
+    InvalidName(String),
+    /// A DTD declaration could not be parsed.
+    InvalidDtdDeclaration(String),
+    /// A DTD references an element that has no `<!ELEMENT>` declaration.
+    UndeclaredElement(String),
+}
+
+impl XmlError {
+    /// Creates a new error at the given byte offset.
+    pub fn new(kind: XmlErrorKind, offset: usize) -> Self {
+        XmlError { kind, offset }
+    }
+
+    /// The kind of failure.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::EmptyDocument => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => write!(f, "trailing content after root element"),
+            XmlErrorKind::InvalidName(n) => write!(f, "invalid element name {n:?}"),
+            XmlErrorKind::InvalidDtdDeclaration(d) => {
+                write!(f, "invalid DTD declaration: {d}")
+            }
+            XmlErrorKind::UndeclaredElement(n) => {
+                write!(f, "element {n:?} referenced but never declared")
+            }
+        }?;
+        write!(f, " at offset {}", self.offset)
+    }
+}
+
+impl Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = XmlError::new(XmlErrorKind::UnexpectedEof, 42);
+        assert!(e.to_string().contains("offset 42"));
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedTag { expected: "a".into(), found: "b".into() },
+            3,
+        );
+        let s = e.to_string();
+        assert!(s.contains("</a>") && s.contains("</b>"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XmlError>();
+    }
+}

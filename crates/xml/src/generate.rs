@@ -1,0 +1,338 @@
+//! DTD-driven random document generation.
+//!
+//! The paper's evaluation uses the IBM XML Generator to create document
+//! workloads from the NITF and PSD DTDs, with the maximum number of
+//! levels set to 10. That tool is not available; this module is the
+//! substitute documented in `DESIGN.md`: a seeded random generator that
+//! expands a [`Dtd`] content model into conforming [`Document`]s with
+//! the same controls (maximum depth, repetition behaviour) the paper
+//! relies on.
+
+use crate::dtd::{ContentModel, Dtd, Occurrence, Particle, ParticleKind};
+use crate::tree::{Document, Element};
+use rand::Rng;
+
+/// Tuning parameters for the document generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Maximum element nesting depth (paper: 10). Elements at this
+    /// depth are emitted as leaves even if their content model declares
+    /// children, exactly like the IBM generator's `maxLevels` cutoff.
+    pub max_depth: usize,
+    /// Probability of continuing a `*`/`+` repetition after each
+    /// emitted instance (geometric distribution).
+    pub repeat_continue: f64,
+    /// Probability that a `?`-particle is present.
+    pub optional_present: f64,
+    /// Whether to emit short text content inside `#PCDATA` elements
+    /// (contributes to document wire size but not to routing).
+    pub text_content: bool,
+    /// Hard cap on total elements per document, a backstop against
+    /// explosive content models.
+    pub max_elements: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_depth: 10,
+            repeat_continue: 0.3,
+            optional_present: 0.5,
+            text_content: true,
+            max_elements: 10_000,
+        }
+    }
+}
+
+/// Generates one random document conforming to `dtd` (up to the depth
+/// and size cutoffs in `config`).
+///
+/// ```
+/// use xdn_xml::{dtd::Dtd, generate::{generate_document, GeneratorConfig}};
+/// use rand::SeedableRng;
+///
+/// let dtd = Dtd::parse("<!ELEMENT a (b+)><!ELEMENT b EMPTY>")?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let doc = generate_document(&dtd, &GeneratorConfig::default(), &mut rng);
+/// assert_eq!(doc.root().name(), "a");
+/// # Ok::<(), xdn_xml::XmlError>(())
+/// ```
+pub fn generate_document<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    config: &GeneratorConfig,
+    rng: &mut R,
+) -> Document {
+    let mut budget = config.max_elements;
+    let root = expand(dtd, dtd.root(), 1, config, rng, &mut budget);
+    Document::new(root)
+}
+
+/// Generates a document whose serialized size is at least
+/// `target_bytes` by repeatedly duplicating random child subtrees of the
+/// root. Used by the notification-delay experiments (Figures 10 and 11)
+/// which sweep document size (2 KB … 40 KB).
+///
+/// The result may exceed the target by one subtree's size; callers that
+/// need the exact size should check [`Document::to_xml_string`].
+pub fn generate_sized_document<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    target_bytes: usize,
+    config: &GeneratorConfig,
+    rng: &mut R,
+) -> Document {
+    let doc = generate_document(dtd, config, rng);
+    let mut root = doc.root().clone();
+    let mut size = Document::new(root.clone()).to_xml_string().len();
+    // Grow by duplicating existing child subtrees; this keeps every
+    // root-to-leaf path DTD-derivable, which the routing layer requires.
+    while size < target_bytes && root.child_elements().next().is_some() {
+        let children: Vec<Element> = root.child_elements().cloned().collect();
+        let pick = children[rng.gen_range(0..children.len())].clone();
+        size += pick.clone().subtree_xml_len();
+        root.push_element(pick);
+    }
+    Document::new(root)
+}
+
+impl Element {
+    fn subtree_xml_len(self) -> usize {
+        Document::new(self).to_xml_string().len()
+    }
+}
+
+fn expand<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    name: &str,
+    depth: usize,
+    config: &GeneratorConfig,
+    rng: &mut R,
+    budget: &mut usize,
+) -> Element {
+    let mut elem = Element::new(name);
+    if *budget == 0 {
+        return elem;
+    }
+    *budget -= 1;
+    if depth >= config.max_depth {
+        return elem;
+    }
+    match dtd.content_model(name) {
+        None | Some(ContentModel::Empty) => {}
+        Some(ContentModel::PcData) => {
+            if config.text_content {
+                elem.push_text(sample_text(rng));
+            }
+        }
+        Some(ContentModel::Any) => {
+            // Pick 0..3 random declared elements as children.
+            let names: Vec<&str> = dtd.element_names().collect();
+            let n = rng.gen_range(0..=3usize.min(names.len()));
+            for _ in 0..n {
+                let child = names[rng.gen_range(0..names.len())];
+                let e = expand(dtd, child, depth + 1, config, rng, budget);
+                elem.push_element(e);
+            }
+        }
+        Some(ContentModel::Mixed(names)) => {
+            if config.text_content {
+                elem.push_text(sample_text(rng));
+            }
+            if !names.is_empty() {
+                let n = rng.gen_range(0..=2usize);
+                for _ in 0..n {
+                    let child = &names[rng.gen_range(0..names.len())];
+                    let e = expand(dtd, child, depth + 1, config, rng, budget);
+                    elem.push_element(e);
+                }
+            }
+        }
+        Some(ContentModel::Children(p)) => {
+            let particle = p.clone();
+            expand_particle(dtd, &particle, &mut elem, depth, config, rng, budget);
+        }
+    }
+    elem
+}
+
+fn expand_particle<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    particle: &Particle,
+    parent: &mut Element,
+    depth: usize,
+    config: &GeneratorConfig,
+    rng: &mut R,
+    budget: &mut usize,
+) {
+    let count = match particle.occurrence {
+        Occurrence::One => 1,
+        Occurrence::Optional => usize::from(rng.gen_bool(config.optional_present)),
+        Occurrence::ZeroOrMore => geometric(rng, config.repeat_continue, 0),
+        Occurrence::OneOrMore => geometric(rng, config.repeat_continue, 1),
+    };
+    for _ in 0..count {
+        if *budget == 0 {
+            return;
+        }
+        match &particle.kind {
+            ParticleKind::Name(n) => {
+                let e = expand(dtd, n, depth + 1, config, rng, budget);
+                parent.push_element(e);
+            }
+            ParticleKind::Seq(items) => {
+                for item in items {
+                    expand_particle(dtd, item, parent, depth, config, rng, budget);
+                }
+            }
+            ParticleKind::Choice(items) => {
+                let pick = &items[rng.gen_range(0..items.len())];
+                expand_particle(dtd, pick, parent, depth, config, rng, budget);
+            }
+        }
+    }
+}
+
+fn geometric<R: Rng + ?Sized>(rng: &mut R, continue_p: f64, min: usize) -> usize {
+    let mut n = min;
+    // Cap repetitions to keep documents bounded even with continue_p
+    // close to 1.
+    while n < min + 16 && rng.gen_bool(continue_p) {
+        n += 1;
+    }
+    n.max(min)
+}
+
+fn sample_text<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const WORDS: &[&str] =
+        &["claim", "quote", "report", "update", "alert", "note", "summary", "detail"];
+    let n = rng.gen_range(1..=4);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{extract_paths, DocId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn recursive_dtd() -> Dtd {
+        Dtd::parse(
+            "<!ELEMENT doc (sec+)>\n\
+             <!ELEMENT sec (sec?, par*)>\n\
+             <!ELEMENT par (#PCDATA)>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_document_conforms_structurally() {
+        let dtd = recursive_dtd();
+        let cfg = GeneratorConfig::default();
+        for seed in 0..20 {
+            let doc = generate_document(&dtd, &cfg, &mut rng(seed));
+            assert_eq!(doc.root().name(), "doc");
+            assert!(doc.depth() <= cfg.max_depth);
+            // Every parent-child pair must be allowed by the DTD.
+            for p in extract_paths(&doc, DocId(0)) {
+                for w in p.elements.windows(2) {
+                    assert!(
+                        dtd.children_of(&w[0]).contains(w[1].as_str()),
+                        "{} -> {} not allowed",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let dtd = recursive_dtd();
+        let cfg = GeneratorConfig::default();
+        let a = generate_document(&dtd, &cfg, &mut rng(42));
+        let b = generate_document(&dtd, &cfg, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let dtd = recursive_dtd();
+        let cfg = GeneratorConfig::default();
+        let a = generate_document(&dtd, &cfg, &mut rng(1));
+        let b = generate_document(&dtd, &cfg, &mut rng(2));
+        assert_ne!(a, b, "two seeds should virtually never coincide");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let dtd = Dtd::parse("<!ELEMENT a (a)>").unwrap(); // infinitely recursive
+        let cfg = GeneratorConfig { max_depth: 5, ..GeneratorConfig::default() };
+        let doc = generate_document(&dtd, &cfg, &mut rng(7));
+        assert!(doc.depth() <= 5);
+    }
+
+    #[test]
+    fn respects_element_budget() {
+        let dtd = Dtd::parse("<!ELEMENT a (a*, a*)>").unwrap();
+        let cfg = GeneratorConfig {
+            max_depth: 50,
+            repeat_continue: 0.9,
+            max_elements: 100,
+            ..GeneratorConfig::default()
+        };
+        let doc = generate_document(&dtd, &cfg, &mut rng(9));
+        assert!(doc.element_count() <= 100);
+    }
+
+    #[test]
+    fn sized_document_reaches_target() {
+        let dtd = recursive_dtd();
+        let cfg = GeneratorConfig::default();
+        let doc = generate_sized_document(&dtd, 2048, &cfg, &mut rng(11));
+        assert!(doc.to_xml_string().len() >= 2048);
+        // Paths must still be DTD-derivable after growth.
+        for p in extract_paths(&doc, DocId(0)) {
+            for w in p.elements.windows(2) {
+                assert!(dtd.children_of(&w[0]).contains(w[1].as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn pcdata_text_toggle() {
+        let dtd = Dtd::parse("<!ELEMENT a (#PCDATA)>").unwrap();
+        let with = generate_document(
+            &dtd,
+            &GeneratorConfig { text_content: true, ..Default::default() },
+            &mut rng(3),
+        );
+        let without = generate_document(
+            &dtd,
+            &GeneratorConfig { text_content: false, ..Default::default() },
+            &mut rng(3),
+        );
+        assert!(!with.root().children().is_empty());
+        assert!(without.root().children().is_empty());
+    }
+
+    #[test]
+    fn geometric_respects_min() {
+        let mut r = rng(5);
+        for _ in 0..100 {
+            assert!(geometric(&mut r, 0.5, 1) >= 1);
+            assert_eq!(geometric(&mut r, 0.0, 0), 0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Pretty-printing and tree navigation helpers.
+//!
+//! Routing never needs these, but a library users adopt does: indented
+//! serialization for logs and fixtures, and simple navigation over the
+//! element tree (the subscriber-side counterpart of path extraction).
+
+use crate::tree::{Document, Element, Node};
+
+impl Document {
+    /// Serializes the document with two-space indentation.
+    ///
+    /// Text content is kept inline with its element so mixed content
+    /// stays readable; attribute order is preserved.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self.root(), 0, &mut out);
+        out
+    }
+}
+
+fn write_pretty(elem: &Element, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(elem.name());
+    for (k, v) in elem.attributes() {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    if elem.children().is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    let only_text = elem.children().iter().all(|c| matches!(c, Node::Text(_)));
+    if only_text {
+        out.push('>');
+        for c in elem.children() {
+            if let Node::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out.push_str("</");
+        out.push_str(elem.name());
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for c in elem.children() {
+        match c {
+            Node::Element(e) => write_pretty(e, depth + 1, out),
+            Node::Text(t) => {
+                out.push_str(&"  ".repeat(depth + 1));
+                out.push_str(t.trim());
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(elem.name());
+    out.push_str(">\n");
+}
+
+impl Element {
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name() == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.child_elements().filter(move |e| e.name() == name)
+    }
+
+    /// Descends through a chain of child names (`["body", "p"]` finds
+    /// the first `p` under the first `body`).
+    pub fn descend<'a>(&'a self, names: &[&str]) -> Option<&'a Element> {
+        let mut here = self;
+        for n in names {
+            here = here.child(n)?;
+        }
+        Some(here)
+    }
+
+    /// The value of an attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes().iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The concatenated text content of this element's direct text
+    /// children.
+    pub fn text(&self) -> String {
+        self.children()
+            .iter()
+            .filter_map(|c| match c {
+                Node::Text(t) => Some(t.as_str()),
+                Node::Element(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_document;
+
+    #[test]
+    fn pretty_roundtrips_through_parser() {
+        let doc =
+            parse_document(r#"<a x="1"><b>hi</b><c><d/></c></a>"#).unwrap();
+        let pretty = doc.to_pretty_string();
+        assert!(pretty.contains("  <b>hi</b>"));
+        assert!(pretty.contains("    <d/>"));
+        let reparsed = parse_document(&pretty).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn pretty_empty_element() {
+        let doc = parse_document("<a/>").unwrap();
+        assert_eq!(doc.to_pretty_string(), "<a/>\n");
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let doc = parse_document(
+            r#"<claim id="7"><line><marine/></line><line><auto/></line><amount>90</amount></claim>"#,
+        )
+        .unwrap();
+        let root = doc.root();
+        assert_eq!(root.attribute("id"), Some("7"));
+        assert_eq!(root.attribute("missing"), None);
+        assert_eq!(root.children_named("line").count(), 2);
+        assert!(root.descend(&["line", "marine"]).is_some());
+        assert!(root.descend(&["line", "health"]).is_none());
+        assert_eq!(root.child("amount").unwrap().text(), "90");
+        assert_eq!(root.child("nope"), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Subscriber-side document reassembly.
+//!
+//! Publishers decompose documents into root-to-leaf paths; "this is
+//! transparent to publishers and subscribers who handle entire XML
+//! documents" (§3.1). This module is the subscriber half of that
+//! transparency: collecting the delivered paths of one document and
+//! rebuilding an element tree.
+//!
+//! Reassembly merges paths on shared prefixes, so the result contains
+//! each distinct path once, in the order of first appearance — the
+//! same shape [`crate::paths::dedup_paths`] ships. Duplicate sibling
+//! subtrees elided by the publisher are not re-duplicated (brokers
+//! route on element sequences, so the duplicates carried no routing
+//! information).
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::paths::DocPath;
+use crate::tree::{Document, Element};
+use std::collections::BTreeMap;
+
+/// Rebuilds a document from the delivered paths of one `docId`.
+///
+/// Paths are merged on shared prefixes; attributes seen on any path
+/// are attached to the corresponding element (first occurrence wins on
+/// conflicts, which cannot arise for paths extracted from one
+/// document).
+///
+/// Prefix merging is lossy in exactly one case: a childless element
+/// whose path is a strict prefix of a sibling branch merges into that
+/// branch (the wire format cannot distinguish the two).
+///
+/// # Errors
+///
+/// Returns an error if `paths` is empty, the paths disagree on the
+/// root element, or they belong to different documents.
+///
+/// ```
+/// use xdn_xml::{parse_document, paths::{dedup_paths, extract_paths}, reassemble::reassemble, DocId};
+///
+/// let original = parse_document(r#"<a x="1"><b><c/></b><d/></a>"#)?;
+/// let paths = dedup_paths(extract_paths(&original, DocId(9)));
+/// let rebuilt = reassemble(&paths)?;
+/// assert_eq!(rebuilt, original);
+/// # Ok::<(), xdn_xml::XmlError>(())
+/// ```
+pub fn reassemble(paths: &[DocPath]) -> Result<Document, XmlError> {
+    let first = paths
+        .first()
+        .ok_or_else(|| XmlError::new(XmlErrorKind::EmptyDocument, 0))?;
+    let doc_id = first.doc_id;
+    let root_name = &first.elements[0];
+    for p in paths {
+        if p.doc_id != doc_id {
+            return Err(XmlError::new(
+                XmlErrorKind::InvalidDtdDeclaration(format!(
+                    "paths from different documents: {} vs {}",
+                    doc_id, p.doc_id
+                )),
+                0,
+            ));
+        }
+        if &p.elements[0] != root_name {
+            return Err(XmlError::new(
+                XmlErrorKind::MismatchedTag {
+                    expected: root_name.clone(),
+                    found: p.elements[0].clone(),
+                },
+                0,
+            ));
+        }
+    }
+
+    let mut root = TreeNode {
+        attrs: first.attributes.first().cloned().unwrap_or_default(),
+        ..TreeNode::default()
+    };
+    for p in paths {
+        root.merge(p, 1);
+    }
+    Ok(Document::new(root.into_element(root_name.clone())))
+}
+
+/// A prefix-merged trie of delivered paths.
+#[derive(Default)]
+struct TreeNode {
+    attrs: Vec<(String, String)>,
+    /// Children in first-appearance order.
+    children: BTreeMap<usize, (String, TreeNode)>,
+    order: usize,
+}
+
+impl TreeNode {
+    fn merge(&mut self, path: &DocPath, depth: usize) {
+        if depth >= path.elements.len() {
+            return;
+        }
+        let name = &path.elements[depth];
+        let attrs = path.attributes.get(depth).cloned().unwrap_or_default();
+        // Find an existing child with this name (paths are deduplicated
+        // per element sequence, so one child per name per branch).
+        let key = self
+            .children
+            .iter()
+            .find(|(_, (n, _))| n == name)
+            .map(|(&k, _)| k)
+            .unwrap_or_else(|| {
+                let idx = self.order;
+                self.order += 1;
+                let node = TreeNode { attrs, ..TreeNode::default() };
+                self.children.insert(idx, (name.clone(), node));
+                idx
+            });
+        let child = &mut self.children.get_mut(&key).expect("present").1;
+        child.merge(path, depth + 1);
+    }
+
+    fn into_element(self, name: String) -> Element {
+        let mut e = Element::new(name);
+        for (k, v) in self.attrs {
+            e.push_attribute(k, v);
+        }
+        for (_, (child_name, child)) in self.children {
+            e.push_element(child.into_element(child_name));
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+    use crate::paths::{dedup_paths, extract_paths};
+    use crate::DocId;
+
+    fn roundtrip(src: &str) -> (Document, Document) {
+        let original = parse_document(src).unwrap();
+        let paths = dedup_paths(extract_paths(&original, DocId(1)));
+        let rebuilt = reassemble(&paths).unwrap();
+        (original, rebuilt)
+    }
+
+    #[test]
+    fn roundtrips_structure_and_attributes() {
+        let (original, rebuilt) =
+            roundtrip(r#"<a x="1"><b y="2"><c/></b><d/><e><f/><g/></e></a>"#);
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn single_element() {
+        let (original, rebuilt) = roundtrip("<only/>");
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn duplicate_siblings_collapse_like_dedup() {
+        // The publisher dedups equal sibling paths; reassembly yields
+        // the deduplicated document.
+        let original = parse_document("<a><b/><b/><c/></a>").unwrap();
+        let paths = dedup_paths(extract_paths(&original, DocId(1)));
+        let rebuilt = reassemble(&paths).unwrap();
+        assert_eq!(rebuilt, parse_document("<a><b/><c/></a>").unwrap());
+    }
+
+    #[test]
+    fn preserves_sibling_order() {
+        let (original, rebuilt) = roundtrip("<r><z/><a/><m><q/><b/></m></r>");
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(reassemble(&[]).is_err());
+    }
+
+    #[test]
+    fn mismatched_roots_rejected() {
+        let p1 = DocPath::new(DocId(1), crate::PathId(0), vec!["a".into()]);
+        let p2 = DocPath::new(DocId(1), crate::PathId(1), vec!["b".into()]);
+        assert!(reassemble(&[p1, p2]).is_err());
+    }
+
+    #[test]
+    fn mixed_documents_rejected() {
+        let p1 = DocPath::new(DocId(1), crate::PathId(0), vec!["a".into()]);
+        let p2 = DocPath::new(DocId(2), crate::PathId(0), vec!["a".into()]);
+        assert!(reassemble(&[p1, p2]).is_err());
+    }
+
+    #[test]
+    fn partial_delivery_reassembles_the_matching_subset() {
+        // A subscriber whose filter matched only some paths still gets
+        // a well-formed document containing exactly those.
+        let original = parse_document("<a><b><c/></b><d/></a>").unwrap();
+        let paths = extract_paths(&original, DocId(1));
+        let only_bc = vec![paths[0].clone()];
+        let rebuilt = reassemble(&only_bc).unwrap();
+        assert_eq!(rebuilt, parse_document("<a><b><c/></b></a>").unwrap());
+    }
+
+    #[test]
+    fn generated_documents_roundtrip() {
+        use rand::SeedableRng;
+        let dtd = crate::dtd::Dtd::parse(
+            "<!ELEMENT doc (sec+)><!ELEMENT sec (par*, note?)>\
+             <!ELEMENT par EMPTY><!ELEMENT note EMPTY>",
+        )
+        .unwrap();
+        let cfg = crate::generate::GeneratorConfig {
+            text_content: false,
+            ..Default::default()
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let doc = crate::generate::generate_document(&dtd, &cfg, &mut rng);
+            let paths = dedup_paths(extract_paths(&doc, DocId(1)));
+            let rebuilt = reassemble(&paths).unwrap();
+            // Reassembly preserves exactly the *maximal* distinct paths:
+            // a childless sibling whose path is a prefix of another
+            // path merges into it (prefix-merging is lossy only there).
+            let rb_paths = dedup_paths(extract_paths(&rebuilt, DocId(1)));
+            let orig_seqs: Vec<_> = paths.iter().map(|p| p.elements.clone()).collect();
+            let maximal: Vec<_> = orig_seqs
+                .iter()
+                .filter(|p| {
+                    !orig_seqs.iter().any(|q| q.len() > p.len() && q.starts_with(p))
+                })
+                .cloned()
+                .collect();
+            let rb_seqs: Vec<_> = rb_paths.iter().map(|p| p.elements.clone()).collect();
+            assert_eq!(maximal, rb_seqs);
+        }
+    }
+}

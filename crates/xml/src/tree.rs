@@ -1,0 +1,502 @@
+//! XML document tree model and a minimal parser.
+//!
+//! The paper interprets an XML document as a tree of elements and routes
+//! on root-to-leaf element paths (§3.1). This module provides exactly
+//! that model: elements with optional attributes and text, a
+//! recursive-descent parser, and serialization back to markup (used by
+//! the evaluation to measure document sizes on the wire).
+
+use crate::error::{XmlError, XmlErrorKind};
+use std::fmt;
+
+/// A parsed XML document: a single root [`Element`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The root element.
+    root: Element,
+}
+
+impl Document {
+    /// Creates a document from its root element.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Serializes the document back to XML markup.
+    ///
+    /// The output is compact (no indentation); its byte length is the
+    /// document's wire size used in the notification-delay experiments.
+    pub fn to_xml_string(&self) -> String {
+        let mut out = String::new();
+        self.root.write_xml(&mut out);
+        out
+    }
+
+    /// Total number of elements in the document.
+    pub fn element_count(&self) -> usize {
+        self.root.subtree_size()
+    }
+
+    /// Maximum element nesting depth (the root is depth 1).
+    pub fn depth(&self) -> usize {
+        self.root.subtree_depth()
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml_string())
+    }
+}
+
+/// An XML element: a name, attributes, and child nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+/// A child of an [`Element`]: either a nested element or character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (text content).
+    Text(String),
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty; element names are validated statically
+    /// by the parser and generator, so an empty name here is a logic bug.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "element name must be non-empty");
+        Element { name, attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// The element's tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element's attributes in document order.
+    pub fn attributes(&self) -> &[(String, String)] {
+        &self.attributes
+    }
+
+    /// The element's children in document order.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Child elements only, skipping text nodes.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Appends an attribute.
+    pub fn push_attribute(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.attributes.push((name.into(), value.into()));
+    }
+
+    /// Appends a child element.
+    pub fn push_element(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Appends a text child.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// True if the element has no child elements (text children allowed).
+    pub fn is_leaf(&self) -> bool {
+        self.child_elements().next().is_none()
+    }
+
+    fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+
+    fn subtree_depth(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_depth).max().unwrap_or(0)
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            push_escaped(out, v);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write_xml(out),
+                Node::Text(t) => push_escaped(out, t),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Parses an XML document from markup.
+///
+/// The parser supports the subset of XML the dissemination network
+/// routes on: nested elements, attributes, text content, comments,
+/// processing instructions, a leading XML declaration and DOCTYPE line,
+/// and the standard entity references.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] describing the first syntax problem and the
+/// byte offset at which it occurred.
+///
+/// ```
+/// let doc = xdn_xml::parse_document("<a x=\"1\"><b>hi</b></a>")?;
+/// assert_eq!(doc.root().name(), "a");
+/// # Ok::<(), xdn_xml::XmlError>(())
+/// ```
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_prolog();
+    p.skip_ws_and_misc();
+    if p.at_end() {
+        return Err(p.err(XmlErrorKind::EmptyDocument));
+    }
+    let root = p.parse_element()?;
+    p.skip_ws_and_misc();
+    if !p.at_end() {
+        return Err(p.err(XmlErrorKind::TrailingContent));
+    }
+    Ok(Document::new(root))
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos)
+    }
+
+    fn eof(&self) -> XmlError {
+        self.err(XmlErrorKind::UnexpectedEof)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, s: &str) {
+        while !self.at_end() && !self.starts_with(s) {
+            self.pos += 1;
+        }
+        if self.starts_with(s) {
+            self.pos += s.len();
+        }
+    }
+
+    /// Skips `<?xml ...?>` and `<!DOCTYPE ...>` (without internal subset
+    /// nesting beyond bracket matching).
+    fn skip_prolog(&mut self) {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.skip_until("?>");
+        }
+        self.skip_ws();
+        if self.starts_with("<!DOCTYPE") {
+            // Skip to matching '>', honoring an optional [..] internal subset.
+            let mut depth = 0usize;
+            while let Some(c) = self.bump() {
+                match c {
+                    b'[' => depth += 1,
+                    b']' => depth = depth.saturating_sub(1),
+                    b'>' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Skips whitespace, comments, and processing instructions.
+    fn skip_ws_and_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->");
+            } else if self.starts_with("<?") {
+                self.skip_until("?>");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(XmlErrorKind::InvalidName(String::new())));
+        }
+        // Names in this subset are ASCII; the slice is valid UTF-8.
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if self.bump() != Some(b'<') {
+            return Err(self.err(XmlErrorKind::UnexpectedChar(self.peek().unwrap_or(b'?') as char)));
+        }
+        let name = self.parse_name()?;
+        let mut elem = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek().ok_or_else(|| self.eof())? {
+                b'/' => {
+                    self.pos += 1;
+                    if self.bump() != Some(b'>') {
+                        return Err(self.err(XmlErrorKind::UnexpectedChar('/')));
+                    }
+                    return Ok(elem);
+                }
+                b'>' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(self.err(XmlErrorKind::UnexpectedChar('=')));
+                    }
+                    self.skip_ws();
+                    let quote = self.bump().ok_or_else(|| self.eof())?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err(XmlErrorKind::UnexpectedChar(quote as char)));
+                    }
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.at_end() {
+                        return Err(self.eof());
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err(XmlErrorKind::UnexpectedChar('\u{FFFD}')))?;
+                    elem.push_attribute(attr, unescape(raw));
+                    self.pos += 1; // closing quote
+                }
+            }
+        }
+        // Content until matching close tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                self.skip_ws();
+                if self.bump() != Some(b'>') {
+                    return Err(self.err(XmlErrorKind::UnexpectedChar('>')));
+                }
+                if close != elem.name {
+                    return Err(self.err(XmlErrorKind::MismatchedTag {
+                        expected: elem.name.clone(),
+                        found: close,
+                    }));
+                }
+                return Ok(elem);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->");
+            } else if self.starts_with("<?") {
+                self.skip_until("?>");
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                elem.push_element(child);
+            } else if self.at_end() {
+                return Err(self.eof());
+            } else {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err(XmlErrorKind::UnexpectedChar('\u{FFFD}')))?;
+                let text = unescape(raw);
+                if !text.trim().is_empty() {
+                    elem.push_text(text);
+                }
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let known = [("&lt;", '<'), ("&gt;", '>'), ("&amp;", '&'), ("&quot;", '"'), ("&apos;", '\'')];
+        if let Some((ent, ch)) = known.iter().find(|(ent, _)| rest.starts_with(ent)) {
+            out.push(*ch);
+            rest = &rest[ent.len()..];
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_nested() {
+        let doc = parse_document("<a><b><c/></b><d/></a>").unwrap();
+        assert_eq!(doc.root().name(), "a");
+        assert_eq!(doc.root().child_elements().count(), 2);
+        assert_eq!(doc.element_count(), 4);
+        assert_eq!(doc.depth(), 3);
+    }
+
+    #[test]
+    fn parse_attributes_and_text() {
+        let doc = parse_document(r#"<claim id="7" lang='en'>text body</claim>"#).unwrap();
+        let root = doc.root();
+        assert_eq!(root.attributes(), &[("id".into(), "7".into()), ("lang".into(), "en".into())]);
+        assert_eq!(root.children().len(), 1);
+        assert!(matches!(&root.children()[0], Node::Text(t) if t == "text body"));
+    }
+
+    #[test]
+    fn parse_with_prolog_doctype_comments() {
+        let src = "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a (b)> ]>\n<!-- c -->\n<a><b/></a>";
+        let doc = parse_document(src).unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let src = r#"<a x="1"><b>hi &amp; bye</b><c/></a>"#;
+        let doc = parse_document(src).unwrap();
+        let out = doc.to_xml_string();
+        let doc2 = parse_document(&out).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn mismatched_tag_is_error() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let err = parse_document("   ").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::EmptyDocument));
+    }
+
+    #[test]
+    fn trailing_content_is_error() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn unterminated_element_is_eof() {
+        let err = parse_document("<a><b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn entity_unescape() {
+        assert_eq!(unescape("a&lt;b&gt;c&amp;&quot;&apos;"), "a<b>c&\"'");
+        assert_eq!(unescape("no entities"), "no entities");
+        assert_eq!(unescape("lone & amp"), "lone & amp");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+    }
+
+    #[test]
+    fn display_matches_to_xml_string() {
+        let doc = parse_document("<a><b/></a>").unwrap();
+        assert_eq!(doc.to_string(), doc.to_xml_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_element_name_panics() {
+        let _ = Element::new("");
+    }
+}

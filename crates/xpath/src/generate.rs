@@ -1,0 +1,325 @@
+//! DTD-guided random XPE generation.
+//!
+//! The paper's evaluation (§5) generates query workloads with the XPath
+//! generator released by Diao et al., varying
+//!
+//! * `W` — the probability of a `*` wildcard at a location step,
+//! * `DO` — the probability of a `//` descendant operator at a step,
+//! * the maximum XPE length (10),
+//!
+//! and requiring queries to be distinct. That tool is not available;
+//! this module is the documented substitute: a seeded random walk over
+//! the DTD's element graph so every generated expression is satisfiable
+//! by some conforming document.
+
+use crate::ast::{Axis, NodeTest, Step, Xpe};
+use rand::Rng;
+use std::collections::HashSet;
+use xdn_xml::dtd::Dtd;
+
+/// Parameters of the XPE generator, mirroring the knobs the paper
+/// reports tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XpeGeneratorConfig {
+    /// Maximum number of location steps (paper: 10).
+    pub max_length: usize,
+    /// Minimum number of walked levels before the walk may stop early.
+    pub min_length: usize,
+    /// Probability of stopping the walk after each step beyond
+    /// `min_length` (controls query-length distribution, and thereby
+    /// how often one query is a prefix of — and covers — another).
+    pub stop_p: f64,
+    /// Probability `W` that a step's node test is `*`.
+    pub wildcard_p: f64,
+    /// Probability `DO` that a step is connected with `//`.
+    pub descendant_p: f64,
+    /// Probability that a generated XPE is relative rather than
+    /// absolute (relative expressions drop a random prefix of the
+    /// walk).
+    pub relative_p: f64,
+    /// Maximum number of walk levels a `//` operator may swallow.
+    pub descendant_skip_max: usize,
+    /// Bound on element repetition during the walk for recursive DTDs.
+    pub cycle_unroll: usize,
+    /// Keep the first location step concrete (subscribers typically
+    /// know the document root); prevents degenerate universal queries
+    /// like `/*//*`.
+    pub first_concrete: bool,
+    /// Cap on wildcard steps per query.
+    pub max_wildcards: usize,
+    /// Cap on descendant operators per query.
+    pub max_descendants: usize,
+    /// Walks shorter than this stay fully concrete (no `*`, no `//`):
+    /// short generalized queries such as `/nitf//*` cover entire
+    /// subtrees and would collapse any covering-rate target.
+    pub generalize_min_walk: usize,
+}
+
+impl Default for XpeGeneratorConfig {
+    fn default() -> Self {
+        XpeGeneratorConfig {
+            max_length: 10,
+            min_length: 1,
+            stop_p: 0.25,
+            wildcard_p: 0.2,
+            descendant_p: 0.2,
+            relative_p: 0.1,
+            descendant_skip_max: 2,
+            cycle_unroll: 2,
+            first_concrete: false,
+            max_wildcards: usize::MAX,
+            max_descendants: usize::MAX,
+            generalize_min_walk: 0,
+        }
+    }
+}
+
+/// Generates one random XPE satisfiable under `dtd`.
+///
+/// The walk starts at the DTD root and descends through randomly chosen
+/// children; each emitted step is independently widened to `*` with
+/// probability `W`, and connected with `//` (skipping up to
+/// `descendant_skip_max` walked levels) with probability `DO`.
+pub fn generate_xpe<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    config: &XpeGeneratorConfig,
+    rng: &mut R,
+) -> Xpe {
+    // Phase 1: random root-to-somewhere walk through the element graph.
+    let walk = random_walk(dtd, config, rng);
+    // Phase 2: turn the walk into an expression.
+    walk_to_xpe(&walk, config, rng)
+}
+
+fn random_walk<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    config: &XpeGeneratorConfig,
+    rng: &mut R,
+) -> Vec<String> {
+    let mut walk = vec![dtd.root().to_owned()];
+    // Walk deeper than max_length so `//` has levels to skip.
+    let budget = config.max_length + config.descendant_skip_max * 2;
+    while walk.len() < budget {
+        let here = walk.last().expect("walk starts non-empty");
+        let children: Vec<&str> = dtd
+            .children_of(here)
+            .into_iter()
+            .filter(|c| walk.iter().filter(|w| w == c).count() <= config.cycle_unroll)
+            .collect();
+        if children.is_empty() {
+            break;
+        }
+        let next = children[rng.gen_range(0..children.len())].to_owned();
+        walk.push(next);
+        // Randomly stop early so lengths are diverse.
+        if walk.len() >= config.min_length && rng.gen_bool(config.stop_p) {
+            break;
+        }
+    }
+    walk
+}
+
+fn walk_to_xpe<R: Rng + ?Sized>(
+    walk: &[String],
+    config: &XpeGeneratorConfig,
+    rng: &mut R,
+) -> Xpe {
+    let relative = walk.len() > 1 && rng.gen_bool(config.relative_p);
+    let start = if relative { rng.gen_range(1..walk.len()) } else { 0 };
+    let generalize = walk.len() - start >= config.generalize_min_walk;
+
+    let mut steps = Vec::new();
+    let mut i = start;
+    let mut wildcards = 0usize;
+    let mut descendants = 0usize;
+    while i < walk.len() && steps.len() < config.max_length {
+        let may_descend = generalize && descendants < config.max_descendants;
+        let axis = if steps.is_empty() {
+            // The anchoring of the first step: absolute expressions may
+            // begin with `//`, mirroring Diao's generator.
+            if !relative && may_descend && rng.gen_bool(config.descendant_p) {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            }
+        } else if may_descend && rng.gen_bool(config.descendant_p) {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        if axis == Axis::Descendant {
+            descendants += 1;
+        }
+        if axis == Axis::Descendant && config.descendant_skip_max > 0 && !steps.is_empty() {
+            // `//` swallows some walked levels so the operator is not
+            // vacuous (it still matches the skipped levels).
+            let max_skip = config.descendant_skip_max.min(walk.len().saturating_sub(i + 1));
+            if max_skip > 0 {
+                i += rng.gen_range(0..=max_skip);
+            }
+        }
+        let first_must_be_concrete = steps.is_empty() && config.first_concrete;
+        let test = if generalize
+            && !first_must_be_concrete
+            && wildcards < config.max_wildcards
+            && rng.gen_bool(config.wildcard_p)
+        {
+            wildcards += 1;
+            NodeTest::Wildcard
+        } else {
+            NodeTest::Name(walk[i].clone())
+        };
+        steps.push(Step { axis, test, predicates: Vec::new() });
+        i += 1;
+    }
+    debug_assert!(!steps.is_empty());
+    Xpe::new(!relative, steps)
+}
+
+/// Generates `count` *distinct* XPEs (textual distinctness, matching
+/// the paper's "queries are distinct").
+///
+/// Gives up after `count * 200` attempts if the DTD cannot support the
+/// requested diversity and returns however many were found; callers
+/// should check `len()` when using tiny DTDs.
+pub fn generate_distinct_xpes<R: Rng + ?Sized>(
+    dtd: &Dtd,
+    count: usize,
+    config: &XpeGeneratorConfig,
+    rng: &mut R,
+) -> Vec<Xpe> {
+    let mut seen = HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(200).max(1000);
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let x = generate_xpe(dtd, config, rng);
+        if seen.insert(x.to_string()) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn dtd() -> Dtd {
+        Dtd::parse(
+            "<!ELEMENT cat (sub1, sub2)>\n\
+             <!ELEMENT sub1 (leaf1, leaf2, mid*)>\n\
+             <!ELEMENT sub2 (mid+, leaf3?)>\n\
+             <!ELEMENT mid (leaf1 | leaf2 | mid)*>\n\
+             <!ELEMENT leaf1 EMPTY>\n\
+             <!ELEMENT leaf2 (#PCDATA)>\n\
+             <!ELEMENT leaf3 EMPTY>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_xpes_are_satisfiable() {
+        // Every generated expression must match the walked path it came
+        // from; verify against documents via brute-force path check: a
+        // generated absolute XPE must match at least one DTD path.
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig::default();
+        let universe = dtd.enumerate_paths(12, 2, 100_000);
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let x = generate_xpe(&dtd, &cfg, &mut r);
+            let matched = universe.iter().any(|p| {
+                // XPE may select an interior node; extend check over
+                // prefixes handled by matches_path already.
+                x.matches_path(p)
+            });
+            assert!(matched, "unsatisfiable XPE generated: {x}");
+        }
+    }
+
+    #[test]
+    fn respects_max_length() {
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig { max_length: 3, ..Default::default() };
+        let mut r = rng(2);
+        for _ in 0..100 {
+            assert!(generate_xpe(&dtd, &cfg, &mut r).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn zero_probabilities_give_plain_absolute() {
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig {
+            wildcard_p: 0.0,
+            descendant_p: 0.0,
+            relative_p: 0.0,
+            ..Default::default()
+        };
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let x = generate_xpe(&dtd, &cfg, &mut r);
+            assert!(x.is_absolute());
+            assert!(x.is_simple());
+            assert!(!x.has_wildcard());
+        }
+    }
+
+    #[test]
+    fn high_wildcard_probability_produces_wildcards() {
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig { wildcard_p: 1.0, ..Default::default() };
+        let mut r = rng(4);
+        let x = generate_xpe(&dtd, &cfg, &mut r);
+        assert!(x.steps().iter().all(|s| s.test.is_wildcard()));
+    }
+
+    #[test]
+    fn distinct_generation() {
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig::default();
+        let xpes = generate_distinct_xpes(&dtd, 300, &cfg, &mut rng(5));
+        let unique: HashSet<String> = xpes.iter().map(|x| x.to_string()).collect();
+        assert_eq!(unique.len(), xpes.len());
+        assert!(xpes.len() >= 250, "DTD should support >=250 distinct XPEs, got {}", xpes.len());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig::default();
+        let a = generate_distinct_xpes(&dtd, 50, &cfg, &mut rng(9));
+        let b = generate_distinct_xpes(&dtd, 50, &cfg, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_dtd_gives_up_gracefully() {
+        let dtd = Dtd::parse("<!ELEMENT a EMPTY>").unwrap();
+        let cfg = XpeGeneratorConfig {
+            wildcard_p: 0.0,
+            descendant_p: 0.0,
+            relative_p: 0.0,
+            ..Default::default()
+        };
+        let xpes = generate_distinct_xpes(&dtd, 10, &cfg, &mut rng(6));
+        assert_eq!(xpes.len(), 1, "only /a exists");
+    }
+
+    #[test]
+    fn relative_expressions_generated() {
+        let dtd = dtd();
+        let cfg = XpeGeneratorConfig { relative_p: 1.0, ..Default::default() };
+        let mut r = rng(7);
+        let any_relative = (0..50).any(|_| !generate_xpe(&dtd, &cfg, &mut r).is_absolute());
+        assert!(any_relative);
+    }
+}

@@ -1,0 +1,234 @@
+//! Publication matching: does a root-to-leaf XML path satisfy an XPE?
+//!
+//! A publication in the network is a document path `e = /t1/t2/.../tn`
+//! (§3.1). An XPE selects a node; a path satisfies the XPE when some
+//! node *on the path* is selected (the path may continue below the
+//! selected node, and may have begun above the first matched step for
+//! relative expressions).
+//!
+//! The implementation splits the expression into maximal
+//! child-connected *fragments* (see [`Xpe::fragments`]) and places each
+//! fragment at its earliest feasible position — the classic greedy
+//! strategy for subsequence matching with contiguous blocks, which is
+//! optimal because moving an earlier block right can never enable a
+//! later block to match.
+
+use crate::ast::{Axis, Step, Xpe};
+use xdn_xml::paths::DocPath;
+use xdn_xml::Document;
+
+/// Per-element attribute lists aligned with a path's elements.
+pub type AttrList = [(String, String)];
+
+const NO_ATTRS: &AttrList = &[];
+
+/// True if `path` (a root-to-leaf sequence of element names) satisfies
+/// `xpe`. Elements are taken to carry no attributes, so predicate
+/// steps only match when their predicates are vacuous; use
+/// [`matches_path_with_attrs`] when attribute data is available.
+pub fn matches_path<S: AsRef<str>>(xpe: &Xpe, path: &[S]) -> bool {
+    matches_path_with_attrs(xpe, path, &[])
+}
+
+/// True if the path with per-element `attrs` satisfies `xpe` — the
+/// attribute-predicate extension the paper notes (§3.1). `attrs` is
+/// aligned with `path`; elements beyond its length carry none.
+pub fn matches_path_with_attrs<S: AsRef<str>>(
+    xpe: &Xpe,
+    path: &[S],
+    attrs: &[Vec<(String, String)>],
+) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    let fragments = xpe.fragments();
+    let anchored = xpe.is_absolute() && xpe.steps()[0].axis == Axis::Child;
+    let mut pos = 0usize;
+    for (i, frag) in fragments.iter().enumerate() {
+        if i == 0 && anchored {
+            if !fragment_matches_at(frag, path, attrs, 0) {
+                return false;
+            }
+            pos = frag.len();
+        } else {
+            match find_fragment(frag, path, attrs, pos) {
+                Some(start) => pos = start + frag.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// True if `frag` matches `path[at .. at + frag.len()]` element-wise.
+fn fragment_matches_at<S: AsRef<str>>(
+    frag: &[Step],
+    path: &[S],
+    attrs: &[Vec<(String, String)>],
+    at: usize,
+) -> bool {
+    if at + frag.len() > path.len() {
+        return false;
+    }
+    frag.iter().enumerate().all(|(i, step)| {
+        let idx = at + i;
+        let a: &AttrList = attrs.get(idx).map_or(NO_ATTRS, Vec::as_slice);
+        step.accepts(path[idx].as_ref(), a)
+    })
+}
+
+/// Earliest position `>= from` at which `frag` matches contiguously.
+fn find_fragment<S: AsRef<str>>(
+    frag: &[Step],
+    path: &[S],
+    attrs: &[Vec<(String, String)>],
+    from: usize,
+) -> Option<usize> {
+    if frag.len() > path.len() {
+        return None;
+    }
+    (from..=path.len() - frag.len()).find(|&start| fragment_matches_at(frag, path, attrs, start))
+}
+
+/// True if any root-to-leaf path of `doc` satisfies `xpe` — the
+/// document-level delivery decision a subscriber observes.
+pub fn matches_document(xpe: &Xpe, doc: &Document) -> bool {
+    // Walk the tree without materializing all paths.
+    fn walk(
+        xpe: &Xpe,
+        elem: &xdn_xml::Element,
+        prefix: &mut Vec<String>,
+        attrs: &mut Vec<Vec<(String, String)>>,
+    ) -> bool {
+        prefix.push(elem.name().to_owned());
+        attrs.push(elem.attributes().to_vec());
+        let hit = if elem.is_leaf() {
+            matches_path_with_attrs(xpe, prefix, attrs)
+        } else {
+            elem.child_elements().any(|c| walk(xpe, c, prefix, attrs))
+        };
+        prefix.pop();
+        attrs.pop();
+        hit
+    }
+    walk(xpe, doc.root(), &mut Vec::new(), &mut Vec::new())
+}
+
+/// True if the [`DocPath`] publication satisfies `xpe`, including its
+/// attribute data.
+pub fn matches_doc_path(xpe: &Xpe, path: &DocPath) -> bool {
+    matches_path_with_attrs(xpe, &path.elements, &path.attributes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn m(expr: &str, path: &[&str]) -> bool {
+        matches_path(&xpe(expr), path)
+    }
+
+    #[test]
+    fn absolute_anchored_prefix() {
+        assert!(m("/a/b", &["a", "b"]));
+        assert!(m("/a/b", &["a", "b", "c"])); // path continues below
+        assert!(!m("/a/b", &["x", "a", "b"]));
+        assert!(!m("/a/b", &["a"]));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert!(m("/a/*/c", &["a", "b", "c"]));
+        assert!(m("/*/*", &["x", "y", "z"]));
+        assert!(!m("/a/*/c", &["a", "c"]));
+    }
+
+    #[test]
+    fn leading_descendant() {
+        assert!(m("//b", &["a", "b"]));
+        assert!(m("//b", &["b"]));
+        assert!(m("//b/c", &["a", "b", "c"]));
+        assert!(!m("//b/c", &["a", "c", "b"]));
+    }
+
+    #[test]
+    fn inner_descendant_gap_at_least_one() {
+        assert!(m("/a//b", &["a", "b"])); // descendant includes child
+        assert!(m("/a//b", &["a", "x", "y", "b"]));
+        assert!(!m("/a//b", &["a"]));
+        // b must be strictly below a.
+        assert!(!m("/a//a", &["a"]));
+        assert!(m("/a//a", &["a", "a"]));
+    }
+
+    #[test]
+    fn relative_floats() {
+        assert!(m("b/c", &["a", "b", "c"]));
+        assert!(m("b/c", &["b", "c"]));
+        assert!(!m("b/c", &["a", "c", "b"]));
+        assert!(m("d/a", &["x", "d", "a"]));
+    }
+
+    #[test]
+    fn relative_leading_descendant() {
+        assert!(m(".//c", &["a", "b", "c"]));
+        assert!(m(".//c", &["c"]));
+    }
+
+    #[test]
+    fn paper_descendant_example() {
+        // §3.2: s = */a//d/*/c//b matches a = /a/*/e/*/d/*/c/b-shaped
+        // publications; check against a concrete conforming path.
+        assert!(m("*/a//d/*/c//b", &["r", "a", "e", "q", "d", "x", "c", "b"]));
+    }
+
+    #[test]
+    fn greedy_placement_backtrack_free() {
+        // Earliest placement of "b" must not prevent matching "b/c".
+        assert!(m("/a//b/c", &["a", "b", "x", "b", "c"]));
+        // Here the first candidate `b` (index 1) fails the fragment but
+        // index 3 succeeds; find_fragment scans forward.
+    }
+
+    #[test]
+    fn multiple_descendants() {
+        assert!(m("/a//b//c", &["a", "x", "b", "y", "c"]));
+        assert!(m("/a//b//c", &["a", "b", "c"]));
+        assert!(!m("/a//b//c", &["a", "c", "b"]));
+    }
+
+    #[test]
+    fn empty_path_never_matches() {
+        let paths: [&str; 0] = [];
+        assert!(!m("/a", &paths));
+        assert!(!m("a", &paths));
+    }
+
+    #[test]
+    fn document_matching() {
+        let doc = xdn_xml::parse_document("<a><b><c/></b><d/></a>").unwrap();
+        assert!(matches_document(&xpe("/a/b/c"), &doc));
+        assert!(matches_document(&xpe("/a/d"), &doc));
+        assert!(matches_document(&xpe("//c"), &doc));
+        assert!(!matches_document(&xpe("/a/b/d"), &doc));
+    }
+
+    #[test]
+    fn doc_path_matching() {
+        let doc = xdn_xml::parse_document("<a><b><c/></b></a>").unwrap();
+        let paths = xdn_xml::paths::extract_paths(&doc, xdn_xml::DocId(1));
+        assert!(matches_doc_path(&xpe("/a//c"), &paths[0]));
+        assert!(!matches_doc_path(&xpe("/a/c"), &paths[0]));
+    }
+
+    #[test]
+    fn selected_node_may_be_interior() {
+        // /a/b selects the b node; the path continues to c below it.
+        assert!(m("/a/b", &["a", "b", "c", "d", "e"]));
+        assert!(m("b", &["a", "b", "c"]));
+    }
+}

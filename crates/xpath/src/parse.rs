@@ -1,0 +1,253 @@
+//! Parser for the routed XPath fragment.
+
+use crate::ast::{Axis, NodeTest, Predicate, Step, Xpe};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// An error produced while parsing an XPE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XpeParseError {
+    message: String,
+    offset: usize,
+}
+
+impl XpeParseError {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        XpeParseError { message: message.into(), offset }
+    }
+
+    /// Byte offset at which parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for XpeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid XPath expression: {} at offset {}", self.message, self.offset)
+    }
+}
+
+impl Error for XpeParseError {}
+
+impl FromStr for Xpe {
+    type Err = XpeParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Xpe::parse(s)
+    }
+}
+
+impl Xpe {
+    /// Parses an XPE from its textual form.
+    ///
+    /// Accepted syntax (the fragment of §3.2): location steps that are
+    /// element names or `*`, joined by `/` or `//`. A leading `/` or
+    /// `//` makes the expression absolute; `.//x` denotes a relative
+    /// expression whose first step uses the descendant axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XpeParseError`] on empty input, empty steps (`a//`),
+    /// or invalid characters in an element name.
+    ///
+    /// ```
+    /// use xdn_xpath::{Axis, Xpe};
+    /// let x = Xpe::parse("/a/*//b")?;
+    /// assert!(x.is_absolute());
+    /// assert_eq!(x.steps()[2].axis, Axis::Descendant);
+    /// # Ok::<(), xdn_xpath::XpeParseError>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, XpeParseError> {
+        let s = input.trim();
+        if s.is_empty() {
+            return Err(XpeParseError::new("empty expression", 0));
+        }
+        let mut rest = s;
+        let mut offset = input.len() - input.trim_start().len();
+        let mut absolute = true;
+        let mut next_axis = if let Some(r) = rest.strip_prefix(".//") {
+            rest = r;
+            offset += 3;
+            absolute = false;
+            Axis::Descendant
+        } else if let Some(r) = rest.strip_prefix("//") {
+            rest = r;
+            offset += 2;
+            Axis::Descendant
+        } else if let Some(r) = rest.strip_prefix('/') {
+            rest = r;
+            offset += 1;
+            Axis::Child
+        } else {
+            absolute = false;
+            Axis::Child
+        };
+
+        let mut steps = Vec::new();
+        loop {
+            let end = rest.find(['/', '[']).unwrap_or(rest.len());
+            let name = &rest[..end];
+            if name.is_empty() {
+                return Err(XpeParseError::new("empty location step", offset));
+            }
+            if name != "*"
+                && !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+            {
+                return Err(XpeParseError::new(format!("invalid step {name:?}"), offset));
+            }
+            let mut step = Step {
+                axis: next_axis,
+                test: NodeTest::from(name),
+                predicates: Vec::new(),
+            };
+            offset += end;
+            rest = &rest[end..];
+            while rest.starts_with('[') {
+                let close = rest
+                    .find(']')
+                    .ok_or_else(|| XpeParseError::new("unterminated predicate", offset))?;
+                let body = &rest[1..close];
+                step.predicates.push(parse_predicate(body, offset)?);
+                offset += close + 1;
+                rest = &rest[close + 1..];
+            }
+            steps.push(step);
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(r) = rest.strip_prefix("//") {
+                next_axis = Axis::Descendant;
+                rest = r;
+                offset += 2;
+            } else if let Some(r) = rest.strip_prefix('/') {
+                next_axis = Axis::Child;
+                rest = r;
+                offset += 1;
+            }
+            if rest.is_empty() {
+                return Err(XpeParseError::new("trailing operator", offset));
+            }
+        }
+        Ok(Xpe::new(absolute, steps))
+    }
+}
+
+/// Parses the body of a `[...]` predicate: `@name` or `@name='value'`.
+fn parse_predicate(body: &str, offset: usize) -> Result<Predicate, XpeParseError> {
+    let Some(rest) = body.strip_prefix('@') else {
+        return Err(XpeParseError::new(
+            format!("unsupported predicate {body:?} (only @attr forms)"),
+            offset,
+        ));
+    };
+    let valid_name = |n: &str| {
+        !n.is_empty()
+            && n.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+    };
+    match rest.split_once('=') {
+        None => {
+            if !valid_name(rest) {
+                return Err(XpeParseError::new(
+                    format!("invalid attribute name {rest:?}"),
+                    offset,
+                ));
+            }
+            Ok(Predicate::HasAttr(rest.to_owned()))
+        }
+        Some((name, value)) => {
+            if !valid_name(name) {
+                return Err(XpeParseError::new(
+                    format!("invalid attribute name {name:?}"),
+                    offset,
+                ));
+            }
+            let value = value
+                .strip_prefix('\'')
+                .and_then(|v| v.strip_suffix('\''))
+                .or_else(|| value.strip_prefix('"').and_then(|v| v.strip_suffix('"')))
+                .ok_or_else(|| {
+                    XpeParseError::new("predicate value must be quoted", offset)
+                })?;
+            Ok(Predicate::AttrEq(name.to_owned(), value.to_owned()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_absolute_simple() {
+        let x = Xpe::parse("/a/b/c").unwrap();
+        assert!(x.is_absolute());
+        assert_eq!(x.len(), 3);
+        assert!(x.steps().iter().all(|s| s.axis == Axis::Child));
+    }
+
+    #[test]
+    fn parse_leading_descendant() {
+        let x = Xpe::parse("//a/b").unwrap();
+        assert!(x.is_absolute());
+        assert_eq!(x.steps()[0].axis, Axis::Descendant);
+        assert_eq!(x.steps()[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn parse_relative() {
+        let x = Xpe::parse("a/*//b").unwrap();
+        assert!(!x.is_absolute());
+        assert_eq!(x.steps()[0].axis, Axis::Child);
+        assert!(x.steps()[1].test.is_wildcard());
+        assert_eq!(x.steps()[2].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parse_relative_leading_descendant() {
+        let x = Xpe::parse(".//a").unwrap();
+        assert!(!x.is_absolute());
+        assert_eq!(x.steps()[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parse_paper_examples() {
+        // Expressions quoted verbatim in the paper.
+        for src in ["/b/*/*/c/c/d", "/*/c/*/b/c", "*/a//d/*/c//b", "/a/*//*/d", "/a//b/c/d"] {
+            assert!(Xpe::parse(src).is_ok(), "failed to parse {src}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Xpe::parse("").is_err());
+        assert!(Xpe::parse("   ").is_err());
+        assert!(Xpe::parse("/").is_err());
+        assert!(Xpe::parse("a//").is_err());
+        assert!(Xpe::parse("/a/").is_err());
+        assert!(Xpe::parse("/a b/c").is_err());
+        assert!(Xpe::parse("///a").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = Xpe::parse("/a/b c").unwrap_err();
+        assert!(err.offset() >= 3, "offset {} should point at the bad step", err.offset());
+        assert!(err.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn from_str_trait() {
+        let x: Xpe = "/x/y".parse().unwrap();
+        assert_eq!(x.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_trimmed() {
+        let x = Xpe::parse("  /a/b  ").unwrap();
+        assert_eq!(x.to_string(), "/a/b");
+    }
+}

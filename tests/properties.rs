@@ -1,0 +1,217 @@
+//! Property-based tests for the core routing invariants.
+//!
+//! These are the properties the system's correctness rests on:
+//!
+//! * covering soundness — `covers(s1, s2)` implies every path matching
+//!   `s2` matches `s1` (a false positive would silently drop live
+//!   subscriptions);
+//! * adv–sub overlap completeness — if a publication matches both an
+//!   advertisement and a subscription, the overlap test must say so (a
+//!   false negative would break delivery);
+//! * optimized algorithms agree with their naive reference versions;
+//! * mergers cover their inputs.
+
+use proptest::prelude::*;
+use xdn::core::adv::{AdvPath, AdvSegment, Advertisement};
+use xdn::core::advmatch::{
+    adv_covers, adv_overlaps_sub, rel_expr_and_adv, rel_expr_and_adv_naive, PreparedAdv,
+};
+use xdn::core::cover::{covers, rel_sim_cov, rel_sim_cov_naive};
+use xdn::core::merge::{try_merge_pair, MergeConfig};
+use xdn::xpath::{Axis, NodeTest, Step, Xpe};
+
+const ALPHABET: &[&str] = &["a", "b", "c", "d"];
+
+fn arb_test() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        4 => (0..ALPHABET.len()).prop_map(|i| NodeTest::Name(ALPHABET[i].to_owned())),
+        1 => Just(NodeTest::Wildcard),
+    ]
+}
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![3 => Just(Axis::Child), 1 => Just(Axis::Descendant)]
+}
+
+fn arb_xpe() -> impl Strategy<Value = Xpe> {
+    (
+        any::<bool>(),
+        prop::collection::vec((arb_axis(), arb_test()), 1..6),
+    )
+        .prop_map(|(absolute, steps)| {
+            let steps: Vec<Step> =
+                steps
+                .into_iter()
+                .map(|(axis, test)| Step { axis, test, predicates: Vec::new() })
+                .collect();
+            Xpe::new(absolute, steps)
+        })
+}
+
+fn arb_simple_xpe(absolute: bool) -> impl Strategy<Value = Xpe> {
+    prop::collection::vec(arb_test(), 1..6).prop_map(move |tests| {
+        let steps: Vec<Step> =
+            tests
+            .into_iter()
+            .map(|test| Step { axis: Axis::Child, test, predicates: Vec::new() })
+            .collect();
+        Xpe::new(absolute, steps)
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec((0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()), 1..8)
+}
+
+fn arb_adv_path() -> impl Strategy<Value = AdvPath> {
+    prop::collection::vec(arb_test(), 1..8).prop_map(AdvPath::new)
+}
+
+fn arb_advertisement() -> impl Strategy<Value = Advertisement> {
+    // Plain, simple-recursive, or series-recursive shapes.
+    (
+        prop::collection::vec(arb_test(), 1..4),
+        prop::option::of(prop::collection::vec(arb_test(), 1..3)),
+        prop::collection::vec(arb_test(), 0..3),
+    )
+        .prop_map(|(head, repeat, tail)| {
+            let mut segments = vec![AdvSegment::Plain(AdvPath::new(head))];
+            if let Some(body) = repeat {
+                segments.push(AdvSegment::Repeat(vec![AdvSegment::Plain(AdvPath::new(body))]));
+            }
+            if !tail.is_empty() {
+                segments.push(AdvSegment::Plain(AdvPath::new(tail)));
+            }
+            Advertisement::new(segments)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Covering soundness: a claimed cover never misses a path.
+    #[test]
+    fn covering_is_sound(s1 in arb_xpe(), s2 in arb_xpe(), path in arb_path()) {
+        if covers(&s1, &s2) && s2.matches_path(&path) {
+            prop_assert!(
+                s1.matches_path(&path),
+                "{s1} claims to cover {s2} but misses path {path:?}"
+            );
+        }
+    }
+
+    /// Covering is reflexive and transitive on sampled triples.
+    #[test]
+    fn covering_is_reflexive(s in arb_xpe()) {
+        prop_assert!(covers(&s, &s), "{s} must cover itself");
+    }
+
+    #[test]
+    fn covering_is_transitive(a in arb_xpe(), b in arb_xpe(), c in arb_xpe()) {
+        if covers(&a, &b) && covers(&b, &c) {
+            prop_assert!(covers(&a, &c), "{a} ⊒ {b} ⊒ {c} but not {a} ⊒ {c}");
+        }
+    }
+
+    /// The KMP-style relative covering agrees with the naive scan.
+    #[test]
+    fn rel_cov_kmp_matches_naive(
+        s1 in arb_simple_xpe(false),
+        s2 in arb_simple_xpe(true),
+    ) {
+        prop_assert_eq!(
+            rel_sim_cov_naive(&s1, &s2),
+            rel_sim_cov(&s1, &s2),
+            "KMP disagreement on {} vs {}", &s1, &s2
+        );
+    }
+
+    /// The KMP-style relative overlap agrees with the naive scan.
+    #[test]
+    fn rel_overlap_kmp_matches_naive(
+        adv in arb_adv_path(),
+        sub in arb_simple_xpe(false),
+    ) {
+        prop_assert_eq!(
+            rel_expr_and_adv_naive(&adv, &sub),
+            rel_expr_and_adv(&adv, &sub),
+            "KMP overlap disagreement on {} vs {}", &adv, &sub
+        );
+    }
+
+    /// Overlap completeness: a publication matching both the
+    /// advertisement and the subscription forces `adv_overlaps_sub`.
+    #[test]
+    fn overlap_has_no_false_negatives(
+        adv in arb_advertisement(),
+        sub in arb_xpe(),
+        path in arb_path(),
+    ) {
+        if adv.matches_path(&path) && sub.matches_path(&path) {
+            prop_assert!(
+                adv_overlaps_sub(&adv, &sub),
+                "pub {path:?} matches adv {adv} and sub {sub}, but no overlap reported"
+            );
+        }
+    }
+
+    /// Prepared advertisements decide exactly like the dynamic
+    /// algorithm.
+    #[test]
+    fn prepared_adv_is_exact(adv in arb_advertisement(), sub in arb_xpe()) {
+        let prepared = PreparedAdv::new(adv.clone(), 16);
+        prop_assert_eq!(
+            prepared.overlaps(&sub),
+            adv_overlaps_sub(&adv, &sub),
+            "prepared/dynamic disagreement on {} vs {}", &adv, &sub
+        );
+    }
+
+    /// Advertisement covering is sound w.r.t. advertised paths.
+    #[test]
+    fn adv_covering_is_sound(a1 in arb_adv_path(), a2 in arb_adv_path(), path in arb_path()) {
+        if adv_covers(&a1, &a2) && a2.matches_path(&path) {
+            prop_assert!(a1.matches_path(&path));
+        }
+    }
+
+    /// Every merger covers both of its inputs.
+    #[test]
+    fn mergers_cover_inputs(s1 in arb_xpe(), s2 in arb_xpe()) {
+        let cfg = MergeConfig { rule3_min_shared: 0.0, ..MergeConfig::default() };
+        if let Some(m) = try_merge_pair(&s1, &s2, &cfg) {
+            prop_assert!(covers(&m, &s1), "merger {m} does not cover {s1}");
+            prop_assert!(covers(&m, &s2), "merger {m} does not cover {s2}");
+        }
+    }
+
+    /// Mergers never lose publications.
+    #[test]
+    fn mergers_preserve_matches(s1 in arb_xpe(), s2 in arb_xpe(), path in arb_path()) {
+        let cfg = MergeConfig { rule3_min_shared: 0.0, ..MergeConfig::default() };
+        if let Some(m) = try_merge_pair(&s1, &s2, &cfg) {
+            if s1.matches_path(&path) || s2.matches_path(&path) {
+                prop_assert!(m.matches_path(&path));
+            }
+        }
+    }
+
+    /// Expansions of an advertisement advertise exactly what it does.
+    #[test]
+    fn expansions_are_consistent(adv in arb_advertisement(), path in arb_path()) {
+        let exps = adv.expansions(2 * path.len() + 2, path.len());
+        let via_expansion = exps.iter().any(|e| e.matches_path(&path));
+        prop_assert_eq!(
+            via_expansion,
+            adv.matches_path(&path),
+            "expansion/direct disagreement for {} on {:?}", &adv, &path
+        );
+    }
+
+    /// Display/parse round-trips for generated expressions.
+    #[test]
+    fn xpe_display_roundtrips(x in arb_xpe()) {
+        let reparsed: Xpe = x.to_string().parse().expect("display must reparse");
+        prop_assert_eq!(&reparsed, &x);
+    }
+}
