@@ -33,13 +33,23 @@ fn bench_overlap(c: &mut Criterion) {
     let abs_adv = AdvPath::from_names(&["a", "*", "c", "d", "e", "f", "g", "h"]);
     let abs_sub = xpe("/a/b/c/d/e");
     group.bench_function("abs", |b| {
-        b.iter(|| abs_expr_and_adv(std::hint::black_box(&abs_adv), std::hint::black_box(&abs_sub)))
+        b.iter(|| {
+            abs_expr_and_adv(
+                std::hint::black_box(&abs_adv),
+                std::hint::black_box(&abs_sub),
+            )
+        })
     });
 
     let des_sub = xpe("*/a//d/*/c//b");
     let des_adv = AdvPath::from_names(&["a", "x", "e", "y", "d", "z", "c", "b"]);
     group.bench_function("descendant", |b| {
-        b.iter(|| des_expr_and_adv(std::hint::black_box(&des_adv), std::hint::black_box(&des_sub)))
+        b.iter(|| {
+            des_expr_and_adv(
+                std::hint::black_box(&des_adv),
+                std::hint::black_box(&des_sub),
+            )
+        })
     });
 
     let a1 = AdvPath::from_names(&["a", "*", "c"]);

@@ -20,7 +20,10 @@ fn bench_merge_tree(c: &mut Criterion) {
             base.insert(q.clone(), ());
         }
         for (label, degree) in [("perfect", 0.0), ("imperfect_0.1", 0.1)] {
-            let cfg = MergeConfig { max_degree: degree, ..MergeConfig::default() };
+            let cfg = MergeConfig {
+                max_degree: degree,
+                ..MergeConfig::default()
+            };
             group.bench_with_input(BenchmarkId::new(label, n), &base, |b, tree| {
                 b.iter_batched(
                     || tree.clone(),
@@ -41,13 +44,20 @@ fn bench_degree(c: &mut Criterion) {
     let full = universe(&dtd);
     let merger: Xpe = "/nitf/body/body-content/block/*".parse().expect("valid");
     let s1: Xpe = "/nitf/body/body-content/block/p".parse().expect("valid");
-    let s2: Xpe = "/nitf/body/body-content/block/table".parse().expect("valid");
+    let s2: Xpe = "/nitf/body/body-content/block/table"
+        .parse()
+        .expect("valid");
     let mut group = c.benchmark_group("imperfect_degree");
     for &cap in &[500usize, 4_000] {
         let sample: Vec<Vec<String>>;
         let u: &[Vec<String>] = if full.len() > cap {
             let stride = full.len() / cap;
-            sample = full.iter().step_by(stride.max(1)).take(cap).cloned().collect();
+            sample = full
+                .iter()
+                .step_by(stride.max(1))
+                .take(cap)
+                .cloned()
+                .collect();
             &sample
         } else {
             &full

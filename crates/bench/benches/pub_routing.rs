@@ -14,8 +14,10 @@ fn bench_routing(c: &mut Criterion) {
     let dtd = nitf_dtd();
     let queries = sets::set_a(&dtd, 4_000, SEED + 30);
     let documents = docs::documents(&dtd, 40, SEED + 31);
-    let pubs: Vec<Vec<String>> =
-        docs::publication_paths(&documents).into_iter().map(|p| p.elements).collect();
+    let pubs: Vec<Vec<String>> = docs::publication_paths(&documents)
+        .into_iter()
+        .map(|p| p.elements)
+        .collect();
     let universe = universe_sample(&dtd, 2_000);
 
     let mut flat: FlatPrt<u32> = FlatPrt::new();
@@ -27,10 +29,17 @@ fn bench_routing(c: &mut Criterion) {
         merged.subscribe(SubId(i as u64), q.clone(), i as u32);
     }
     let mut seq = 1_000_000u64;
-    merged.apply_merging(&universe, &MergeConfig { max_degree: 0.1, ..Default::default() }, || {
-        seq += 1;
-        SubId(seq)
-    });
+    merged.apply_merging(
+        &universe,
+        &MergeConfig {
+            max_degree: 0.1,
+            ..Default::default()
+        },
+        || {
+            seq += 1;
+            SubId(seq)
+        },
+    );
 
     let mut group = c.benchmark_group("pub_routing");
     group.bench_with_input(BenchmarkId::new("flat", pubs.len()), &pubs, |b, ps| {
@@ -49,14 +58,18 @@ fn bench_routing(c: &mut Criterion) {
             covering.route(p).len()
         })
     });
-    group.bench_with_input(BenchmarkId::new("merged_ipm", pubs.len()), &pubs, |b, ps| {
-        let mut i = 0;
-        b.iter(|| {
-            let p = &ps[i % ps.len()];
-            i += 1;
-            merged.route(p).len()
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("merged_ipm", pubs.len()),
+        &pubs,
+        |b, ps| {
+            let mut i = 0;
+            b.iter(|| {
+                let p = &ps[i % ps.len()];
+                i += 1;
+                merged.route(p).len()
+            })
+        },
+    );
     group.finish();
 }
 

@@ -27,8 +27,10 @@ fn bench_processing(c: &mut Criterion) {
     let mut group = c.benchmark_group("xpe_processing");
     for (name, dtd) in [("nitf", nitf_dtd()), ("psd", psd_dtd())] {
         let (advs, xpes) = setup(&dtd, 400, SEED + 20);
-        let prepared: Vec<PreparedAdv> =
-            advs.iter().map(|a| PreparedAdv::new(a.clone(), 16)).collect();
+        let prepared: Vec<PreparedAdv> = advs
+            .iter()
+            .map(|a| PreparedAdv::new(a.clone(), 16))
+            .collect();
 
         // Dynamic advertisement matching (no preparation) — the
         // paper's baseline shape, and our ablation's slow side.

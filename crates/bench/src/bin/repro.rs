@@ -44,10 +44,12 @@ fn main() {
         i += 1;
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
-        targets = ["fig6", "fig7", "fig8", "table1", "table2", "table3", "fig9", "fig10", "fig11"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        targets = [
+            "fig6", "fig7", "fig8", "table1", "table2", "table3", "fig9", "fig10", "fig11",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     for t in targets {
@@ -75,8 +77,14 @@ fn run_fig6(scale: &Scale) {
     // Workload summary: the realized W/DO/covering parameters.
     let dtd = xdn_workloads::nitf_dtd();
     for (name, queries) in [
-        ("Set A", xdn_workloads::sets::set_a(&dtd, scale.fig6_queries.min(5_000), 1)),
-        ("Set B", xdn_workloads::sets::set_b(&dtd, scale.fig6_queries.min(5_000), 1)),
+        (
+            "Set A",
+            xdn_workloads::sets::set_a(&dtd, scale.fig6_queries.min(5_000), 1),
+        ),
+        (
+            "Set B",
+            xdn_workloads::sets::set_b(&dtd, scale.fig6_queries.min(5_000), 1),
+        ),
     ] {
         let st = xdn_workloads::analyze::query_set_stats(&queries);
         let rate = xdn_workloads::sets::covering_rate(&queries);
@@ -92,8 +100,16 @@ fn run_fig6(scale: &Scale) {
             vec![
                 r.queries.to_string(),
                 r.no_covering.to_string(),
-                format!("{} ({:.0}%)", r.set_a, 100.0 * r.set_a as f64 / r.queries as f64),
-                format!("{} ({:.0}%)", r.set_b, 100.0 * r.set_b as f64 / r.queries as f64),
+                format!(
+                    "{} ({:.0}%)",
+                    r.set_a,
+                    100.0 * r.set_a as f64 / r.queries as f64
+                ),
+                format!(
+                    "{} ({:.0}%)",
+                    r.set_b,
+                    100.0 * r.set_b as f64 / r.queries as f64
+                ),
             ]
         })
         .collect();
@@ -101,7 +117,12 @@ fn run_fig6(scale: &Scale) {
         "{}",
         render_table(
             "Figure 6. Routing Table Size vs XPath Queries (NITF)",
-            &["queries", "no covering", "covering (Set A)", "covering (Set B)"],
+            &[
+                "queries",
+                "no covering",
+                "covering (Set A)",
+                "covering (Set B)"
+            ],
             &table,
         )
     );
@@ -115,7 +136,11 @@ fn run_fig7(scale: &Scale) {
             vec![
                 r.queries.to_string(),
                 r.covering.to_string(),
-                format!("{} ({:.0}%)", r.perfect, 100.0 * r.perfect as f64 / r.covering as f64),
+                format!(
+                    "{} ({:.0}%)",
+                    r.perfect,
+                    100.0 * r.perfect as f64 / r.covering as f64
+                ),
                 format!(
                     "{} ({:.0}%)",
                     r.imperfect,
@@ -128,7 +153,12 @@ fn run_fig7(scale: &Scale) {
         "{}",
         render_table(
             "Figure 7. Routing Table Size with Merging (Set B)",
-            &["queries", "covering", "perfect merging", "imperfect merging (D=0.1)"],
+            &[
+                "queries",
+                "covering",
+                "perfect merging",
+                "imperfect merging (D=0.1)"
+            ],
             &table,
         )
     );
@@ -157,7 +187,11 @@ fn run_fig8(scale: &Scale) {
             "{}",
             render_table(
                 &format!("Figure 8. XPE Processing Time ({name})"),
-                &["subscriptions", "with covering (us)", "without covering (us)"],
+                &[
+                    "subscriptions",
+                    "with covering (us)",
+                    "without covering (us)"
+                ],
                 &table,
             )
         );
@@ -172,7 +206,10 @@ fn run_table1(scale: &Scale) {
     print!(
         "{}",
         render_table(
-            &format!("Table 1. Publication Routing Performance ({} publications)", t.publications),
+            &format!(
+                "Table 1. Publication Routing Performance ({} publications)",
+                t.publications
+            ),
             &["Method", "Set A (ms)", "Set B (ms)"],
             &rows,
         )
@@ -194,7 +231,11 @@ fn run_traffic(levels: u32, title: &str, scale: &Scale) {
         .collect();
     print!(
         "{}",
-        render_table(title, &["Method", "Network Traffic", "Delay (ms)", "Deliveries"], &table)
+        render_table(
+            title,
+            &["Method", "Network Traffic", "Delay (ms)", "Deliveries"],
+            &table
+        )
     );
 }
 
@@ -229,7 +270,11 @@ fn run_delay(which: delay::DelayDtd, title: &str, scale: &Scale) {
             let mut row = vec![format!(
                 "{}K {}",
                 size / 1000,
-                if covering { "with covering" } else { "without covering" }
+                if covering {
+                    "with covering"
+                } else {
+                    "without covering"
+                }
             )];
             for hops in 2..=6u32 {
                 let cell = points

@@ -61,7 +61,9 @@ pub fn run(which: DelayDtd, sizes: &[usize], scale: &Scale) -> Vec<DelayPoint> {
     // satisfies (`header/uid` is required in PSD; `body/body-content`
     // in NITF), long enough not to swallow the background load.
     let measured_xpe: xdn_xpath::Xpe = match which {
-        DelayDtd::Psd => "/ProteinDatabase/ProteinEntry/header/uid".parse().expect("valid"),
+        DelayDtd::Psd => "/ProteinDatabase/ProteinEntry/header/uid"
+            .parse()
+            .expect("valid"),
         DelayDtd::Nitf => "/nitf/body/body-content".parse().expect("valid"),
     };
 
@@ -119,7 +121,12 @@ pub fn run(which: DelayDtd, sizes: &[usize], scale: &Scale) -> Vec<DelayPoint> {
                     .collect();
                 if !delays.is_empty() {
                     let mean = delays.iter().sum::<Duration>() / delays.len() as u32;
-                    out.push(DelayPoint { hops, doc_bytes: size, covering, delay: mean });
+                    out.push(DelayPoint {
+                        hops,
+                        doc_bytes: size,
+                        covering,
+                        delay: mean,
+                    });
                 }
             }
         }
@@ -151,7 +158,11 @@ mod tests {
         }
         // Covering must not lose: compare total delay across hops.
         let sum = |covering: bool| -> Duration {
-            points.iter().filter(|p| p.covering == covering).map(|p| p.delay).sum()
+            points
+                .iter()
+                .filter(|p| p.covering == covering)
+                .map(|p| p.delay)
+                .sum()
         };
         assert!(
             sum(true) <= sum(false),

@@ -63,7 +63,12 @@ mod tests {
         let last = rows.last().unwrap();
         // Set A reduction must be strong, Set B moderate; both below
         // the uncovered baseline (the Figure 6 ordering).
-        assert!(last.set_a < last.set_b, "set A ({}) < set B ({})", last.set_a, last.set_b);
+        assert!(
+            last.set_a < last.set_b,
+            "set A ({}) < set B ({})",
+            last.set_a,
+            last.set_b
+        );
         assert!(last.set_b < last.no_covering);
         assert!(
             (last.set_a as f64) < 0.4 * last.no_covering as f64,

@@ -39,8 +39,14 @@ pub fn run(scale: &Scale, points: usize) -> Vec<Fig7Row> {
     let mut tree: SubscriptionTree<()> = SubscriptionTree::new();
     let mut rows = Vec::new();
     let mut next_checkpoint = step;
-    let perfect_cfg = MergeConfig { max_degree: 0.0, ..MergeConfig::default() };
-    let imperfect_cfg = MergeConfig { max_degree: 0.1, ..MergeConfig::default() };
+    let perfect_cfg = MergeConfig {
+        max_degree: 0.0,
+        ..MergeConfig::default()
+    };
+    let imperfect_cfg = MergeConfig {
+        max_degree: 0.1,
+        ..MergeConfig::default()
+    };
     for (i, q) in queries.iter().enumerate() {
         tree.insert(q.clone(), ());
         if i + 1 == next_checkpoint || i + 1 == n {

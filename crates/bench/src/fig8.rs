@@ -53,12 +53,7 @@ pub fn run(scale: &Scale, batches: usize) -> Fig8Result {
     }
 }
 
-fn series(
-    dtd: &xdn_xml::dtd::Dtd,
-    n: usize,
-    batches: usize,
-    seed: u64,
-) -> (Vec<Fig8Point>, usize) {
+fn series(dtd: &xdn_xml::dtd::Dtd, n: usize, batches: usize, seed: u64) -> (Vec<Fig8Point>, usize) {
     let advs: Vec<PreparedAdv> = derive_advertisements(dtd, &DeriveOptions::default())
         .into_iter()
         .map(|a| PreparedAdv::new(a, 16))
@@ -116,7 +111,10 @@ mod tests {
     #[test]
     fn covering_processing_is_cheaper_where_it_matters() {
         let r = run(&Scale::quick(), 4);
-        assert!(r.nitf_advs > 10 * r.psd_advs, "NITF adv set must dwarf PSD's");
+        assert!(
+            r.nitf_advs > 10 * r.psd_advs,
+            "NITF adv set must dwarf PSD's"
+        );
         // Aggregate over batches: covering must win on NITF (the large
         // advertisement set) — the paper's headline Figure 8 effect.
         let total = |pts: &[Fig8Point], f: fn(&Fig8Point) -> f64| -> f64 {

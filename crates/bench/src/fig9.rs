@@ -92,7 +92,10 @@ pub fn run(scale: &Scale, degrees: &[f64]) -> Vec<Fig9Point> {
                     prt.subscribe(SubId(i as u64), q.clone(), 0);
                 }
                 if degree > 0.0 {
-                    let cfg = MergeConfig { max_degree: degree, ..MergeConfig::default() };
+                    let cfg = MergeConfig {
+                        max_degree: degree,
+                        ..MergeConfig::default()
+                    };
                     let mut seq = 1_000_000u64;
                     prt.apply_merging(&universe, &cfg, || {
                         seq += 1;
@@ -100,8 +103,11 @@ pub fn run(scale: &Scale, degrees: &[f64]) -> Vec<Fig9Point> {
                     });
                 }
                 // What the upstream broker sees is the top-level set.
-                let exported: Vec<Xpe> =
-                    prt.forwarded_subs().into_iter().map(|(_, x, _)| x).collect();
+                let exported: Vec<Xpe> = prt
+                    .forwarded_subs()
+                    .into_iter()
+                    .map(|(_, x, _)| x)
+                    .collect();
                 for p in &pubs {
                     let forwarded = exported.iter().any(|x| x.matches_path(p));
                     if forwarded {

@@ -49,7 +49,10 @@ mod tests {
         let t = render_table(
             "T",
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "23".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "23".into()],
+            ],
         );
         assert!(t.contains("== T =="));
         let lines: Vec<&str> = t.lines().collect();

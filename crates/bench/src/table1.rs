@@ -40,7 +40,12 @@ pub fn run(scale: &Scale) -> Table1 {
     let b = sets::set_b(&dtd, scale.table1_queries, SEED + 7);
 
     Table1 {
-        methods: ["No Covering", "Covering", "Perfect Merging", "Imperfect Merging"],
+        methods: [
+            "No Covering",
+            "Covering",
+            "Perfect Merging",
+            "Imperfect Merging",
+        ],
         set_a: run_set(&a, &pubs, &universe),
         set_b: run_set(&b, &pubs, &universe),
         publications: pubs.len(),
@@ -64,7 +69,10 @@ fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [
 
     // Covering + perfect merging.
     let mut seq = 1_000_000u64;
-    let pm_cfg = MergeConfig { max_degree: 0.0, ..MergeConfig::default() };
+    let pm_cfg = MergeConfig {
+        max_degree: 0.0,
+        ..MergeConfig::default()
+    };
     prt.apply_merging(universe, &pm_cfg, || {
         seq += 1;
         SubId(seq)
@@ -73,7 +81,10 @@ fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [
 
     // Covering + imperfect merging (on top of the perfect pass, as in
     // a broker that relaxes its degree budget).
-    let ipm_cfg = MergeConfig { max_degree: 0.1, ..MergeConfig::default() };
+    let ipm_cfg = MergeConfig {
+        max_degree: 0.1,
+        ..MergeConfig::default()
+    };
     prt.apply_merging(universe, &ipm_cfg, || {
         seq += 1;
         SubId(seq)

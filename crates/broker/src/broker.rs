@@ -42,22 +42,38 @@ pub struct RoutingConfig {
 impl RoutingConfig {
     /// `no-Adv-no-Cov`: flooding + flat tables.
     pub fn no_adv_no_cov() -> Self {
-        RoutingConfig { advertisements: false, covering: false, merging: None }
+        RoutingConfig {
+            advertisements: false,
+            covering: false,
+            merging: None,
+        }
     }
 
     /// `no-Adv-with-Cov`.
     pub fn no_adv_with_cov() -> Self {
-        RoutingConfig { advertisements: false, covering: true, merging: None }
+        RoutingConfig {
+            advertisements: false,
+            covering: true,
+            merging: None,
+        }
     }
 
     /// `with-Adv-no-Cov`.
     pub fn with_adv_no_cov() -> Self {
-        RoutingConfig { advertisements: true, covering: false, merging: None }
+        RoutingConfig {
+            advertisements: true,
+            covering: false,
+            merging: None,
+        }
     }
 
     /// `with-Adv-with-Cov`.
     pub fn with_adv_with_cov() -> Self {
-        RoutingConfig { advertisements: true, covering: true, merging: None }
+        RoutingConfig {
+            advertisements: true,
+            covering: true,
+            merging: None,
+        }
     }
 
     /// `with-Adv-with-CovPM` (perfect merging).
@@ -217,7 +233,13 @@ impl Broker {
                 self.stats.received_advertise += 1;
                 self.srt.insert(id, adv.clone(), from);
                 // Advertisements are flooded through the overlay.
-                let mut out = self.broadcast_except(from, Message::Advertise { id, adv: adv.clone() });
+                let mut out = self.broadcast_except(
+                    from,
+                    Message::Advertise {
+                        id,
+                        adv: adv.clone(),
+                    },
+                );
                 // Subscriptions that arrived before this advertisement
                 // were not forwarded toward it; re-evaluate the stored
                 // (top-level) subscriptions so the reverse path exists.
@@ -269,9 +291,97 @@ impl Broker {
                     })
                     .collect()
             }
+            Message::Heartbeat => {
+                // Liveness probes are consumed by the transport layer;
+                // one reaching the broker is a no-op.
+                self.stats.received_heartbeat += 1;
+                Vec::new()
+            }
+            Message::SyncRequest => {
+                self.stats.received_sync_request += 1;
+                match from.as_broker() {
+                    Some(nb) => vec![(from, self.export_routing_for(nb))],
+                    None => Vec::new(),
+                }
+            }
+            Message::SyncState { advs, subs } => {
+                self.stats.received_sync_state += 1;
+                // Replay each entry through the normal handlers so the
+                // snapshot re-propagates exactly like live traffic
+                // would. Installation is idempotent: the SRT replaces
+                // entries by AdvId and the PRT dedups (id, xpe, hop).
+                // Advertisements first — re-forwarded subscriptions
+                // route along them.
+                let mut out = Vec::new();
+                for (id, adv) in advs {
+                    out.extend(self.handle(from, Message::Advertise { id, adv }));
+                }
+                for (id, xpe) in subs {
+                    out.extend(self.handle(from, Message::Subscribe { id, xpe }));
+                }
+                // The recursive calls counted their own sends.
+                return out;
+            }
         };
         self.stats.sent += out.len() as u64;
         out
+    }
+
+    /// Exports the routing state a (re)connecting `neighbor` needs from
+    /// this broker: every SRT advertisement this broker would have
+    /// flooded over the link (last hop ≠ the neighbour) and every
+    /// subscription this broker had forwarded over the link. The
+    /// receiver installs it via [`Message::SyncState`] handling.
+    pub fn export_routing_for(&self, neighbor: BrokerId) -> Message {
+        let hop = Dest::Broker(neighbor);
+        let mut advs: Vec<_> = self
+            .srt
+            .iter()
+            .filter(|(_, _, h)| **h != hop)
+            .map(|(id, adv, _)| (id, adv.clone()))
+            .collect();
+        advs.sort_by_key(|(id, _)| id.0);
+        let forwarded = match &self.prt {
+            PrtImpl::Covering(prt) => prt.forwarded_subs(),
+            PrtImpl::Flat(prt) => prt.forwarded_subs(),
+        };
+        let xpe_of: std::collections::HashMap<SubId, Xpe> = forwarded
+            .into_iter()
+            .map(|(id, xpe, _)| (id, xpe))
+            .collect();
+        let mut subs: Vec<_> = self
+            .sent_to
+            .iter()
+            .filter(|(_, dests)| dests.contains(&hop))
+            .filter_map(|(id, _)| xpe_of.get(id).map(|x| (*id, x.clone())))
+            .collect();
+        subs.sort_by_key(|(id, _)| id.0);
+        Message::SyncState { advs, subs }
+    }
+
+    /// A canonical textual digest of the routing tables (sorted SRT
+    /// entries plus sorted top-level PRT subscriptions with their
+    /// origin hops). Two brokers with equal signatures route
+    /// identically; fault-tolerance tests compare a recovered broker
+    /// against a never-failed run with this.
+    pub fn routing_signature(&self) -> String {
+        let mut lines: Vec<String> = self
+            .srt
+            .iter()
+            .map(|(id, adv, hop)| format!("adv {} {} via {}", id.0, adv, hop))
+            .collect();
+        let forwarded = match &self.prt {
+            PrtImpl::Covering(prt) => prt.forwarded_subs(),
+            PrtImpl::Flat(prt) => prt.forwarded_subs(),
+        };
+        for (id, xpe, hops) in forwarded {
+            let mut from: Vec<String> = hops.iter().map(|h| h.to_string()).collect();
+            from.sort();
+            from.dedup();
+            lines.push(format!("sub {} {} from {}", id.0, xpe, from.join(",")));
+        }
+        lines.sort();
+        lines.join("\n")
     }
 
     fn handle_subscribe(&mut self, from: Dest, id: SubId, xpe: Xpe) -> Vec<(Dest, Message)> {
@@ -297,9 +407,18 @@ impl Broker {
                 self.sent_to.remove(rid);
             }
             for t in &targets {
-                out.push((*t, Message::Subscribe { id, xpe: xpe.clone() }));
+                out.push((
+                    *t,
+                    Message::Subscribe {
+                        id,
+                        xpe: xpe.clone(),
+                    },
+                ));
             }
-            self.sent_to.entry(id).or_default().extend(targets.iter().copied());
+            self.sent_to
+                .entry(id)
+                .or_default()
+                .extend(targets.iter().copied());
         } else {
             // Covering suppression is only valid toward hops the
             // coverer was itself sent to; it was never sent toward its
@@ -314,7 +433,13 @@ impl Broker {
                 let targets = self.sub_targets(&xpe, Some(from));
                 for t in owed {
                     if targets.contains(&t) {
-                        out.push((t, Message::Subscribe { id, xpe: xpe.clone() }));
+                        out.push((
+                            t,
+                            Message::Subscribe {
+                                id,
+                                xpe: xpe.clone(),
+                            },
+                        ));
                         self.sent_to.entry(id).or_default().insert(t);
                     }
                 }
@@ -341,7 +466,13 @@ impl Broker {
                 for (pid, pxpe) in promotions {
                     let targets = self.sub_targets(&pxpe, Some(from));
                     for t in &targets {
-                        out.push((*t, Message::Subscribe { id: pid, xpe: pxpe.clone() }));
+                        out.push((
+                            *t,
+                            Message::Subscribe {
+                                id: pid,
+                                xpe: pxpe.clone(),
+                            },
+                        ));
                     }
                     self.sent_to.entry(pid).or_default().extend(targets);
                 }
@@ -393,7 +524,10 @@ impl Broker {
     }
 
     fn broadcast_except(&self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
-        self.flood_targets(Some(from)).into_iter().map(|d| (d, msg.clone())).collect()
+        self.flood_targets(Some(from))
+            .into_iter()
+            .map(|d| (d, msg.clone()))
+            .collect()
     }
 
     /// Runs the merging pass (§4.3) if the strategy enables it, and
@@ -404,10 +538,19 @@ impl Broker {
     /// structural perfect mergers could be scored, so the pass is
     /// skipped entirely.
     pub fn apply_merging(&mut self) -> Vec<(Dest, Message)> {
-        let Some(mode) = self.config.merging else { return Vec::new() };
-        let Some(universe) = self.universe.clone() else { return Vec::new() };
-        let PrtImpl::Covering(prt) = &mut self.prt else { return Vec::new() };
-        let cfg = MergeConfig { max_degree: mode.max_degree(), ..MergeConfig::default() };
+        let Some(mode) = self.config.merging else {
+            return Vec::new();
+        };
+        let Some(universe) = self.universe.clone() else {
+            return Vec::new();
+        };
+        let PrtImpl::Covering(prt) = &mut self.prt else {
+            return Vec::new();
+        };
+        let cfg = MergeConfig {
+            max_degree: mode.max_degree(),
+            ..MergeConfig::default()
+        };
         let broker_bits = (self.id.0 as u64) << 32;
         let seq = &mut self.merger_seq;
         let apps = prt.apply_merging(&universe, &cfg, || {
@@ -418,9 +561,18 @@ impl Broker {
         for app in apps {
             let targets = self.sub_targets(&app.xpe, None);
             for t in &targets {
-                out.push((*t, Message::Subscribe { id: app.merger_id, xpe: app.xpe.clone() }));
+                out.push((
+                    *t,
+                    Message::Subscribe {
+                        id: app.merger_id,
+                        xpe: app.xpe.clone(),
+                    },
+                ));
             }
-            self.sent_to.entry(app.merger_id).or_default().extend(targets.iter().copied());
+            self.sent_to
+                .entry(app.merger_id)
+                .or_default()
+                .extend(targets.iter().copied());
             for rid in app.retract {
                 for t in &targets {
                     out.push((*t, Message::Unsubscribe { id: rid }));
@@ -472,7 +624,10 @@ mod tests {
         let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
         b.add_neighbor(BrokerId(1));
         b.add_neighbor(BrokerId(2));
-        let out = b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        let out = b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, broker_hop(2));
         assert_eq!(b.srt_size(), 1);
@@ -484,8 +639,14 @@ mod tests {
         for n in 1..=3 {
             b.add_neighbor(BrokerId(n));
         }
-        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
-        b.handle(broker_hop(2), Message::advertise(AdvId(2), adv(&["x", "y"])));
+        b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
+        b.handle(
+            broker_hop(2),
+            Message::advertise(AdvId(2), adv(&["x", "y"])),
+        );
         let out = b.handle(client(9), Message::subscribe(SubId(1), xpe("/a/*")));
         assert_eq!(out.len(), 1, "only toward the overlapping advertisement");
         assert_eq!(out[0].0, broker_hop(1));
@@ -506,7 +667,10 @@ mod tests {
     fn covered_subscription_not_forwarded() {
         let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
         b.add_neighbor(BrokerId(1));
-        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
         let first = b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/*")));
         assert_eq!(first.len(), 1);
         let second = b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/b")));
@@ -517,13 +681,20 @@ mod tests {
     fn takeover_retracts_covered_subscriptions() {
         let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
         b.add_neighbor(BrokerId(1));
-        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/b")));
         let out = b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/*")));
-        let unsubs: Vec<_> =
-            out.iter().filter(|(_, m)| matches!(m, Message::Unsubscribe { .. })).collect();
-        let subs: Vec<_> =
-            out.iter().filter(|(_, m)| matches!(m, Message::Subscribe { .. })).collect();
+        let unsubs: Vec<_> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Unsubscribe { .. }))
+            .collect();
+        let subs: Vec<_> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Subscribe { .. }))
+            .collect();
         assert_eq!(unsubs.len(), 1);
         assert_eq!(subs.len(), 1);
     }
@@ -557,12 +728,18 @@ mod tests {
     fn unsubscribe_promotes_covered() {
         let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
         b.add_neighbor(BrokerId(1));
-        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b"])));
+        b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/*")));
         b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/b")));
         let out = b.handle(client(1), Message::Unsubscribe { id: SubId(1) });
         let kinds: Vec<&str> = out.iter().map(|(_, m)| m.kind()).collect();
-        assert!(kinds.contains(&"subscribe"), "promoted /a/b re-forwarded: {kinds:?}");
+        assert!(
+            kinds.contains(&"subscribe"),
+            "promoted /a/b re-forwarded: {kinds:?}"
+        );
         assert!(kinds.contains(&"unsubscribe"));
     }
 
@@ -580,7 +757,10 @@ mod tests {
     fn merging_emits_merger_and_retractions() {
         let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_cov_pm());
         b.add_neighbor(BrokerId(1));
-        b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a", "b", "*"])));
+        b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b", "*"])),
+        );
         // Universe: /a/b/{b,c} — subscribing to both makes /a/b/* perfect.
         let universe = Arc::new(vec![
             vec!["a".to_string(), "b".into(), "b".into()],
@@ -600,8 +780,10 @@ mod tests {
             })
             .collect();
         assert_eq!(subs, vec!["/a/b/*".to_string()]);
-        let unsubs =
-            out.iter().filter(|(_, m)| matches!(m, Message::Unsubscribe { .. })).count();
+        let unsubs = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Unsubscribe { .. }))
+            .count();
         assert_eq!(unsubs, 2);
     }
 
@@ -630,6 +812,79 @@ mod tests {
         assert!(b.stats().received_total() >= 2);
         b.reset_stats();
         assert_eq!(b.stats().received_total(), 0);
+    }
+
+    #[test]
+    fn sync_request_answers_with_link_state() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(2));
+        // One advertisement from B2 (exported to B1), one from B1 (not
+        // exported back to B1).
+        b.handle(
+            broker_hop(2),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
+        b.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(2), adv(&["x", "y"])),
+        );
+        // A local subscription forwarded toward B2's advertisement.
+        b.handle(client(9), Message::subscribe(SubId(7), xpe("/a/*")));
+        let out = b.handle(broker_hop(1), Message::SyncRequest);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, broker_hop(1));
+        let Message::SyncState { advs, subs } = &out[0].1 else {
+            panic!("expected SyncState, got {:?}", out[0].1)
+        };
+        assert_eq!(
+            advs.len(),
+            1,
+            "only the advertisement B1 does not already own"
+        );
+        assert_eq!(advs[0].0, AdvId(1));
+        assert!(subs.is_empty(), "the subscription went toward B2, not B1");
+        let out = b.handle(broker_hop(2), Message::SyncRequest);
+        let Message::SyncState { advs, subs } = &out[0].1 else {
+            panic!()
+        };
+        assert_eq!(advs[0].0, AdvId(2));
+        assert_eq!(subs, &[(SubId(7), xpe("/a/*"))]);
+    }
+
+    #[test]
+    fn sync_state_install_is_idempotent() {
+        let mut healthy = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        healthy.add_neighbor(BrokerId(1));
+        healthy.handle(
+            broker_hop(1),
+            Message::advertise(AdvId(1), adv(&["a", "b"])),
+        );
+        healthy.handle(broker_hop(1), Message::subscribe(SubId(2), xpe("/a/b")));
+
+        // A restarted replacement learns the same state from a sync
+        // snapshot, and installing it twice changes nothing.
+        let mut restarted = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        restarted.add_neighbor(BrokerId(1));
+        let snapshot = Message::SyncState {
+            advs: vec![(AdvId(1), adv(&["a", "b"]))],
+            subs: vec![(SubId(2), xpe("/a/b"))],
+        };
+        restarted.handle(broker_hop(1), snapshot.clone());
+        assert_eq!(restarted.routing_signature(), healthy.routing_signature());
+        restarted.handle(broker_hop(1), snapshot);
+        assert_eq!(restarted.routing_signature(), healthy.routing_signature());
+        assert_eq!(restarted.srt_size(), 1);
+        assert_eq!(restarted.prt_size(), 1);
+    }
+
+    #[test]
+    fn heartbeat_is_inert() {
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        b.add_neighbor(BrokerId(1));
+        assert!(b.handle(broker_hop(1), Message::Heartbeat).is_empty());
+        assert_eq!(b.stats().received_heartbeat, 1);
+        assert_eq!(b.routing_signature(), "");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use xdn_core::adv::Advertisement;
-use xdn_core::rtable::{AdvId, SubId};
+pub use xdn_core::rtable::{AdvId, SubId};
 use xdn_xml::{DocId, PathId};
 use xdn_xpath::Xpe;
 
@@ -131,6 +131,23 @@ pub enum Message {
     },
     /// A publication routed toward matching subscribers.
     Publish(Publication),
+    /// A transport keep-alive probe between connected peers. Carries no
+    /// routing information; brokers ignore it.
+    Heartbeat,
+    /// A broker asks a neighbour to resend the routing state relevant
+    /// to their link, sent whenever a broker⇄broker connection is
+    /// (re-)established.
+    SyncRequest,
+    /// A neighbour's answer to [`Message::SyncRequest`]: the
+    /// advertisements it would have flooded over the link plus the
+    /// subscriptions it had forwarded over the link. Installing it is
+    /// idempotent — entries are keyed by their network-wide ids.
+    SyncState {
+        /// Advertisements to reinstall as if flooded by the sender.
+        advs: Vec<(AdvId, Advertisement)>,
+        /// Subscriptions to reinstall as if forwarded by the sender.
+        subs: Vec<(SubId, Xpe)>,
+    },
 }
 
 impl Message {
@@ -160,6 +177,18 @@ impl Message {
             Message::Subscribe { xpe, .. } => HEADER + xpe.to_string().len(),
             Message::Unsubscribe { .. } => HEADER,
             Message::Publish(p) => HEADER + p.doc_bytes,
+            Message::Heartbeat | Message::SyncRequest => HEADER,
+            Message::SyncState { advs, subs } => {
+                HEADER
+                    + advs
+                        .iter()
+                        .map(|(_, a)| 8 + a.to_string().len())
+                        .sum::<usize>()
+                    + subs
+                        .iter()
+                        .map(|(_, x)| 8 + x.to_string().len())
+                        .sum::<usize>()
+            }
         }
     }
 
@@ -171,7 +200,20 @@ impl Message {
             Message::Subscribe { .. } => "subscribe",
             Message::Unsubscribe { .. } => "unsubscribe",
             Message::Publish(_) => "publish",
+            Message::Heartbeat => "heartbeat",
+            Message::SyncRequest => "sync_request",
+            Message::SyncState { .. } => "sync_state",
         }
+    }
+
+    /// True for messages that carry routing or publication payload (as
+    /// opposed to liveness/recovery control traffic). Supervisors use
+    /// this to decide what is worth queueing across a reconnect.
+    pub fn is_payload(&self) -> bool {
+        !matches!(
+            self,
+            Message::Heartbeat | Message::SyncRequest | Message::SyncState { .. }
+        )
     }
 }
 

@@ -17,6 +17,12 @@ pub struct BrokerStats {
     pub received_unsubscribe: u64,
     /// Publish messages received.
     pub received_publish: u64,
+    /// Heartbeat probes received (transport liveness, not routing).
+    pub received_heartbeat: u64,
+    /// Sync requests received from (re)connecting neighbours.
+    pub received_sync_request: u64,
+    /// Sync snapshots received and installed.
+    pub received_sync_state: u64,
     /// Messages emitted toward neighbours or clients.
     pub sent: u64,
     /// Publications delivered to locally attached clients.
@@ -37,6 +43,9 @@ impl BrokerStats {
             + self.received_subscribe
             + self.received_unsubscribe
             + self.received_publish
+            + self.received_heartbeat
+            + self.received_sync_request
+            + self.received_sync_state
     }
 
     /// Mean time per processed subscription.
@@ -65,6 +74,9 @@ impl BrokerStats {
         self.received_subscribe += other.received_subscribe;
         self.received_unsubscribe += other.received_unsubscribe;
         self.received_publish += other.received_publish;
+        self.received_heartbeat += other.received_heartbeat;
+        self.received_sync_request += other.received_sync_request;
+        self.received_sync_state += other.received_sync_state;
         self.sent += other.sent;
         self.deliveries += other.deliveries;
         self.sub_processing += other.sub_processing;
@@ -99,8 +111,16 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = BrokerStats { received_publish: 1, sent: 2, ..Default::default() };
-        let b = BrokerStats { received_publish: 3, deliveries: 1, ..Default::default() };
+        let mut a = BrokerStats {
+            received_publish: 1,
+            sent: 2,
+            ..Default::default()
+        };
+        let b = BrokerStats {
+            received_publish: 3,
+            deliveries: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.received_publish, 4);
         assert_eq!(a.sent, 2);

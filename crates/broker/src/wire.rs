@@ -37,6 +37,9 @@ const TAG_UNADVERTISE: u8 = 2;
 const TAG_SUBSCRIBE: u8 = 3;
 const TAG_UNSUBSCRIBE: u8 = 4;
 const TAG_PUBLISH: u8 = 5;
+const TAG_HEARTBEAT: u8 = 6;
+const TAG_SYNC_REQUEST: u8 = 7;
+const TAG_SYNC_STATE: u8 = 8;
 
 /// An error produced while decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,7 +49,9 @@ pub struct WireError {
 
 impl WireError {
     fn new(message: impl Into<String>) -> Self {
-        WireError { message: message.into() }
+        WireError {
+            message: message.into(),
+        }
     }
 }
 
@@ -88,13 +93,27 @@ pub fn encode(msg: &Message) -> Bytes {
             body.put_u16(p.elements.len() as u16);
             for (i, e) in p.elements.iter().enumerate() {
                 put_str(&mut body, e);
-                let attrs: &[(String, String)] =
-                    p.attributes.get(i).map_or(&[], Vec::as_slice);
+                let attrs: &[(String, String)] = p.attributes.get(i).map_or(&[], Vec::as_slice);
                 body.put_u8(attrs.len() as u8);
                 for (k, v) in attrs {
                     put_str(&mut body, k);
                     put_str(&mut body, v);
                 }
+            }
+        }
+        Message::Heartbeat => body.put_u8(TAG_HEARTBEAT),
+        Message::SyncRequest => body.put_u8(TAG_SYNC_REQUEST),
+        Message::SyncState { advs, subs } => {
+            body.put_u8(TAG_SYNC_STATE);
+            body.put_u32(advs.len() as u32);
+            for (id, adv) in advs {
+                body.put_u64(id.0);
+                put_str(&mut body, &adv.to_string());
+            }
+            body.put_u32(subs.len() as u32);
+            for (id, xpe) in subs {
+                body.put_u64(id.0);
+                put_str(&mut body, &xpe.to_string());
             }
         }
     }
@@ -137,15 +156,20 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
                 .map_err(|e| WireError::new(format!("bad advertisement: {e}")))?;
             Message::Advertise { id, adv }
         }
-        TAG_UNADVERTISE => Message::Unadvertise { id: AdvId(get_u64(&mut body)?) },
+        TAG_UNADVERTISE => Message::Unadvertise {
+            id: AdvId(get_u64(&mut body)?),
+        },
         TAG_SUBSCRIBE => {
             let id = SubId(get_u64(&mut body)?);
             let text = get_str(&mut body)?;
-            let xpe =
-                text.parse().map_err(|e| WireError::new(format!("bad expression: {e}")))?;
+            let xpe = text
+                .parse()
+                .map_err(|e| WireError::new(format!("bad expression: {e}")))?;
             Message::Subscribe { id, xpe }
         }
-        TAG_UNSUBSCRIBE => Message::Unsubscribe { id: SubId(get_u64(&mut body)?) },
+        TAG_UNSUBSCRIBE => Message::Unsubscribe {
+            id: SubId(get_u64(&mut body)?),
+        },
         TAG_PUBLISH => {
             let doc_id = DocId(get_u64(&mut body)?);
             if body.remaining() < 4 + 8 + 2 {
@@ -173,20 +197,63 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
             if elements.is_empty() {
                 return Err(WireError::new("publication with no elements"));
             }
-            Message::Publish(Publication { doc_id, path_id, elements, attributes, doc_bytes })
+            Message::Publish(Publication {
+                doc_id,
+                path_id,
+                elements,
+                attributes,
+                doc_bytes,
+            })
+        }
+        TAG_HEARTBEAT => Message::Heartbeat,
+        TAG_SYNC_REQUEST => Message::SyncRequest,
+        TAG_SYNC_STATE => {
+            let na = get_u32(&mut body)? as usize;
+            let mut advs = Vec::new();
+            for _ in 0..na {
+                let id = AdvId(get_u64(&mut body)?);
+                let text = get_str(&mut body)?;
+                let adv = Advertisement::parse(&text)
+                    .map_err(|e| WireError::new(format!("bad sync advertisement: {e}")))?;
+                advs.push((id, adv));
+            }
+            let ns = get_u32(&mut body)? as usize;
+            let mut subs = Vec::new();
+            for _ in 0..ns {
+                let id = SubId(get_u64(&mut body)?);
+                let text = get_str(&mut body)?;
+                let xpe = text
+                    .parse()
+                    .map_err(|e| WireError::new(format!("bad sync expression: {e}")))?;
+                subs.push((id, xpe));
+            }
+            Message::SyncState { advs, subs }
         }
         other => return Err(WireError::new(format!("unknown tag {other}"))),
     };
     if body.has_remaining() {
-        return Err(WireError::new(format!("{} trailing bytes", body.remaining())));
+        return Err(WireError::new(format!(
+            "{} trailing bytes",
+            body.remaining()
+        )));
     }
     Ok((msg, consumed))
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize, "wire strings are u16-prefixed");
+    debug_assert!(
+        s.len() <= u16::MAX as usize,
+        "wire strings are u16-prefixed"
+    );
     buf.put_u16(s.len() as u16);
     buf.put_slice(s.as_bytes());
+}
+
+fn get_u32(b: &mut &[u8]) -> Result<u32, WireError> {
+    if b.remaining() < 4 {
+        return Err(WireError::new("truncated u32"));
+    }
+    Ok(b.get_u32())
 }
 
 fn get_u64(b: &mut &[u8]) -> Result<u64, WireError> {
@@ -229,7 +296,9 @@ mod tests {
             Message::Unadvertise { id: AdvId(7) },
             Message::subscribe(SubId(9), "/news/*//headline".parse().unwrap()),
             Message::subscribe(SubId(10), "section/article".parse().unwrap()),
-            Message::Unsubscribe { id: SubId(u64::MAX) },
+            Message::Unsubscribe {
+                id: SubId(u64::MAX),
+            },
             Message::Publish(Publication {
                 doc_id: DocId(3),
                 path_id: PathId(14),
@@ -241,6 +310,28 @@ mod tests {
                 ],
                 doc_bytes: 20_480,
             }),
+            Message::Heartbeat,
+            Message::SyncRequest,
+            Message::SyncState {
+                advs: Vec::new(),
+                subs: Vec::new(),
+            },
+            Message::SyncState {
+                advs: vec![
+                    (
+                        AdvId(3),
+                        Advertisement::parse("/a/b(/c/d)+/e").expect("valid"),
+                    ),
+                    (
+                        AdvId(4),
+                        Advertisement::non_recursive(AdvPath::from_names(&["x"])),
+                    ),
+                ],
+                subs: vec![
+                    (SubId(5), "/news//headline".parse().unwrap()),
+                    (SubId(6), "section/article".parse().unwrap()),
+                ],
+            },
         ]
     }
 

@@ -1,0 +1,146 @@
+//! Property tests for the wire codec.
+//!
+//! Two obligations for a codec fed by a network socket: `decode` must
+//! never panic, whatever bytes arrive (a peer is untrusted input), and
+//! every encodable message — the sync frames included — must round-trip
+//! exactly.
+
+use proptest::prelude::*;
+use xdn_broker::wire;
+use xdn_broker::{Message, Publication};
+use xdn_core::adv::{AdvPath, Advertisement};
+use xdn_core::rtable::{AdvId, SubId};
+use xdn_xml::{DocId, PathId};
+use xdn_xpath::Xpe;
+
+const NAMES: [&str; 6] = ["a", "b", "claim", "seq-data", "x1", "n"];
+
+fn name(ix: usize) -> String {
+    NAMES[ix % NAMES.len()].to_string()
+}
+
+/// Always-valid XPE text built from known-good pieces: `/` or `//`
+/// separators, names or `*` steps, an optional attribute predicate.
+fn xpe_strategy() -> impl Strategy<Value = Xpe> {
+    let step = (any::<bool>(), any::<bool>(), 0usize..NAMES.len()).prop_map(|(deep, star, ix)| {
+        let axis = if deep { "//" } else { "/" };
+        let test = if star { "*".to_string() } else { name(ix) };
+        format!("{axis}{test}")
+    });
+    (
+        proptest::collection::vec(step, 1..5),
+        any::<bool>(),
+        0usize..NAMES.len(),
+    )
+        .prop_map(|(steps, with_pred, ix)| {
+            let mut text = steps.concat();
+            if with_pred {
+                text.push_str(&format!("[@{}='v']", name(ix)));
+            }
+            text.parse::<Xpe>().expect("constructed XPE text is valid")
+        })
+}
+
+fn adv_strategy() -> impl Strategy<Value = Advertisement> {
+    prop_oneof![
+        proptest::collection::vec(0usize..NAMES.len(), 1..5).prop_map(|ixs| {
+            let names: Vec<String> = ixs.into_iter().map(name).collect();
+            Advertisement::non_recursive(AdvPath::from_names(&names))
+        }),
+        (
+            0usize..NAMES.len(),
+            0usize..NAMES.len(),
+            0usize..NAMES.len()
+        )
+            .prop_map(|(a, b, c)| {
+                Advertisement::parse(&format!("/{}(/{})+/{}", name(a), name(b), name(c)))
+                    .expect("constructed recursive advertisement is valid")
+            }),
+    ]
+}
+
+fn publication_strategy() -> impl Strategy<Value = Publication> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        proptest::collection::vec(0usize..NAMES.len(), 1..6),
+        any::<bool>(),
+        0usize..1_000_000,
+    )
+        .prop_map(|(doc, path, ixs, with_attr, bytes)| {
+            let elements: Vec<String> = ixs.iter().copied().map(name).collect();
+            let mut attributes: Vec<Vec<(String, String)>> =
+                elements.iter().map(|_| Vec::new()).collect();
+            if with_attr {
+                attributes[0].push(("lang".to_string(), "en".to_string()));
+            }
+            Publication {
+                doc_id: DocId(doc),
+                path_id: PathId(path),
+                elements,
+                attributes,
+                doc_bytes: bytes,
+            }
+        })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), adv_strategy()).prop_map(|(id, adv)| Message::advertise(AdvId(id), adv)),
+        any::<u64>().prop_map(|id| Message::Unadvertise { id: AdvId(id) }),
+        (any::<u64>(), xpe_strategy()).prop_map(|(id, xpe)| Message::subscribe(SubId(id), xpe)),
+        any::<u64>().prop_map(|id| Message::Unsubscribe { id: SubId(id) }),
+        publication_strategy().prop_map(Message::Publish),
+        Just(Message::Heartbeat),
+        Just(Message::SyncRequest),
+        (
+            proptest::collection::vec((any::<u64>(), adv_strategy()), 0..4),
+            proptest::collection::vec((any::<u64>(), xpe_strategy()), 0..4),
+        )
+            .prop_map(|(advs, subs)| Message::SyncState {
+                advs: advs.into_iter().map(|(id, a)| (AdvId(id), a)).collect(),
+                subs: subs.into_iter().map(|(id, x)| (SubId(id), x)).collect(),
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Err is fine; tearing down the process is not.
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_frames(
+        msg in message_strategy(),
+        flip_at in any::<u16>(),
+        flip_with in 1u8..=255,
+    ) {
+        let mut frame = wire::encode(&msg).to_vec();
+        let ix = flip_at as usize % frame.len();
+        frame[ix] ^= flip_with;
+        let _ = wire::decode(&frame);
+    }
+
+    #[test]
+    fn every_message_round_trips(msg in message_strategy()) {
+        let frame = wire::encode(&msg);
+        let (decoded, consumed) = wire::decode(&frame).expect("own encoding must decode");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes(
+        msg in message_strategy(),
+        trailer in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let frame = wire::encode(&msg);
+        let mut stream = frame.to_vec();
+        stream.extend_from_slice(&trailer);
+        let (decoded, consumed) = wire::decode(&stream).expect("framed prefix must decode");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(consumed, frame.len());
+    }
+}

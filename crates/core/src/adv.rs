@@ -60,8 +60,7 @@ impl AdvPath {
     /// True if a concrete publication path (same length) is advertised
     /// by this path: element-wise name equality, wildcards free.
     pub fn matches_path<S: AsRef<str>>(&self, path: &[S]) -> bool {
-        self.0.len() == path.len()
-            && self.0.iter().zip(path).all(|(t, e)| t.accepts(e.as_ref()))
+        self.0.len() == path.len() && self.0.iter().zip(path).all(|(t, e)| t.accepts(e.as_ref()))
     }
 }
 
@@ -101,9 +100,9 @@ impl AdvSegment {
     fn has_nested_repeat(&self) -> bool {
         match self {
             AdvSegment::Plain(_) => false,
-            AdvSegment::Repeat(inner) => inner.iter().any(|s| {
-                s.contains_repeat() || s.has_nested_repeat()
-            }),
+            AdvSegment::Repeat(inner) => inner
+                .iter()
+                .any(|s| s.contains_repeat() || s.has_nested_repeat()),
         }
     }
 }
@@ -161,7 +160,10 @@ impl Advertisement {
     /// Panics if `segments` is empty or contributes zero positions.
     pub fn new(segments: Vec<AdvSegment>) -> Self {
         let adv = Advertisement { segments };
-        assert!(adv.min_len() > 0, "an advertisement has at least one position");
+        assert!(
+            adv.min_len() > 0,
+            "an advertisement has at least one position"
+        );
         adv
     }
 
@@ -266,7 +268,9 @@ pub struct AdvParseError {
 
 impl AdvParseError {
     fn new(message: impl Into<String>) -> Self {
-        AdvParseError { message: message.into() }
+        AdvParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -381,9 +385,10 @@ fn matches_repeat<S: AsRef<str>>(
     }
     for end in pos + min..=path.len() {
         if consumes_exactly(inner, path, pos, end)
-            && (matches_segments(rest, path, end) || matches_repeat(inner, rest, path, end)) {
-                return true;
-            }
+            && (matches_segments(rest, path, end) || matches_repeat(inner, rest, path, end))
+        {
+            return true;
+        }
     }
     false
 }
@@ -441,7 +446,14 @@ fn expand_rec(
                 // iterations or continue with the following segments.
                 let mut iteration_variants = Vec::new();
                 let mut tmp = Vec::new();
-                expand_rec(inner, 0, max_reps, max_len, &mut tmp, &mut iteration_variants);
+                expand_rec(
+                    inner,
+                    0,
+                    max_reps,
+                    max_len,
+                    &mut tmp,
+                    &mut iteration_variants,
+                );
                 for variant in iteration_variants {
                     let before = acc.len();
                     acc.extend(variant.positions().iter().cloned());
@@ -450,7 +462,14 @@ fn expand_rec(
                     // …or keep iterating.
                     if reps_left > 1 {
                         iterate(
-                            inner, segments, idx, reps_left - 1, max_reps, max_len, acc, out,
+                            inner,
+                            segments,
+                            idx,
+                            reps_left - 1,
+                            max_reps,
+                            max_len,
+                            acc,
+                            out,
                         );
                     }
                     acc.truncate(before);
@@ -473,7 +492,10 @@ pub struct DeriveOptions {
 
 impl Default for DeriveOptions {
     fn default() -> Self {
-        DeriveOptions { max_len: 10, max_advertisements: 200_000 }
+        DeriveOptions {
+            max_len: 10,
+            max_advertisements: 200_000,
+        }
     }
 }
 
@@ -548,7 +570,11 @@ impl Walker<'_> {
             // A document may end a path right after a whole number of
             // body iterations, when the body's last element can be
             // childless.
-            if self.names.last().is_some_and(|last| self.dtd.may_be_empty(last)) {
+            if self
+                .names
+                .last()
+                .is_some_and(|last| self.dtd.may_be_empty(last))
+            {
                 self.emit();
             }
             // Continue the walk re-entering the body once: this covers
@@ -595,11 +621,13 @@ impl Walker<'_> {
         let mut pos = 0usize;
         for &(start, end) in &self.repeats {
             if start > pos {
-                segments.push(AdvSegment::Plain(AdvPath::from_names(&self.names[pos..start])));
+                segments.push(AdvSegment::Plain(AdvPath::from_names(
+                    &self.names[pos..start],
+                )));
             }
-            segments.push(AdvSegment::Repeat(vec![AdvSegment::Plain(AdvPath::from_names(
-                &self.names[start..end],
-            ))]));
+            segments.push(AdvSegment::Repeat(vec![AdvSegment::Plain(
+                AdvPath::from_names(&self.names[start..end]),
+            )]));
             pos = end;
         }
         if pos < self.names.len() {
@@ -630,7 +658,12 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for src in ["/a/b/c", "/a/b(/c/d)+/e", "/a(/b)+/c(/d)+/e", "/a(/b(/c)+/d)+/e"] {
+        for src in [
+            "/a/b/c",
+            "/a/b(/c/d)+/e",
+            "/a(/b)+/c(/d)+/e",
+            "/a(/b(/c)+/d)+/e",
+        ] {
             let a = adv(src);
             assert_eq!(a.to_string(), src);
             let re = Advertisement::parse(&a.to_string()).unwrap();
@@ -724,16 +757,18 @@ mod tests {
                 .iter()
                 .map(|t| t.name().expect("derivation emits names").to_owned())
                 .collect();
-            assert!(a.matches_path(&concrete), "expansion {exp} must match its advertisement");
+            assert!(
+                a.matches_path(&concrete),
+                "expansion {exp} must match its advertisement"
+            );
         }
     }
 
     #[test]
     fn derive_non_recursive() {
-        let dtd = Dtd::parse(
-            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
-        )
-        .unwrap();
+        let dtd =
+            Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+                .unwrap();
         let advs = derive_advertisements(&dtd, &DeriveOptions::default());
         let strs: BTreeSet<String> = advs.iter().map(|a| a.to_string()).collect();
         assert_eq!(
@@ -750,13 +785,21 @@ mod tests {
         let strs: BTreeSet<String> = advs.iter().map(|a| a.to_string()).collect();
         // Direct exit and the cycled form.
         assert!(strs.contains("/a/b"), "missing /a/b in {strs:?}");
-        assert!(strs.iter().any(|s| s.contains(")+")), "no recursive advertisement in {strs:?}");
+        assert!(
+            strs.iter().any(|s| s.contains(")+")),
+            "no recursive advertisement in {strs:?}"
+        );
         // Recursive advertisement matches deep nestings.
-        let rec = advs.iter().find(|a| a.kind() != AdvKind::NonRecursive).unwrap();
-        assert!(rec.matches_path(&["a", "a", "a", "b"]) || {
-            // at minimum, SOME derived adv matches the deep path
-            advs.iter().any(|a| a.matches_path(&["a", "a", "a", "b"]))
-        });
+        let rec = advs
+            .iter()
+            .find(|a| a.kind() != AdvKind::NonRecursive)
+            .unwrap();
+        assert!(
+            rec.matches_path(&["a", "a", "a", "b"]) || {
+                // at minimum, SOME derived adv matches the deep path
+                advs.iter().any(|a| a.matches_path(&["a", "a", "a", "b"]))
+            }
+        );
     }
 
     #[test]
@@ -790,7 +833,10 @@ mod tests {
     #[test]
     fn derive_respects_caps() {
         let dtd = Dtd::parse("<!ELEMENT a (a?, b)><!ELEMENT b EMPTY>").unwrap();
-        let opts = DeriveOptions { max_len: 10, max_advertisements: 2 };
+        let opts = DeriveOptions {
+            max_len: 10,
+            max_advertisements: 2,
+        };
         let advs = derive_advertisements(&dtd, &opts);
         assert!(advs.len() <= 2);
     }

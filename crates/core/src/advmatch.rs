@@ -38,7 +38,10 @@ pub fn abs_expr_and_adv(adv: &AdvPath, sub: &Xpe) -> bool {
     debug_assert!(sub.is_absolute() && sub.is_simple());
     let steps = sub.steps();
     steps.len() <= adv.len()
-        && steps.iter().zip(adv.positions()).all(|(s, a)| s.test.overlaps(a))
+        && steps
+            .iter()
+            .zip(adv.positions())
+            .all(|(s, a)| s.test.overlaps(a))
 }
 
 /// Naive `RelExprAndAdv` (§3.2): overlap of a *relative simple* XPE
@@ -51,8 +54,12 @@ pub fn rel_expr_and_adv_naive(adv: &AdvPath, sub: &Xpe) -> bool {
     if pattern.len() > text.len() {
         return false;
     }
-    (0..=text.len() - pattern.len())
-        .any(|o| pattern.iter().zip(&text[o..]).all(|(s, a)| s.test.overlaps(a)))
+    (0..=text.len() - pattern.len()).any(|o| {
+        pattern
+            .iter()
+            .zip(&text[o..])
+            .all(|(s, a)| s.test.overlaps(a))
+    })
 }
 
 /// Optimized `RelExprAndAdv` (§3.2): the KMP-style variant.
@@ -116,9 +123,7 @@ pub(crate) fn overlap_borders(pattern: &[Step]) -> Vec<usize> {
         // Longest b < j with pattern[i] ~ pattern[j-b+i] for all i < b.
         borders[j] = (1..j)
             .rev()
-            .find(|&b| {
-                (0..b).all(|i| pattern[i].test.overlaps(&pattern[j - b + i].test))
-            })
+            .find(|&b| (0..b).all(|i| pattern[i].test.overlaps(&pattern[j - b + i].test)))
             .unwrap_or(0);
     }
     borders
@@ -160,7 +165,10 @@ pub fn des_expr_and_adv(adv: &AdvPath, sub: &Xpe) -> bool {
 
 fn window_overlaps(frag: &[Step], text: &[NodeTest], at: usize) -> bool {
     at + frag.len() <= text.len()
-        && frag.iter().zip(&text[at..]).all(|(s, t)| s.test.overlaps(t))
+        && frag
+            .iter()
+            .zip(&text[at..])
+            .all(|(s, t)| s.test.overlaps(t))
 }
 
 /// `AbsExprAndSimRecAdv` (Figure 3): overlap of an absolute simple XPE
@@ -191,7 +199,11 @@ pub fn abs_expr_and_sim_rec_adv(a1: &AdvPath, a2: &AdvPath, a3: &AdvPath, sub: &
     }
     // Lines 4-6: bound the repetition count.
     let l123 = l12 + a3.len();
-    let q = if s <= l123 { 0 } else { (s - l123) / a2.len() + 1 };
+    let q = if s <= l123 {
+        0
+    } else {
+        (s - l123) / a2.len() + 1
+    };
     let p = (s - l12) / a2.len();
     // Lines 7-12: try each repetition count; with c extra repetitions
     // the tail of the subscription beyond a1 a2 a2^c must overlap a3
@@ -213,7 +225,10 @@ pub fn abs_expr_and_sim_rec_adv(a1: &AdvPath, a2: &AdvPath, a3: &AdvPath, sub: &
 fn segment_overlaps(adv: &AdvPath, sub: &Xpe, from: usize, to: usize) -> bool {
     let steps = &sub.steps()[from..to.min(sub.len())];
     steps.len() <= adv.len()
-        && steps.iter().zip(adv.positions()).all(|(s, a)| s.test.overlaps(a))
+        && steps
+            .iter()
+            .zip(adv.positions())
+            .all(|(s, a)| s.test.overlaps(a))
 }
 
 /// Overlap of the subscription tail starting at `from` against `adv`
@@ -322,7 +337,11 @@ impl PreparedAdv {
                 .unwrap_or(1);
             Some(adv.expansions(2 * k + 2, adv.min_len() + k + longest_period + 1))
         };
-        PreparedAdv { adv, expansions, max_sub_len }
+        PreparedAdv {
+            adv,
+            expansions,
+            max_sub_len,
+        }
     }
 
     /// The underlying advertisement.
@@ -338,7 +357,9 @@ impl PreparedAdv {
         }
         match &self.expansions {
             None => nonrec_overlaps(
-                self.adv.as_non_recursive().expect("non-recursive by construction"),
+                self.adv
+                    .as_non_recursive()
+                    .expect("non-recursive by construction"),
                 sub,
             ),
             Some(exps) => exps.iter().any(|e| nonrec_overlaps(e, sub)),
@@ -365,7 +386,11 @@ fn nonrec_overlaps(path: &AdvPath, sub: &Xpe) -> bool {
 /// subscription covering (§4.2 note).
 pub fn adv_covers(a1: &AdvPath, a2: &AdvPath) -> bool {
     a1.len() == a2.len()
-        && a1.positions().iter().zip(a2.positions()).all(|(x, y)| x.covers(y))
+        && a1
+            .positions()
+            .iter()
+            .zip(a2.positions())
+            .all(|(x, y)| x.covers(y))
 }
 
 #[cfg(test)]
@@ -480,7 +505,12 @@ mod tests {
         let a1 = path(&["a", "*", "c"]);
         let a2 = path(&["e", "d"]);
         let a3 = path(&["*", "c", "e"]);
-        assert!(abs_expr_and_sim_rec_adv(&a1, &a2, &a3, &xpe("/*/a/c/*/d/e/d/*")));
+        assert!(abs_expr_and_sim_rec_adv(
+            &a1,
+            &a2,
+            &a3,
+            &xpe("/*/a/c/*/d/e/d/*")
+        ));
     }
 
     #[test]
@@ -540,7 +570,10 @@ mod tests {
         let adv = Advertisement::parse("/news/section(/section)+/article").unwrap();
         assert!(adv_overlaps_sub(&adv, &xpe("section/article")));
         assert!(adv_overlaps_sub(&adv, &xpe("/news//article")));
-        assert!(adv_overlaps_sub(&adv, &xpe("/news/section/section/section/article")));
+        assert!(adv_overlaps_sub(
+            &adv,
+            &xpe("/news/section/section/section/article")
+        ));
         assert!(!adv_overlaps_sub(&adv, &xpe("/news/article")));
     }
 

@@ -54,8 +54,7 @@ pub fn covers(s1: &Xpe, s2: &Xpe) -> bool {
 pub fn abs_sim_cov(s1: &Xpe, s2: &Xpe) -> bool {
     debug_assert!(s1.is_absolute() && s1.is_simple());
     debug_assert!(s2.is_absolute() && s2.is_simple());
-    s1.len() <= s2.len()
-        && s1.steps().iter().zip(s2.steps()).all(|(a, b)| a.covers(b))
+    s1.len() <= s2.len() && s1.steps().iter().zip(s2.steps()).all(|(a, b)| a.covers(b))
 }
 
 /// Naive `RelSimCov` (§4.2): a relative simple `s1` covers `s2`
@@ -68,8 +67,7 @@ pub fn rel_sim_cov_naive(s1: &Xpe, s2: &Xpe) -> bool {
     if pat.len() > text.len() {
         return false;
     }
-    (0..=text.len() - pat.len())
-        .any(|o| pat.iter().zip(&text[o..]).all(|(a, b)| a.covers(b)))
+    (0..=text.len() - pat.len()).any(|o| pat.iter().zip(&text[o..]).all(|(a, b)| a.covers(b)))
 }
 
 /// Optimized `RelSimCov` (§4.2): the same decision with the KMP-style
@@ -257,8 +255,7 @@ fn guaranteed_between(f2: &[&[Step]], j: usize, pos: usize, jj: usize) -> usize 
     if jj == j {
         return 0;
     }
-    (f2[j].len() - pos.min(f2[j].len()))
-        + f2[j + 1..jj].iter().map(|f| f.len()).sum::<usize>()
+    (f2[j].len() - pos.min(f2[j].len())) + f2[j + 1..jj].iter().map(|f| f.len()).sum::<usize>()
 }
 
 #[cfg(test)]

@@ -52,12 +52,19 @@ pub fn try_merge_rule1(xpes: &[&Xpe]) -> Option<Xpe> {
     }
     let len = first.len();
     let absolute = first.is_absolute();
-    if rest.iter().any(|x| x.len() != len || x.is_absolute() != absolute) {
+    if rest
+        .iter()
+        .any(|x| x.len() != len || x.is_absolute() != absolute)
+    {
         return None;
     }
     // Operators must agree everywhere.
     for x in rest {
-        if x.steps().iter().zip(first.steps()).any(|(a, b)| a.axis != b.axis) {
+        if x.steps()
+            .iter()
+            .zip(first.steps())
+            .any(|(a, b)| a.axis != b.axis)
+        {
             return None;
         }
     }
@@ -65,10 +72,9 @@ pub fn try_merge_rule1(xpes: &[&Xpe]) -> Option<Xpe> {
     let mut diff_pos: Option<usize> = None;
     for i in 0..len {
         let t0 = &first.steps()[i].test;
-        if rest.iter().any(|x| &x.steps()[i].test != t0)
-            && diff_pos.replace(i).is_some() {
-                return None;
-            }
+        if rest.iter().any(|x| &x.steps()[i].test != t0) && diff_pos.replace(i).is_some() {
+            return None;
+        }
     }
     let i = diff_pos?; // all equal → covering relation, nothing to merge
     let mut steps: Vec<Step> = first.steps().to_vec();
@@ -293,7 +299,10 @@ pub fn merge_tree<T: Default, S: AsRef<str>>(
     // the imperfect trajectory then extends the perfect one, so a
     // looser budget can never end with a larger table.
     if cfg.max_degree > 0.0 {
-        let perfect = MergeConfig { max_degree: 0.0, ..cfg.clone() };
+        let perfect = MergeConfig {
+            max_degree: 0.0,
+            ..cfg.clone()
+        };
         let sub = merge_tree(tree, universe, &perfect);
         report.mergers.extend(sub.mergers);
         report.rounds += sub.rounds;
@@ -310,14 +319,18 @@ pub fn merge_tree<T: Default, S: AsRef<str>>(
         for cand in candidates {
             match cand {
                 MergeCandidate::Group(ids) => {
-                    let live: Vec<NodeId> =
-                        ids.into_iter().filter(|&n| tree.parent(n).is_none()).collect();
+                    let live: Vec<NodeId> = ids
+                        .into_iter()
+                        .filter(|&n| tree.parent(n).is_none())
+                        .collect();
                     if live.len() < 2 {
                         continue;
                     }
                     let xpes: Vec<Xpe> = live.iter().map(|&n| tree.xpe(n).clone()).collect();
                     let refs: Vec<&Xpe> = xpes.iter().collect();
-                    let Some(m) = try_merge_rule1(&refs) else { continue };
+                    let Some(m) = try_merge_rule1(&refs) else {
+                        continue;
+                    };
                     let d = imperfect_degree(&m, &refs, universe);
                     if d <= cfg.max_degree {
                         scored.push((d, m, live));
@@ -328,7 +341,9 @@ pub fn merge_tree<T: Default, S: AsRef<str>>(
                         continue;
                     }
                     let (xa, xb) = (tree.xpe(a).clone(), tree.xpe(b).clone());
-                    let Some(m) = try_merge_pair(&xa, &xb, cfg) else { continue };
+                    let Some(m) = try_merge_pair(&xa, &xb, cfg) else {
+                        continue;
+                    };
                     let d = imperfect_degree(&m, &[&xa, &xb], universe);
                     if d <= cfg.max_degree {
                         scored.push((d, m, vec![a, b]));
@@ -344,7 +359,12 @@ pub fn merge_tree<T: Default, S: AsRef<str>>(
         for (_, merged, members) in scored {
             // Members may have been demoted by an earlier merger this
             // round; skip stale entries.
-            if members.iter().filter(|&&n| tree.parent(n).is_none()).count() < 2 {
+            if members
+                .iter()
+                .filter(|&&n| tree.parent(n).is_none())
+                .count()
+                < 2
+            {
                 continue;
             }
             match tree.insert(merged, T::default()) {
@@ -573,7 +593,10 @@ mod tests {
 
     #[test]
     fn all_mergers_cover_inputs() {
-        let cfg = MergeConfig { rule3_min_shared: 0.0, ..Default::default() };
+        let cfg = MergeConfig {
+            rule3_min_shared: 0.0,
+            ..Default::default()
+        };
         let cases = [
             ("/a/b/c", "/a/b/d"),
             ("/a/b/c", "/a//b/d"),
@@ -603,8 +626,10 @@ mod tests {
     #[test]
     fn degree_of_perfect_merger_is_zero() {
         // /a/b/* ∪-merges /a/b/b … /a/b/e exactly.
-        let parts: Vec<Xpe> =
-            ["b", "c", "d", "e"].iter().map(|y| xpe(&format!("/a/b/{y}"))).collect();
+        let parts: Vec<Xpe> = ["b", "c", "d", "e"]
+            .iter()
+            .map(|y| xpe(&format!("/a/b/{y}")))
+            .collect();
         let refs: Vec<&Xpe> = parts.iter().collect();
         let m = xpe("/a/b/*");
         assert_eq!(imperfect_degree(&m, &refs, &universe()), 0.0);
@@ -618,12 +643,12 @@ mod tests {
         let s2 = xpe("/a/b/e");
         let m = xpe("/a/b/*");
         // Universe restricted to /a/b/<y>, y ∈ {b,c,d,e} (4 options):
-        let u: Vec<Vec<String>> = universe()
-            .into_iter()
-            .filter(|p| p[1] == "b")
-            .collect();
+        let u: Vec<Vec<String>> = universe().into_iter().filter(|p| p[1] == "b").collect();
         let d = imperfect_degree(&m, &[&s1, &s2], &u);
-        assert!((d - 0.5).abs() < 1e-9, "2 of 4 covered -> degree 0.5, got {d}");
+        assert!(
+            (d - 0.5).abs() < 1e-9,
+            "2 of 4 covered -> degree 0.5, got {d}"
+        );
     }
 
     #[test]
@@ -639,7 +664,10 @@ mod tests {
             t.insert(xpe(&format!("/a/b/{y}")), vec![]);
         }
         assert_eq!(t.root_count(), 4);
-        let cfg = MergeConfig { max_degree: 0.0, ..Default::default() };
+        let cfg = MergeConfig {
+            max_degree: 0.0,
+            ..Default::default()
+        };
         let report = merge_tree(&mut t, &universe(), &cfg);
         assert!(!report.mergers.is_empty());
         assert_eq!(t.root_count(), 1, "all four merge into /a/b/*");
@@ -652,11 +680,17 @@ mod tests {
         t.insert(xpe("/a/b/d"), vec![]);
         t.insert(xpe("/a/b/e"), vec![]);
         // /a/b/* would select 4 paths, the originals 2 → degree 0.5.
-        let strict = MergeConfig { max_degree: 0.1, ..Default::default() };
+        let strict = MergeConfig {
+            max_degree: 0.1,
+            ..Default::default()
+        };
         let report = merge_tree(&mut t, &universe(), &strict);
         assert!(report.mergers.is_empty());
         assert_eq!(t.root_count(), 2);
-        let loose = MergeConfig { max_degree: 0.6, ..Default::default() };
+        let loose = MergeConfig {
+            max_degree: 0.6,
+            ..Default::default()
+        };
         let report = merge_tree(&mut t, &universe(), &loose);
         assert_eq!(report.mergers.len(), 1);
         assert_eq!(t.root_count(), 1);
@@ -673,9 +707,16 @@ mod tests {
         for (x, y) in [("c", "b"), ("c", "c"), ("c", "d"), ("c", "e")] {
             t.insert(xpe(&format!("/a/{x}/{y}")), vec![]);
         }
-        let cfg = MergeConfig { max_degree: 0.5, ..Default::default() };
+        let cfg = MergeConfig {
+            max_degree: 0.5,
+            ..Default::default()
+        };
         merge_tree(&mut t, &universe(), &cfg);
-        assert!(t.root_count() <= 2, "root count {} after cascade", t.root_count());
+        assert!(
+            t.root_count() <= 2,
+            "root count {} after cascade",
+            t.root_count()
+        );
         t.check_invariants().unwrap();
     }
 }

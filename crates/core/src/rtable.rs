@@ -56,7 +56,9 @@ const SRT_PREPARED_SUB_LEN: usize = 16;
 
 impl<H> Default for Srt<H> {
     fn default() -> Self {
-        Srt { entries: HashMap::new() }
+        Srt {
+            entries: HashMap::new(),
+        }
     }
 }
 
@@ -70,7 +72,8 @@ impl<H: Clone + Ord> Srt<H> {
     /// repetitions for fast repeated matching. Replaces any previous
     /// entry for the same id (re-flooded advertisements).
     pub fn insert(&mut self, id: AdvId, adv: Advertisement, last_hop: H) {
-        self.entries.insert(id, (PreparedAdv::new(adv, SRT_PREPARED_SUB_LEN), last_hop));
+        self.entries
+            .insert(id, (PreparedAdv::new(adv, SRT_PREPARED_SUB_LEN), last_hop));
     }
 
     /// Removes an advertisement (producer departure).
@@ -100,7 +103,9 @@ impl<H: Clone + Ord> Srt<H> {
 
     /// Iterates over the stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (AdvId, &Advertisement, &H)> {
-        self.entries.iter().map(|(&id, (adv, hop))| (id, adv.adv(), hop))
+        self.entries
+            .iter()
+            .map(|(&id, (adv, hop))| (id, adv.adv(), hop))
     }
 
     /// Compacts the table by dropping non-recursive advertisements
@@ -116,7 +121,9 @@ impl<H: Clone + Ord> Srt<H> {
         let mut dropped = Vec::new();
         for &a in &ids {
             let (pa, ha) = &self.entries[&a];
-            let Some(path_a) = pa.adv().as_non_recursive() else { continue };
+            let Some(path_a) = pa.adv().as_non_recursive() else {
+                continue;
+            };
             let covered = ids.iter().any(|&b| {
                 if a == b || dropped.contains(&b) {
                     return false;
@@ -125,7 +132,9 @@ impl<H: Clone + Ord> Srt<H> {
                 if ha != hb {
                     return false;
                 }
-                let Some(path_b) = pb.adv().as_non_recursive() else { return false };
+                let Some(path_b) = pb.adv().as_non_recursive() else {
+                    return false;
+                };
                 // Equal advertisements tie-break on id so exactly one
                 // survives.
                 crate::advmatch::adv_covers(path_b, path_a)
@@ -272,8 +281,12 @@ impl<H: Clone + Ord> Prt<H> {
             // routing target; nothing is owed.
             return Vec::new();
         }
-        let mut hops: Vec<H> =
-            self.tree.payload(root).iter().map(|(_, h)| h.clone()).collect();
+        let mut hops: Vec<H> = self
+            .tree
+            .payload(root)
+            .iter()
+            .map(|(_, h)| h.clone())
+            .collect();
         hops.sort();
         hops.dedup();
         hops.retain(|h| h != arriving);
@@ -288,12 +301,18 @@ impl<H: Clone + Ord> Prt<H> {
     /// in a network that retracts covered subscriptions).
     pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
         let Some(node) = self.by_sub.remove(&id) else {
-            return UnsubscribeOutcome { forward: false, promote: Vec::new() };
+            return UnsubscribeOutcome {
+                forward: false,
+                promote: Vec::new(),
+            };
         };
         let subs = self.tree.payload_mut(node);
         subs.retain(|(s, _)| *s != id);
         if !subs.is_empty() {
-            return UnsubscribeOutcome { forward: false, promote: Vec::new() };
+            return UnsubscribeOutcome {
+                forward: false,
+                promote: Vec::new(),
+            };
         }
         let was_top = self.tree.parent(node).is_none();
         self.by_xpe.remove(&self.tree.xpe(node).clone());
@@ -327,9 +346,10 @@ impl<H: Clone + Ord> Prt<H> {
         attrs: &[Vec<(String, String)>],
     ) -> BTreeSet<H> {
         let mut out = BTreeSet::new();
-        self.tree.for_each_matching_with_attrs(path, attrs, |_, subs| {
-            out.extend(subs.iter().map(|(_, h)| h.clone()));
-        });
+        self.tree
+            .for_each_matching_with_attrs(path, attrs, |_, subs| {
+                out.extend(subs.iter().map(|(_, h)| h.clone()));
+            });
         out
     }
 
@@ -428,7 +448,9 @@ pub struct FlatPrt<H> {
 
 impl<H> Default for FlatPrt<H> {
     fn default() -> Self {
-        FlatPrt { entries: HashMap::new() }
+        FlatPrt {
+            entries: HashMap::new(),
+        }
     }
 }
 
@@ -441,13 +463,20 @@ impl<H: Clone + Ord> FlatPrt<H> {
     /// Registers a subscription; always forwarded (no covering).
     pub fn subscribe(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
         self.entries.insert(id, (xpe, last_hop));
-        SubscribeOutcome { forward: true, retract: Vec::new(), covered_root_hops: Vec::new() }
+        SubscribeOutcome {
+            forward: true,
+            retract: Vec::new(),
+            covered_root_hops: Vec::new(),
+        }
     }
 
     /// Removes a subscription.
     pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
         let known = self.entries.remove(&id).is_some();
-        UnsubscribeOutcome { forward: known, promote: Vec::new() }
+        UnsubscribeOutcome {
+            forward: known,
+            promote: Vec::new(),
+        }
     }
 
     /// Scans every subscription for matches.
@@ -463,9 +492,7 @@ impl<H: Clone + Ord> FlatPrt<H> {
     ) -> BTreeSet<H> {
         self.entries
             .values()
-            .filter(|(xpe, _)| {
-                xdn_xpath::matching::matches_path_with_attrs(xpe, path, attrs)
-            })
+            .filter(|(xpe, _)| xdn_xpath::matching::matches_path_with_attrs(xpe, path, attrs))
             .map(|(_, h)| h.clone())
             .collect()
     }
@@ -595,7 +622,10 @@ mod tests {
         prt.subscribe(SubId(1), xpe("/a/b"), "h1");
         prt.subscribe(SubId(2), xpe("/a/b"), "h2");
         let out = prt.unsubscribe(SubId(1));
-        assert!(!out.forward, "another subscriber still needs the expression");
+        assert!(
+            !out.forward,
+            "another subscriber still needs the expression"
+        );
         assert_eq!(prt.route(&["a", "b"]).len(), 1);
     }
 
@@ -626,8 +656,7 @@ mod tests {
             prt.subscribe(SubId(i as u64), xpe(s), i);
             flat.subscribe(SubId(i as u64), xpe(s), i);
         }
-        let paths: [&[&str]; 4] =
-            [&["a", "b"], &["a", "q", "c"], &["x", "y"], &["z", "b", "c"]];
+        let paths: [&[&str]; 4] = [&["a", "b"], &["a", "q", "c"], &["x", "y"], &["z", "b", "c"]];
         for p in paths {
             assert_eq!(prt.route(p), flat.route(p), "divergence on {p:?}");
         }

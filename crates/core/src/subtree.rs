@@ -173,7 +173,10 @@ impl<T> SubscriptionTree<T> {
     /// Creates a tree that maintains super pointers eagerly on every
     /// insert — the ablation counterpart of the default lazy mode.
     pub fn with_eager_super_pointers() -> Self {
-        SubscriptionTree { eager_supers: true, ..Self::new() }
+        SubscriptionTree {
+            eager_supers: true,
+            ..Self::new()
+        }
     }
 
     /// Number of stored subscriptions.
@@ -243,7 +246,8 @@ impl<T> SubscriptionTree<T> {
     /// Iterates over every stored node.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Xpe, &T)> {
         self.nodes.iter().enumerate().filter_map(|(i, slot)| {
-            slot.as_ref().map(|n| (NodeId(i as u32), &n.xpe, &n.payload))
+            slot.as_ref()
+                .map(|n| (NodeId(i as u32), &n.xpe, &n.payload))
         })
     }
 
@@ -258,9 +262,12 @@ impl<T> SubscriptionTree<T> {
             // Find the first sibling covering the new subscription.
             let coverer = match parent {
                 None => self.find_root_coverer(&xpe),
-                Some(p) => {
-                    self.node(p).children.iter().copied().find(|&c| covers(&self.node(c).xpe, &xpe))
-                }
+                Some(p) => self
+                    .node(p)
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| covers(&self.node(c).xpe, &xpe)),
             };
             if let Some(c) = coverer {
                 parent = Some(c);
@@ -304,11 +311,17 @@ impl<T> SubscriptionTree<T> {
                 self.add_super_pointers_for(id);
             }
             return match parent {
-                None => Insertion::NewTop { id, demoted: covered },
+                None => Insertion::NewTop {
+                    id,
+                    demoted: covered,
+                },
                 Some(_) => {
                     // The nearest covering ancestor is the insertion
                     // parent itself.
-                    Insertion::CoveredBy { by: parent.expect("checked"), id }
+                    Insertion::CoveredBy {
+                        by: parent.expect("checked"),
+                        id,
+                    }
                 }
             };
         }
@@ -391,7 +404,12 @@ impl<T> SubscriptionTree<T> {
 
     fn collect_covered(&self, key: &RootKey, xpe: &Xpe, out: &mut Vec<NodeId>) {
         if let Some(bucket) = self.root_index.get(key) {
-            out.extend(bucket.iter().copied().filter(|&id| covers(xpe, &self.node(id).xpe)));
+            out.extend(
+                bucket
+                    .iter()
+                    .copied()
+                    .filter(|&id| covers(xpe, &self.node(id).xpe)),
+            );
         }
     }
 
@@ -517,7 +535,13 @@ impl<T> SubscriptionTree<T> {
     /// Depth of the deepest node (empty tree has depth 0).
     pub fn depth(&self) -> usize {
         fn rec<T>(tree: &SubscriptionTree<T>, id: NodeId) -> usize {
-            1 + tree.node(id).children.iter().map(|&c| rec(tree, c)).max().unwrap_or(0)
+            1 + tree
+                .node(id)
+                .children
+                .iter()
+                .map(|&c| rec(tree, c))
+                .max()
+                .unwrap_or(0)
         }
         self.roots.iter().map(|&r| rec(self, r)).max().unwrap_or(0)
     }
@@ -683,7 +707,10 @@ mod tests {
         let b = t.insert(xpe("/a/*"), 1).id();
         let c = t.insert(xpe("/a/b/c"), 2).id();
         let (_, promoted) = t.remove(b);
-        assert!(promoted.is_empty(), "child promoted to grandparent, not to top");
+        assert!(
+            promoted.is_empty(),
+            "child promoted to grandparent, not to top"
+        );
         assert_eq!(t.parent(c), Some(a));
         t.check_invariants().unwrap();
     }
@@ -712,8 +739,8 @@ mod tests {
         // super pointer appears when a relation crosses subtrees:
         let wide1 = t.insert(xpe("/a/*"), 2).id(); // adopts /a/b
         let rel = t.insert(xpe("b"), 3).id(); // adopts /x/b, covers /a/b via subtree of /a/*
-        // rel covers /a/* ? no. rel covers /a/b which lives inside
-        // /a/*'s subtree → super pointer.
+                                              // rel covers /a/* ? no. rel covers /a/b which lives inside
+                                              // /a/*'s subtree → super pointer.
         let supers = t.super_pointers(rel);
         assert_eq!(supers.len(), 1);
         assert!(covers(t.xpe(rel), t.xpe(supers[0])));
@@ -794,7 +821,10 @@ mod tests {
         let a = t.insert(xpe("/a/b"), 1);
         let b = t.insert(xpe("/a/b"), 2);
         assert!(a.forward());
-        assert!(!b.forward(), "an equal subscription is mutually covering; not reforwarded");
+        assert!(
+            !b.forward(),
+            "an equal subscription is mutually covering; not reforwarded"
+        );
         t.check_invariants().unwrap();
     }
 

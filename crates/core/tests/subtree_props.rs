@@ -28,7 +28,11 @@ fn arb_xpe() -> impl Strategy<Value = Xpe> {
                 absolute,
                 steps
                     .into_iter()
-                    .map(|(axis, test)| Step { axis, test, predicates: Vec::new() })
+                    .map(|(axis, test)| Step {
+                        axis,
+                        test,
+                        predicates: Vec::new(),
+                    })
                     .collect(),
             )
         })
@@ -52,7 +56,10 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 fn arb_path() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec((0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()), 1..6)
+    prop::collection::vec(
+        (0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()),
+        1..6,
+    )
 }
 
 proptest! {

@@ -70,11 +70,17 @@ fn main() {
         }
         i += 1;
     }
-    let (Some(id), Some(listen)) = (id, listen) else { usage() };
+    let (Some(id), Some(listen)) = (id, listen) else {
+        usage()
+    };
 
     match TcpNode::start(BrokerId(id), strategy, listen, &peers) {
         Ok(node) => {
-            println!("xdn-node {id} listening on {} ({} peers)", node.addr(), peers.len());
+            println!(
+                "xdn-node {id} listening on {} ({} peers)",
+                node.addr(),
+                peers.len()
+            );
             // Run until interrupted.
             loop {
                 std::thread::park();

@@ -32,7 +32,10 @@ pub struct ClusterLan {
 
 impl Default for ClusterLan {
     fn default() -> Self {
-        ClusterLan { base: Duration::from_micros(120), bytes_per_sec: 120_000_000 }
+        ClusterLan {
+            base: Duration::from_micros(120),
+            bytes_per_sec: 120_000_000,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ pub struct PlanetLabWan {
 impl PlanetLabWan {
     /// A default model with a different seed (different link draws).
     pub fn with_seed(seed: u64) -> Self {
-        PlanetLabWan { seed, ..Default::default() }
+        PlanetLabWan {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -93,7 +99,11 @@ impl PlanetLabWan {
 impl LatencyModel for PlanetLabWan {
     fn link_delay(&mut self, from: BrokerId, to: BrokerId, bytes: usize) -> Duration {
         // Symmetric, per-link stable base.
-        let (a, b) = if from.0 <= to.0 { (from.0, to.0) } else { (to.0, from.0) };
+        let (a, b) = if from.0 <= to.0 {
+            (from.0, to.0)
+        } else {
+            (to.0, from.0)
+        };
         let h = Self::hash(self.seed ^ ((a as u64) << 32 | b as u64));
         let span = self.max_base.as_nanos() as u64 - self.min_base.as_nanos() as u64;
         let base_ns = self.min_base.as_nanos() as u64 + h % span.max(1);
@@ -127,7 +137,10 @@ mod tests {
 
     #[test]
     fn wan_is_per_link_stable_and_symmetric() {
-        let mk = || PlanetLabWan { jitter: 0.0, ..Default::default() };
+        let mk = || PlanetLabWan {
+            jitter: 0.0,
+            ..Default::default()
+        };
         let d1 = mk().link_delay(BrokerId(1), BrokerId(2), 1000);
         let d2 = mk().link_delay(BrokerId(1), BrokerId(2), 1000);
         let d3 = mk().link_delay(BrokerId(2), BrokerId(1), 1000);
@@ -137,7 +150,10 @@ mod tests {
 
     #[test]
     fn wan_links_are_heterogeneous() {
-        let mut wan = PlanetLabWan { jitter: 0.0, ..Default::default() };
+        let mut wan = PlanetLabWan {
+            jitter: 0.0,
+            ..Default::default()
+        };
         let d12 = wan.link_delay(BrokerId(1), BrokerId(2), 1000);
         let d34 = wan.link_delay(BrokerId(3), BrokerId(4), 1000);
         assert_ne!(d12, d34, "different links should draw different bases");
@@ -156,7 +172,10 @@ mod tests {
 
     #[test]
     fn wan_delay_within_bounds_without_jitter() {
-        let mut wan = PlanetLabWan { jitter: 0.0, ..Default::default() };
+        let mut wan = PlanetLabWan {
+            jitter: 0.0,
+            ..Default::default()
+        };
         for i in 0..20u32 {
             let d = wan.link_delay(BrokerId(i), BrokerId(i + 1), 0);
             assert!(d >= wan.min_base && d <= wan.max_base);

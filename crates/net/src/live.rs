@@ -14,6 +14,7 @@ use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
 
 enum Wire {
     Data { from: Dest, msg: Message },
+    Snapshot(Sender<crate::tcp::NodeSnapshot>),
     Stop,
 }
 
@@ -96,13 +97,23 @@ impl LiveNetworkBuilder {
                 while let Ok(wire) = rx.recv() {
                     match wire {
                         Wire::Stop => break,
+                        Wire::Snapshot(reply) => {
+                            let _ = reply.send(crate::tcp::NodeSnapshot {
+                                stats: broker.stats().clone(),
+                                srt_size: broker.srt_size(),
+                                prt_size: broker.prt_size(),
+                                routing_signature: broker.routing_signature(),
+                            });
+                        }
                         Wire::Data { from, msg } => {
                             for (dest, out) in broker.handle(from, msg) {
                                 match dest {
                                     Dest::Broker(b) => {
                                         // A send fails only during shutdown.
-                                        let _ = peers[&b]
-                                            .send(Wire::Data { from: Dest::Broker(id), msg: out });
+                                        let _ = peers[&b].send(Wire::Data {
+                                            from: Dest::Broker(id),
+                                            msg: out,
+                                        });
                                     }
                                     Dest::Client(c) => {
                                         if let Some(tx) = clients.get(&c) {
@@ -119,12 +130,21 @@ impl LiveNetworkBuilder {
             handles.push((id, handle, stats_slot));
         }
 
-        LiveNetwork { broker_tx, client_rx, client_home, handles }
+        LiveNetwork {
+            broker_tx,
+            client_rx,
+            client_home,
+            handles,
+        }
     }
 }
 
 /// A broker thread handle together with its final-statistics slot.
-type BrokerHandle = (BrokerId, JoinHandle<()>, Arc<Mutex<Option<xdn_broker::BrokerStats>>>);
+type BrokerHandle = (
+    BrokerId,
+    JoinHandle<()>,
+    Arc<Mutex<Option<xdn_broker::BrokerStats>>>,
+);
 
 /// A running threaded overlay.
 pub struct LiveNetwork {
@@ -143,17 +163,46 @@ impl LiveNetwork {
     pub fn send(&self, client: ClientId, msg: Message) {
         let home = self.client_home[&client];
         // Failure means the network is shut down; surfaced on join.
-        let _ = self.broker_tx[&home].send(Wire::Data { from: Dest::Client(client), msg });
+        let _ = self.broker_tx[&home].send(Wire::Data {
+            from: Dest::Client(client),
+            msg,
+        });
     }
 
     /// Receives the next message delivered to `client`, waiting up to
     /// `timeout`.
-    pub fn recv_timeout(
-        &self,
-        client: ClientId,
-        timeout: std::time::Duration,
-    ) -> Option<Message> {
+    pub fn recv_timeout(&self, client: ClientId, timeout: std::time::Duration) -> Option<Message> {
         self.client_rx.get(&client)?.recv_timeout(timeout).ok()
+    }
+
+    /// A point-in-time view of one broker's state, or `None` if the
+    /// broker is unknown or shut down.
+    pub fn snapshot(&self, broker: BrokerId) -> Option<crate::tcp::NodeSnapshot> {
+        let (tx, rx) = unbounded();
+        self.broker_tx.get(&broker)?.send(Wire::Snapshot(tx)).ok()?;
+        rx.recv_timeout(std::time::Duration::from_secs(5)).ok()
+    }
+
+    /// Polls [`LiveNetwork::snapshot`] until `pred` holds or `timeout`
+    /// elapses — the bounded replacement for sleeping in tests.
+    pub fn await_state(
+        &self,
+        broker: BrokerId,
+        timeout: std::time::Duration,
+        mut pred: impl FnMut(&crate::tcp::NodeSnapshot) -> bool,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(s) = self.snapshot(broker) {
+                if pred(&s) {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
     }
 
     /// Drains any already-delivered messages for `client`.
@@ -201,9 +250,16 @@ mod tests {
 
         let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
         net.send(ClientId(1), Message::advertise(AdvId(1), adv));
-        net.send(ClientId(2), Message::subscribe(SubId(1), "/a/*".parse().unwrap()));
-        // Give the control plane a moment to settle.
-        std::thread::sleep(Duration::from_millis(50));
+        net.send(
+            ClientId(2),
+            Message::subscribe(SubId(1), "/a/*".parse().unwrap()),
+        );
+        // The control plane has settled once the subscription reaches
+        // the publisher's broker.
+        assert!(
+            net.await_state(BrokerId(0), Duration::from_secs(5), |s| s.prt_size >= 1),
+            "subscription did not propagate to broker 0"
+        );
 
         net.send(
             ClientId(1),
@@ -216,7 +272,10 @@ mod tests {
             }),
         );
         let got = net.recv_timeout(ClientId(2), Duration::from_secs(5));
-        assert!(matches!(got, Some(Message::Publish(_))), "expected delivery, got {got:?}");
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "expected delivery, got {got:?}"
+        );
 
         let stats = net.shutdown();
         assert_eq!(stats.len(), 2);
@@ -231,8 +290,13 @@ mod tests {
             .client(ClientId(1), BrokerId(0))
             .client(ClientId(2), BrokerId(0));
         let net = b.start();
-        net.send(ClientId(2), Message::subscribe(SubId(1), "/x".parse().unwrap()));
-        std::thread::sleep(Duration::from_millis(20));
+        net.send(
+            ClientId(2),
+            Message::subscribe(SubId(1), "/x".parse().unwrap()),
+        );
+        assert!(net.await_state(BrokerId(0), Duration::from_secs(5), |s| {
+            s.stats.received_subscribe >= 1
+        }));
         net.send(
             ClientId(1),
             Message::Publish(xdn_broker::Publication {
@@ -243,7 +307,9 @@ mod tests {
                 doc_bytes: 10,
             }),
         );
-        assert!(net.recv_timeout(ClientId(2), Duration::from_millis(100)).is_none());
+        assert!(net
+            .recv_timeout(ClientId(2), Duration::from_millis(100))
+            .is_none());
         net.shutdown();
     }
 }

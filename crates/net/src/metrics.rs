@@ -33,6 +33,12 @@ pub struct NetMetrics {
     /// ([`crate::sim::Network::set_record_deliveries`]) — the input to
     /// subscriber-side document reassembly.
     pub delivered_paths: Vec<(ClientId, xdn_xml::DocPath)>,
+    /// Messages discarded because a crashed broker's recovery buffer
+    /// overflowed (fault injection).
+    pub dropped_crash: u64,
+    /// Messages discarded because a severed link's recovery buffer
+    /// overflowed (fault injection).
+    pub dropped_link: u64,
     pub(crate) publish_times: HashMap<DocId, Duration>,
     pub(crate) delivered: HashSet<(ClientId, DocId)>,
 }
@@ -65,6 +71,8 @@ impl NetMetrics {
         self.client_messages = 0;
         self.notifications.clear();
         self.delivered_paths.clear();
+        self.dropped_crash = 0;
+        self.dropped_link = 0;
         self.publish_times.clear();
         self.delivered.clear();
     }

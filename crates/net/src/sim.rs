@@ -37,6 +37,31 @@ struct Event {
     hops: u32,
 }
 
+/// Why an in-flight message could not be delivered (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultReason {
+    /// The destination broker is crashed.
+    Crash(BrokerId),
+    /// The link between the two brokers is severed.
+    Link(BrokerId, BrokerId),
+}
+
+/// An undeliverable event held until its fault is repaired — the
+/// simulator's analogue of a supervisor's bounded outbound queue.
+#[derive(Debug)]
+struct Parked {
+    event: Event,
+    reason: FaultReason,
+}
+
+fn link_key(a: BrokerId, b: BrokerId) -> (BrokerId, BrokerId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
 /// The simulated overlay network.
 pub struct Network {
     brokers: BTreeMap<BrokerId, Broker>,
@@ -55,6 +80,18 @@ pub struct Network {
     record_deliveries: bool,
     /// Safety valve against routing loops.
     max_events: u64,
+    /// Crashed brokers (fault injection).
+    down: std::collections::BTreeSet<BrokerId>,
+    /// Severed links, keyed by the normalized broker pair.
+    dropped_links: std::collections::BTreeSet<(BrokerId, BrokerId)>,
+    /// Undeliverable events awaiting repair, oldest first.
+    parked: std::collections::VecDeque<Parked>,
+    /// Capacity of [`Network::parked`]; overflow evicts publications
+    /// before control messages.
+    park_capacity: usize,
+    /// Grace period between a repair and the replay of parked events,
+    /// leaving the sync exchange time to rebuild routing state.
+    recovery_flush_delay: Duration,
 }
 
 impl std::fmt::Debug for Network {
@@ -86,6 +123,11 @@ impl Network {
             processing: ProcessingModel::Measured,
             record_deliveries: false,
             max_events: 100_000_000,
+            down: std::collections::BTreeSet::new(),
+            dropped_links: std::collections::BTreeSet::new(),
+            parked: std::collections::VecDeque::new(),
+            park_capacity: 4096,
+            recovery_flush_delay: Duration::from_millis(5),
         }
     }
 
@@ -118,8 +160,14 @@ impl Network {
     ///
     /// Panics if either broker does not exist.
     pub fn connect(&mut self, a: BrokerId, b: BrokerId) {
-        self.brokers.get_mut(&a).expect("unknown broker").add_neighbor(b);
-        self.brokers.get_mut(&b).expect("unknown broker").add_neighbor(a);
+        self.brokers
+            .get_mut(&a)
+            .expect("unknown broker")
+            .add_neighbor(b);
+        self.brokers
+            .get_mut(&b)
+            .expect("unknown broker")
+            .add_neighbor(a);
     }
 
     /// Attaches a fresh client to `home` and returns its id.
@@ -183,6 +231,180 @@ impl Network {
         self.brokers.values().map(Broker::prt_effective_size).sum()
     }
 
+    /// Caps the number of undeliverable events held across a fault.
+    /// On overflow, parked publications are evicted before control
+    /// messages (mirroring the TCP supervisor's queue policy).
+    pub fn set_park_capacity(&mut self, capacity: usize) {
+        self.park_capacity = capacity;
+    }
+
+    /// Sets the grace period between a repair and the replay of parked
+    /// events. It must exceed the sync round-trip so the recovered
+    /// routing state is in place before buffered publications arrive.
+    pub fn set_recovery_flush_delay(&mut self, delay: Duration) {
+        self.recovery_flush_delay = delay;
+    }
+
+    /// Crashes a broker: its routing state is lost and every message
+    /// addressed to it is parked (up to the park capacity) until
+    /// [`Network::restart_broker`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the broker does not exist or is already down.
+    pub fn crash_broker(&mut self, id: BrokerId) {
+        assert!(self.brokers.contains_key(&id), "unknown broker {id}");
+        assert!(self.down.insert(id), "broker {id} is already down");
+    }
+
+    /// Restarts a crashed broker with *empty* routing tables, re-runs
+    /// the connection handshake with every reachable neighbour (a
+    /// bidirectional [`Message::SyncRequest`] exchange, exactly what
+    /// the TCP supervisor sends on reconnect), and schedules the
+    /// messages parked during the outage for redelivery after the
+    /// recovery grace period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the broker is not down.
+    pub fn restart_broker(&mut self, id: BrokerId) {
+        assert!(self.down.remove(&id), "broker {id} is not down");
+        let old = self.brokers.get(&id).expect("unknown broker");
+        let config = *old.config();
+        let neighbors: Vec<BrokerId> = old.neighbors().to_vec();
+        let mut fresh = Broker::new(id, config);
+        for &n in &neighbors {
+            fresh.add_neighbor(n);
+        }
+        self.brokers.insert(id, fresh);
+        for n in neighbors {
+            if !self.down.contains(&n) && !self.dropped_links.contains(&link_key(id, n)) {
+                self.schedule_sync_pair(id, n);
+            }
+        }
+        self.flush_parked(FaultReason::Crash(id));
+    }
+
+    /// Severs the link between two brokers: messages crossing it are
+    /// parked (up to the park capacity) until [`Network::restore_link`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is already dropped.
+    pub fn drop_link(&mut self, a: BrokerId, b: BrokerId) {
+        assert!(
+            self.dropped_links.insert(link_key(a, b)),
+            "link {a}-{b} is already dropped"
+        );
+    }
+
+    /// Restores a severed link: both ends re-run the connection
+    /// handshake and parked traffic is replayed after the recovery
+    /// grace period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is not dropped.
+    pub fn restore_link(&mut self, a: BrokerId, b: BrokerId) {
+        assert!(
+            self.dropped_links.remove(&link_key(a, b)),
+            "link {a}-{b} is not dropped"
+        );
+        if !self.down.contains(&a) && !self.down.contains(&b) {
+            self.schedule_sync_pair(a, b);
+        }
+        let (a, b) = link_key(a, b);
+        self.flush_parked(FaultReason::Link(a, b));
+    }
+
+    /// True while the broker is crashed.
+    pub fn is_down(&self, id: BrokerId) -> bool {
+        self.down.contains(&id)
+    }
+
+    /// Number of events currently parked behind faults.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    fn schedule_sync_pair(&mut self, a: BrokerId, b: BrokerId) {
+        for (src, dst) in [(a, b), (b, a)] {
+            let delay = self
+                .latency
+                .link_delay(src, dst, Message::SyncRequest.wire_bytes());
+            self.schedule(
+                self.now + delay,
+                Event {
+                    to: Dest::Broker(dst),
+                    from: Dest::Broker(src),
+                    msg: Message::SyncRequest,
+                    hops: 0,
+                },
+            );
+        }
+    }
+
+    fn flush_parked(&mut self, reason: FaultReason) {
+        let at = self.now + self.recovery_flush_delay;
+        let mut rest = std::collections::VecDeque::new();
+        while let Some(p) = self.parked.pop_front() {
+            if p.reason == reason {
+                self.schedule(at, p.event);
+            } else {
+                rest.push_back(p);
+            }
+        }
+        self.parked = rest;
+    }
+
+    fn count_fault_drop(&mut self, reason: FaultReason) {
+        match reason {
+            FaultReason::Crash(_) => self.metrics.dropped_crash += 1,
+            FaultReason::Link(..) => self.metrics.dropped_link += 1,
+        }
+    }
+
+    fn park(&mut self, event: Event, reason: FaultReason) {
+        if self.parked.len() >= self.park_capacity {
+            if let Some(pos) = self
+                .parked
+                .iter()
+                .position(|p| matches!(p.event.msg, Message::Publish(_)))
+            {
+                // Shed the oldest buffered publication first: control
+                // messages are routing state and must survive.
+                let victim = self.parked.remove(pos).expect("position in bounds");
+                self.count_fault_drop(victim.reason);
+            } else if matches!(event.msg, Message::Publish(_)) {
+                // Only control traffic is buffered; the arriving
+                // publication gives way.
+                self.count_fault_drop(reason);
+                return;
+            } else {
+                let victim = self.parked.pop_front().expect("queue is full");
+                self.count_fault_drop(victim.reason);
+            }
+        }
+        self.parked.push_back(Parked { event, reason });
+    }
+
+    /// The fault blocking delivery of `event`, if any.
+    fn fault_for(&self, event: &Event) -> Option<FaultReason> {
+        let Dest::Broker(to) = event.to else {
+            return None;
+        };
+        if self.down.contains(&to) {
+            return Some(FaultReason::Crash(to));
+        }
+        if let Dest::Broker(from) = event.from {
+            let key = link_key(from, to);
+            if self.dropped_links.contains(&key) {
+                return Some(FaultReason::Link(key.0, key.1));
+            }
+        }
+        None
+    }
+
     fn home_of(&self, client: ClientId) -> BrokerId {
         *self.client_home.get(&client).expect("unknown client")
     }
@@ -198,7 +420,12 @@ impl Network {
         let delay = self.latency.client_delay(home, msg.wire_bytes());
         self.schedule(
             self.now + delay,
-            Event { to: Dest::Broker(home), from: Dest::Client(client), msg, hops: 0 },
+            Event {
+                to: Dest::Broker(home),
+                from: Dest::Client(client),
+                msg,
+                hops: 0,
+            },
         );
     }
 
@@ -210,9 +437,18 @@ impl Network {
         id
     }
 
+    /// Re-announces an advertisement under an existing id — what a
+    /// producer does after its broker restarted with empty tables.
+    /// Installation is idempotent for brokers that still know the id.
+    pub fn advertise_as(&mut self, client: ClientId, id: AdvId, adv: Advertisement) {
+        self.inject_from_client(client, Message::Advertise { id, adv });
+    }
+
     /// A producer announces a whole advertisement set (one DTD).
     pub fn advertise_all(&mut self, client: ClientId, advs: Vec<Advertisement>) -> Vec<AdvId> {
-        advs.into_iter().map(|a| self.advertise(client, a)).collect()
+        advs.into_iter()
+            .map(|a| self.advertise(client, a))
+            .collect()
     }
 
     /// A consumer registers an XPE; returns the subscription id.
@@ -245,7 +481,12 @@ impl Network {
     }
 
     /// Publishes a single pre-extracted path (path-level experiments).
-    pub fn publish_path(&mut self, client: ClientId, elements: Vec<String>, doc_bytes: usize) -> DocId {
+    pub fn publish_path(
+        &mut self,
+        client: ClientId,
+        elements: Vec<String>,
+        doc_bytes: usize,
+    ) -> DocId {
         self.next_doc += 1;
         let doc_id = DocId(self.next_doc);
         self.metrics.publish_times.insert(doc_id, self.now);
@@ -280,7 +521,12 @@ impl Network {
             };
             self.schedule(
                 self.now + delay,
-                Event { to: dest, from: Dest::Broker(from), msg, hops: hops + 1 },
+                Event {
+                    to: dest,
+                    from: Dest::Broker(from),
+                    msg,
+                    hops: hops + 1,
+                },
             );
         }
     }
@@ -294,12 +540,23 @@ impl Network {
         let mut processed = 0u64;
         while let Some(Reverse((at, seq))) = self.queue.pop() {
             processed += 1;
-            assert!(processed <= self.max_events, "event cap exceeded: routing loop?");
+            assert!(
+                processed <= self.max_events,
+                "event cap exceeded: routing loop?"
+            );
             self.now = self.now.max(at);
             let event = self.events.remove(&seq).expect("event payload");
+            if let Some(reason) = self.fault_for(&event) {
+                self.park(event, reason);
+                continue;
+            }
             match event.to {
                 Dest::Broker(b) => {
-                    *self.metrics.broker_messages.entry(event.msg.kind()).or_insert(0) += 1;
+                    *self
+                        .metrics
+                        .broker_messages
+                        .entry(event.msg.kind())
+                        .or_insert(0) += 1;
                     let started = Instant::now();
                     let outputs = self
                         .brokers
@@ -315,16 +572,13 @@ impl Network {
                     self.metrics.client_messages += 1;
                     if let Message::Publish(p) = &event.msg {
                         if self.record_deliveries {
-                            let path = xdn_xml::DocPath::new(
-                                p.doc_id,
-                                p.path_id,
-                                p.elements.clone(),
-                            )
-                            .with_attributes(if p.attributes.len() == p.elements.len() {
-                                p.attributes.clone()
-                            } else {
-                                vec![Vec::new(); p.elements.len()]
-                            });
+                            let path =
+                                xdn_xml::DocPath::new(p.doc_id, p.path_id, p.elements.clone())
+                                    .with_attributes(if p.attributes.len() == p.elements.len() {
+                                        p.attributes.clone()
+                                    } else {
+                                        vec![Vec::new(); p.elements.len()]
+                                    });
                             self.metrics.delivered_paths.push((c, path));
                         }
                         if self.metrics.delivered.insert((c, p.doc_id)) {
@@ -488,6 +742,184 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::latency::ClusterLan;
+    use xdn_core::adv::AdvPath;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn adv(names: &[&str]) -> Advertisement {
+        Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    fn two_broker_net() -> (Network, ClientId, ClientId) {
+        let mut net = Network::new(ClusterLan::default());
+        net.set_processing_model(ProcessingModel::Zero);
+        net.add_broker(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        net.add_broker(BrokerId(1), RoutingConfig::with_adv_with_cov());
+        net.connect(BrokerId(0), BrokerId(1));
+        let publisher = net.attach_client(BrokerId(0));
+        let subscriber = net.attach_client(BrokerId(1));
+        (net, publisher, subscriber)
+    }
+
+    fn three_broker_chain() -> (Network, ClientId, ClientId) {
+        let mut net = Network::new(ClusterLan::default());
+        net.set_processing_model(ProcessingModel::Zero);
+        for i in 0..3 {
+            net.add_broker(BrokerId(i), RoutingConfig::with_adv_with_cov());
+        }
+        net.connect(BrokerId(0), BrokerId(1));
+        net.connect(BrokerId(1), BrokerId(2));
+        let publisher = net.attach_client(BrokerId(0));
+        let subscriber = net.attach_client(BrokerId(2));
+        (net, publisher, subscriber)
+    }
+
+    #[test]
+    fn crash_parks_traffic_and_restart_delivers_it() {
+        let (mut net, publisher, subscriber) = three_broker_chain();
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.run();
+        net.subscribe(subscriber, xpe("/a"));
+        net.run();
+
+        net.crash_broker(BrokerId(1));
+        assert!(net.is_down(BrokerId(1)));
+        net.publish_path(publisher, vec!["a".into(), "b".into()], 100);
+        net.run();
+        assert!(
+            net.metrics().notifications.is_empty(),
+            "the middle broker is down"
+        );
+        assert!(net.parked_len() > 0, "the publication is parked, not lost");
+
+        // The restarted broker recovers its SRT from B0's sync answer
+        // and its PRT from B2's, then the parked publication flows.
+        net.restart_broker(BrokerId(1));
+        net.run();
+        assert_eq!(
+            net.metrics().notifications.len(),
+            1,
+            "delivered after recovery"
+        );
+        assert_eq!(net.parked_len(), 0);
+        assert_eq!(net.metrics().dropped_crash, 0);
+    }
+
+    #[test]
+    fn restart_resyncs_routing_state() {
+        let (mut net, publisher, subscriber) = three_broker_chain();
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.run();
+        net.subscribe(subscriber, xpe("/a"));
+        net.run();
+        let before = net.broker(BrokerId(1)).routing_signature();
+        assert!(!before.is_empty());
+
+        net.crash_broker(BrokerId(1));
+        net.restart_broker(BrokerId(1));
+        net.run();
+        assert_eq!(
+            net.broker(BrokerId(1)).routing_signature(),
+            before,
+            "neighbour sync rebuilds the exact routing state"
+        );
+
+        // And traffic flows again end to end.
+        net.publish_path(publisher, vec!["a".into(), "b".into()], 100);
+        net.run();
+        assert_eq!(net.metrics().notifications.len(), 1);
+    }
+
+    #[test]
+    fn edge_broker_recovery_needs_its_clients_back() {
+        // State contributed by locally attached clients is not covered
+        // by neighbour sync — the client re-announces under its
+        // original id, and the network converges to the same tables.
+        let (mut net, publisher, subscriber) = two_broker_net();
+        let adv_id = net.advertise(publisher, adv(&["a", "b"]));
+        net.run();
+        net.subscribe(subscriber, xpe("/a"));
+        net.run();
+        let before = net.broker(BrokerId(0)).routing_signature();
+
+        net.crash_broker(BrokerId(0));
+        net.restart_broker(BrokerId(0));
+        net.run();
+        net.advertise_as(publisher, adv_id, adv(&["a", "b"]));
+        net.run();
+        assert_eq!(net.broker(BrokerId(0)).routing_signature(), before);
+
+        net.publish_path(publisher, vec!["a".into(), "b".into()], 100);
+        net.run();
+        assert_eq!(net.metrics().notifications.len(), 1);
+    }
+
+    #[test]
+    fn park_overflow_sheds_publications_before_control() {
+        let (mut net, publisher, subscriber) = two_broker_net();
+        net.set_park_capacity(2);
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.subscribe(subscriber, xpe("/a"));
+        net.run();
+
+        net.crash_broker(BrokerId(1));
+        for _ in 0..3 {
+            net.publish_path(publisher, vec!["a".into(), "b".into()], 100);
+        }
+        // A control message arriving at a full queue of publications
+        // must displace one.
+        net.subscribe(subscriber, xpe("/a/b"));
+        net.run();
+        assert_eq!(net.parked_len(), 2);
+        assert_eq!(net.metrics().dropped_crash, 2, "two publications shed");
+        let kinds: Vec<&str> = net.parked.iter().map(|p| p.event.msg.kind()).collect();
+        assert!(
+            kinds.contains(&"subscribe"),
+            "control traffic survived: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_link_parks_and_restore_replays() {
+        let (mut net, publisher, subscriber) = two_broker_net();
+        net.advertise(publisher, adv(&["a", "b"]));
+        net.subscribe(subscriber, xpe("/a"));
+        net.run();
+
+        net.drop_link(BrokerId(0), BrokerId(1));
+        net.publish_path(publisher, vec!["a".into(), "b".into()], 100);
+        net.run();
+        assert!(net.metrics().notifications.is_empty());
+        assert_eq!(net.parked_len(), 1);
+
+        net.restore_link(BrokerId(0), BrokerId(1));
+        net.run();
+        assert_eq!(net.metrics().notifications.len(), 1);
+        assert_eq!(net.metrics().dropped_link, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not down")]
+    fn restart_of_running_broker_panics() {
+        let (mut net, _p, _s) = two_broker_net();
+        net.restart_broker(BrokerId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already dropped")]
+    fn double_drop_panics() {
+        let (mut net, _p, _s) = two_broker_net();
+        net.drop_link(BrokerId(0), BrokerId(1));
+        net.drop_link(BrokerId(1), BrokerId(0));
+    }
+}
+
+#[cfg(test)]
 mod reassembly_tests {
     use super::*;
     use crate::latency::ClusterLan;
@@ -515,8 +947,7 @@ mod reassembly_tests {
         net.subscribe(subscriber, "/a".parse().expect("xpe"));
         net.run();
 
-        let original =
-            xdn_xml::parse_document(r#"<a x="1"><b><c/></b><d/></a>"#).expect("doc");
+        let original = xdn_xml::parse_document(r#"<a x="1"><b><c/></b><d/></a>"#).expect("doc");
         net.publish_document(publisher, &original);
         net.run();
 

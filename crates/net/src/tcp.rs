@@ -9,20 +9,40 @@
 //! Connection protocol: after connecting, a peer sends a 9-byte hello —
 //! `0x01 | u64 broker-id` for brokers, `0x02 | u64 client-id` for
 //! clients — then length-prefixed message frames in both directions.
+//!
+//! # Fault tolerance
+//!
+//! Every *dialled* peer link runs under a supervisor
+//! ([`SupervisorConfig`]): the dialling side detects a dead connection
+//! (write failure, read EOF, or heartbeat silence), reconnects with
+//! exponential backoff plus jitter up to a retry budget, and meanwhile
+//! buffers outbound frames in a bounded queue that sheds publications
+//! before control messages. The accepting side detects death through
+//! EOF or write failure and simply waits for the diallers to return.
+//! Whenever a broker⇄broker connection is (re-)established — by either
+//! side — a [`Message::SyncRequest`] is sent so both brokers re-install
+//! the routing state relevant to the link (see
+//! [`xdn_broker::Broker::export_routing_for`]). Because sync
+//! installation is idempotent and buffered frames are retransmitted,
+//! delivery across a link outage is at-least-once.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use xdn_broker::{wire, Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
+use xdn_broker::{wire, Broker, BrokerId, BrokerStats, ClientId, Dest, Message, RoutingConfig};
 
 const HELLO_BROKER: u8 = 0x01;
 const HELLO_CLIENT: u8 = 0x02;
+
+/// Frames above this size are a protocol violation on every connection
+/// type (broker peers and clients alike).
+const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 
 /// Errors from the TCP transport.
 #[derive(Debug)]
@@ -50,98 +70,475 @@ impl From<std::io::Error> for TcpError {
     }
 }
 
+/// Supervision parameters for dialled peer links.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Idle time after which a keep-alive heartbeat is written.
+    pub heartbeat_interval: Duration,
+    /// Inbound silence after which the connection is declared dead.
+    /// Must comfortably exceed `heartbeat_interval`.
+    pub heartbeat_timeout: Duration,
+    /// Delay before the first reconnect attempt; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on the reconnect delay.
+    pub backoff_max: Duration,
+    /// Consecutive failed reconnect attempts before the supervisor
+    /// abandons the link ([`LinkStats::gave_up`]).
+    pub retry_budget: u32,
+    /// Outbound frames buffered while disconnected. Overflow sheds
+    /// publications before control messages — routing state must
+    /// survive an outage, documents may be re-published.
+    pub queue_capacity: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            retry_budget: 40,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Counters one peer supervisor maintains ([`TcpNode::link_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Successful connection establishments (first connect included).
+    pub connects: u64,
+    /// Connections lost after being established.
+    pub disconnects: u64,
+    /// Outbound frames shed by the bounded queue.
+    pub dropped_frames: u64,
+    /// The retry budget was exhausted; the link is abandoned.
+    pub gave_up: bool,
+}
+
+/// A point-in-time view of a node's broker ([`TcpNode::snapshot`]).
+/// Lets tests and operators poll for quiescence instead of sleeping.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// The broker's message counters.
+    pub stats: BrokerStats,
+    /// Advertisements in the SRT.
+    pub srt_size: usize,
+    /// Subscriptions in the PRT.
+    pub prt_size: usize,
+    /// Canonical routing-state digest
+    /// ([`xdn_broker::Broker::routing_signature`]).
+    pub routing_signature: String,
+}
+
 enum Input {
     FromPeer(Dest, Message),
     PeerWriter(Dest, Arc<Mutex<TcpStream>>),
+    Snapshot(Sender<NodeSnapshot>),
     Stop,
 }
+
+// ---------------------------------------------------------------------
+// Bounded outbound frame queue
+// ---------------------------------------------------------------------
+
+enum Pop {
+    Msg(Box<Message>),
+    /// Nothing to send for a full heartbeat interval.
+    Idle,
+    /// The reader declared the current connection dead.
+    Down,
+    /// The node is shutting down.
+    Closed,
+}
+
+#[derive(Default)]
+struct QueueState {
+    q: VecDeque<Message>,
+    down: bool,
+    closed: bool,
+    dropped: u64,
+}
+
+/// The supervisor's bounded outbound queue. The broker loop pushes,
+/// the supervisor's writer pops; when full, buffered publications are
+/// evicted before any control message is touched.
+struct FrameQueue {
+    state: StdMutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl FrameQueue {
+    fn new(capacity: usize) -> Self {
+        FrameQueue {
+            state: StdMutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push_back(&self, msg: Message) {
+        self.push(msg, false)
+    }
+
+    /// Queue-jumps control traffic (the post-reconnect sync request).
+    fn push_front(&self, msg: Message) {
+        self.push(msg, true)
+    }
+
+    fn push(&self, msg: Message, front: bool) {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return;
+        }
+        if s.q.len() >= self.capacity {
+            if let Some(i) = s.q.iter().position(|m| matches!(m, Message::Publish(_))) {
+                s.q.remove(i);
+                s.dropped += 1;
+            } else if msg.is_payload() {
+                // Only control traffic is buffered; the arriving
+                // publication gives way.
+                s.dropped += 1;
+                return;
+            } else {
+                s.q.pop_front();
+                s.dropped += 1;
+            }
+        }
+        if front {
+            s.q.push_front(msg);
+        } else {
+            s.q.push_back(msg);
+        }
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    fn pop_wait(&self, timeout: Duration) -> Pop {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if s.closed {
+                return Pop::Closed;
+            }
+            if s.down {
+                return Pop::Down;
+            }
+            if let Some(m) = s.q.pop_front() {
+                return Pop::Msg(Box::new(m));
+            }
+            let (next, res) = self.cv.wait_timeout(s, timeout).expect("queue lock");
+            s = next;
+            if res.timed_out() {
+                return if s.closed {
+                    Pop::Closed
+                } else if s.down {
+                    Pop::Down
+                } else {
+                    Pop::Idle
+                };
+            }
+        }
+    }
+
+    fn mark_down(&self) {
+        self.state.lock().expect("queue lock").down = true;
+        self.cv.notify_all();
+    }
+
+    fn clear_down(&self) {
+        self.state.lock().expect("queue lock").down = false;
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("queue lock").dropped
+    }
+}
+
+// ---------------------------------------------------------------------
+// Peer supervisor
+// ---------------------------------------------------------------------
+
+/// One supervised outbound link to a dialled peer.
+struct PeerLink {
+    queue: Arc<FrameQueue>,
+    stats: Arc<Mutex<LinkStats>>,
+    addr: Arc<StdMutex<SocketAddr>>,
+    /// The live socket of the current epoch, severed to force a
+    /// reconnect ([`TcpNode::sever_peer`]) or on shutdown.
+    current: Arc<Mutex<Option<TcpStream>>>,
+    handle: JoinHandle<()>,
+}
+
+/// Deterministic-enough jitter without an RNG dependency: xorshift64*.
+fn next_jitter(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// Exponential backoff with half-width jitter: `base * 2^(attempt-1)`
+/// capped at `max`, then uniformly drawn from `[d/2, d)`.
+fn backoff_delay(cfg: &SupervisorConfig, attempt: u32, jitter: &mut u64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    let full = cfg
+        .backoff_base
+        .saturating_mul(1u32 << exp)
+        .min(cfg.backoff_max)
+        .max(Duration::from_millis(1));
+    let half = full / 2;
+    let extra_ns = next_jitter(jitter) % half.as_nanos().max(1) as u64;
+    half + Duration::from_nanos(extra_ns)
+}
+
+/// Sleeps in small slices so shutdown is not delayed by a long backoff.
+fn sleep_watching(total: Duration, stopping: &AtomicBool) {
+    let slice = Duration::from_millis(20);
+    let mut left = total;
+    while !left.is_zero() && !stopping.load(Ordering::SeqCst) {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervise_peer(
+    self_id: BrokerId,
+    peer: BrokerId,
+    addr: Arc<StdMutex<SocketAddr>>,
+    queue: Arc<FrameQueue>,
+    stats: Arc<Mutex<LinkStats>>,
+    current: Arc<Mutex<Option<TcpStream>>>,
+    inbox: Sender<Input>,
+    cfg: SupervisorConfig,
+    stopping: Arc<AtomicBool>,
+) {
+    let mut jitter = {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64;
+        t ^ ((peer.0 as u64) << 32) ^ self_id.0 as u64 | 1
+    };
+    'epochs: while !stopping.load(Ordering::SeqCst) {
+        // Connect with exponential backoff + jitter, first attempt
+        // immediate.
+        let mut attempt = 0u32;
+        let stream = loop {
+            if stopping.load(Ordering::SeqCst) {
+                break 'epochs;
+            }
+            match TcpStream::connect(*addr.lock().expect("addr lock")) {
+                Ok(s) => break s,
+                Err(_) => {
+                    attempt += 1;
+                    if attempt > cfg.retry_budget {
+                        stats.lock().gave_up = true;
+                        break 'epochs;
+                    }
+                    sleep_watching(backoff_delay(&cfg, attempt, &mut jitter), &stopping);
+                }
+            }
+        };
+
+        let mut hello = [0u8; 9];
+        hello[0] = HELLO_BROKER;
+        hello[1..9].copy_from_slice(&(self_id.0 as u64).to_be_bytes());
+        let mut writer = stream;
+        if writer.write_all(&hello).is_err() {
+            continue;
+        }
+        let Ok(reader_stream) = writer.try_clone() else {
+            continue;
+        };
+        // Inbound silence beyond the heartbeat timeout means the peer
+        // (which heartbeats at `heartbeat_interval`, or echoes ours)
+        // is gone even if the socket never errors.
+        let _ = reader_stream.set_read_timeout(Some(cfg.heartbeat_timeout));
+        *current.lock() = writer.try_clone().ok();
+        stats.lock().connects += 1;
+        queue.clear_down();
+        // First frame of every epoch: ask the peer for the routing
+        // state this link needs (idempotent on the receiving side).
+        queue.push_front(Message::SyncRequest);
+
+        let reader_queue = queue.clone();
+        let reader_inbox = inbox.clone();
+        let reader = std::thread::spawn(move || {
+            read_frames(reader_stream, Dest::Broker(peer), reader_inbox);
+            // EOF, frame error, or heartbeat silence: wake the writer.
+            reader_queue.mark_down();
+        });
+
+        loop {
+            match queue.pop_wait(cfg.heartbeat_interval) {
+                Pop::Closed => {
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                    let _ = reader.join();
+                    break 'epochs;
+                }
+                Pop::Down => break,
+                Pop::Idle => {
+                    if writer
+                        .write_all(&wire::encode(&Message::Heartbeat))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Pop::Msg(m) => {
+                    if writer.write_all(&wire::encode(&m)).is_err() {
+                        // Retransmit after reconnecting — the peer
+                        // never saw it (at-least-once, not at-most).
+                        queue.push_front(*m);
+                        break;
+                    }
+                }
+            }
+        }
+        stats.lock().disconnects += 1;
+        *current.lock() = None;
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+        let _ = reader.join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------
+
+/// Accepted connections: their sockets (severed on shutdown so the
+/// reader threads unblock) and reader handles (joined on shutdown).
+type ConnList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
 
 /// One broker node on a TCP socket.
 pub struct TcpNode {
     addr: SocketAddr,
     inbox: Sender<Input>,
-    threads: Vec<JoinHandle<()>>,
+    broker_thread: JoinHandle<()>,
     listener_handle: JoinHandle<()>,
     stopping: Arc<AtomicBool>,
-    /// Outbound peer sockets, shut down on close so reader threads
-    /// unblock.
-    peer_streams: Vec<TcpStream>,
+    links: HashMap<BrokerId, PeerLink>,
+    conns: ConnList,
 }
 
 impl TcpNode {
-    /// Starts a node: binds `listen` (use port 0 for an ephemeral
-    /// port), spawns the accept loop and the broker loop, and connects
-    /// to `peers` (id → address).
+    /// Starts a node with default supervision: binds `listen` (use
+    /// port 0 for an ephemeral port), spawns the accept loop and the
+    /// broker loop, and supervises a connection to every peer in
+    /// `peers` (id → address).
     ///
     /// # Errors
     ///
-    /// Returns an error if the listener cannot bind or a peer
-    /// connection cannot be established.
+    /// Returns an error if the listener cannot bind.
     pub fn start(
         id: BrokerId,
         config: RoutingConfig,
         listen: SocketAddr,
         peers: &[(BrokerId, SocketAddr)],
     ) -> Result<TcpNode, TcpError> {
+        Self::start_with(id, config, listen, peers, SupervisorConfig::default())
+    }
+
+    /// [`TcpNode::start`] with explicit supervision parameters.
+    ///
+    /// Unlike earlier revisions, peers do not have to be up yet: each
+    /// link's supervisor keeps dialling within its retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn start_with(
+        id: BrokerId,
+        config: RoutingConfig,
+        listen: SocketAddr,
+        peers: &[(BrokerId, SocketAddr)],
+        supervision: SupervisorConfig,
+    ) -> Result<TcpNode, TcpError> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = channel::<Input>();
+        let stopping = Arc::new(AtomicBool::new(false));
 
         let mut broker = Broker::new(id, config);
         for &(pid, _) in peers {
             broker.add_neighbor(pid);
         }
 
-        // Broker loop: single-threaded state machine fed by readers.
-        let broker_tx = tx.clone();
-        let broker_thread = std::thread::spawn(move || broker_loop(broker, rx, broker_tx));
+        // Supervised outbound links, one per dialled peer.
+        let mut links = HashMap::new();
+        let mut queues: HashMap<Dest, Arc<FrameQueue>> = HashMap::new();
+        for &(pid, paddr) in peers {
+            let queue = Arc::new(FrameQueue::new(supervision.queue_capacity));
+            let stats = Arc::new(Mutex::new(LinkStats::default()));
+            let addr_cell = Arc::new(StdMutex::new(paddr));
+            let current = Arc::new(Mutex::new(None));
+            let handle = {
+                let (q, st, a, c, ibx, cfg, stop) = (
+                    queue.clone(),
+                    stats.clone(),
+                    addr_cell.clone(),
+                    current.clone(),
+                    tx.clone(),
+                    supervision.clone(),
+                    stopping.clone(),
+                );
+                std::thread::spawn(move || supervise_peer(id, pid, a, q, st, c, ibx, cfg, stop))
+            };
+            queues.insert(Dest::Broker(pid), queue.clone());
+            links.insert(
+                pid,
+                PeerLink {
+                    queue,
+                    stats,
+                    addr: addr_cell,
+                    current,
+                    handle,
+                },
+            );
+        }
 
-        // Accept loop. The stop flag is checked after every accepted
-        // connection; shutdown() flips it and then dials the listener
-        // once to unblock `incoming()`.
-        let stopping = Arc::new(AtomicBool::new(false));
+        // Broker loop: single-threaded state machine fed by readers.
+        let broker_thread = std::thread::spawn(move || broker_loop(broker, rx, queues));
+
+        // Accept loop. The stop flag is checked before handing each
+        // accepted connection to a reader thread; shutdown() flips it
+        // and then dials the listener once to unblock `incoming()`.
+        let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
         let accept_stop = stopping.clone();
         let accept_tx = tx.clone();
+        let accept_conns = conns.clone();
         let listener_handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { break };
-                if spawn_connection(stream, accept_tx.clone()).is_err() {
-                    continue;
+                if let Ok(conn) = spawn_connection(stream, accept_tx.clone()) {
+                    accept_conns.lock().push(conn);
                 }
             }
         });
 
-        let mut node = TcpNode {
+        Ok(TcpNode {
             addr,
             inbox: tx,
-            threads: vec![broker_thread],
+            broker_thread,
             listener_handle,
             stopping,
-            peer_streams: Vec::new(),
-        };
-
-        // Outbound peer connections.
-        for &(pid, paddr) in peers {
-            let stream = connect_with_retry(paddr, Duration::from_secs(5))?;
-            let mut s = stream.try_clone()?;
-            let mut hello = [0u8; 9];
-            hello[0] = HELLO_BROKER;
-            hello[1..9].copy_from_slice(&(id.0 as u64).to_be_bytes());
-            s.write_all(&hello)?;
-            let writer = Arc::new(Mutex::new(stream.try_clone()?));
-            node.inbox
-                .send(Input::PeerWriter(Dest::Broker(pid), writer))
-                .map_err(|_| TcpError::Protocol("broker loop gone".into()))?;
-            let reader_tx = node.inbox.clone();
-            node.peer_streams.push(stream.try_clone()?);
-            node.threads.push(std::thread::spawn(move || {
-                read_frames(stream, Dest::Broker(pid), reader_tx);
-            }));
-        }
-        Ok(node)
+            links,
+            conns,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -149,49 +546,164 @@ impl TcpNode {
         self.addr
     }
 
-    /// Stops the broker loop and joins the worker threads. The accept
-    /// loop is unblocked by a final self-connection.
+    /// A point-in-time view of the broker's state, or `None` if the
+    /// broker loop is gone.
+    pub fn snapshot(&self) -> Option<NodeSnapshot> {
+        let (tx, rx) = channel();
+        self.inbox.send(Input::Snapshot(tx)).ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Polls [`TcpNode::snapshot`] until `pred` holds or `timeout`
+    /// elapses. Returns whether the predicate held — the bounded
+    /// replacement for sleeping in tests and scripts.
+    pub fn await_state(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&NodeSnapshot) -> bool,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(s) = self.snapshot() {
+                if pred(&s) {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Supervision counters for a dialled peer, or `None` if the peer
+    /// is not dialled from this node.
+    pub fn link_stats(&self, peer: BrokerId) -> Option<LinkStats> {
+        self.links
+            .get(&peer)
+            .map(|l| l.stats.lock().clone())
+            .map(|mut s| {
+                s.dropped_frames = self.links[&peer].queue.dropped();
+                s
+            })
+    }
+
+    /// Severs the current connection to a dialled peer (fault
+    /// injection: a network blip). The supervisor notices and
+    /// reconnects with backoff. Returns whether a live connection
+    /// existed.
+    pub fn sever_peer(&self, peer: BrokerId) -> bool {
+        let Some(link) = self.links.get(&peer) else {
+            return false;
+        };
+        match link.current.lock().as_ref() {
+            Some(s) => s.shutdown(std::net::Shutdown::Both).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Points a dialled peer's supervisor at a new address (the peer
+    /// moved or was restarted elsewhere) and forces a reconnect.
+    /// Returns whether the peer is dialled from this node.
+    pub fn redial(&self, peer: BrokerId, addr: SocketAddr) -> bool {
+        let Some(link) = self.links.get(&peer) else {
+            return false;
+        };
+        *link.addr.lock().expect("addr lock") = addr;
+        self.sever_peer(peer);
+        true
+    }
+
+    /// Stops the broker loop, the supervisors, and every reader
+    /// thread, then joins them all. The accept loop is unblocked by a
+    /// final self-connection.
     pub fn shutdown(self) {
         self.stopping.store(true, Ordering::SeqCst);
         let _ = self.inbox.send(Input::Stop);
-        // Unblock reader threads parked on peer sockets.
-        for s in &self.peer_streams {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        // Wake supervisors (possibly parked on their queues) and sever
+        // their live sockets so reader threads unblock.
+        for link in self.links.values() {
+            link.queue.close();
+            if let Some(s) = link.current.lock().as_ref() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        // Sever accepted connections so their readers unblock.
+        let conns = std::mem::take(&mut *self.conns.lock());
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
-        for t in self.threads {
-            let _ = t.join();
+        for (_, handle) in conns {
+            let _ = handle.join();
         }
+        for (_, link) in self.links {
+            let _ = link.handle.join();
+        }
+        let _ = self.broker_thread.join();
         let _ = self.listener_handle.join();
     }
 }
 
-fn broker_loop(mut broker: Broker, rx: Receiver<Input>, _tx: Sender<Input>) {
+fn broker_loop(mut broker: Broker, rx: Receiver<Input>, queues: HashMap<Dest, Arc<FrameQueue>>) {
+    // Writers for *accepted* connections (clients, and brokers that
+    // dialled us). Dialled peers go through their supervisor's queue.
     let mut writers: HashMap<Dest, Arc<Mutex<TcpStream>>> = HashMap::new();
+    let send = |writers: &mut HashMap<Dest, Arc<Mutex<TcpStream>>>, dest: Dest, msg: &Message| {
+        if let Some(q) = queues.get(&dest) {
+            q.push_back(msg.clone());
+        } else if let Some(w) = writers.get(&dest) {
+            if w.lock().write_all(&wire::encode(msg)).is_err() {
+                // An accepted peer died: drop the writer and rely on
+                // the remote supervisor (or client) to reconnect.
+                writers.remove(&dest);
+            }
+        }
+    };
     while let Ok(input) = rx.recv() {
         match input {
             Input::Stop => break,
+            Input::Snapshot(reply) => {
+                let _ = reply.send(NodeSnapshot {
+                    stats: broker.stats().clone(),
+                    srt_size: broker.srt_size(),
+                    prt_size: broker.prt_size(),
+                    routing_signature: broker.routing_signature(),
+                });
+            }
             Input::PeerWriter(dest, writer) => {
                 writers.insert(dest, writer);
+                // A broker (re-)connected to us: both sides of a fresh
+                // broker⇄broker connection request the link's state.
+                if matches!(dest, Dest::Broker(_)) {
+                    send(&mut writers, dest, &Message::SyncRequest);
+                }
             }
             Input::FromPeer(from, msg) => {
+                let echo_heartbeat = matches!(msg, Message::Heartbeat)
+                    && !queues.contains_key(&from)
+                    && matches!(from, Dest::Broker(_));
                 for (dest, out) in broker.handle(from, msg) {
-                    if let Some(w) = writers.get(&dest) {
-                        let frame = wire::encode(&out);
-                        // A dead peer is dropped; reconnection is the
-                        // operator's concern in this minimal transport.
-                        if w.lock().write_all(&frame).is_err() {
-                            writers.remove(&dest);
-                        }
-                    }
+                    send(&mut writers, dest, &out);
+                }
+                // The accepting side does not run an idle timer; it
+                // echoes the dialler's heartbeats instead, giving the
+                // dialler's silence detector traffic to observe.
+                // (Dialled peers' heartbeats are NOT echoed — both
+                // sides echoing would ping-pong forever.)
+                if echo_heartbeat {
+                    send(&mut writers, from, &Message::Heartbeat);
                 }
             }
         }
     }
 }
 
-fn spawn_connection(mut stream: TcpStream, tx: Sender<Input>) -> Result<(), TcpError> {
+fn spawn_connection(
+    mut stream: TcpStream,
+    tx: Sender<Input>,
+) -> Result<(TcpStream, JoinHandle<()>), TcpError> {
     let mut hello = [0u8; 9];
     stream.read_exact(&mut hello)?;
     let id = u64::from_be_bytes(hello[1..9].try_into().expect("9-byte hello"));
@@ -203,34 +715,41 @@ fn spawn_connection(mut stream: TcpStream, tx: Sender<Input>) -> Result<(), TcpE
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     tx.send(Input::PeerWriter(from, writer))
         .map_err(|_| TcpError::Protocol("broker loop gone".into()))?;
-    std::thread::spawn(move || read_frames(stream, from, tx));
-    Ok(())
+    let reader_stream = stream.try_clone()?;
+    let handle = std::thread::spawn(move || read_frames(reader_stream, from, tx));
+    Ok((stream, handle))
+}
+
+/// Reads one length-prefixed frame (including its 4-byte prefix),
+/// enforcing [`MAX_FRAME_BYTES`]. `None` on EOF, timeout, or an
+/// oversized frame — all reasons to drop the connection.
+fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return None;
+    }
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&len_buf);
+    stream.read_exact(&mut frame[4..]).ok()?;
+    Some(frame)
 }
 
 fn read_frames(mut stream: TcpStream, from: Dest, tx: Sender<Input>) {
-    let mut len_buf = [0u8; 4];
-    loop {
-        if stream.read_exact(&mut len_buf).is_err() {
-            return;
-        }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > 16 * 1024 * 1024 {
-            return; // oversized frame: drop the connection
-        }
-        let mut frame = vec![0u8; 4 + len];
-        frame[..4].copy_from_slice(&len_buf);
-        if stream.read_exact(&mut frame[4..]).is_err() {
-            return;
-        }
+    while let Some(frame) = read_frame(&mut stream) {
         match wire::decode(&frame) {
             Ok((msg, _)) => {
                 if tx.send(Input::FromPeer(from, msg)).is_err() {
-                    return;
+                    break;
                 }
             }
-            Err(_) => return, // protocol violation: drop the connection
+            Err(_) => break, // protocol violation: drop the connection
         }
     }
+    // Writer clones may be held elsewhere (broker loop, conns list);
+    // severing the socket here makes the drop visible to the remote.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn connect_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, TcpError> {
@@ -272,7 +791,11 @@ impl TcpClient {
         let reader_thread = std::thread::spawn(move || {
             client_read(read_stream, tx);
         });
-        Ok(TcpClient { writer: stream, reader: rx, _reader_thread: reader_thread })
+        Ok(TcpClient {
+            writer: stream,
+            reader: rx,
+            _reader_thread: reader_thread,
+        })
     }
 
     /// Sends a message to the node.
@@ -292,18 +815,10 @@ impl TcpClient {
 }
 
 fn client_read(mut stream: TcpStream, tx: Sender<Message>) {
-    let mut len_buf = [0u8; 4];
-    loop {
-        if stream.read_exact(&mut len_buf).is_err() {
+    while let Some(frame) = read_frame(&mut stream) {
+        let Ok((msg, _)) = wire::decode(&frame) else {
             return;
-        }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        let mut frame = vec![0u8; 4 + len];
-        frame[..4].copy_from_slice(&len_buf);
-        if stream.read_exact(&mut frame[4..]).is_err() {
-            return;
-        }
-        let Ok((msg, _)) = wire::decode(&frame) else { return };
+        };
         if tx.send(msg).is_err() {
             return;
         }
@@ -319,6 +834,28 @@ mod tests {
 
     fn ephemeral() -> SocketAddr {
         "127.0.0.1:0".parse().expect("valid addr")
+    }
+
+    fn publication(elements: &[&str], doc: u64) -> Message {
+        Message::Publish(xdn_broker::Publication {
+            doc_id: DocId(doc),
+            path_id: PathId(0),
+            elements: elements.iter().map(|s| s.to_string()).collect(),
+            attributes: Vec::new(),
+            doc_bytes: 32,
+        })
+    }
+
+    /// Supervision tuned for tests: fast heartbeats and reconnects.
+    fn fast_supervision() -> SupervisorConfig {
+        SupervisorConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            heartbeat_timeout: Duration::from_millis(400),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            retry_budget: 200,
+            queue_capacity: 64,
+        }
     }
 
     #[test]
@@ -343,22 +880,21 @@ mod tests {
         let mut subscriber = TcpClient::connect(n1.addr(), ClientId(2)).expect("subscriber");
 
         let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
-        publisher.send(&Message::advertise(AdvId(1), adv)).expect("advertise");
+        publisher
+            .send(&Message::advertise(AdvId(1), adv))
+            .expect("advertise");
         subscriber
             .send(&Message::subscribe(SubId(1), "/a/*".parse().expect("xpe")))
             .expect("subscribe");
-        std::thread::sleep(Duration::from_millis(150));
+        // The subscription is in effect once it reaches n0's PRT.
+        assert!(
+            n0.await_state(Duration::from_secs(5), |s| s.prt_size >= 1),
+            "subscription did not propagate to n0"
+        );
 
         publisher
-            .send(&Message::Publish(xdn_broker::Publication {
-                doc_id: DocId(1),
-                path_id: PathId(0),
-                elements: vec!["a".into(), "b".into()],
-                attributes: Vec::new(),
-                doc_bytes: 32,
-            }))
+            .send(&publication(&["a", "b"], 1))
             .expect("publish");
-
         let got = subscriber.recv_timeout(Duration::from_secs(5));
         assert!(
             matches!(got, Some(Message::Publish(_))),
@@ -382,17 +918,12 @@ mod tests {
         subscriber
             .send(&Message::subscribe(SubId(1), "/x".parse().expect("xpe")))
             .expect("subscribe");
-        std::thread::sleep(Duration::from_millis(100));
-        publisher
-            .send(&Message::Publish(xdn_broker::Publication {
-                doc_id: DocId(1),
-                path_id: PathId(0),
-                elements: vec!["a".into()],
-                attributes: Vec::new(),
-                doc_bytes: 8,
-            }))
-            .expect("publish");
-        assert!(subscriber.recv_timeout(Duration::from_millis(200)).is_none());
+        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.received_subscribe >= 1));
+        publisher.send(&publication(&["a"], 1)).expect("publish");
+        // The broker has routed the publication once it is counted;
+        // nothing may reach the non-matching subscriber.
+        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.received_publish >= 1));
+        assert!(subscriber.recv_timeout(Duration::from_millis(50)).is_none());
         n.shutdown();
     }
 
@@ -413,7 +944,7 @@ mod tests {
                 "//claim[@lang='en']".parse().expect("xpe"),
             ))
             .expect("subscribe");
-        std::thread::sleep(Duration::from_millis(100));
+        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.received_subscribe >= 1));
         let doc = xdn_xml::parse_document(
             r#"<claims><claim lang="en"><amount>5</amount></claim></claims>"#,
         )
@@ -421,11 +952,292 @@ mod tests {
         let bytes = doc.to_xml_string().len();
         for p in xdn_xml::paths::extract_paths(&doc, DocId(1)) {
             publisher
-                .send(&Message::Publish(xdn_broker::Publication::from_doc_path(&p, bytes)))
+                .send(&Message::Publish(xdn_broker::Publication::from_doc_path(
+                    &p, bytes,
+                )))
                 .expect("publish");
         }
         let got = subscriber.recv_timeout(Duration::from_secs(5));
-        assert!(matches!(got, Some(Message::Publish(_))), "predicate match over TCP");
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "predicate match over TCP"
+        );
+        n.shutdown();
+    }
+
+    #[test]
+    fn severed_link_reconnects_and_delivery_resumes() {
+        let n1 = TcpNode::start(
+            BrokerId(1),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node 1");
+        let n0 = TcpNode::start_with(
+            BrokerId(0),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+            fast_supervision(),
+        )
+        .expect("node 0");
+
+        let mut publisher = TcpClient::connect(n0.addr(), ClientId(1)).expect("publisher");
+        let mut subscriber = TcpClient::connect(n1.addr(), ClientId(2)).expect("subscriber");
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        publisher
+            .send(&Message::advertise(AdvId(1), adv))
+            .expect("advertise");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(n0.await_state(Duration::from_secs(5), |s| s.prt_size >= 1));
+        publisher
+            .send(&publication(&["a", "b"], 1))
+            .expect("publish");
+        assert!(matches!(
+            subscriber.recv_timeout(Duration::from_secs(5)),
+            Some(Message::Publish(_))
+        ));
+        let connects_before = n0.link_stats(BrokerId(1)).expect("dialled").connects;
+
+        // A network blip kills the connection. Neither node restarts;
+        // the supervisor must reconnect and delivery must resume.
+        assert!(n0.sever_peer(BrokerId(1)), "a live connection existed");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = n0.link_stats(BrokerId(1)).expect("dialled");
+            if stats.connects > connects_before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "supervisor never reconnected"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        publisher
+            .send(&publication(&["a", "b"], 2))
+            .expect("publish after blip");
+        let got = subscriber.recv_timeout(Duration::from_secs(10));
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "delivery must resume after reconnect, got {got:?}"
+        );
+        let stats = n0.link_stats(BrokerId(1)).expect("dialled");
+        assert!(stats.disconnects >= 1);
+        assert!(!stats.gave_up);
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn frames_queued_during_outage_are_retransmitted() {
+        let n1 = TcpNode::start(
+            BrokerId(1),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node 1");
+        let n0 = TcpNode::start_with(
+            BrokerId(0),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+            fast_supervision(),
+        )
+        .expect("node 0");
+        let mut publisher = TcpClient::connect(n0.addr(), ClientId(1)).expect("publisher");
+        let mut subscriber = TcpClient::connect(n1.addr(), ClientId(2)).expect("subscriber");
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        publisher
+            .send(&Message::advertise(AdvId(1), adv))
+            .expect("advertise");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(n0.await_state(Duration::from_secs(5), |s| s.prt_size >= 1));
+
+        // Publish INTO the outage: n0 buffers the frame and flushes it
+        // once the supervisor reconnects.
+        n0.sever_peer(BrokerId(1));
+        publisher
+            .send(&publication(&["a", "b"], 7))
+            .expect("publish during outage");
+        let got = subscriber.recv_timeout(Duration::from_secs(10));
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "buffered frame must arrive after reconnect, got {got:?}"
+        );
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn restarted_peer_recovers_state_via_sync() {
+        let n1 = TcpNode::start(
+            BrokerId(1),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node 1");
+        let n0 = TcpNode::start_with(
+            BrokerId(0),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+            fast_supervision(),
+        )
+        .expect("node 0");
+        let mut publisher = TcpClient::connect(n0.addr(), ClientId(1)).expect("publisher");
+        let mut subscriber = TcpClient::connect(n1.addr(), ClientId(2)).expect("subscriber");
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        publisher
+            .send(&Message::advertise(AdvId(1), adv.clone()))
+            .expect("advertise");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(n0.await_state(Duration::from_secs(5), |s| s.prt_size >= 1));
+
+        // n1 dies and is replaced by a fresh, empty node (new port —
+        // the old one may linger in TIME_WAIT). n0 is redirected; the
+        // sync exchange must rebuild n1's SRT, and the returning
+        // subscriber re-subscribes (client state is the client's).
+        n1.shutdown();
+        let n1b = TcpNode::start(
+            BrokerId(1),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node 1 restarted");
+        assert!(n0.redial(BrokerId(1), n1b.addr()));
+        assert!(
+            n1b.await_state(Duration::from_secs(10), |s| s.srt_size >= 1),
+            "sync must restore the advertisement on the restarted node"
+        );
+        let mut subscriber = TcpClient::connect(n1b.addr(), ClientId(2)).expect("subscriber back");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a".parse().expect("xpe")))
+            .expect("re-subscribe");
+        assert!(n0.await_state(Duration::from_secs(10), |s| s.stats.received_subscribe >= 2));
+
+        publisher
+            .send(&publication(&["a", "b"], 3))
+            .expect("publish after restart");
+        let got = subscriber.recv_timeout(Duration::from_secs(10));
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "delivery must resume after peer restart, got {got:?}"
+        );
+        n0.shutdown();
+        n1b.shutdown();
+    }
+
+    #[test]
+    fn queue_sheds_publications_before_control() {
+        let q = FrameQueue::new(2);
+        q.push_back(publication(&["a"], 1));
+        q.push_back(publication(&["a"], 2));
+        // Control traffic displaces the oldest publication.
+        q.push_back(Message::subscribe(SubId(1), "/a".parse().expect("xpe")));
+        // A publication arriving at a full queue of one pub + one
+        // control displaces the remaining pub...
+        q.push_back(publication(&["a"], 3));
+        // ...and one arriving with only control queued is itself shed.
+        q.push_back(Message::Unsubscribe { id: SubId(9) });
+        q.push_back(publication(&["a"], 4));
+        let mut kinds = Vec::new();
+        while let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) {
+            kinds.push(m.kind());
+        }
+        assert_eq!(kinds, vec!["subscribe", "unsubscribe"], "control survived");
+        assert_eq!(q.dropped(), 4, "all four publications were shed");
+    }
+
+    #[test]
+    fn give_up_after_retry_budget() {
+        // Dial a port nothing listens on, with a one-attempt budget.
+        let dead: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let n = TcpNode::start_with(
+            BrokerId(0),
+            RoutingConfig::with_adv_with_cov(),
+            ephemeral(),
+            &[(BrokerId(1), dead)],
+            SupervisorConfig {
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                retry_budget: 1,
+                ..SupervisorConfig::default()
+            },
+        )
+        .expect("node");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if n.link_stats(BrokerId(1)).expect("dialled").gave_up {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "supervisor never gave up"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        n.shutdown();
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        let cfg = SupervisorConfig::default();
+        let mut jitter = 0x1234_5678_9abc_def0u64;
+        let mut last = Duration::ZERO;
+        for attempt in 1..=20 {
+            let d = backoff_delay(&cfg, attempt, &mut jitter);
+            assert!(
+                d >= cfg.backoff_base / 2,
+                "attempt {attempt}: {d:?} too small"
+            );
+            assert!(
+                d < cfg.backoff_max,
+                "attempt {attempt}: {d:?} exceeds the cap"
+            );
+            if attempt <= 3 {
+                assert!(
+                    d > last / 4,
+                    "attempt {attempt}: backoff should trend upward"
+                );
+            }
+            last = d;
+        }
+    }
+
+    #[test]
+    fn oversized_frames_cut_the_connection() {
+        let n = TcpNode::start(
+            BrokerId(0),
+            RoutingConfig::no_adv_no_cov(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node");
+        // Handshake as a client, then claim a 1 GiB frame.
+        let mut s = TcpStream::connect(n.addr()).expect("connect");
+        let mut hello = [0u8; 9];
+        hello[0] = HELLO_CLIENT;
+        hello[1..9].copy_from_slice(&7u64.to_be_bytes());
+        s.write_all(&hello).expect("hello");
+        s.write_all(&(1u32 << 30).to_be_bytes()).expect("length");
+        // The node must drop the connection rather than allocate.
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut buf = [0u8; 1];
+        let eof = matches!(s.read(&mut buf), Ok(0));
+        assert!(eof, "expected the node to close the oversized connection");
         n.shutdown();
     }
 }

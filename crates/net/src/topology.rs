@@ -80,7 +80,11 @@ mod tests {
             binary_tree_leaves(3),
             vec![BrokerId(4), BrokerId(5), BrokerId(6), BrokerId(7)]
         );
-        assert_eq!(binary_tree_leaves(7).len(), 64, "127-broker tree has 64 leaves");
+        assert_eq!(
+            binary_tree_leaves(7).len(),
+            64,
+            "127-broker tree has 64 leaves"
+        );
     }
 
     #[test]

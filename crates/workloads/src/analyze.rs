@@ -52,11 +52,19 @@ pub fn query_set_stats(queries: &[Xpe]) -> QuerySetStats {
     let steps = steps_total.max(1) as f64;
     QuerySetStats {
         count,
-        mean_length: if count == 0 { 0.0 } else { steps_total as f64 / count as f64 },
+        mean_length: if count == 0 {
+            0.0
+        } else {
+            steps_total as f64 / count as f64
+        },
         length_histogram: hist,
         wildcard_rate: wildcards as f64 / steps,
         descendant_rate: descendants as f64 / steps,
-        relative_rate: if count == 0 { 0.0 } else { relative as f64 / count as f64 },
+        relative_rate: if count == 0 {
+            0.0
+        } else {
+            relative as f64 / count as f64
+        },
     }
 }
 
@@ -83,8 +91,7 @@ pub fn selectivities<S: AsRef<str>>(queries: &[Xpe], universe: &[Vec<S>]) -> Vec
             if universe.is_empty() {
                 0.0
             } else {
-                universe.iter().filter(|p| q.matches_path(p)).count() as f64
-                    / universe.len() as f64
+                universe.iter().filter(|p| q.matches_path(p)).count() as f64 / universe.len() as f64
             }
         })
         .collect()

@@ -16,14 +16,19 @@ use xdn_xml::{DocId, DocPath, Document};
 /// The generator configuration matching the paper's settings: default
 /// IBM-generator parameters except a 10-level cap.
 pub fn paper_generator_config() -> GeneratorConfig {
-    GeneratorConfig { max_depth: 10, ..GeneratorConfig::default() }
+    GeneratorConfig {
+        max_depth: 10,
+        ..GeneratorConfig::default()
+    }
 }
 
 /// Generates `count` random documents conforming to `dtd`.
 pub fn documents(dtd: &Dtd, count: usize, seed: u64) -> Vec<Document> {
     let cfg = paper_generator_config();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..count).map(|_| generate_document(dtd, &cfg, &mut rng)).collect()
+    (0..count)
+        .map(|_| generate_document(dtd, &cfg, &mut rng))
+        .collect()
 }
 
 /// Generates one document per requested size (bytes), for the
@@ -31,7 +36,10 @@ pub fn documents(dtd: &Dtd, count: usize, seed: u64) -> Vec<Document> {
 pub fn sized_documents(dtd: &Dtd, sizes: &[usize], seed: u64) -> Vec<Document> {
     let cfg = paper_generator_config();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    sizes.iter().map(|&s| generate_sized_document(dtd, s, &cfg, &mut rng)).collect()
+    sizes
+        .iter()
+        .map(|&s| generate_sized_document(dtd, s, &cfg, &mut rng))
+        .collect()
 }
 
 /// Extracts the distinct publication paths of a document batch,
@@ -74,7 +82,10 @@ mod tests {
         let docs = sized_documents(&psd_dtd(), &sizes, 9);
         for (d, &target) in docs.iter().zip(&sizes) {
             let len = d.to_xml_string().len();
-            assert!(len >= target, "document of {len} bytes under the {target} target");
+            assert!(
+                len >= target,
+                "document of {len} bytes under the {target} target"
+            );
         }
     }
 

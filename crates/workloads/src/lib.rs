@@ -290,7 +290,10 @@ mod tests {
         let dtd = nitf_dtd();
         assert!(dtd.is_recursive());
         let rec = dtd.recursive_elements();
-        assert!(rec.contains("block"), "block is the recursive backbone: {rec:?}");
+        assert!(
+            rec.contains("block"),
+            "block is the recursive backbone: {rec:?}"
+        );
         assert!(dtd.len() >= 40, "NITF-like DTD has {} elements", dtd.len());
     }
 

@@ -105,9 +105,15 @@ mod tests {
         let b = set_b(&dtd, 3000, 7);
         let ra = covering_rate(&a);
         let rb = covering_rate(&b);
-        assert!(ra > rb + 0.15, "set A ({ra:.2}) must cover far more than set B ({rb:.2})");
+        assert!(
+            ra > rb + 0.15,
+            "set A ({ra:.2}) must cover far more than set B ({rb:.2})"
+        );
         assert!(ra >= 0.75, "set A covering rate {ra:.2} too low");
-        assert!((0.35..=0.70).contains(&rb), "set B covering rate {rb:.2} out of range");
+        assert!(
+            (0.35..=0.70).contains(&rb),
+            "set B covering rate {rb:.2} out of range"
+        );
     }
 
     #[test]

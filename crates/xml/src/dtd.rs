@@ -73,7 +73,10 @@ pub struct Particle {
 impl Particle {
     /// A single-name particle occurring exactly once.
     pub fn name(n: impl Into<String>) -> Self {
-        Particle { kind: ParticleKind::Name(n.into()), occurrence: Occurrence::One }
+        Particle {
+            kind: ParticleKind::Name(n.into()),
+            occurrence: Occurrence::One,
+        }
     }
 
     /// Returns a copy with the given occurrence.
@@ -84,12 +87,18 @@ impl Particle {
 
     /// A sequence particle occurring exactly once.
     pub fn seq(items: Vec<Particle>) -> Self {
-        Particle { kind: ParticleKind::Seq(items), occurrence: Occurrence::One }
+        Particle {
+            kind: ParticleKind::Seq(items),
+            occurrence: Occurrence::One,
+        }
     }
 
     /// A choice particle occurring exactly once.
     pub fn choice(items: Vec<Particle>) -> Self {
-        Particle { kind: ParticleKind::Choice(items), occurrence: Occurrence::One }
+        Particle {
+            kind: ParticleKind::Choice(items),
+            occurrence: Occurrence::One,
+        }
     }
 
     fn collect_names<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
@@ -193,7 +202,10 @@ impl Dtd {
         root: impl Into<String>,
         elements: BTreeMap<String, ContentModel>,
     ) -> Result<Self, XmlError> {
-        let dtd = Dtd { root: root.into(), elements };
+        let dtd = Dtd {
+            root: root.into(),
+            elements,
+        };
         dtd.validate()?;
         Ok(dtd)
     }
@@ -209,7 +221,10 @@ impl Dtd {
     /// Returns an error if a declaration is malformed or an element is
     /// referenced but never declared.
     pub fn parse(input: &str) -> Result<Self, XmlError> {
-        let mut parser = DtdParser { input: input.as_bytes(), pos: 0 };
+        let mut parser = DtdParser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         let mut elements = BTreeMap::new();
         let mut root: Option<String> = None;
         while let Some((name, model)) = parser.next_element_decl()? {
@@ -284,9 +299,7 @@ impl Dtd {
         match &p.kind {
             ParticleKind::Name(_) => 1,
             ParticleKind::Seq(items) => items.iter().map(Self::particle_min).sum(),
-            ParticleKind::Choice(items) => {
-                items.iter().map(Self::particle_min).min().unwrap_or(0)
-            }
+            ParticleKind::Choice(items) => items.iter().map(Self::particle_min).min().unwrap_or(0),
         }
     }
 
@@ -368,7 +381,14 @@ impl Dtd {
     ) -> Vec<Vec<String>> {
         let mut out = Vec::new();
         let mut stack = Vec::new();
-        self.enum_rec(&self.root, max_depth, cycle_unroll, max_paths, &mut stack, &mut out);
+        self.enum_rec(
+            &self.root,
+            max_depth,
+            cycle_unroll,
+            max_paths,
+            &mut stack,
+            &mut out,
+        );
         out
     }
 
@@ -490,7 +510,9 @@ impl<'a> DtdParser<'a> {
         if self.pos == start {
             return Err(self.err("expected name"));
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_owned())
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .to_owned())
     }
 
     fn parse_element_decl(&mut self) -> Result<(String, ContentModel), XmlError> {
@@ -639,13 +661,16 @@ mod tests {
     fn recursion_detected() {
         let dtd = sample();
         assert!(dtd.is_recursive());
-        assert_eq!(dtd.recursive_elements().into_iter().collect::<Vec<_>>(), vec!["body"]);
+        assert_eq!(
+            dtd.recursive_elements().into_iter().collect::<Vec<_>>(),
+            vec!["body"]
+        );
     }
 
     #[test]
     fn non_recursive_dtd() {
-        let dtd = Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c (#PCDATA)>")
-            .unwrap();
+        let dtd =
+            Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c (#PCDATA)>").unwrap();
         assert!(!dtd.is_recursive());
         assert!(dtd.recursive_elements().is_empty());
     }
@@ -675,7 +700,10 @@ mod tests {
     #[test]
     fn mixed_content_children() {
         let dtd = Dtd::parse("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>").unwrap();
-        assert_eq!(dtd.children_of("a").into_iter().collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(
+            dtd.children_of("a").into_iter().collect::<Vec<_>>(),
+            vec!["b"]
+        );
     }
 
     #[test]
@@ -687,10 +715,9 @@ mod tests {
 
     #[test]
     fn enumerate_paths_non_recursive() {
-        let dtd = Dtd::parse(
-            "<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
-        )
-        .unwrap();
+        let dtd =
+            Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+                .unwrap();
         let mut paths = dtd.enumerate_paths(10, 1, 1000);
         paths.sort();
         assert_eq!(
@@ -707,7 +734,9 @@ mod tests {
         let dtd = Dtd::parse("<!ELEMENT a (a?, b)><!ELEMENT b EMPTY>").unwrap();
         let paths = dtd.enumerate_paths(10, 2, 1000);
         // a/b, a/a/b, a/a/a... bounded: each path has at most 2 extra `a`s.
-        assert!(paths.iter().all(|p| p.iter().filter(|e| *e == "a").count() <= 3));
+        assert!(paths
+            .iter()
+            .all(|p| p.iter().filter(|e| *e == "a").count() <= 3));
         assert!(paths.contains(&vec!["a".to_string(), "b".into()]));
         assert!(paths.contains(&vec!["a".to_string(), "a".into(), "b".into()]));
     }

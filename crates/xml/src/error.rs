@@ -64,7 +64,10 @@ impl fmt::Display for XmlError {
             XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
             XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
             XmlErrorKind::MismatchedTag { expected, found } => {
-                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched closing tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlErrorKind::EmptyDocument => write!(f, "document has no root element"),
             XmlErrorKind::TrailingContent => write!(f, "trailing content after root element"),
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn display_mismatched_tag() {
         let e = XmlError::new(
-            XmlErrorKind::MismatchedTag { expected: "a".into(), found: "b".into() },
+            XmlErrorKind::MismatchedTag {
+                expected: "a".into(),
+                found: "b".into(),
+            },
             3,
         );
         let s = e.to_string();

@@ -202,8 +202,9 @@ fn geometric<R: Rng + ?Sized>(rng: &mut R, continue_p: f64, min: usize) -> usize
 }
 
 fn sample_text<R: Rng + ?Sized>(rng: &mut R) -> String {
-    const WORDS: &[&str] =
-        &["claim", "quote", "report", "update", "alert", "note", "summary", "detail"];
+    const WORDS: &[&str] = &[
+        "claim", "quote", "report", "update", "alert", "note", "summary", "detail",
+    ];
     let n = rng.gen_range(1..=4);
     let mut out = String::new();
     for i in 0..n {
@@ -278,7 +279,10 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let dtd = Dtd::parse("<!ELEMENT a (a)>").unwrap(); // infinitely recursive
-        let cfg = GeneratorConfig { max_depth: 5, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            max_depth: 5,
+            ..GeneratorConfig::default()
+        };
         let doc = generate_document(&dtd, &cfg, &mut rng(7));
         assert!(doc.depth() <= 5);
     }
@@ -315,12 +319,18 @@ mod tests {
         let dtd = Dtd::parse("<!ELEMENT a (#PCDATA)>").unwrap();
         let with = generate_document(
             &dtd,
-            &GeneratorConfig { text_content: true, ..Default::default() },
+            &GeneratorConfig {
+                text_content: true,
+                ..Default::default()
+            },
             &mut rng(3),
         );
         let without = generate_document(
             &dtd,
-            &GeneratorConfig { text_content: false, ..Default::default() },
+            &GeneratorConfig {
+                text_content: false,
+                ..Default::default()
+            },
             &mut rng(3),
         );
         assert!(!with.root().children().is_empty());

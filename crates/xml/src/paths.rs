@@ -52,9 +52,17 @@ impl DocPath {
     ///
     /// Panics if `elements` is empty — a document always has a root.
     pub fn new(doc_id: DocId, path_id: PathId, elements: Vec<String>) -> Self {
-        assert!(!elements.is_empty(), "a document path has at least the root element");
+        assert!(
+            !elements.is_empty(),
+            "a document path has at least the root element"
+        );
         let attributes = vec![Vec::new(); elements.len()];
-        DocPath { doc_id, path_id, elements, attributes }
+        DocPath {
+            doc_id,
+            path_id,
+            elements,
+            attributes,
+        }
     }
 
     /// Replaces the attribute lists (builder style).
@@ -148,7 +156,10 @@ fn walk(
 /// elide.
 pub fn dedup_paths(paths: Vec<DocPath>) -> Vec<DocPath> {
     let mut seen = std::collections::HashSet::new();
-    paths.into_iter().filter(|p| seen.insert(p.elements.clone())).collect()
+    paths
+        .into_iter()
+        .filter(|p| seen.insert(p.elements.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -169,7 +180,10 @@ mod tests {
         let doc = parse_document("<r><a><b/><c/></a><d/></r>").unwrap();
         let paths = extract_paths(&doc, DocId(3));
         let seqs: Vec<Vec<&str>> = paths.iter().map(|p| p.as_strs()).collect();
-        assert_eq!(seqs, vec![vec!["r", "a", "b"], vec!["r", "a", "c"], vec!["r", "d"]]);
+        assert_eq!(
+            seqs,
+            vec![vec!["r", "a", "b"], vec!["r", "a", "c"], vec!["r", "d"]]
+        );
         assert_eq!(paths[2].path_id, PathId(2));
         assert!(paths.iter().all(|p| p.doc_id == DocId(3)));
     }

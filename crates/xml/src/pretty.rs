@@ -87,7 +87,10 @@ impl Element {
 
     /// The value of an attribute, if present.
     pub fn attribute(&self, name: &str) -> Option<&str> {
-        self.attributes().iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attributes()
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The concatenated text content of this element's direct text
@@ -109,8 +112,7 @@ mod tests {
 
     #[test]
     fn pretty_roundtrips_through_parser() {
-        let doc =
-            parse_document(r#"<a x="1"><b>hi</b><c><d/></c></a>"#).unwrap();
+        let doc = parse_document(r#"<a x="1"><b>hi</b><c><d/></c></a>"#).unwrap();
         let pretty = doc.to_pretty_string();
         assert!(pretty.contains("  <b>hi</b>"));
         assert!(pretty.contains("    <d/>"));

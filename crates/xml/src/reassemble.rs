@@ -106,7 +106,10 @@ impl TreeNode {
             .unwrap_or_else(|| {
                 let idx = self.order;
                 self.order += 1;
-                let node = TreeNode { attrs, ..TreeNode::default() };
+                let node = TreeNode {
+                    attrs,
+                    ..TreeNode::default()
+                };
                 self.children.insert(idx, (name.clone(), node));
                 idx
             });
@@ -142,8 +145,7 @@ mod tests {
 
     #[test]
     fn roundtrips_structure_and_attributes() {
-        let (original, rebuilt) =
-            roundtrip(r#"<a x="1"><b y="2"><c/></b><d/><e><f/><g/></e></a>"#);
+        let (original, rebuilt) = roundtrip(r#"<a x="1"><b y="2"><c/></b><d/><e><f/><g/></e></a>"#);
         assert_eq!(rebuilt, original);
     }
 
@@ -224,7 +226,9 @@ mod tests {
             let maximal: Vec<_> = orig_seqs
                 .iter()
                 .filter(|p| {
-                    !orig_seqs.iter().any(|q| q.len() > p.len() && q.starts_with(p))
+                    !orig_seqs
+                        .iter()
+                        .any(|q| q.len() > p.len() && q.starts_with(p))
                 })
                 .cloned()
                 .collect();

@@ -81,7 +81,11 @@ impl Element {
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
         assert!(!name.is_empty(), "element name must be non-empty");
-        Element { name, attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// The element's tag name.
@@ -128,11 +132,18 @@ impl Element {
     }
 
     fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     fn subtree_depth(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_depth).max().unwrap_or(0)
+        1 + self
+            .child_elements()
+            .map(Element::subtree_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     fn write_xml(&self, out: &mut String) {
@@ -192,7 +203,10 @@ fn push_escaped(out: &mut String, s: &str) {
 /// # Ok::<(), xdn_xml::XmlError>(())
 /// ```
 pub fn parse_document(input: &str) -> Result<Document, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog();
     p.skip_ws_and_misc();
     if p.at_end() {
@@ -302,12 +316,16 @@ impl<'a> Parser<'a> {
             return Err(self.err(XmlErrorKind::InvalidName(String::new())));
         }
         // Names in this subset are ASCII; the slice is valid UTF-8.
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_owned())
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .to_owned())
     }
 
     fn parse_element(&mut self) -> Result<Element, XmlError> {
         if self.bump() != Some(b'<') {
-            return Err(self.err(XmlErrorKind::UnexpectedChar(self.peek().unwrap_or(b'?') as char)));
+            return Err(self.err(XmlErrorKind::UnexpectedChar(
+                self.peek().unwrap_or(b'?') as char
+            )));
         }
         let name = self.parse_name()?;
         let mut elem = Element::new(name);
@@ -400,7 +418,13 @@ fn unescape(s: &str) -> String {
     while let Some(idx) = rest.find('&') {
         out.push_str(&rest[..idx]);
         rest = &rest[idx..];
-        let known = [("&lt;", '<'), ("&gt;", '>'), ("&amp;", '&'), ("&quot;", '"'), ("&apos;", '\'')];
+        let known = [
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&amp;", '&'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ];
         if let Some((ent, ch)) = known.iter().find(|(ent, _)| rest.starts_with(ent)) {
             out.push(*ch);
             rest = &rest[ent.len()..];
@@ -430,14 +454,18 @@ mod tests {
     fn parse_attributes_and_text() {
         let doc = parse_document(r#"<claim id="7" lang='en'>text body</claim>"#).unwrap();
         let root = doc.root();
-        assert_eq!(root.attributes(), &[("id".into(), "7".into()), ("lang".into(), "en".into())]);
+        assert_eq!(
+            root.attributes(),
+            &[("id".into(), "7".into()), ("lang".into(), "en".into())]
+        );
         assert_eq!(root.children().len(), 1);
         assert!(matches!(&root.children()[0], Node::Text(t) if t == "text body"));
     }
 
     #[test]
     fn parse_with_prolog_doctype_comments() {
-        let src = "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a (b)> ]>\n<!-- c -->\n<a><b/></a>";
+        let src =
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a (b)> ]>\n<!-- c -->\n<a><b/></a>";
         let doc = parse_document(src).unwrap();
         assert_eq!(doc.root().name(), "a");
     }

@@ -139,12 +139,20 @@ pub struct Step {
 impl Step {
     /// A child-axis step.
     pub fn child(test: impl Into<NodeTest>) -> Self {
-        Step { axis: Axis::Child, test: test.into(), predicates: Vec::new() }
+        Step {
+            axis: Axis::Child,
+            test: test.into(),
+            predicates: Vec::new(),
+        }
     }
 
     /// A descendant-axis step.
     pub fn descendant(test: impl Into<NodeTest>) -> Self {
-        Step { axis: Axis::Descendant, test: test.into(), predicates: Vec::new() }
+        Step {
+            axis: Axis::Descendant,
+            test: test.into(),
+            predicates: Vec::new(),
+        }
     }
 
     /// Adds a predicate (builder style).

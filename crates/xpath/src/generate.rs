@@ -80,11 +80,7 @@ impl Default for XpeGeneratorConfig {
 /// children; each emitted step is independently widened to `*` with
 /// probability `W`, and connected with `//` (skipping up to
 /// `descendant_skip_max` walked levels) with probability `DO`.
-pub fn generate_xpe<R: Rng + ?Sized>(
-    dtd: &Dtd,
-    config: &XpeGeneratorConfig,
-    rng: &mut R,
-) -> Xpe {
+pub fn generate_xpe<R: Rng + ?Sized>(dtd: &Dtd, config: &XpeGeneratorConfig, rng: &mut R) -> Xpe {
     // Phase 1: random root-to-somewhere walk through the element graph.
     let walk = random_walk(dtd, config, rng);
     // Phase 2: turn the walk into an expression.
@@ -119,13 +115,13 @@ fn random_walk<R: Rng + ?Sized>(
     walk
 }
 
-fn walk_to_xpe<R: Rng + ?Sized>(
-    walk: &[String],
-    config: &XpeGeneratorConfig,
-    rng: &mut R,
-) -> Xpe {
+fn walk_to_xpe<R: Rng + ?Sized>(walk: &[String], config: &XpeGeneratorConfig, rng: &mut R) -> Xpe {
     let relative = walk.len() > 1 && rng.gen_bool(config.relative_p);
-    let start = if relative { rng.gen_range(1..walk.len()) } else { 0 };
+    let start = if relative {
+        rng.gen_range(1..walk.len())
+    } else {
+        0
+    };
     let generalize = walk.len() - start >= config.generalize_min_walk;
 
     let mut steps = Vec::new();
@@ -153,7 +149,9 @@ fn walk_to_xpe<R: Rng + ?Sized>(
         if axis == Axis::Descendant && config.descendant_skip_max > 0 && !steps.is_empty() {
             // `//` swallows some walked levels so the operator is not
             // vacuous (it still matches the skipped levels).
-            let max_skip = config.descendant_skip_max.min(walk.len().saturating_sub(i + 1));
+            let max_skip = config
+                .descendant_skip_max
+                .min(walk.len().saturating_sub(i + 1));
             if max_skip > 0 {
                 i += rng.gen_range(0..=max_skip);
             }
@@ -169,7 +167,11 @@ fn walk_to_xpe<R: Rng + ?Sized>(
         } else {
             NodeTest::Name(walk[i].clone())
         };
-        steps.push(Step { axis, test, predicates: Vec::new() });
+        steps.push(Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+        });
         i += 1;
     }
     debug_assert!(!steps.is_empty());
@@ -248,7 +250,10 @@ mod tests {
     #[test]
     fn respects_max_length() {
         let dtd = dtd();
-        let cfg = XpeGeneratorConfig { max_length: 3, ..Default::default() };
+        let cfg = XpeGeneratorConfig {
+            max_length: 3,
+            ..Default::default()
+        };
         let mut r = rng(2);
         for _ in 0..100 {
             assert!(generate_xpe(&dtd, &cfg, &mut r).len() <= 3);
@@ -276,7 +281,10 @@ mod tests {
     #[test]
     fn high_wildcard_probability_produces_wildcards() {
         let dtd = dtd();
-        let cfg = XpeGeneratorConfig { wildcard_p: 1.0, ..Default::default() };
+        let cfg = XpeGeneratorConfig {
+            wildcard_p: 1.0,
+            ..Default::default()
+        };
         let mut r = rng(4);
         let x = generate_xpe(&dtd, &cfg, &mut r);
         assert!(x.steps().iter().all(|s| s.test.is_wildcard()));
@@ -289,7 +297,11 @@ mod tests {
         let xpes = generate_distinct_xpes(&dtd, 300, &cfg, &mut rng(5));
         let unique: HashSet<String> = xpes.iter().map(|x| x.to_string()).collect();
         assert_eq!(unique.len(), xpes.len());
-        assert!(xpes.len() >= 250, "DTD should support >=250 distinct XPEs, got {}", xpes.len());
+        assert!(
+            xpes.len() >= 250,
+            "DTD should support >=250 distinct XPEs, got {}",
+            xpes.len()
+        );
     }
 
     #[test]
@@ -317,7 +329,10 @@ mod tests {
     #[test]
     fn relative_expressions_generated() {
         let dtd = dtd();
-        let cfg = XpeGeneratorConfig { relative_p: 1.0, ..Default::default() };
+        let cfg = XpeGeneratorConfig {
+            relative_p: 1.0,
+            ..Default::default()
+        };
         let mut r = rng(7);
         let any_relative = (0..50).any(|_| !generate_xpe(&dtd, &cfg, &mut r).is_absolute());
         assert!(any_relative);

@@ -183,7 +183,10 @@ mod tests {
     fn paper_descendant_example() {
         // §3.2: s = */a//d/*/c//b matches a = /a/*/e/*/d/*/c/b-shaped
         // publications; check against a concrete conforming path.
-        assert!(m("*/a//d/*/c//b", &["r", "a", "e", "q", "d", "x", "c", "b"]));
+        assert!(m(
+            "*/a//d/*/c//b",
+            &["r", "a", "e", "q", "d", "x", "c", "b"]
+        ));
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub struct XpeParseError {
 
 impl XpeParseError {
     fn new(message: impl Into<String>, offset: usize) -> Self {
-        XpeParseError { message: message.into(), offset }
+        XpeParseError {
+            message: message.into(),
+            offset,
+        }
     }
 
     /// Byte offset at which parsing failed.
@@ -25,7 +28,11 @@ impl XpeParseError {
 
 impl fmt::Display for XpeParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid XPath expression: {} at offset {}", self.message, self.offset)
+        write!(
+            f,
+            "invalid XPath expression: {} at offset {}",
+            self.message, self.offset
+        )
     }
 }
 
@@ -146,7 +153,8 @@ fn parse_predicate(body: &str, offset: usize) -> Result<Predicate, XpeParseError
     };
     let valid_name = |n: &str| {
         !n.is_empty()
-            && n.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
     };
     match rest.split_once('=') {
         None => {
@@ -169,9 +177,7 @@ fn parse_predicate(body: &str, offset: usize) -> Result<Predicate, XpeParseError
                 .strip_prefix('\'')
                 .and_then(|v| v.strip_suffix('\''))
                 .or_else(|| value.strip_prefix('"').and_then(|v| v.strip_suffix('"')))
-                .ok_or_else(|| {
-                    XpeParseError::new("predicate value must be quoted", offset)
-                })?;
+                .ok_or_else(|| XpeParseError::new("predicate value must be quoted", offset))?;
             Ok(Predicate::AttrEq(name.to_owned(), value.to_owned()))
         }
     }
@@ -216,7 +222,13 @@ mod tests {
     #[test]
     fn parse_paper_examples() {
         // Expressions quoted verbatim in the paper.
-        for src in ["/b/*/*/c/c/d", "/*/c/*/b/c", "*/a//d/*/c//b", "/a/*//*/d", "/a//b/c/d"] {
+        for src in [
+            "/b/*/*/c/c/d",
+            "/*/c/*/b/c",
+            "*/a//d/*/c//b",
+            "/a/*//*/d",
+            "/a//b/c/d",
+        ] {
             assert!(Xpe::parse(src).is_ok(), "failed to parse {src}");
         }
     }
@@ -235,7 +247,11 @@ mod tests {
     #[test]
     fn error_reports_offset() {
         let err = Xpe::parse("/a/b c").unwrap_err();
-        assert!(err.offset() >= 3, "offset {} should point at the bad step", err.offset());
+        assert!(
+            err.offset() >= 3,
+            "offset {} should point at the bad step",
+            err.offset()
+        );
         assert!(err.to_string().contains("invalid"));
     }
 

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          <!ELEMENT description (#PCDATA)>",
     )?;
     let intake = net.attach_client(BrokerId(4));
-    net.advertise_all(intake, derive_advertisements(&dtd, &DeriveOptions::default()));
+    net.advertise_all(
+        intake,
+        derive_advertisements(&dtd, &DeriveOptions::default()),
+    );
     net.run();
 
     // Experts subscribe from different offices. Note how the marine
@@ -93,7 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "network traffic: {} messages, mean delay {:?}",
         net.metrics().network_traffic(),
-        net.metrics().mean_notification_delay().expect("deliveries observed"),
+        net.metrics()
+            .mean_notification_delay()
+            .expect("deliveries observed"),
     );
     Ok(())
 }

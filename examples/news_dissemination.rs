@@ -18,13 +18,13 @@ fn main() {
 
     // Reader profiles: XPath expressions over news documents.
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-    let profiles = xdn::xpath::generate::generate_distinct_xpes(
-        &dtd,
-        n,
-        &sets::set_a_config(),
-        &mut rng,
+    let profiles =
+        xdn::xpath::generate::generate_distinct_xpes(&dtd, n, &sets::set_a_config(), &mut rng);
+    println!(
+        "{} distinct reader profiles (e.g. {})",
+        profiles.len(),
+        profiles[0]
     );
-    println!("{} distinct reader profiles (e.g. {})", profiles.len(), profiles[0]);
 
     // A flat routing table vs the covering subscription tree.
     let mut flat: FlatPrt<u32> = FlatPrt::new();
@@ -54,7 +54,11 @@ fn main() {
     // Route today's news through both tables.
     let editions = docs::documents(&dtd, 50, 11);
     let paths = docs::publication_paths(&editions);
-    println!("{} documents -> {} publication paths", editions.len(), paths.len());
+    println!(
+        "{} documents -> {} publication paths",
+        editions.len(),
+        paths.len()
+    );
 
     let started = Instant::now();
     let mut flat_matches = 0usize;
@@ -70,7 +74,10 @@ fn main() {
     }
     let tree_time = started.elapsed();
 
-    assert_eq!(flat_matches, tree_matches, "covering must not change deliveries");
+    assert_eq!(
+        flat_matches, tree_matches,
+        "covering must not change deliveries"
+    );
     println!(
         "routing {} paths: flat {:?}, covering tree {:?} ({:.1}x faster)",
         paths.len(),

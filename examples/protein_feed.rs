@@ -30,19 +30,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let curator = ClientId(1); // publishes database updates at broker 0
     let lab = ClientId(2); // watches kinase entries at broker 3
     let archive = ClientId(3); // archives all reference data at broker 2
-    builder.client(curator, BrokerId(0)).client(lab, BrokerId(3)).client(archive, BrokerId(2));
+    builder
+        .client(curator, BrokerId(0))
+        .client(lab, BrokerId(3))
+        .client(archive, BrokerId(2));
     let net = builder.start();
 
     // Announce the feed.
     let dtd = psd_dtd();
-    for (i, adv) in derive_advertisements(&dtd, &DeriveOptions::default()).into_iter().enumerate()
+    for (i, adv) in derive_advertisements(&dtd, &DeriveOptions::default())
+        .into_iter()
+        .enumerate()
     {
         net.send(curator, Message::advertise(AdvId(i as u64), adv));
     }
 
     // Register interests.
-    net.send(lab, Message::subscribe(SubId(1), "//classification/superfamily".parse()?));
-    net.send(archive, Message::subscribe(SubId(2), "/ProteinDatabase/ProteinEntry/reference".parse()?));
+    net.send(
+        lab,
+        Message::subscribe(SubId(1), "//classification/superfamily".parse()?),
+    );
+    net.send(
+        archive,
+        Message::subscribe(SubId(2), "/ProteinDatabase/ProteinEntry/reference".parse()?),
+    );
     std::thread::sleep(Duration::from_millis(100)); // control plane settles
 
     // Publish one update; the document is decomposed into paths by the
@@ -59,14 +70,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let bytes = doc.to_xml_string().len();
     for p in dedup_paths(extract_paths(&doc, DocId(1))) {
-        net.send(curator, Message::Publish(Publication::from_doc_path(&p, bytes)));
+        net.send(
+            curator,
+            Message::Publish(Publication::from_doc_path(&p, bytes)),
+        );
     }
 
     // Both subscribers receive the paths their filters select.
     let lab_msg = net.recv_timeout(lab, Duration::from_secs(5));
     let archive_msg = net.recv_timeout(archive, Duration::from_secs(5));
-    println!("lab received:     {:?}", lab_msg.as_ref().map(Message::kind));
-    println!("archive received: {:?}", archive_msg.as_ref().map(Message::kind));
+    println!(
+        "lab received:     {:?}",
+        lab_msg.as_ref().map(Message::kind)
+    );
+    println!(
+        "archive received: {:?}",
+        archive_msg.as_ref().map(Message::kind)
+    );
     assert!(matches!(lab_msg, Some(Message::Publish(_))));
     assert!(matches!(archive_msg, Some(Message::Publish(_))));
 

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          <!ELEMENT volume (#PCDATA)>",
     )?;
     let advertisements = derive_advertisements(&dtd, &DeriveOptions::default());
-    println!("publisher advertises {} path patterns, e.g. {}", advertisements.len(), advertisements[0]);
+    println!(
+        "publisher advertises {} path patterns, e.g. {}",
+        advertisements.len(),
+        advertisements[0]
+    );
     net.advertise_all(publisher, advertisements);
     net.run();
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-8a01c78839658eaf.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-8a01c78839658eaf: tests/chaos.rs
+
+tests/chaos.rs:

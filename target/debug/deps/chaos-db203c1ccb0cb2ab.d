@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-db203c1ccb0cb2ab.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-db203c1ccb0cb2ab.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-cba5862221263892.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-cba5862221263892: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matching-2644709260335e20.d: crates/bench/benches/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching-2644709260335e20.rmeta: crates/bench/benches/matching.rs Cargo.toml
+
+crates/bench/benches/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/merging-338da7ee33182fc6.d: crates/bench/benches/merging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmerging-338da7ee33182fc6.rmeta: crates/bench/benches/merging.rs Cargo.toml
+
+crates/bench/benches/merging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

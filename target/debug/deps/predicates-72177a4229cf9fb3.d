@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicates-72177a4229cf9fb3.d: tests/predicates.rs
+
+/root/repo/target/debug/deps/predicates-72177a4229cf9fb3: tests/predicates.rs
+
+tests/predicates.rs:

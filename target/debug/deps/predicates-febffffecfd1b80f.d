@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predicates-febffffecfd1b80f.d: tests/predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredicates-febffffecfd1b80f.rmeta: tests/predicates.rs Cargo.toml
+
+tests/predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-153c572b2c1ef877.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-153c572b2c1ef877: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fd5181b06bc67115.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fd5181b06bc67115.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pub_routing-e94dfca04bf9d6fa.d: crates/bench/benches/pub_routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpub_routing-e94dfca04bf9d6fa.rmeta: crates/bench/benches/pub_routing.rs Cargo.toml
+
+crates/bench/benches/pub_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-96dc845472b00c1c.d: third_party/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-96dc845472b00c1c.rlib: third_party/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-96dc845472b00c1c.rmeta: third_party/rand_chacha/src/lib.rs
+
+third_party/rand_chacha/src/lib.rs:

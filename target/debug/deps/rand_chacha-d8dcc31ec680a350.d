@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-d8dcc31ec680a350.d: third_party/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-d8dcc31ec680a350.rmeta: third_party/rand_chacha/src/lib.rs Cargo.toml
+
+third_party/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-da6227e37e0764bf.d: third_party/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-da6227e37e0764bf: third_party/rand_chacha/src/lib.rs
+
+third_party/rand_chacha/src/lib.rs:

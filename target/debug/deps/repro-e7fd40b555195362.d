@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e7fd40b555195362.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e7fd40b555195362: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

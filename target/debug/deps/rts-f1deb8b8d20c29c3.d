@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rts-f1deb8b8d20c29c3.d: crates/bench/benches/rts.rs Cargo.toml
+
+/root/repo/target/debug/deps/librts-f1deb8b8d20c29c3.rmeta: crates/bench/benches/rts.rs Cargo.toml
+
+crates/bench/benches/rts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/subtree_props-429f5d56bd92204c.d: crates/core/tests/subtree_props.rs
+
+/root/repo/target/debug/deps/subtree_props-429f5d56bd92204c: crates/core/tests/subtree_props.rs
+
+crates/core/tests/subtree_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/subtree_props-acc20008cd591462.d: crates/core/tests/subtree_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubtree_props-acc20008cd591462.rmeta: crates/core/tests/subtree_props.rs Cargo.toml
+
+crates/core/tests/subtree_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_equivalence-6430bd8ce0381040.d: tests/table_equivalence.rs
+
+/root/repo/target/debug/deps/table_equivalence-6430bd8ce0381040: tests/table_equivalence.rs
+
+tests/table_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_equivalence-70688221cb225670.d: tests/table_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_equivalence-70688221cb225670.rmeta: tests/table_equivalence.rs Cargo.toml
+
+tests/table_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

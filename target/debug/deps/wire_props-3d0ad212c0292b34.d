@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_props-3d0ad212c0292b34.d: crates/broker/tests/wire_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_props-3d0ad212c0292b34.rmeta: crates/broker/tests/wire_props.rs Cargo.toml
+
+crates/broker/tests/wire_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_props-cb10222f2797ce4f.d: crates/broker/tests/wire_props.rs
+
+/root/repo/target/debug/deps/wire_props-cb10222f2797ce4f: crates/broker/tests/wire_props.rs
+
+crates/broker/tests/wire_props.rs:

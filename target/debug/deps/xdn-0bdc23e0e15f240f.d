@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xdn-0bdc23e0e15f240f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libxdn-0bdc23e0e15f240f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libxdn-0bdc23e0e15f240f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdn-40d36715a44c02fd.d: src/lib.rs
+
+/root/repo/target/debug/deps/xdn-40d36715a44c02fd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdn-7330c27bb1e3c5fa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn-7330c27bb1e3c5fa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

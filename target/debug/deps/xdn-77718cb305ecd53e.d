@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdn-77718cb305ecd53e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn-77718cb305ecd53e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

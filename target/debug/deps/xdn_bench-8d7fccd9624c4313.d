@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xdn_bench-8d7fccd9624c4313.d: crates/bench/src/lib.rs crates/bench/src/delay.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/traffic.rs
+
+/root/repo/target/debug/deps/libxdn_bench-8d7fccd9624c4313.rlib: crates/bench/src/lib.rs crates/bench/src/delay.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/traffic.rs
+
+/root/repo/target/debug/deps/libxdn_bench-8d7fccd9624c4313.rmeta: crates/bench/src/lib.rs crates/bench/src/delay.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/traffic.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/delay.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/traffic.rs:

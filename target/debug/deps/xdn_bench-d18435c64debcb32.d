@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xdn_bench-d18435c64debcb32.d: crates/bench/src/lib.rs crates/bench/src/delay.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_bench-d18435c64debcb32.rmeta: crates/bench/src/lib.rs crates/bench/src/delay.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/traffic.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/delay.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

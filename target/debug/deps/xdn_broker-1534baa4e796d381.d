@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xdn_broker-1534baa4e796d381.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_broker-1534baa4e796d381.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs Cargo.toml
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/message.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdn_broker-198860ca37f44418.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+/root/repo/target/debug/deps/xdn_broker-198860ca37f44418: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/message.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xdn_broker-822839a7d6f55a1f.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_broker-822839a7d6f55a1f.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs Cargo.toml
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/message.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

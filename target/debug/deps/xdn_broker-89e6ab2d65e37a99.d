@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xdn_broker-89e6ab2d65e37a99.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+/root/repo/target/debug/deps/libxdn_broker-89e6ab2d65e37a99.rlib: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+/root/repo/target/debug/deps/libxdn_broker-89e6ab2d65e37a99.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/message.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xdn_core-526a36bd4edf2cad.d: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+/root/repo/target/debug/deps/xdn_core-526a36bd4edf2cad: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adv.rs:
+crates/core/src/advmatch.rs:
+crates/core/src/cover.rs:
+crates/core/src/merge.rs:
+crates/core/src/rtable.rs:
+crates/core/src/subtree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xdn_core-928196d09044de39.d: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+/root/repo/target/debug/deps/libxdn_core-928196d09044de39.rlib: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+/root/repo/target/debug/deps/libxdn_core-928196d09044de39.rmeta: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adv.rs:
+crates/core/src/advmatch.rs:
+crates/core/src/cover.rs:
+crates/core/src/merge.rs:
+crates/core/src/rtable.rs:
+crates/core/src/subtree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xdn_core-ec29927ddfde7ed6.d: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_core-ec29927ddfde7ed6.rmeta: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adv.rs:
+crates/core/src/advmatch.rs:
+crates/core/src/cover.rs:
+crates/core/src/merge.rs:
+crates/core/src/rtable.rs:
+crates/core/src/subtree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

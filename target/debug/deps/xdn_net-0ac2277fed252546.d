@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xdn_net-0ac2277fed252546.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libxdn_net-0ac2277fed252546.rlib: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libxdn_net-0ac2277fed252546.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/live.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:

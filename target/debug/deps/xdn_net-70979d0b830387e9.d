@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xdn_net-70979d0b830387e9.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_net-70979d0b830387e9.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/live.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

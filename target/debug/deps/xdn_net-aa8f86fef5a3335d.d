@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xdn_net-aa8f86fef5a3335d.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/xdn_net-aa8f86fef5a3335d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/live.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdn_node-4f5fce3a7623fe54.d: crates/net/src/bin/xdn-node.rs
+
+/root/repo/target/debug/deps/xdn_node-4f5fce3a7623fe54: crates/net/src/bin/xdn-node.rs
+
+crates/net/src/bin/xdn-node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xdn_node-6b6af6d342af24ec.d: crates/net/src/bin/xdn-node.rs
+
+/root/repo/target/debug/deps/xdn_node-6b6af6d342af24ec: crates/net/src/bin/xdn-node.rs
+
+crates/net/src/bin/xdn-node.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdn_node-af4ddde3fad44af7.d: crates/net/src/bin/xdn-node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_node-af4ddde3fad44af7.rmeta: crates/net/src/bin/xdn-node.rs Cargo.toml
+
+crates/net/src/bin/xdn-node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdn_node-d777101c5dabcd0e.d: crates/net/src/bin/xdn-node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_node-d777101c5dabcd0e.rmeta: crates/net/src/bin/xdn-node.rs Cargo.toml
+
+crates/net/src/bin/xdn-node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

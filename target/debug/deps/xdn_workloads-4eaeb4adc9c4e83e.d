@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xdn_workloads-4eaeb4adc9c4e83e.d: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_workloads-4eaeb4adc9c4e83e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analyze.rs:
+crates/workloads/src/docs.rs:
+crates/workloads/src/sets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

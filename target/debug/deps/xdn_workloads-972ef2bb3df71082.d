@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xdn_workloads-972ef2bb3df71082.d: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+/root/repo/target/debug/deps/xdn_workloads-972ef2bb3df71082: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analyze.rs:
+crates/workloads/src/docs.rs:
+crates/workloads/src/sets.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xdn_workloads-a4330b3d25889c3b.d: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+/root/repo/target/debug/deps/libxdn_workloads-a4330b3d25889c3b.rlib: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+/root/repo/target/debug/deps/libxdn_workloads-a4330b3d25889c3b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analyze.rs:
+crates/workloads/src/docs.rs:
+crates/workloads/src/sets.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xdn_xml-1a6ab80773beef92.d: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+/root/repo/target/debug/deps/xdn_xml-1a6ab80773beef92: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/generate.rs:
+crates/xml/src/paths.rs:
+crates/xml/src/pretty.rs:
+crates/xml/src/reassemble.rs:
+crates/xml/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xdn_xml-48f0d19a5b0a69bf.d: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_xml-48f0d19a5b0a69bf.rmeta: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/generate.rs:
+crates/xml/src/paths.rs:
+crates/xml/src/pretty.rs:
+crates/xml/src/reassemble.rs:
+crates/xml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

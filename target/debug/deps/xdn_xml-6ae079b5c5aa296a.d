@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xdn_xml-6ae079b5c5aa296a.d: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+/root/repo/target/debug/deps/libxdn_xml-6ae079b5c5aa296a.rlib: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+/root/repo/target/debug/deps/libxdn_xml-6ae079b5c5aa296a.rmeta: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/generate.rs:
+crates/xml/src/paths.rs:
+crates/xml/src/pretty.rs:
+crates/xml/src/reassemble.rs:
+crates/xml/src/tree.rs:

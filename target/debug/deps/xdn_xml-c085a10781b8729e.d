@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xdn_xml-c085a10781b8729e.d: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_xml-c085a10781b8729e.rmeta: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/generate.rs:
+crates/xml/src/paths.rs:
+crates/xml/src/pretty.rs:
+crates/xml/src/reassemble.rs:
+crates/xml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xdn_xpath-1ee36a83f1f36064.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+/root/repo/target/debug/deps/xdn_xpath-1ee36a83f1f36064: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/generate.rs:
+crates/xpath/src/matching.rs:
+crates/xpath/src/parse.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xdn_xpath-a42142e4c956a8ef.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_xpath-a42142e4c956a8ef.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs Cargo.toml
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/generate.rs:
+crates/xpath/src/matching.rs:
+crates/xpath/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

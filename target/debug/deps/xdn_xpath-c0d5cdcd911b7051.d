@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xdn_xpath-c0d5cdcd911b7051.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+/root/repo/target/debug/deps/libxdn_xpath-c0d5cdcd911b7051.rlib: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+/root/repo/target/debug/deps/libxdn_xpath-c0d5cdcd911b7051.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/generate.rs:
+crates/xpath/src/matching.rs:
+crates/xpath/src/parse.rs:

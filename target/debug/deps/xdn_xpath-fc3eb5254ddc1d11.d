@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xdn_xpath-fc3eb5254ddc1d11.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxdn_xpath-fc3eb5254ddc1d11.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs Cargo.toml
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/generate.rs:
+crates/xpath/src/matching.rs:
+crates/xpath/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xpe_processing-4d8ddd1d2ef84914.d: crates/bench/benches/xpe_processing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxpe_processing-4d8ddd1d2ef84914.rmeta: crates/bench/benches/xpe_processing.rs Cargo.toml
+
+crates/bench/benches/xpe_processing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/insurance_claims-1ddae65825e5d26a.d: examples/insurance_claims.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinsurance_claims-1ddae65825e5d26a.rmeta: examples/insurance_claims.rs Cargo.toml
+
+examples/insurance_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

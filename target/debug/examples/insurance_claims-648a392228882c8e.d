@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/insurance_claims-648a392228882c8e.d: examples/insurance_claims.rs
+
+/root/repo/target/debug/examples/insurance_claims-648a392228882c8e: examples/insurance_claims.rs
+
+examples/insurance_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/news_dissemination-791f2c524bf2d17f.d: examples/news_dissemination.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnews_dissemination-791f2c524bf2d17f.rmeta: examples/news_dissemination.rs Cargo.toml
+
+examples/news_dissemination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

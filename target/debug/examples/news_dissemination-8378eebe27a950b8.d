@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/news_dissemination-8378eebe27a950b8.d: examples/news_dissemination.rs
+
+/root/repo/target/debug/examples/news_dissemination-8378eebe27a950b8: examples/news_dissemination.rs
+
+examples/news_dissemination.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protein_feed-51b33a3e05779ee2.d: examples/protein_feed.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotein_feed-51b33a3e05779ee2.rmeta: examples/protein_feed.rs Cargo.toml
+
+examples/protein_feed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protein_feed-5e5acabcdcf1a126.d: examples/protein_feed.rs
+
+/root/repo/target/debug/examples/protein_feed-5e5acabcdcf1a126: examples/protein_feed.rs
+
+examples/protein_feed.rs:

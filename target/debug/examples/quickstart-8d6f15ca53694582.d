@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-8d6f15ca53694582.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-8d6f15ca53694582.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9836252a4a558f95.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9836252a4a558f95: examples/quickstart.rs
+
+examples/quickstart.rs:

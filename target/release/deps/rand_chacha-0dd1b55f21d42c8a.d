@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-0dd1b55f21d42c8a.d: third_party/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-0dd1b55f21d42c8a.rlib: third_party/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-0dd1b55f21d42c8a.rmeta: third_party/rand_chacha/src/lib.rs
+
+third_party/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-df7b52868259b98f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-df7b52868259b98f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

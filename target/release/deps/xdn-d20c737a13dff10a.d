@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xdn-d20c737a13dff10a.d: src/lib.rs
+
+/root/repo/target/release/deps/libxdn-d20c737a13dff10a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libxdn-d20c737a13dff10a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xdn_broker-8a0c6c4b30324018.d: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+/root/repo/target/release/deps/libxdn_broker-8a0c6c4b30324018.rlib: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+/root/repo/target/release/deps/libxdn_broker-8a0c6c4b30324018.rmeta: crates/broker/src/lib.rs crates/broker/src/broker.rs crates/broker/src/message.rs crates/broker/src/stats.rs crates/broker/src/wire.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/broker.rs:
+crates/broker/src/message.rs:
+crates/broker/src/stats.rs:
+crates/broker/src/wire.rs:

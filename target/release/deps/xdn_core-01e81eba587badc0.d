@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xdn_core-01e81eba587badc0.d: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+/root/repo/target/release/deps/libxdn_core-01e81eba587badc0.rlib: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+/root/repo/target/release/deps/libxdn_core-01e81eba587badc0.rmeta: crates/core/src/lib.rs crates/core/src/adv.rs crates/core/src/advmatch.rs crates/core/src/cover.rs crates/core/src/merge.rs crates/core/src/rtable.rs crates/core/src/subtree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adv.rs:
+crates/core/src/advmatch.rs:
+crates/core/src/cover.rs:
+crates/core/src/merge.rs:
+crates/core/src/rtable.rs:
+crates/core/src/subtree.rs:

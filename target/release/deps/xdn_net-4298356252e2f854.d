@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xdn_net-4298356252e2f854.d: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libxdn_net-4298356252e2f854.rlib: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libxdn_net-4298356252e2f854.rmeta: crates/net/src/lib.rs crates/net/src/latency.rs crates/net/src/live.rs crates/net/src/metrics.rs crates/net/src/sim.rs crates/net/src/tcp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/latency.rs:
+crates/net/src/live.rs:
+crates/net/src/metrics.rs:
+crates/net/src/sim.rs:
+crates/net/src/tcp.rs:
+crates/net/src/topology.rs:

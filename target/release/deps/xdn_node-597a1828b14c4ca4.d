@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xdn_node-597a1828b14c4ca4.d: crates/net/src/bin/xdn-node.rs
+
+/root/repo/target/release/deps/xdn_node-597a1828b14c4ca4: crates/net/src/bin/xdn-node.rs
+
+crates/net/src/bin/xdn-node.rs:

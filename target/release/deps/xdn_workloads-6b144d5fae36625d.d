@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xdn_workloads-6b144d5fae36625d.d: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+/root/repo/target/release/deps/libxdn_workloads-6b144d5fae36625d.rlib: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+/root/repo/target/release/deps/libxdn_workloads-6b144d5fae36625d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/analyze.rs crates/workloads/src/docs.rs crates/workloads/src/sets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/analyze.rs:
+crates/workloads/src/docs.rs:
+crates/workloads/src/sets.rs:

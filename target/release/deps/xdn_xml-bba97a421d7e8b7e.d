@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/xdn_xml-bba97a421d7e8b7e.d: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+/root/repo/target/release/deps/libxdn_xml-bba97a421d7e8b7e.rlib: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+/root/repo/target/release/deps/libxdn_xml-bba97a421d7e8b7e.rmeta: crates/xml/src/lib.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/generate.rs crates/xml/src/paths.rs crates/xml/src/pretty.rs crates/xml/src/reassemble.rs crates/xml/src/tree.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/generate.rs:
+crates/xml/src/paths.rs:
+crates/xml/src/pretty.rs:
+crates/xml/src/reassemble.rs:
+crates/xml/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xdn_xpath-9531d465e3890f29.d: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+/root/repo/target/release/deps/libxdn_xpath-9531d465e3890f29.rlib: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+/root/repo/target/release/deps/libxdn_xpath-9531d465e3890f29.rmeta: crates/xpath/src/lib.rs crates/xpath/src/ast.rs crates/xpath/src/generate.rs crates/xpath/src/matching.rs crates/xpath/src/parse.rs
+
+crates/xpath/src/lib.rs:
+crates/xpath/src/ast.rs:
+crates/xpath/src/generate.rs:
+crates/xpath/src/matching.rs:
+crates/xpath/src/parse.rs:

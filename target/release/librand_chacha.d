@@ -1,0 +1,1 @@
+/root/repo/target/release/librand_chacha.rlib: /root/repo/third_party/rand/src/lib.rs /root/repo/third_party/rand_chacha/src/lib.rs

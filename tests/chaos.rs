@@ -1,0 +1,174 @@
+//! Chaos test: broker failure and recovery under a live stream.
+//!
+//! A five-broker chain loses its middle broker while publications are
+//! in flight. After the broker restarts, neighbour sync must rebuild
+//! its routing state, parked traffic must be replayed, and the
+//! subscriber must end up with exactly the deliveries a never-failed
+//! run produces — no losses, no duplicates, and bit-identical routing
+//! tables.
+//!
+//! Heavier than the tier-1 suites, so it runs behind `--ignored`
+//! (exercised by CI's chaos job: `cargo test --test chaos -- --ignored`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use xdn::broker::{ClientId, RoutingConfig};
+use xdn::net::latency::ClusterLan;
+use xdn::net::sim::{Network, ProcessingModel};
+use xdn::net::topology::chain;
+use xdn::workloads::{docs, psd_dtd, sets};
+use xdn::xml::{DocId, PathId};
+use xdn::xpath::generate::generate_distinct_xpes;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const SEED: u64 = 11;
+const N_DOCS: usize = 12;
+
+/// Builds the 5-broker chain with a publisher on one end and a
+/// subscriber on the other, control plane fully settled.
+fn build(config: RoutingConfig) -> (Network, ClientId, ClientId) {
+    let dtd = psd_dtd();
+    let mut net = chain(5, config, ClusterLan::default());
+    net.set_processing_model(ProcessingModel::Zero);
+    net.set_record_deliveries(true);
+    let ids = net.broker_ids();
+    let publisher = net.attach_client(ids[0]);
+    let subscriber = net.attach_client(ids[4]);
+
+    net.advertise_all(
+        publisher,
+        xdn::core::adv::derive_advertisements(&dtd, &xdn::core::adv::DeriveOptions::default()),
+    );
+    net.run();
+    let mut qrng = ChaCha8Rng::seed_from_u64(SEED + 1);
+    for q in generate_distinct_xpes(&dtd, 25, &sets::set_a_config(), &mut qrng) {
+        net.subscribe(subscriber, q);
+    }
+    net.run();
+    (net, publisher, subscriber)
+}
+
+/// Publishes documents `[from, to)` of the deterministic workload.
+fn publish_range(net: &mut Network, publisher: ClientId, from: usize, to: usize) {
+    let dtd = psd_dtd();
+    for d in &docs::documents(&dtd, N_DOCS, SEED + 500)[from..to] {
+        net.publish_document(publisher, d);
+    }
+}
+
+/// The delivery multiset: every (client, doc, path) with its count.
+fn delivery_counts(net: &Network) -> BTreeMap<(ClientId, DocId, PathId), usize> {
+    let mut counts = BTreeMap::new();
+    for (client, path) in &net.metrics().delivered_paths {
+        *counts
+            .entry((*client, path.doc_id, path.path_id))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Per-broker routing signatures, keyed by broker id.
+fn signatures(net: &Network) -> Vec<String> {
+    net.broker_ids()
+        .iter()
+        .map(|&id| net.broker(id).routing_signature())
+        .collect()
+}
+
+#[test]
+#[ignore = "chaos tier: run with --ignored"]
+fn middle_broker_crash_mid_stream_recovers_exactly() {
+    let config = RoutingConfig::with_adv_with_cov();
+
+    // Reference: the same workload with no failure.
+    let (mut healthy, h_pub, _h_sub) = build(config);
+    publish_range(&mut healthy, h_pub, 0, N_DOCS);
+    healthy.run();
+    let expected = delivery_counts(&healthy);
+    assert!(!expected.is_empty(), "workload must produce deliveries");
+
+    // Chaos run: the middle broker dies with publications in flight.
+    let (mut net, publisher, _subscriber) = build(config);
+    let middle = net.broker_ids()[2];
+
+    publish_range(&mut net, publisher, 0, N_DOCS / 3);
+    net.run();
+
+    net.crash_broker(middle);
+    assert!(net.is_down(middle));
+    // Published into the outage: these frames park at the fault line.
+    publish_range(&mut net, publisher, N_DOCS / 3, 2 * N_DOCS / 3);
+    net.run();
+    assert!(
+        net.parked_len() > 0,
+        "traffic toward the dead broker must park, not vanish"
+    );
+
+    // Restart: neighbour sync rebuilds the SRT/PRT, then parked
+    // traffic replays.
+    net.restart_broker(middle);
+    publish_range(&mut net, publisher, 2 * N_DOCS / 3, N_DOCS);
+    net.run();
+
+    let got = delivery_counts(&net);
+    let missing: Vec<_> = expected.keys().filter(|k| !got.contains_key(*k)).collect();
+    assert!(
+        missing.is_empty(),
+        "deliveries lost across the crash: {missing:?}"
+    );
+    let duplicated: Vec<_> = got.iter().filter(|(_, &n)| n > 1).collect();
+    assert!(
+        duplicated.is_empty(),
+        "duplicate deliveries after recovery: {duplicated:?}"
+    );
+    let extra: Vec<_> = got.keys().filter(|k| !expected.contains_key(*k)).collect();
+    assert!(
+        extra.is_empty(),
+        "spurious deliveries after recovery: {extra:?}"
+    );
+    assert_eq!(
+        net.metrics().dropped_crash,
+        0,
+        "park buffer must not overflow here"
+    );
+
+    // The recovered overlay must be routing-table-identical to the
+    // never-failed one — SRT and PRT both, on every broker.
+    assert_eq!(
+        signatures(&net),
+        signatures(&healthy),
+        "routing state after recovery diverges from the never-failed run"
+    );
+}
+
+#[test]
+#[ignore = "chaos tier: run with --ignored"]
+fn link_outage_mid_stream_recovers_exactly() {
+    let config = RoutingConfig::with_adv_with_cov();
+
+    let (mut healthy, h_pub, _h_sub) = build(config);
+    publish_range(&mut healthy, h_pub, 0, N_DOCS);
+    healthy.run();
+    let expected: BTreeSet<_> = delivery_counts(&healthy).into_keys().collect();
+
+    let (mut net, publisher, _subscriber) = build(config);
+    let ids = net.broker_ids();
+
+    publish_range(&mut net, publisher, 0, N_DOCS / 2);
+    net.run();
+    net.drop_link(ids[1], ids[2]);
+    publish_range(&mut net, publisher, N_DOCS / 2, N_DOCS);
+    net.run();
+    net.restore_link(ids[1], ids[2]);
+    net.run();
+
+    let counts = delivery_counts(&net);
+    let got: BTreeSet<_> = counts.keys().copied().collect();
+    assert_eq!(got, expected, "link outage changed the delivery set");
+    assert!(
+        counts.values().all(|&n| n == 1),
+        "link outage introduced duplicates"
+    );
+    assert_eq!(signatures(&net), signatures(&healthy));
+}

@@ -34,7 +34,10 @@ fn deliveries(
     let publisher = net.attach_client(ids[rng.gen_range(0..ids.len())]);
 
     if config.advertisements {
-        net.advertise_all(publisher, derive_advertisements(&dtd, &DeriveOptions::default()));
+        net.advertise_all(
+            publisher,
+            derive_advertisements(&dtd, &DeriveOptions::default()),
+        );
         net.run();
     }
     if config.merging.is_some() {
@@ -46,8 +49,7 @@ fn deliveries(
     for (i, leaf) in binary_tree_leaves(levels).into_iter().enumerate() {
         let subscriber = net.attach_client(leaf);
         let mut qrng = ChaCha8Rng::seed_from_u64(seed + 100 + i as u64);
-        for q in generate_distinct_xpes(&dtd, queries_per_sub, &sets::set_a_config(), &mut qrng)
-        {
+        for q in generate_distinct_xpes(&dtd, queries_per_sub, &sets::set_a_config(), &mut qrng) {
             net.subscribe(subscriber, q);
         }
         // Interleave merging so mergers are live while subscriptions
@@ -64,14 +66,17 @@ fn deliveries(
     }
     net.run();
 
-    net.metrics().notifications.iter().map(|n| (n.client, n.doc)).collect()
+    net.metrics()
+        .notifications
+        .iter()
+        .map(|n| (n.client, n.doc))
+        .collect()
 }
 
 #[test]
 fn all_strategies_deliver_identically() {
     for seed in [1u64, 2, 3] {
-        let baseline =
-            deliveries(RoutingConfig::no_adv_no_cov(), 3, 30, 6, seed);
+        let baseline = deliveries(RoutingConfig::no_adv_no_cov(), 3, 30, 6, seed);
         assert!(!baseline.is_empty(), "workload must produce deliveries");
         for (name, config) in RoutingConfig::all_strategies() {
             if name == "with-Adv-with-CovIPM" {
@@ -96,12 +101,18 @@ fn unsubscribe_stops_delivery_and_uncovers() {
     let subscriber = net.attach_client(ids[2]);
 
     let dtd = psd_dtd();
-    net.advertise_all(publisher, derive_advertisements(&dtd, &DeriveOptions::default()));
+    net.advertise_all(
+        publisher,
+        derive_advertisements(&dtd, &DeriveOptions::default()),
+    );
     net.run();
 
     // A wide subscription covering a narrow one.
     let wide = net.subscribe(subscriber, "/ProteinDatabase/ProteinEntry".parse().unwrap());
-    net.subscribe(subscriber, "/ProteinDatabase/ProteinEntry/header".parse().unwrap());
+    net.subscribe(
+        subscriber,
+        "/ProteinDatabase/ProteinEntry/header".parse().unwrap(),
+    );
     net.run();
 
     // Retract the wide one; the narrow subscription must be promoted
@@ -140,7 +151,10 @@ fn unsubscribe_stops_delivery_and_uncovers() {
     net2.metrics_mut().reset();
     net2.publish_document(p2, &doc);
     net2.run();
-    assert!(net2.metrics().notifications.is_empty(), "unsubscribed client still received");
+    assert!(
+        net2.metrics().notifications.is_empty(),
+        "unsubscribed client still received"
+    );
 }
 
 #[test]
@@ -157,7 +171,10 @@ fn subscription_before_advertisement_still_delivers() {
     net.run();
 
     let dtd = psd_dtd();
-    net.advertise_all(publisher, derive_advertisements(&dtd, &DeriveOptions::default()));
+    net.advertise_all(
+        publisher,
+        derive_advertisements(&dtd, &DeriveOptions::default()),
+    );
     net.run();
 
     let doc = xdn::xml::parse_document(
@@ -190,10 +207,17 @@ fn covered_subscription_across_brokers_still_delivers() {
     let doc = xdn::xml::parse_document("<a><b/></a>").unwrap();
     net.publish_document(publisher, &doc);
     net.run();
-    let clients: BTreeSet<ClientId> =
-        net.metrics().notifications.iter().map(|n| n.client).collect();
+    let clients: BTreeSet<ClientId> = net
+        .metrics()
+        .notifications
+        .iter()
+        .map(|n| n.client)
+        .collect();
     assert!(clients.contains(&wide_sub));
-    assert!(clients.contains(&narrow_sub), "covered subscriber lost delivery");
+    assert!(
+        clients.contains(&narrow_sub),
+        "covered subscriber lost delivery"
+    );
 }
 
 #[test]
@@ -217,8 +241,12 @@ fn coverer_from_one_direction_does_not_suppress_toward_it() {
     let doc = xdn::xml::parse_document("<a><b/></a>").unwrap();
     net.publish_document(publisher, &doc);
     net.run();
-    let clients: BTreeSet<ClientId> =
-        net.metrics().notifications.iter().map(|n| n.client).collect();
+    let clients: BTreeSet<ClientId> = net
+        .metrics()
+        .notifications
+        .iter()
+        .map(|n| n.client)
+        .collect();
     assert!(
         clients.contains(&right_sub),
         "directionally covered subscriber lost delivery: got {clients:?}"

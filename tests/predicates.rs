@@ -34,7 +34,10 @@ fn parse_errors() {
     assert!(Xpe::parse("/a[@]").is_err());
     assert!(Xpe::parse("/a[@x='unterminated]").is_err());
     assert!(Xpe::parse("/a[@x=unquoted]").is_err());
-    assert!(Xpe::parse("/a[text()='x']").is_err(), "only @attr predicates supported");
+    assert!(
+        Xpe::parse("/a[text()='x']").is_err(),
+        "only @attr predicates supported"
+    );
     assert!(Xpe::parse("/a[@x").is_err());
 }
 
@@ -124,15 +127,23 @@ fn end_to_end_attribute_routing() {
     net.subscribe(portuguese, xpe("//claim[@lang='pt']"));
     net.run();
 
-    let doc = xdn::xml::parse_document(
-        r#"<claims><claim lang="en"><amount>5</amount></claim></claims>"#,
-    )
-    .unwrap();
+    let doc =
+        xdn::xml::parse_document(r#"<claims><claim lang="en"><amount>5</amount></claim></claims>"#)
+            .unwrap();
     net.publish_document(publisher, &doc);
     net.run();
 
-    let clients: Vec<_> = net.metrics().notifications.iter().map(|n| n.client).collect();
-    assert_eq!(clients, vec![english], "only the English subscriber matches");
+    let clients: Vec<_> = net
+        .metrics()
+        .notifications
+        .iter()
+        .map(|n| n.client)
+        .collect();
+    assert_eq!(
+        clients,
+        vec![english],
+        "only the English subscriber matches"
+    );
 }
 
 #[test]

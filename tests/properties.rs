@@ -39,10 +39,13 @@ fn arb_xpe() -> impl Strategy<Value = Xpe> {
         prop::collection::vec((arb_axis(), arb_test()), 1..6),
     )
         .prop_map(|(absolute, steps)| {
-            let steps: Vec<Step> =
-                steps
+            let steps: Vec<Step> = steps
                 .into_iter()
-                .map(|(axis, test)| Step { axis, test, predicates: Vec::new() })
+                .map(|(axis, test)| Step {
+                    axis,
+                    test,
+                    predicates: Vec::new(),
+                })
                 .collect();
             Xpe::new(absolute, steps)
         })
@@ -50,17 +53,23 @@ fn arb_xpe() -> impl Strategy<Value = Xpe> {
 
 fn arb_simple_xpe(absolute: bool) -> impl Strategy<Value = Xpe> {
     prop::collection::vec(arb_test(), 1..6).prop_map(move |tests| {
-        let steps: Vec<Step> =
-            tests
+        let steps: Vec<Step> = tests
             .into_iter()
-            .map(|test| Step { axis: Axis::Child, test, predicates: Vec::new() })
+            .map(|test| Step {
+                axis: Axis::Child,
+                test,
+                predicates: Vec::new(),
+            })
             .collect();
         Xpe::new(absolute, steps)
     })
 }
 
 fn arb_path() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec((0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()), 1..8)
+    prop::collection::vec(
+        (0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()),
+        1..8,
+    )
 }
 
 fn arb_adv_path() -> impl Strategy<Value = AdvPath> {
@@ -77,7 +86,9 @@ fn arb_advertisement() -> impl Strategy<Value = Advertisement> {
         .prop_map(|(head, repeat, tail)| {
             let mut segments = vec![AdvSegment::Plain(AdvPath::new(head))];
             if let Some(body) = repeat {
-                segments.push(AdvSegment::Repeat(vec![AdvSegment::Plain(AdvPath::new(body))]));
+                segments.push(AdvSegment::Repeat(vec![AdvSegment::Plain(AdvPath::new(
+                    body,
+                ))]));
             }
             if !tail.is_empty() {
                 segments.push(AdvSegment::Plain(AdvPath::new(tail)));

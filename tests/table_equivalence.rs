@@ -20,7 +20,10 @@ fn workload(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let queries = generate_distinct_xpes(dtd, n_queries, &sets::set_a_config(), &mut rng);
     let documents = docs::documents(dtd, n_docs, seed + 1);
-    let paths = docs::publication_paths(&documents).into_iter().map(|p| p.elements).collect();
+    let paths = docs::publication_paths(&documents)
+        .into_iter()
+        .map(|p| p.elements)
+        .collect();
     (queries, paths)
 }
 
@@ -56,10 +59,17 @@ fn perfect_merging_routes_identically() {
         prt.subscribe(SubId(i as u64), q.clone(), i as u32);
     }
     let mut seq = 1_000_000u64;
-    prt.apply_merging(&u, &MergeConfig { max_degree: 0.0, ..Default::default() }, || {
-        seq += 1;
-        SubId(seq)
-    });
+    prt.apply_merging(
+        &u,
+        &MergeConfig {
+            max_degree: 0.0,
+            ..Default::default()
+        },
+        || {
+            seq += 1;
+            SubId(seq)
+        },
+    );
     for p in &pubs {
         assert_eq!(
             prt.route(p),
@@ -81,10 +91,17 @@ fn imperfect_merging_only_adds_hops() {
         prt.subscribe(SubId(i as u64), q.clone(), i as u32);
     }
     let mut seq = 1_000_000u64;
-    prt.apply_merging(&u, &MergeConfig { max_degree: 0.2, ..Default::default() }, || {
-        seq += 1;
-        SubId(seq)
-    });
+    prt.apply_merging(
+        &u,
+        &MergeConfig {
+            max_degree: 0.2,
+            ..Default::default()
+        },
+        || {
+            seq += 1;
+            SubId(seq)
+        },
+    );
     for p in &pubs {
         let truth: BTreeSet<u32> = flat.route(p);
         let got: BTreeSet<u32> = prt.route(p);
@@ -128,8 +145,14 @@ fn interleaved_subscribe_unsubscribe_stays_consistent() {
         flat.unsubscribe(SubId(i as u64));
         prt.unsubscribe(SubId(i as u64));
     }
-    prt.tree().check_invariants().expect("tree invariants after churn");
+    prt.tree()
+        .check_invariants()
+        .expect("tree invariants after churn");
     for p in &pubs {
-        assert_eq!(prt.route(p), flat.route(p), "divergence after churn on {p:?}");
+        assert_eq!(
+            prt.route(p),
+            flat.route(p),
+            "divergence after churn on {p:?}"
+        );
     }
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`: runs each benchmark a handful of
+//! iterations, times it with `std::time::Instant`, and prints one line
+//! per benchmark. No statistics, warm-up, or reports — the numbers are
+//! indicative only. See `third_party/README.md`.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. Both variants behave the
+/// same here: setup runs once per iteration, outside the timed region.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs cheap enough to batch densely.
+    SmallInput,
+    /// Inputs large enough to process one at a time.
+    LargeInput,
+}
+
+/// A benchmark name, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Times closures passed by the benchmark body.
+pub struct Bencher {
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, run `iterations` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded by construction (it runs before each timed call).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, id: &str, body: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+        };
+        let start = Instant::now();
+        body(&mut bencher);
+        let elapsed = start.elapsed();
+        println!(
+            "bench {}/{}: {} iters in {:?} (~{:?}/iter)",
+            self.name,
+            id,
+            bencher.iterations,
+            elapsed,
+            elapsed / bencher.iterations.max(1) as u32,
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        body: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), body);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        body: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("merge", 32).to_string(), "merge/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
