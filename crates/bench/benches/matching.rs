@@ -1,8 +1,16 @@
 //! Micro-benchmarks of the §3.2/§4.2 algorithms, including the
 //! KMP-vs-naive ablation the paper motivates ("the KMP algorithm is
-//! applied to reduce the number of comparisons to O(n)").
+//! applied to reduce the number of comparisons to O(n)"), plus the
+//! linear-scan vs candidate-pruning-index matching comparison, whose
+//! results are written to `BENCH_matching.json` at the workspace root.
+//!
+//! Environment knobs (for CI smoke runs):
+//! * `XDN_BENCH_SUBS` — comma-separated subscription counts
+//!   (default `1000,10000,50000`);
+//! * `XDN_BENCH_ITERS` — timed passes over the publication set
+//!   (default `3`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use xdn_core::adv::AdvPath;
 use xdn_core::advmatch::{
     abs_expr_and_adv, abs_expr_and_sim_rec_adv, des_expr_and_adv, rel_expr_and_adv,
@@ -88,4 +96,147 @@ fn bench_covering(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_overlap, bench_covering);
-criterion_main!(benches);
+
+mod scaling {
+    //! Flat linear scan vs the candidate-pruning `IndexedPrt`, at
+    //! growing subscription counts, over the NITF `set_a` workload
+    //! (Table 1's setting). Criterion's offline stand-in emits no
+    //! reports, so this self-times with `Instant` and writes the JSON
+    //! artifact directly.
+
+    use std::time::Instant;
+    use xdn_bench::SEED;
+    use xdn_core::index::IndexedPrt;
+    use xdn_core::rtable::{FlatPrt, SubId};
+    use xdn_workloads::{docs, nitf_dtd, sets};
+
+    const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
+
+    struct Level {
+        subscriptions: usize,
+        flat_ns_per_pub: f64,
+        indexed_ns_per_pub: f64,
+        speedup: f64,
+        matches: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+    }
+
+    fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+        match std::env::var(key) {
+            Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+            Err(_) => default.to_vec(),
+        }
+    }
+
+    fn env_usize(key: &str, default: usize) -> usize {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn run() {
+        let levels = env_usize_list("XDN_BENCH_SUBS", &[1_000, 10_000, 50_000]);
+        let iters = env_usize("XDN_BENCH_ITERS", 3).max(1);
+        let max_subs = levels.iter().copied().max().unwrap_or(0);
+        if max_subs == 0 {
+            eprintln!("XDN_BENCH_SUBS is empty; nothing to measure");
+            return;
+        }
+
+        let dtd = nitf_dtd();
+        let queries = sets::set_a(&dtd, max_subs, SEED + 30);
+        let documents = docs::documents(&dtd, 40, SEED + 31);
+        let paths: Vec<Vec<String>> = docs::publication_paths(&documents)
+            .into_iter()
+            .map(|p| p.elements)
+            .collect();
+        let routed = (iters * paths.len()) as u64;
+
+        let mut results = Vec::new();
+        for &n in &levels {
+            let subs = &queries[..n.min(queries.len())];
+            let mut flat: FlatPrt<u32> = FlatPrt::new();
+            let mut indexed: IndexedPrt<u32> = IndexedPrt::new();
+            for (i, q) in subs.iter().enumerate() {
+                flat.subscribe(SubId(i as u64), q.clone(), i as u32);
+                indexed.subscribe(SubId(i as u64), q.clone(), i as u32);
+            }
+
+            let mut flat_matches = 0u64;
+            let started = Instant::now();
+            for _ in 0..iters {
+                for p in &paths {
+                    flat_matches += flat.route(std::hint::black_box(p)).len() as u64;
+                }
+            }
+            let flat_ns = started.elapsed().as_nanos() as f64 / routed as f64;
+
+            let mut indexed_matches = 0u64;
+            let started = Instant::now();
+            for _ in 0..iters {
+                for p in &paths {
+                    indexed_matches += indexed.route(std::hint::black_box(p)).len() as u64;
+                }
+            }
+            let indexed_ns = started.elapsed().as_nanos() as f64 / routed as f64;
+
+            assert_eq!(
+                flat_matches, indexed_matches,
+                "index must select exactly the scan's matches at n={n}"
+            );
+            let (cache_hits, cache_misses) = indexed.cache().stats();
+            let speedup = flat_ns / indexed_ns.max(f64::EPSILON);
+            println!(
+                "bench matching/scaling subs={n}: flat {flat_ns:.0} ns/pub, \
+                 indexed {indexed_ns:.0} ns/pub, speedup {speedup:.1}x"
+            );
+            results.push(Level {
+                subscriptions: n,
+                flat_ns_per_pub: flat_ns,
+                indexed_ns_per_pub: indexed_ns,
+                speedup,
+                matches: flat_matches / iters as u64,
+                cache_hits,
+                cache_misses,
+            });
+        }
+
+        let json = render_json(&results, paths.len(), iters);
+        match std::fs::write(OUT_PATH, &json) {
+            Ok(()) => println!("wrote {OUT_PATH}"),
+            Err(e) => eprintln!("failed to write {OUT_PATH}: {e}"),
+        }
+    }
+
+    fn render_json(levels: &[Level], paths: usize, iters: usize) -> String {
+        let rows: Vec<String> = levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{\"subscriptions\": {}, \"flat_ns_per_pub\": {:.1}, \
+                     \"indexed_ns_per_pub\": {:.1}, \"speedup\": {:.2}, \
+                     \"matches_per_pass\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                    l.subscriptions,
+                    l.flat_ns_per_pub,
+                    l.indexed_ns_per_pub,
+                    l.speedup,
+                    l.matches,
+                    l.cache_hits,
+                    l.cache_misses,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"matching\",\n  \"workload\": \"nitf set_a\",\n  \
+             \"publication_paths\": {paths},\n  \"iters\": {iters},\n  \"levels\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+}
+
+fn main() {
+    benches();
+    scaling::run();
+}

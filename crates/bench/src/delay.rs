@@ -70,9 +70,12 @@ pub fn run(which: DelayDtd, sizes: &[usize], scale: &Scale) -> Vec<DelayPoint> {
     let mut out = Vec::new();
     for covering in [true, false] {
         let config = if covering {
-            RoutingConfig::with_adv_with_cov()
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build()
         } else {
-            RoutingConfig::with_adv_no_cov()
+            RoutingConfig::builder().advertisements(true).build()
         };
         const BROKERS: u32 = 7;
         let mut net: Network = chain(BROKERS, config, PlanetLabWan::default());

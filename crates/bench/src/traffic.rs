@@ -12,7 +12,7 @@ use crate::{universe_sample, Scale, SEED};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
-use xdn_broker::RoutingConfig;
+use xdn_broker::{MessageKind, RoutingConfig};
 use xdn_core::adv::{derive_advertisements, DeriveOptions};
 use xdn_net::latency::ClusterLan;
 use xdn_net::topology::{binary_tree, binary_tree_leaves};
@@ -110,10 +110,10 @@ pub fn run(levels: u32, scale: &Scale) -> Vec<TrafficRow> {
             TrafficRow {
                 strategy: name,
                 traffic: net.metrics().network_traffic(),
-                subscribe_traffic: net.metrics().traffic_of("subscribe")
-                    + net.metrics().traffic_of("unsubscribe"),
-                publish_traffic: net.metrics().traffic_of("publish"),
-                advertise_traffic: net.metrics().traffic_of("advertise"),
+                subscribe_traffic: net.metrics().traffic_of(MessageKind::Subscribe)
+                    + net.metrics().traffic_of(MessageKind::Unsubscribe),
+                publish_traffic: net.metrics().traffic_of(MessageKind::Publish),
+                advertise_traffic: net.metrics().traffic_of(MessageKind::Advertise),
                 delay: net.metrics().mean_notification_delay().unwrap_or_default(),
                 notifications: net.metrics().notifications.len(),
             }

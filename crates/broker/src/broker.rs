@@ -4,30 +4,51 @@ use crate::message::{BrokerId, Dest, Message};
 use crate::stats::BrokerStats;
 use std::sync::Arc;
 use std::time::Instant;
+use xdn_core::index::IndexedPrt;
 use xdn_core::merge::MergeConfig;
-use xdn_core::rtable::{FlatPrt, Prt, Srt, SubId};
+use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, Srt, SubId};
 use xdn_xpath::Xpe;
 
 /// Which merging variant a broker runs (requires covering).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum MergingMode {
+pub enum Merging {
     /// Only mergers with `D_imperfect = 0` are applied.
     Perfect,
-    /// Mergers up to the given imperfect degree are applied (the paper
-    /// uses `0.1` in Tables 1–3).
-    Imperfect(f64),
+    /// Mergers up to `max_degree` are applied (the paper uses `0.1` in
+    /// Tables 1–3).
+    Imperfect {
+        /// The largest imperfect-merging degree accepted.
+        max_degree: f64,
+    },
 }
 
-impl MergingMode {
+impl Merging {
     fn max_degree(self) -> f64 {
         match self {
-            MergingMode::Perfect => 0.0,
-            MergingMode::Imperfect(d) => d,
+            Merging::Perfect => 0.0,
+            Merging::Imperfect { max_degree } => max_degree,
         }
     }
 }
 
+/// Former name of [`Merging`].
+#[deprecated(since = "0.2.0", note = "renamed to `Merging`")]
+pub type MergingMode = Merging;
+
 /// A broker's routing strategy — the experiment axis of Tables 2/3.
+///
+/// Build one with [`RoutingConfig::builder`]:
+///
+/// ```
+/// use xdn_broker::broker::{Merging, RoutingConfig};
+///
+/// let cfg = RoutingConfig::builder()
+///     .advertisements(true)
+///     .covering(true)
+///     .merging(Merging::Imperfect { max_degree: 0.1 })
+///     .build();
+/// assert!(cfg.advertisements && cfg.covering);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoutingConfig {
     /// Use advertisement-based subscription routing; without it,
@@ -36,82 +57,178 @@ pub struct RoutingConfig {
     /// Use the covering subscription tree; without it, a flat table.
     pub covering: bool,
     /// Merging mode, if any.
-    pub merging: Option<MergingMode>,
+    pub merging: Option<Merging>,
+    /// Use the candidate-pruning match index for non-covering tables
+    /// (`IndexedPrt` instead of the linear-scan `FlatPrt`). Matching
+    /// results are identical; only the publication routing time
+    /// changes. Ignored when `covering` is set.
+    pub indexing: bool,
+}
+
+/// Staged construction of a [`RoutingConfig`]; see
+/// [`RoutingConfig::builder`].
+///
+/// Starts from the paper's baseline (`no-Adv-no-Cov`, no merging) with
+/// the match index enabled; each method switches one axis on.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingConfigBuilder {
+    advertisements: bool,
+    covering: bool,
+    merging: Option<Merging>,
+    indexing: bool,
+}
+
+impl Default for RoutingConfigBuilder {
+    fn default() -> Self {
+        RoutingConfigBuilder {
+            advertisements: false,
+            covering: false,
+            merging: None,
+            indexing: true,
+        }
+    }
+}
+
+impl RoutingConfigBuilder {
+    /// Enables or disables advertisement-based subscription routing.
+    pub fn advertisements(mut self, on: bool) -> Self {
+        self.advertisements = on;
+        self
+    }
+
+    /// Enables or disables the covering subscription tree.
+    pub fn covering(mut self, on: bool) -> Self {
+        self.covering = on;
+        self
+    }
+
+    /// Selects a merging mode (implies covering at the broker level;
+    /// the builder does not force it, matching the paper's independent
+    /// axes).
+    pub fn merging(mut self, merging: Merging) -> Self {
+        self.merging = Some(merging);
+        self
+    }
+
+    /// Enables or disables the candidate-pruning match index for
+    /// non-covering tables.
+    pub fn indexing(mut self, on: bool) -> Self {
+        self.indexing = on;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> RoutingConfig {
+        RoutingConfig {
+            advertisements: self.advertisements,
+            covering: self.covering,
+            merging: self.merging,
+            indexing: self.indexing,
+        }
+    }
 }
 
 impl RoutingConfig {
+    /// Starts building a configuration from the `no-Adv-no-Cov`
+    /// baseline.
+    pub fn builder() -> RoutingConfigBuilder {
+        RoutingConfigBuilder::default()
+    }
+
     /// `no-Adv-no-Cov`: flooding + flat tables.
+    #[deprecated(since = "0.2.0", note = "use `RoutingConfig::builder()`")]
     pub fn no_adv_no_cov() -> Self {
-        RoutingConfig {
-            advertisements: false,
-            covering: false,
-            merging: None,
-        }
+        Self::builder().build()
     }
 
     /// `no-Adv-with-Cov`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RoutingConfig::builder().covering(true)`"
+    )]
     pub fn no_adv_with_cov() -> Self {
-        RoutingConfig {
-            advertisements: false,
-            covering: true,
-            merging: None,
-        }
+        Self::builder().covering(true).build()
     }
 
     /// `with-Adv-no-Cov`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RoutingConfig::builder().advertisements(true)`"
+    )]
     pub fn with_adv_no_cov() -> Self {
-        RoutingConfig {
-            advertisements: true,
-            covering: false,
-            merging: None,
-        }
+        Self::builder().advertisements(true).build()
     }
 
     /// `with-Adv-with-Cov`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RoutingConfig::builder().advertisements(true).covering(true)`"
+    )]
     pub fn with_adv_with_cov() -> Self {
-        RoutingConfig {
-            advertisements: true,
-            covering: true,
-            merging: None,
-        }
+        Self::builder().advertisements(true).covering(true).build()
     }
 
     /// `with-Adv-with-CovPM` (perfect merging).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RoutingConfig::builder().advertisements(true).covering(true).merging(Merging::Perfect)`"
+    )]
     pub fn with_adv_cov_pm() -> Self {
-        RoutingConfig {
-            advertisements: true,
-            covering: true,
-            merging: Some(MergingMode::Perfect),
-        }
+        Self::builder()
+            .advertisements(true)
+            .covering(true)
+            .merging(Merging::Perfect)
+            .build()
     }
 
     /// `with-Adv-with-CovIPM` (imperfect merging, default degree 0.1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RoutingConfig::builder().advertisements(true).covering(true).merging(Merging::Imperfect { .. })`"
+    )]
     pub fn with_adv_cov_ipm(max_degree: f64) -> Self {
-        RoutingConfig {
-            advertisements: true,
-            covering: true,
-            merging: Some(MergingMode::Imperfect(max_degree)),
-        }
+        Self::builder()
+            .advertisements(true)
+            .covering(true)
+            .merging(Merging::Imperfect { max_degree })
+            .build()
     }
 
     /// All six strategies in the paper's order, for experiment sweeps.
     pub fn all_strategies() -> [(&'static str, RoutingConfig); 6] {
+        let base = Self::builder();
         [
-            ("no-Adv-no-Cov", Self::no_adv_no_cov()),
-            ("no-Adv-with-Cov", Self::no_adv_with_cov()),
-            ("with-Adv-no-Cov", Self::with_adv_no_cov()),
-            ("with-Adv-with-Cov", Self::with_adv_with_cov()),
-            ("with-Adv-with-CovPM", Self::with_adv_cov_pm()),
-            ("with-Adv-with-CovIPM", Self::with_adv_cov_ipm(0.1)),
+            ("no-Adv-no-Cov", base.build()),
+            ("no-Adv-with-Cov", base.covering(true).build()),
+            ("with-Adv-no-Cov", base.advertisements(true).build()),
+            (
+                "with-Adv-with-Cov",
+                base.advertisements(true).covering(true).build(),
+            ),
+            (
+                "with-Adv-with-CovPM",
+                base.advertisements(true)
+                    .covering(true)
+                    .merging(Merging::Perfect)
+                    .build(),
+            ),
+            (
+                "with-Adv-with-CovIPM",
+                base.advertisements(true)
+                    .covering(true)
+                    .merging(Merging::Imperfect { max_degree: 0.1 })
+                    .build(),
+            ),
         ]
     }
-}
 
-#[derive(Debug)]
-#[allow(clippy::large_enum_variant)] // one PRT per broker; indirection buys nothing
-enum PrtImpl {
-    Covering(Prt<Dest>),
-    Flat(FlatPrt<Dest>),
+    /// Looks a strategy up by its Tables 2/3 name.
+    pub fn by_name(name: &str) -> Option<RoutingConfig> {
+        Self::all_strategies()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, cfg)| cfg)
+    }
 }
 
 /// One content-based XML router.
@@ -126,7 +243,10 @@ pub struct Broker {
     neighbors: Vec<BrokerId>,
     config: RoutingConfig,
     srt: Srt<Dest>,
-    prt: PrtImpl,
+    /// The publication routing table behind the strategy-agnostic
+    /// [`PublicationRouter`] interface: covering tree, linear scan, or
+    /// candidate-pruning index, per [`RoutingConfig`].
+    prt: Box<dyn PublicationRouter<Dest> + Send>,
     /// DTD path universe for computing `D_imperfect` (merging).
     universe: Option<Arc<Vec<Vec<String>>>>,
     merger_seq: u64,
@@ -139,10 +259,12 @@ pub struct Broker {
 impl Broker {
     /// Creates a broker with no neighbours.
     pub fn new(id: BrokerId, config: RoutingConfig) -> Self {
-        let prt = if config.covering {
-            PrtImpl::Covering(Prt::new())
+        let prt: Box<dyn PublicationRouter<Dest> + Send> = if config.covering {
+            Box::new(Prt::new())
+        } else if config.indexing {
+            Box::new(IndexedPrt::new())
         } else {
-            PrtImpl::Flat(FlatPrt::new())
+            Box::new(FlatPrt::new())
         };
         Broker {
             id,
@@ -209,28 +331,22 @@ impl Broker {
 
     /// Number of subscriptions stored in the PRT.
     pub fn prt_size(&self) -> usize {
-        match &self.prt {
-            PrtImpl::Covering(p) => p.len(),
-            PrtImpl::Flat(p) => p.len(),
-        }
+        self.prt.len()
     }
 
     /// Effective routing-table size: top-level subscriptions after
     /// covering (equals [`Self::prt_size`] for flat tables).
     pub fn prt_effective_size(&self) -> usize {
-        match &self.prt {
-            PrtImpl::Covering(p) => p.effective_size(),
-            PrtImpl::Flat(p) => p.len(),
-        }
+        self.prt.effective_size()
     }
 
     /// Processes one message and returns the messages to transmit, as
     /// `(destination, message)` pairs. Never returns a message to
     /// `from`.
     pub fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+        self.stats.record_received(msg.kind());
         let out = match msg {
             Message::Advertise { id, adv } => {
-                self.stats.received_advertise += 1;
                 self.srt.insert(id, adv.clone(), from);
                 // Advertisements are flooded through the overlay.
                 let mut out = self.broadcast_except(
@@ -244,11 +360,7 @@ impl Broker {
                 // were not forwarded toward it; re-evaluate the stored
                 // (top-level) subscriptions so the reverse path exists.
                 if self.config.advertisements && !from.is_client() {
-                    let forwarded = match &self.prt {
-                        PrtImpl::Covering(prt) => prt.forwarded_subs(),
-                        PrtImpl::Flat(prt) => prt.forwarded_subs(),
-                    };
-                    for (sid, xpe, hops) in forwarded {
+                    for (sid, xpe, hops) in self.prt.forwarded_subs() {
                         let only_from_there = hops.iter().all(|h| *h == from);
                         let already_sent = self
                             .sent_to
@@ -266,19 +378,14 @@ impl Broker {
                 out
             }
             Message::Unadvertise { id } => {
-                self.stats.received_unadvertise += 1;
                 self.srt.remove(id);
                 self.broadcast_except(from, Message::Unadvertise { id })
             }
             Message::Subscribe { id, xpe } => self.handle_subscribe(from, id, xpe),
             Message::Unsubscribe { id } => self.handle_unsubscribe(from, id),
             Message::Publish(p) => {
-                self.stats.received_publish += 1;
                 let started = Instant::now();
-                let dests = match &self.prt {
-                    PrtImpl::Covering(prt) => prt.route_with_attrs(&p.elements, &p.attributes),
-                    PrtImpl::Flat(prt) => prt.route_with_attrs(&p.elements, &p.attributes),
-                };
+                let dests = self.prt.matching_hops(&p.elements, &p.attributes);
                 self.stats.pub_routing += started.elapsed();
                 dests
                     .into_iter()
@@ -294,18 +401,13 @@ impl Broker {
             Message::Heartbeat => {
                 // Liveness probes are consumed by the transport layer;
                 // one reaching the broker is a no-op.
-                self.stats.received_heartbeat += 1;
                 Vec::new()
             }
-            Message::SyncRequest => {
-                self.stats.received_sync_request += 1;
-                match from.as_broker() {
-                    Some(nb) => vec![(from, self.export_routing_for(nb))],
-                    None => Vec::new(),
-                }
-            }
+            Message::SyncRequest => match from.as_broker() {
+                Some(nb) => vec![(from, self.export_routing_for(nb))],
+                None => Vec::new(),
+            },
             Message::SyncState { advs, subs } => {
-                self.stats.received_sync_state += 1;
                 // Replay each entry through the normal handlers so the
                 // snapshot re-propagates exactly like live traffic
                 // would. Installation is idempotent: the SRT replaces
@@ -341,11 +443,9 @@ impl Broker {
             .map(|(id, adv, _)| (id, adv.clone()))
             .collect();
         advs.sort_by_key(|(id, _)| id.0);
-        let forwarded = match &self.prt {
-            PrtImpl::Covering(prt) => prt.forwarded_subs(),
-            PrtImpl::Flat(prt) => prt.forwarded_subs(),
-        };
-        let xpe_of: std::collections::HashMap<SubId, Xpe> = forwarded
+        let xpe_of: std::collections::HashMap<SubId, Xpe> = self
+            .prt
+            .forwarded_subs()
             .into_iter()
             .map(|(id, xpe, _)| (id, xpe))
             .collect();
@@ -370,11 +470,7 @@ impl Broker {
             .iter()
             .map(|(id, adv, hop)| format!("adv {} {} via {}", id.0, adv, hop))
             .collect();
-        let forwarded = match &self.prt {
-            PrtImpl::Covering(prt) => prt.forwarded_subs(),
-            PrtImpl::Flat(prt) => prt.forwarded_subs(),
-        };
-        for (id, xpe, hops) in forwarded {
+        for (id, xpe, hops) in self.prt.forwarded_subs() {
             let mut from: Vec<String> = hops.iter().map(|h| h.to_string()).collect();
             from.sort();
             from.dedup();
@@ -385,12 +481,8 @@ impl Broker {
     }
 
     fn handle_subscribe(&mut self, from: Dest, id: SubId, xpe: Xpe) -> Vec<(Dest, Message)> {
-        self.stats.received_subscribe += 1;
         let started = Instant::now();
-        let outcome = match &mut self.prt {
-            PrtImpl::Covering(prt) => prt.subscribe(id, xpe.clone(), from),
-            PrtImpl::Flat(prt) => prt.subscribe(id, xpe.clone(), from),
-        };
+        let outcome = self.prt.insert(id, xpe.clone(), from);
         let mut out = Vec::new();
         if outcome.forward {
             // Covered subscriptions skip advertisement matching
@@ -450,49 +542,45 @@ impl Broker {
     }
 
     fn handle_unsubscribe(&mut self, from: Dest, id: SubId) -> Vec<(Dest, Message)> {
-        self.stats.received_unsubscribe += 1;
         let mut out = Vec::new();
-        match &mut self.prt {
-            PrtImpl::Covering(prt) => {
-                let xpe = prt.xpe_of(id).cloned();
-                let outcome = prt.unsubscribe(id);
-                // Re-forward newly uncovered subscriptions first so no
-                // window without routing state opens upstream.
-                let promotions: Vec<(SubId, Xpe)> = outcome
-                    .promote
-                    .iter()
-                    .filter_map(|pid| prt.xpe_of(*pid).map(|x| (*pid, x.clone())))
-                    .collect();
-                for (pid, pxpe) in promotions {
-                    let targets = self.sub_targets(&pxpe, Some(from));
-                    for t in &targets {
-                        out.push((
-                            *t,
-                            Message::Subscribe {
-                                id: pid,
-                                xpe: pxpe.clone(),
-                            },
-                        ));
-                    }
-                    self.sent_to.entry(pid).or_default().extend(targets);
+        if self.config.covering {
+            let xpe = self.prt.xpe_of(id).cloned();
+            let outcome = self.prt.remove(id);
+            // Re-forward newly uncovered subscriptions first so no
+            // window without routing state opens upstream.
+            let promotions: Vec<(SubId, Xpe)> = outcome
+                .promote
+                .iter()
+                .filter_map(|pid| self.prt.xpe_of(*pid).map(|x| (*pid, x.clone())))
+                .collect();
+            for (pid, pxpe) in promotions {
+                let targets = self.sub_targets(&pxpe, Some(from));
+                for t in &targets {
+                    out.push((
+                        *t,
+                        Message::Subscribe {
+                            id: pid,
+                            xpe: pxpe.clone(),
+                        },
+                    ));
                 }
-                if outcome.forward {
-                    if let Some(xpe) = xpe {
-                        for t in self.sub_targets(&xpe, Some(from)) {
-                            out.push((t, Message::Unsubscribe { id }));
-                        }
-                    }
-                }
-                self.sent_to.remove(&id);
+                self.sent_to.entry(pid).or_default().extend(targets);
             }
-            PrtImpl::Flat(prt) => {
-                let outcome = prt.unsubscribe(id);
-                if outcome.forward {
-                    // Without covering the unsubscription is flooded
-                    // like the subscription was.
-                    for t in self.flood_targets(Some(from)) {
+            if outcome.forward {
+                if let Some(xpe) = xpe {
+                    for t in self.sub_targets(&xpe, Some(from)) {
                         out.push((t, Message::Unsubscribe { id }));
                     }
+                }
+            }
+            self.sent_to.remove(&id);
+        } else {
+            let outcome = self.prt.remove(id);
+            if outcome.forward {
+                // Without covering the unsubscription is flooded like
+                // the subscription was.
+                for t in self.flood_targets(Some(from)) {
+                    out.push((t, Message::Unsubscribe { id }));
                 }
             }
         }
@@ -544,16 +632,15 @@ impl Broker {
         let Some(universe) = self.universe.clone() else {
             return Vec::new();
         };
-        let PrtImpl::Covering(prt) = &mut self.prt else {
-            return Vec::new();
-        };
         let cfg = MergeConfig {
             max_degree: mode.max_degree(),
             ..MergeConfig::default()
         };
         let broker_bits = (self.id.0 as u64) << 32;
         let seq = &mut self.merger_seq;
-        let apps = prt.apply_merging(&universe, &cfg, || {
+        // Non-covering tables have nothing to merge; their trait impl
+        // returns no applications.
+        let apps = self.prt.apply_merging(&universe, &cfg, &mut || {
             *seq += 1;
             SubId((1 << 63) | broker_bits | *seq)
         });
@@ -588,7 +675,7 @@ impl Broker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{ClientId, Publication};
+    use crate::message::{ClientId, MessageKind, Publication};
     use xdn_core::adv::{AdvPath, Advertisement};
     use xdn_core::rtable::AdvId;
     use xdn_xml::{DocId, PathId};
@@ -621,7 +708,13 @@ mod tests {
 
     #[test]
     fn advertisement_flooded_except_origin() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.add_neighbor(BrokerId(2));
         let out = b.handle(
@@ -635,7 +728,13 @@ mod tests {
 
     #[test]
     fn subscription_routed_toward_advertiser() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         for n in 1..=3 {
             b.add_neighbor(BrokerId(n));
         }
@@ -654,7 +753,7 @@ mod tests {
 
     #[test]
     fn subscription_flooded_without_advertisements() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::builder().build());
         for n in 1..=3 {
             b.add_neighbor(BrokerId(n));
         }
@@ -665,7 +764,13 @@ mod tests {
 
     #[test]
     fn covered_subscription_not_forwarded() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.handle(
             broker_hop(1),
@@ -679,7 +784,13 @@ mod tests {
 
     #[test]
     fn takeover_retracts_covered_subscriptions() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.handle(
             broker_hop(1),
@@ -701,7 +812,13 @@ mod tests {
 
     #[test]
     fn publication_routed_to_matching_hops_only() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.add_neighbor(BrokerId(2));
         b.handle(broker_hop(2), Message::subscribe(SubId(1), xpe("/a/b")));
@@ -717,7 +834,13 @@ mod tests {
 
     #[test]
     fn publication_never_returns_to_sender() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.handle(broker_hop(1), Message::subscribe(SubId(1), xpe("/a")));
         let out = b.handle(broker_hop(1), Message::Publish(publication(&["a"])));
@@ -726,7 +849,13 @@ mod tests {
 
     #[test]
     fn unsubscribe_promotes_covered() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.handle(
             broker_hop(1),
@@ -735,17 +864,17 @@ mod tests {
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/*")));
         b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/b")));
         let out = b.handle(client(1), Message::Unsubscribe { id: SubId(1) });
-        let kinds: Vec<&str> = out.iter().map(|(_, m)| m.kind()).collect();
+        let kinds: Vec<MessageKind> = out.iter().map(|(_, m)| m.kind()).collect();
         assert!(
-            kinds.contains(&"subscribe"),
+            kinds.contains(&MessageKind::Subscribe),
             "promoted /a/b re-forwarded: {kinds:?}"
         );
-        assert!(kinds.contains(&"unsubscribe"));
+        assert!(kinds.contains(&MessageKind::Unsubscribe));
     }
 
     #[test]
     fn flat_unsubscribe_floods() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::builder().build());
         b.add_neighbor(BrokerId(1));
         b.add_neighbor(BrokerId(2));
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
@@ -755,7 +884,14 @@ mod tests {
 
     #[test]
     fn merging_emits_merger_and_retractions() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_cov_pm());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .merging(Merging::Perfect)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.handle(
             broker_hop(1),
@@ -789,21 +925,34 @@ mod tests {
 
     #[test]
     fn merging_skipped_without_universe() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_cov_pm());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .merging(Merging::Perfect)
+                .build(),
+        );
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a/b")));
         assert!(b.apply_merging().is_empty());
     }
 
     #[test]
     fn merging_disabled_for_plain_covering() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.set_universe(Arc::new(vec![]));
         assert!(b.apply_merging().is_empty());
     }
 
     #[test]
     fn stats_accumulate() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        let mut b = Broker::new(BrokerId(0), RoutingConfig::builder().build());
         b.add_neighbor(BrokerId(1));
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
         b.handle(broker_hop(1), Message::Publish(publication(&["a"])));
@@ -816,7 +965,13 @@ mod tests {
 
     #[test]
     fn sync_request_answers_with_link_state() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.add_neighbor(BrokerId(2));
         // One advertisement from B2 (exported to B1), one from B1 (not
@@ -854,7 +1009,13 @@ mod tests {
 
     #[test]
     fn sync_state_install_is_idempotent() {
-        let mut healthy = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut healthy = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         healthy.add_neighbor(BrokerId(1));
         healthy.handle(
             broker_hop(1),
@@ -864,7 +1025,13 @@ mod tests {
 
         // A restarted replacement learns the same state from a sync
         // snapshot, and installing it twice changes nothing.
-        let mut restarted = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut restarted = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         restarted.add_neighbor(BrokerId(1));
         let snapshot = Message::SyncState {
             advs: vec![(AdvId(1), adv(&["a", "b"]))],
@@ -880,7 +1047,13 @@ mod tests {
 
     #[test]
     fn heartbeat_is_inert() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         assert!(b.handle(broker_hop(1), Message::Heartbeat).is_empty());
         assert_eq!(b.stats().received_heartbeat, 1);
@@ -889,7 +1062,13 @@ mod tests {
 
     #[test]
     fn unadvertise_removes_and_floods() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         b.add_neighbor(BrokerId(2));
         b.handle(broker_hop(1), Message::advertise(AdvId(1), adv(&["a"])));
@@ -909,7 +1088,13 @@ mod srt_compact_tests {
 
     #[test]
     fn compaction_preserves_subscription_routing() {
-        let mut b = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         b.add_neighbor(BrokerId(1));
         let from = Dest::Broker(BrokerId(1));
         b.handle(

@@ -21,7 +21,11 @@
 //! use xdn_core::rtable::{AdvId, SubId};
 //! use xdn_core::adv::{AdvPath, Advertisement};
 //!
-//! let mut broker = Broker::new(BrokerId(0), RoutingConfig::with_adv_with_cov());
+//! let config = RoutingConfig::builder()
+//!     .advertisements(true)
+//!     .covering(true)
+//!     .build();
+//! let mut broker = Broker::new(BrokerId(0), config);
 //! broker.add_neighbor(BrokerId(1));
 //!
 //! // A producer behind neighbor 1 advertises /quotes/nyse/price.
@@ -43,6 +47,8 @@ pub mod message;
 pub mod stats;
 pub mod wire;
 
-pub use broker::{Broker, MergingMode, RoutingConfig};
-pub use message::{BrokerId, ClientId, Dest, Message, Publication};
+#[allow(deprecated)]
+pub use broker::MergingMode;
+pub use broker::{Broker, Merging, RoutingConfig, RoutingConfigBuilder};
+pub use message::{BrokerId, ClientId, Dest, Message, MessageKind, Publication};
 pub use stats::BrokerStats;

@@ -102,6 +102,64 @@ impl fmt::Display for Publication {
     }
 }
 
+/// The kind of a [`Message`], as a first-class enum.
+///
+/// Statistics and metrics key on this instead of string tags, so a
+/// typo'd kind is a compile error rather than a silently-zero counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MessageKind {
+    /// [`Message::Advertise`].
+    Advertise,
+    /// [`Message::Unadvertise`].
+    Unadvertise,
+    /// [`Message::Subscribe`].
+    Subscribe,
+    /// [`Message::Unsubscribe`].
+    Unsubscribe,
+    /// [`Message::Publish`].
+    Publish,
+    /// [`Message::Heartbeat`].
+    Heartbeat,
+    /// [`Message::SyncRequest`].
+    SyncRequest,
+    /// [`Message::SyncState`].
+    SyncState,
+}
+
+impl MessageKind {
+    /// Every kind, in protocol order — for exhaustive reports.
+    pub const ALL: [MessageKind; 8] = [
+        MessageKind::Advertise,
+        MessageKind::Unadvertise,
+        MessageKind::Subscribe,
+        MessageKind::Unsubscribe,
+        MessageKind::Publish,
+        MessageKind::Heartbeat,
+        MessageKind::SyncRequest,
+        MessageKind::SyncState,
+    ];
+
+    /// The stable snake_case tag (wire logs, JSON reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MessageKind::Advertise => "advertise",
+            MessageKind::Unadvertise => "unadvertise",
+            MessageKind::Subscribe => "subscribe",
+            MessageKind::Unsubscribe => "unsubscribe",
+            MessageKind::Publish => "publish",
+            MessageKind::Heartbeat => "heartbeat",
+            MessageKind::SyncRequest => "sync_request",
+            MessageKind::SyncState => "sync_state",
+        }
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A protocol message exchanged between brokers and clients.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -192,17 +250,17 @@ impl Message {
         }
     }
 
-    /// Short tag for statistics.
-    pub fn kind(&self) -> &'static str {
+    /// The message's kind, for statistics and metrics.
+    pub fn kind(&self) -> MessageKind {
         match self {
-            Message::Advertise { .. } => "advertise",
-            Message::Unadvertise { .. } => "unadvertise",
-            Message::Subscribe { .. } => "subscribe",
-            Message::Unsubscribe { .. } => "unsubscribe",
-            Message::Publish(_) => "publish",
-            Message::Heartbeat => "heartbeat",
-            Message::SyncRequest => "sync_request",
-            Message::SyncState { .. } => "sync_state",
+            Message::Advertise { .. } => MessageKind::Advertise,
+            Message::Unadvertise { .. } => MessageKind::Unadvertise,
+            Message::Subscribe { .. } => MessageKind::Subscribe,
+            Message::Unsubscribe { .. } => MessageKind::Unsubscribe,
+            Message::Publish(_) => MessageKind::Publish,
+            Message::Heartbeat => MessageKind::Heartbeat,
+            Message::SyncRequest => MessageKind::SyncRequest,
+            Message::SyncState { .. } => MessageKind::SyncState,
         }
     }
 
@@ -244,8 +302,17 @@ mod tests {
     #[test]
     fn kinds() {
         let adv = Advertisement::non_recursive(AdvPath::from_names(&["a"]));
-        assert_eq!(Message::advertise(AdvId(1), adv).kind(), "advertise");
-        assert_eq!(Message::Unsubscribe { id: SubId(1) }.kind(), "unsubscribe");
+        assert_eq!(
+            Message::advertise(AdvId(1), adv).kind(),
+            MessageKind::Advertise
+        );
+        assert_eq!(
+            Message::Unsubscribe { id: SubId(1) }.kind(),
+            MessageKind::Unsubscribe
+        );
+        assert_eq!(MessageKind::SyncRequest.as_str(), "sync_request");
+        assert_eq!(MessageKind::Publish.to_string(), "publish");
+        assert_eq!(MessageKind::ALL.len(), 8);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-broker performance counters backing the paper's metrics.
 
+use crate::message::MessageKind;
 use std::time::Duration;
 
 /// Counters a broker accumulates while processing messages. These feed
@@ -36,6 +37,38 @@ pub struct BrokerStats {
 }
 
 impl BrokerStats {
+    /// Counts one received message of `kind`.
+    pub fn record_received(&mut self, kind: MessageKind) {
+        *self.received_mut(kind) += 1;
+    }
+
+    /// The received counter for `kind`.
+    pub fn received_of(&self, kind: MessageKind) -> u64 {
+        match kind {
+            MessageKind::Advertise => self.received_advertise,
+            MessageKind::Unadvertise => self.received_unadvertise,
+            MessageKind::Subscribe => self.received_subscribe,
+            MessageKind::Unsubscribe => self.received_unsubscribe,
+            MessageKind::Publish => self.received_publish,
+            MessageKind::Heartbeat => self.received_heartbeat,
+            MessageKind::SyncRequest => self.received_sync_request,
+            MessageKind::SyncState => self.received_sync_state,
+        }
+    }
+
+    fn received_mut(&mut self, kind: MessageKind) -> &mut u64 {
+        match kind {
+            MessageKind::Advertise => &mut self.received_advertise,
+            MessageKind::Unadvertise => &mut self.received_unadvertise,
+            MessageKind::Subscribe => &mut self.received_subscribe,
+            MessageKind::Unsubscribe => &mut self.received_unsubscribe,
+            MessageKind::Publish => &mut self.received_publish,
+            MessageKind::Heartbeat => &mut self.received_heartbeat,
+            MessageKind::SyncRequest => &mut self.received_sync_request,
+            MessageKind::SyncState => &mut self.received_sync_state,
+        }
+    }
+
     /// Total messages received.
     pub fn received_total(&self) -> u64 {
         self.received_advertise
@@ -100,6 +133,21 @@ mod tests {
         assert_eq!(s.received_total(), 6);
         assert_eq!(s.mean_sub_processing(), Duration::from_millis(2));
         assert_eq!(s.mean_pub_routing(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn typed_counters_cover_every_kind() {
+        let mut s = BrokerStats::default();
+        for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                s.record_received(kind);
+            }
+        }
+        for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
+            assert_eq!(s.received_of(kind), i as u64 + 1, "{kind}");
+        }
+        assert_eq!(s.received_total(), (1..=8).sum::<u64>());
+        assert_eq!(s.received_of(MessageKind::Subscribe), s.received_subscribe);
     }
 
     #[test]

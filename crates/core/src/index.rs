@@ -1,0 +1,515 @@
+//! The candidate-pruning publication-match index.
+//!
+//! The flat baseline ([`crate::rtable::FlatPrt`]) matches a publication
+//! by evaluating every stored XPE — linear in the subscription count,
+//! the dominant cost of the paper's routing-time measurements (Tables
+//! 2/3). [`IndexedPrt`] keeps the same always-forward semantics but
+//! evaluates only *candidate* subscriptions selected by an inverted
+//! index over the element names of the registered expressions.
+//!
+//! # The pruning rule
+//!
+//! Every registered XPE is analysed once into a [`PreparedXpe`]:
+//!
+//! * its **required names** — the concrete (non-wildcard) node tests;
+//!   a path can only satisfy the XPE if every required name occurs
+//!   among the path's elements, because each name test must accept
+//!   some path element verbatim;
+//! * its **minimum path length** — each location step consumes at
+//!   least one path element, so shorter paths can never match;
+//! * a single **candidate key**, the most selective necessary
+//!   condition the analysis can prove:
+//!   - [`CandidateKey::Anchored`] `{depth, name}` — for absolute
+//!     expressions whose steps up to `depth` all use the child axis,
+//!     the concrete name at `depth` must equal the path element at
+//!     that exact position (wildcards before it keep positions fixed;
+//!     the *deepest* such pair is chosen, since document trees fan out
+//!     with depth);
+//!   - [`CandidateKey::Contains`] `(name)` — otherwise, some concrete
+//!     name must occur somewhere in the path (the last one is chosen,
+//!     as later steps sit deeper in the document and are rarer);
+//!   - [`CandidateKey::Any`] — all-wildcard expressions, which must
+//!     always be evaluated.
+//!
+//! Each subscription lives in exactly **one** bucket, so candidate
+//! collection never produces duplicates. The rule is *exact* — it only
+//! ever discards expressions that provably cannot match — so
+//! [`IndexedPrt`] returns bit-identical results to the linear scan
+//! (property-tested in `crates/core/tests/index_props.rs`).
+
+use crate::rtable::{PublicationRouter, SubId, SubscribeOutcome, UnsubscribeOutcome};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use xdn_xpath::ast::{Axis, NodeTest};
+use xdn_xpath::Xpe;
+
+/// The most selective necessary match condition of one XPE — the
+/// bucket the subscription is filed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CandidateKey {
+    /// `path[depth]` must be exactly `name` (absolute child-axis
+    /// prefix).
+    Anchored {
+        /// Zero-based position the name is pinned to.
+        depth: usize,
+        /// The required element name at that position.
+        name: String,
+    },
+    /// Some path element must be `name`.
+    Contains(String),
+    /// No concrete name anywhere — always a candidate.
+    Any,
+}
+
+/// One XPE analysed for indexed matching. Analysis runs once per
+/// distinct expression (see [`XpeCache`]); matching a publication
+/// reuses the precomputed facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedXpe {
+    xpe: Xpe,
+    /// Deduplicated concrete names; all must occur in a matching path.
+    required: Vec<String>,
+    /// Minimum number of path elements a match needs (the step count).
+    min_len: usize,
+    key: CandidateKey,
+}
+
+impl PreparedXpe {
+    /// Analyses `xpe` into its pruning facts.
+    pub fn analyze(xpe: &Xpe) -> Self {
+        let steps = xpe.steps();
+        let mut required: Vec<String> = Vec::new();
+        for step in steps {
+            if let NodeTest::Name(n) = &step.test {
+                if !required.iter().any(|r| r == n) {
+                    required.push(n.clone());
+                }
+            }
+        }
+        // Deepest concrete name inside the absolute child-axis prefix.
+        let mut anchored: Option<(usize, String)> = None;
+        if xpe.is_absolute() {
+            for (depth, step) in steps.iter().enumerate() {
+                if step.axis != Axis::Child {
+                    break;
+                }
+                if let NodeTest::Name(n) = &step.test {
+                    anchored = Some((depth, n.clone()));
+                }
+            }
+        }
+        let key = match (anchored, required.last()) {
+            (Some((depth, name)), _) => CandidateKey::Anchored { depth, name },
+            (None, Some(last)) => CandidateKey::Contains(last.clone()),
+            (None, None) => CandidateKey::Any,
+        };
+        PreparedXpe {
+            xpe: xpe.clone(),
+            required,
+            min_len: steps.len(),
+            key,
+        }
+    }
+
+    /// The analysed expression.
+    pub fn xpe(&self) -> &Xpe {
+        &self.xpe
+    }
+
+    /// The bucket this expression is filed under.
+    pub fn key(&self) -> &CandidateKey {
+        &self.key
+    }
+
+    /// Cheap necessary-condition check ahead of the full matcher:
+    /// length and required-name containment. `names` holds the path's
+    /// distinct element names.
+    fn prefilter(&self, path_len: usize, names: &HashSet<&str>) -> bool {
+        path_len >= self.min_len && self.required.iter().all(|r| names.contains(r.as_str()))
+    }
+
+    /// Full evaluation against a path with per-element attributes.
+    pub fn matches<S: AsRef<str>>(&self, path: &[S], attrs: &[Vec<(String, String)>]) -> bool {
+        xdn_xpath::matching::matches_path_with_attrs(&self.xpe, path, attrs)
+    }
+}
+
+/// A memo of analysed expressions, so re-subscriptions of an XPE the
+/// table has already seen (equal filters from many clients are the
+/// common case in dissemination workloads) skip re-analysis.
+#[derive(Debug, Default)]
+pub struct XpeCache {
+    prepared: HashMap<Xpe, Arc<PreparedXpe>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl XpeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The prepared form of `xpe`, analysing it on first sight.
+    pub fn prepare(&mut self, xpe: &Xpe) -> Arc<PreparedXpe> {
+        if let Some(p) = self.prepared.get(xpe) {
+            self.hits += 1;
+            return p.clone();
+        }
+        self.misses += 1;
+        let p = Arc::new(PreparedXpe::analyze(xpe));
+        self.prepared.insert(xpe.clone(), p.clone());
+        p
+    }
+
+    /// Number of distinct expressions analysed.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// True if nothing has been analysed yet.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The indexed publication routing table: [`crate::rtable::FlatPrt`]
+/// semantics (no covering, every subscription forwarded) with
+/// sub-linear matching via the candidate index.
+#[derive(Debug, Default)]
+pub struct IndexedPrt<H> {
+    entries: HashMap<SubId, (Arc<PreparedXpe>, H)>,
+    /// `depth -> name -> subscriptions` for [`CandidateKey::Anchored`].
+    by_anchor: HashMap<usize, HashMap<String, Vec<SubId>>>,
+    /// `name -> subscriptions` for [`CandidateKey::Contains`].
+    by_name: HashMap<String, Vec<SubId>>,
+    /// Subscriptions that must be evaluated against every path.
+    unkeyed: Vec<SubId>,
+    cache: XpeCache,
+}
+
+impl<H> IndexedPrt<H> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        IndexedPrt {
+            entries: HashMap::new(),
+            by_anchor: HashMap::new(),
+            by_name: HashMap::new(),
+            unkeyed: Vec::new(),
+            cache: XpeCache::new(),
+        }
+    }
+
+    /// The prepared-expression cache (diagnostics).
+    pub fn cache(&self) -> &XpeCache {
+        &self.cache
+    }
+
+    fn bucket_mut(&mut self, key: &CandidateKey) -> &mut Vec<SubId> {
+        match key {
+            CandidateKey::Anchored { depth, name } => self
+                .by_anchor
+                .entry(*depth)
+                .or_default()
+                .entry(name.clone())
+                .or_default(),
+            CandidateKey::Contains(name) => self.by_name.entry(name.clone()).or_default(),
+            CandidateKey::Any => &mut self.unkeyed,
+        }
+    }
+
+    fn unindex(&mut self, id: SubId, key: &CandidateKey) {
+        let bucket = match key {
+            CandidateKey::Anchored { depth, name } => self
+                .by_anchor
+                .get_mut(depth)
+                .and_then(|m| m.get_mut(name.as_str())),
+            CandidateKey::Contains(name) => self.by_name.get_mut(name.as_str()),
+            CandidateKey::Any => Some(&mut self.unkeyed),
+        };
+        if let Some(bucket) = bucket {
+            if let Some(pos) = bucket.iter().position(|&s| s == id) {
+                bucket.swap_remove(pos);
+            }
+        }
+    }
+}
+
+impl<H: Clone + Ord> IndexedPrt<H> {
+    /// Registers a subscription; always forwarded (no covering), like
+    /// the flat baseline. Re-registering an id replaces its expression.
+    pub fn subscribe(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        let prepared = self.cache.prepare(&xpe);
+        if let Some((old, _)) = self.entries.insert(id, (prepared.clone(), last_hop)) {
+            let key = old.key().clone();
+            self.unindex(id, &key);
+        }
+        let key = prepared.key().clone();
+        self.bucket_mut(&key).push(id);
+        SubscribeOutcome {
+            forward: true,
+            retract: Vec::new(),
+            covered_root_hops: Vec::new(),
+        }
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
+        let known = match self.entries.remove(&id) {
+            Some((prepared, _)) => {
+                let key = prepared.key().clone();
+                self.unindex(id, &key);
+                true
+            }
+            None => false,
+        };
+        UnsubscribeOutcome {
+            forward: known,
+            promote: Vec::new(),
+        }
+    }
+
+    /// Calls `f` for every stored subscription matching the path —
+    /// evaluating only the index's candidates.
+    pub fn for_each_match<S: AsRef<str>>(
+        &self,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+        mut f: impl FnMut(SubId, &H),
+    ) {
+        if self.entries.is_empty() || path.is_empty() {
+            return;
+        }
+        let names: HashSet<&str> = path.iter().map(AsRef::as_ref).collect();
+        let consider = |id: SubId, f: &mut dyn FnMut(SubId, &H)| {
+            let (prepared, hop) = &self.entries[&id];
+            if prepared.prefilter(path.len(), &names) && prepared.matches(path, attrs) {
+                f(id, hop);
+            }
+        };
+        for (depth, element) in path.iter().enumerate() {
+            if let Some(bucket) = self
+                .by_anchor
+                .get(&depth)
+                .and_then(|m| m.get(element.as_ref()))
+            {
+                for &id in bucket {
+                    consider(id, &mut f);
+                }
+            }
+        }
+        for &name in &names {
+            if let Some(bucket) = self.by_name.get(name) {
+                for &id in bucket {
+                    consider(id, &mut f);
+                }
+            }
+        }
+        for &id in &self.unkeyed {
+            consider(id, &mut f);
+        }
+    }
+
+    /// The last hops subscribed to publications matching `path`,
+    /// deduplicated.
+    pub fn route<S: AsRef<str>>(&self, path: &[S]) -> std::collections::BTreeSet<H> {
+        self.route_with_attrs(path, &[])
+    }
+
+    /// [`Self::route`] with per-element attribute data.
+    pub fn route_with_attrs<S: AsRef<str>>(
+        &self,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+    ) -> std::collections::BTreeSet<H> {
+        let mut out = std::collections::BTreeSet::new();
+        self.for_each_match(path, attrs, |_, h| {
+            out.insert(h.clone());
+        });
+        out
+    }
+
+    /// Every stored subscription with its last hop (all are forwarded,
+    /// as in the flat scheme).
+    pub fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        self.entries
+            .iter()
+            .map(|(&id, (p, h))| (id, p.xpe().clone(), vec![h.clone()]))
+            .collect()
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no subscriptions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<H: Clone + Ord + std::fmt::Debug> PublicationRouter<H> for IndexedPrt<H> {
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        self.subscribe(id, xpe, last_hop)
+    }
+
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
+        self.unsubscribe(id)
+    }
+
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    ) {
+        self.for_each_match(path, attrs, |id, h| f(id, h));
+    }
+
+    fn len(&self) -> usize {
+        IndexedPrt::len(self)
+    }
+
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        self.entries.get(&id).map(|(p, _)| p.xpe())
+    }
+
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        IndexedPrt::forwarded_subs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtable::FlatPrt;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn keys_pick_the_most_selective_condition() {
+        let anchored = PreparedXpe::analyze(&xpe("/a/*/c//d"));
+        assert_eq!(
+            *anchored.key(),
+            CandidateKey::Anchored {
+                depth: 2,
+                name: "c".into()
+            },
+            "deepest concrete name of the child-axis prefix"
+        );
+        let relative = PreparedXpe::analyze(&xpe("a/b"));
+        assert_eq!(*relative.key(), CandidateKey::Contains("b".into()));
+        let descendant_first = PreparedXpe::analyze(&xpe("//a/b"));
+        assert_eq!(
+            *descendant_first.key(),
+            CandidateKey::Contains("b".into()),
+            "a leading descendant pins nothing to a position"
+        );
+        let wild = PreparedXpe::analyze(&xpe("/*/*"));
+        assert_eq!(*wild.key(), CandidateKey::Any);
+    }
+
+    #[test]
+    fn anchored_key_stops_at_descendant() {
+        let p = PreparedXpe::analyze(&xpe("/a//b/c"));
+        assert_eq!(
+            *p.key(),
+            CandidateKey::Anchored {
+                depth: 0,
+                name: "a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn routes_like_flat_on_basics() {
+        let subs = ["/a/*", "/a/b", "a//c", "/x/y", "//b", "/*/*", "b/c[@k]"];
+        let mut flat = FlatPrt::new();
+        let mut idx = IndexedPrt::new();
+        for (i, s) in subs.iter().enumerate() {
+            flat.subscribe(SubId(i as u64), xpe(s), i);
+            idx.subscribe(SubId(i as u64), xpe(s), i);
+        }
+        let paths: [&[&str]; 5] = [
+            &["a", "b"],
+            &["a", "q", "c"],
+            &["x", "y"],
+            &["z", "b", "c"],
+            &["q"],
+        ];
+        for p in paths {
+            assert_eq!(idx.route(p), flat.route(p), "divergence on {p:?}");
+        }
+    }
+
+    #[test]
+    fn attributes_respected() {
+        let mut idx = IndexedPrt::new();
+        idx.subscribe(SubId(1), xpe("/a/b[@k='v']"), "h1");
+        let attrs_hit = vec![vec![], vec![("k".to_string(), "v".to_string())]];
+        let attrs_miss = vec![vec![], vec![("k".to_string(), "w".to_string())]];
+        assert_eq!(idx.route_with_attrs(&["a", "b"], &attrs_hit).len(), 1);
+        assert!(idx.route_with_attrs(&["a", "b"], &attrs_miss).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_unindexes() {
+        let mut idx = IndexedPrt::new();
+        idx.subscribe(SubId(1), xpe("/a/b"), "h1");
+        idx.subscribe(SubId(2), xpe("//b"), "h2");
+        assert!(idx.unsubscribe(SubId(1)).forward);
+        assert!(!idx.unsubscribe(SubId(1)).forward, "second removal no-op");
+        assert_eq!(idx.route(&["a", "b"]).len(), 1, "only //b left");
+        assert!(idx.unsubscribe(SubId(2)).forward);
+        assert!(idx.is_empty());
+        assert!(idx.route(&["a", "b"]).is_empty());
+    }
+
+    #[test]
+    fn resubscribe_replaces_expression() {
+        let mut idx = IndexedPrt::new();
+        idx.subscribe(SubId(1), xpe("/a/b"), "h1");
+        idx.subscribe(SubId(1), xpe("/x/y"), "h1");
+        assert_eq!(idx.len(), 1);
+        assert!(idx.route(&["a", "b"]).is_empty(), "old expression is gone");
+        assert_eq!(idx.route(&["x", "y"]).len(), 1);
+    }
+
+    #[test]
+    fn cache_skips_reanalysis_of_equal_expressions() {
+        let mut idx = IndexedPrt::new();
+        idx.subscribe(SubId(1), xpe("/a/b"), "h1");
+        idx.subscribe(SubId(2), xpe("/a/b"), "h2");
+        idx.subscribe(SubId(3), xpe("/a/c"), "h3");
+        let (hits, misses) = idx.cache().stats();
+        assert_eq!((hits, misses), (1, 2));
+        assert_eq!(idx.cache().len(), 2);
+        assert_eq!(idx.route(&["a", "b"]).len(), 2, "both equal subs match");
+    }
+
+    #[test]
+    fn required_names_with_repetition_stay_exact() {
+        // `/a//a` needs two `a` levels; a single-element path must not
+        // match, and the prefilter must not reject the two-level one.
+        let mut idx = IndexedPrt::new();
+        idx.subscribe(SubId(1), xpe("/a//a"), "h");
+        assert!(idx.route(&["a"]).is_empty());
+        assert_eq!(idx.route(&["a", "a"]).len(), 1);
+    }
+
+    #[test]
+    fn empty_path_matches_nothing() {
+        let mut idx = IndexedPrt::new();
+        idx.subscribe(SubId(1), xpe("//*"), "h");
+        let none: [&str; 0] = [];
+        assert!(idx.route(&none).is_empty());
+    }
+}

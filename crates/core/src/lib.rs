@@ -18,7 +18,12 @@
 //!   `D_imperfect` (§4.3).
 //! * [`rtable`] — the subscription routing table (SRT) and publication
 //!   routing table (PRT) that advertisement-based routing maintains
-//!   (§2.1, Figure 1).
+//!   (§2.1, Figure 1), unified behind the
+//!   [`rtable::PublicationRouter`] trait.
+//! * [`index`] — the candidate-pruning match index: an inverted index
+//!   over the element names of registered expressions plus a
+//!   prepared-XPE cache, making publication matching sub-linear in the
+//!   subscription count.
 //!
 //! ```
 //! use xdn_core::cover::covers;
@@ -34,10 +39,13 @@
 pub mod adv;
 pub mod advmatch;
 pub mod cover;
+pub mod index;
 pub mod merge;
 pub mod rtable;
 pub mod subtree;
 
 pub use adv::{AdvKind, AdvPath, AdvSegment, Advertisement};
 pub use cover::covers;
+pub use index::{CandidateKey, IndexedPrt, PreparedXpe, XpeCache};
+pub use rtable::PublicationRouter;
 pub use subtree::{Insertion, NodeId, SubscriptionTree};

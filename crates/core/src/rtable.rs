@@ -12,7 +12,9 @@
 //!
 //! [`Prt`] is built on the covering [`SubscriptionTree`]; [`FlatPrt`]
 //! is the non-covering baseline used by the paper's `no-Cov` routing
-//! strategies (Tables 2 and 3).
+//! strategies (Tables 2 and 3). Both — and the candidate-pruning
+//! [`crate::index::IndexedPrt`] — implement [`PublicationRouter`], the
+//! strategy-agnostic interface brokers program against.
 
 use crate::adv::Advertisement;
 use crate::advmatch::PreparedAdv;
@@ -148,6 +150,80 @@ impl<H: Clone + Ord> Srt<H> {
             self.entries.remove(id);
         }
         dropped.len()
+    }
+}
+
+/// The publication routing table abstraction: everything a broker needs
+/// from its PRT, independent of the matching strategy behind it.
+///
+/// Implemented by the covering [`Prt`], the linear-scan [`FlatPrt`],
+/// and the candidate-pruning [`crate::index::IndexedPrt`]; brokers,
+/// the simulator, and the benches program against
+/// `Box<dyn PublicationRouter<H>>` and stop branching on strategy
+/// internals. The trait is dyn-compatible: the match visitor is a
+/// `&mut dyn FnMut`, and paths arrive as concrete `&[String]`.
+pub trait PublicationRouter<H: Clone + Ord>: fmt::Debug {
+    /// Registers a subscription from `last_hop` and reports what the
+    /// broker owes the wire (forwarding, retractions, owed directions).
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H>;
+
+    /// Removes a subscription; reports forwarding and promotions.
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome;
+
+    /// Calls `f` with every ⟨subscription, last hop⟩ whose expression
+    /// matches `path` (with per-element `attrs`). Hops repeat if
+    /// several matching subscriptions share one; dedup with
+    /// [`Self::matching_hops`] when only directions are needed.
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    );
+
+    /// Number of stored subscriptions (distinct expressions for the
+    /// covering table).
+    fn len(&self) -> usize;
+
+    /// True if no subscriptions are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The expression registered under `id`, if present.
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe>;
+
+    /// The forwarded subscriptions: a representative id, the
+    /// expression, and the last hops each was received from. Used to
+    /// re-forward state toward newly arrived advertisements.
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)>;
+
+    /// The effective routing table size after covering (Figures 6/7);
+    /// equals [`Self::len`] for non-covering tables.
+    fn effective_size(&self) -> usize {
+        self.len()
+    }
+
+    /// The deduplicated last hops owed a publication on `path` — the
+    /// broker's forwarding set.
+    fn matching_hops(&self, path: &[String], attrs: &[Vec<(String, String)>]) -> BTreeSet<H> {
+        let mut out = BTreeSet::new();
+        self.for_each_matching_with_attrs(path, attrs, &mut |_, h| {
+            out.insert(h.clone());
+        });
+        out
+    }
+
+    /// Runs the merging engine (§4.3) if the strategy supports it.
+    /// Non-covering tables have nothing to merge and return no
+    /// applications.
+    fn apply_merging(
+        &mut self,
+        _universe: &[Vec<String>],
+        _cfg: &crate::merge::MergeConfig,
+        _next_id: &mut dyn FnMut() -> SubId,
+    ) -> Vec<MergeApplication> {
+        Vec::new()
     }
 }
 
@@ -439,6 +515,55 @@ impl<H: Clone + Ord> Prt<H> {
     }
 }
 
+impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for Prt<H> {
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        self.subscribe(id, xpe, last_hop)
+    }
+
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
+        self.unsubscribe(id)
+    }
+
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    ) {
+        self.tree
+            .for_each_matching_with_attrs(path, attrs, |_, subs| {
+                for (id, hop) in subs {
+                    f(*id, hop);
+                }
+            });
+    }
+
+    fn len(&self) -> usize {
+        Prt::len(self)
+    }
+
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        Prt::xpe_of(self, id)
+    }
+
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        Prt::forwarded_subs(self)
+    }
+
+    fn effective_size(&self) -> usize {
+        Prt::effective_size(self)
+    }
+
+    fn apply_merging(
+        &mut self,
+        universe: &[Vec<String>],
+        cfg: &crate::merge::MergeConfig,
+        next_id: &mut dyn FnMut() -> SubId,
+    ) -> Vec<MergeApplication> {
+        Prt::apply_merging(self, universe, cfg, next_id)
+    }
+}
+
 /// The non-covering baseline: a flat list of subscriptions, each
 /// matched independently (the `no-Cov` strategies of Tables 2/3).
 #[derive(Debug, Clone)]
@@ -506,6 +631,11 @@ impl<H: Clone + Ord> FlatPrt<H> {
             .collect()
     }
 
+    /// The expression registered under `id`, if present.
+    pub fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        self.entries.get(&id).map(|(xpe, _)| xpe)
+    }
+
     /// Number of stored subscriptions — also the effective routing
     /// table size, since nothing is elided.
     pub fn len(&self) -> usize {
@@ -515,6 +645,41 @@ impl<H: Clone + Ord> FlatPrt<H> {
     /// True if no subscriptions are stored.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for FlatPrt<H> {
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        self.subscribe(id, xpe, last_hop)
+    }
+
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
+        self.unsubscribe(id)
+    }
+
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    ) {
+        for (&id, (xpe, hop)) in &self.entries {
+            if xdn_xpath::matching::matches_path_with_attrs(xpe, path, attrs) {
+                f(id, hop);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        FlatPrt::len(self)
+    }
+
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        FlatPrt::xpe_of(self, id)
+    }
+
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        FlatPrt::forwarded_subs(self)
     }
 }
 

@@ -1,0 +1,154 @@
+//! Property test for the candidate-pruning index: under arbitrary
+//! subscribe/unsubscribe churn, [`IndexedPrt`] must route exactly like
+//! the linear [`FlatPrt`] scan — identical last-hop sets for every
+//! publication path, including attribute predicates (`[@a]`,
+//! `[@a='v']`). This is the exactness argument behind the pruning
+//! rule, checked mechanically.
+
+use proptest::prelude::*;
+use xdn_core::index::IndexedPrt;
+use xdn_core::rtable::{FlatPrt, SubId};
+use xdn_xpath::{Axis, NodeTest, Predicate, Step, Xpe};
+
+const ALPHABET: &[&str] = &["a", "b", "c", "d"];
+const ATTR_NAMES: &[&str] = &["p", "q"];
+const ATTR_VALUES: &[&str] = &["1", "2"];
+
+fn arb_predicates() -> impl Strategy<Value = Vec<Predicate>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (0..ATTR_NAMES.len()).prop_map(|i| Predicate::HasAttr(ATTR_NAMES[i].into())),
+            1 => ((0..ATTR_NAMES.len()), (0..ATTR_VALUES.len())).prop_map(|(i, j)| {
+                Predicate::AttrEq(ATTR_NAMES[i].into(), ATTR_VALUES[j].into())
+            }),
+        ],
+        0..3,
+    )
+}
+
+fn arb_xpe() -> impl Strategy<Value = Xpe> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            (
+                prop_oneof![3 => Just(Axis::Child), 1 => Just(Axis::Descendant)],
+                prop_oneof![
+                    3 => (0..ALPHABET.len()).prop_map(|i| NodeTest::Name(ALPHABET[i].into())),
+                    1 => Just(NodeTest::Wildcard),
+                ],
+                arb_predicates(),
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(absolute, steps)| {
+            Xpe::new(
+                absolute,
+                steps
+                    .into_iter()
+                    .map(|(axis, test, predicates)| Step {
+                        axis,
+                        test,
+                        predicates,
+                    })
+                    .collect(),
+            )
+        })
+}
+
+/// An element name plus the attributes carried at that path position.
+fn arb_element() -> impl Strategy<Value = (String, Vec<(String, String)>)> {
+    (
+        (0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()),
+        prop::collection::vec(
+            ((0..ATTR_NAMES.len()), (0..ATTR_VALUES.len()))
+                .prop_map(|(i, j)| (ATTR_NAMES[i].to_owned(), ATTR_VALUES[j].to_owned())),
+            0..3,
+        ),
+    )
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<(String, Vec<(String, String)>)>> {
+    prop::collection::vec(arb_element(), 1..7)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(Xpe),
+    /// Unsubscribe the i-th live subscription (modulo the live count).
+    Unsubscribe(usize),
+    /// Re-register the i-th live subscription under a new expression.
+    Resubscribe(usize, Xpe),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => arb_xpe().prop_map(Op::Subscribe),
+            1 => (0usize..64).prop_map(Op::Unsubscribe),
+            1 => ((0usize..64), arb_xpe()).prop_map(|(i, x)| Op::Resubscribe(i, x)),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn indexed_routes_like_flat(
+        ops in arb_ops(),
+        paths in prop::collection::vec(arb_path(), 6),
+    ) {
+        let mut flat: FlatPrt<u32> = FlatPrt::new();
+        let mut indexed: IndexedPrt<u32> = IndexedPrt::new();
+        let mut live: Vec<SubId> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Subscribe(x) => {
+                    next += 1;
+                    let id = SubId(next);
+                    flat.subscribe(id, x.clone(), next as u32);
+                    indexed.subscribe(id, x, next as u32);
+                    live.push(id);
+                }
+                Op::Unsubscribe(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.remove(i % live.len());
+                    flat.unsubscribe(id);
+                    indexed.unsubscribe(id);
+                }
+                Op::Resubscribe(i, x) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[i % live.len()];
+                    next += 1;
+                    flat.subscribe(id, x.clone(), next as u32);
+                    indexed.subscribe(id, x, next as u32);
+                }
+            }
+        }
+        prop_assert_eq!(flat.len(), live.len());
+        prop_assert_eq!(indexed.len(), live.len());
+        for spec in &paths {
+            let path: Vec<String> = spec.iter().map(|(n, _)| n.clone()).collect();
+            let attrs: Vec<Vec<(String, String)>> =
+                spec.iter().map(|(_, a)| a.clone()).collect();
+            let from_flat = flat.route_with_attrs(&path, &attrs);
+            let from_index = indexed.route_with_attrs(&path, &attrs);
+            prop_assert_eq!(
+                &from_flat,
+                &from_index,
+                "divergence on path {:?} with attrs {:?}",
+                path,
+                attrs
+            );
+            // The attribute-free overload must agree with empty attrs.
+            prop_assert_eq!(flat.route(&path), indexed.route(&path));
+        }
+    }
+}

@@ -25,12 +25,31 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Strategy names compared on letters and digits only, so the CLI's
+/// `with-adv-with-cov-pm` finds the canonical `with-Adv-with-CovPM`.
+fn strategy_by_name(name: &str) -> Option<RoutingConfig> {
+    let canon = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = canon(name);
+    RoutingConfig::all_strategies()
+        .into_iter()
+        .find(|(n, _)| canon(n) == wanted)
+        .map(|(_, cfg)| cfg)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut id: Option<u32> = None;
     let mut listen: Option<SocketAddr> = None;
     let mut peers: Vec<(BrokerId, SocketAddr)> = Vec::new();
-    let mut strategy = RoutingConfig::with_adv_with_cov();
+    let mut strategy = RoutingConfig::builder()
+        .advertisements(true)
+        .covering(true)
+        .build();
 
     let mut i = 0;
     while i < args.len() {
@@ -55,14 +74,9 @@ fn main() {
             }
             "--strategy" => {
                 i += 1;
-                strategy = match args.get(i).map(String::as_str) {
-                    Some("no-adv-no-cov") => RoutingConfig::no_adv_no_cov(),
-                    Some("no-adv-with-cov") => RoutingConfig::no_adv_with_cov(),
-                    Some("with-adv-no-cov") => RoutingConfig::with_adv_no_cov(),
-                    Some("with-adv-with-cov") => RoutingConfig::with_adv_with_cov(),
-                    Some("with-adv-with-cov-pm") => RoutingConfig::with_adv_cov_pm(),
-                    Some("with-adv-with-cov-ipm") => RoutingConfig::with_adv_cov_ipm(0.1),
-                    _ => usage(),
+                strategy = match args.get(i).and_then(|s| strategy_by_name(s)) {
+                    Some(cfg) => cfg,
+                    None => usage(),
                 };
             }
             "--help" | "-h" => usage(),

@@ -28,7 +28,7 @@
 //! use xdn_core::adv::{AdvPath, Advertisement};
 //!
 //! // A 3-broker chain: publisher at one end, subscriber at the other.
-//! let mut net = topology::chain(3, RoutingConfig::with_adv_with_cov(), ClusterLan::default());
+//! let mut net = topology::chain(3, RoutingConfig::builder().advertisements(true).covering(true).build(), ClusterLan::default());
 //! let publisher = net.attach_client(net.broker_ids()[0]);
 //! let subscriber = net.attach_client(net.broker_ids()[2]);
 //!

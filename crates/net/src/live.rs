@@ -241,11 +241,23 @@ mod tests {
     #[test]
     fn live_end_to_end() {
         let mut b = LiveNetworkBuilder::new();
-        b.broker(BrokerId(0), RoutingConfig::with_adv_with_cov())
-            .broker(BrokerId(1), RoutingConfig::with_adv_with_cov())
-            .link(BrokerId(0), BrokerId(1))
-            .client(ClientId(1), BrokerId(0))
-            .client(ClientId(2), BrokerId(1));
+        b.broker(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        )
+        .broker(
+            BrokerId(1),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        )
+        .link(BrokerId(0), BrokerId(1))
+        .client(ClientId(1), BrokerId(0))
+        .client(ClientId(2), BrokerId(1));
         let net = b.start();
 
         let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
@@ -286,7 +298,7 @@ mod tests {
     #[test]
     fn live_non_matching_not_delivered() {
         let mut b = LiveNetworkBuilder::new();
-        b.broker(BrokerId(0), RoutingConfig::no_adv_no_cov())
+        b.broker(BrokerId(0), RoutingConfig::builder().build())
             .client(ClientId(1), BrokerId(0))
             .client(ClientId(2), BrokerId(0));
         let net = b.start();

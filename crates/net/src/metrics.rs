@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
-use xdn_broker::ClientId;
+use xdn_broker::{ClientId, MessageKind};
 use xdn_xml::DocId;
 
 /// One document delivery observed at a subscriber.
@@ -24,7 +24,7 @@ pub struct Notification {
 pub struct NetMetrics {
     /// Messages received by brokers, by message kind. The paper's
     /// *network traffic* metric is the sum over all kinds.
-    pub broker_messages: HashMap<&'static str, u64>,
+    pub broker_messages: HashMap<MessageKind, u64>,
     /// Messages delivered to clients (notifications on the last hop).
     pub client_messages: u64,
     /// Document deliveries (first matching path per client and doc).
@@ -51,8 +51,8 @@ impl NetMetrics {
     }
 
     /// Messages of one kind received by brokers.
-    pub fn traffic_of(&self, kind: &str) -> u64 {
-        self.broker_messages.get(kind).copied().unwrap_or(0)
+    pub fn traffic_of(&self, kind: MessageKind) -> u64 {
+        self.broker_messages.get(&kind).copied().unwrap_or(0)
     }
 
     /// Mean notification delay, if any notifications were observed.
@@ -85,11 +85,11 @@ mod tests {
     #[test]
     fn traffic_sums_kinds() {
         let mut m = NetMetrics::default();
-        m.broker_messages.insert("subscribe", 3);
-        m.broker_messages.insert("publish", 4);
+        m.broker_messages.insert(MessageKind::Subscribe, 3);
+        m.broker_messages.insert(MessageKind::Publish, 4);
         assert_eq!(m.network_traffic(), 7);
-        assert_eq!(m.traffic_of("subscribe"), 3);
-        assert_eq!(m.traffic_of("advertise"), 0);
+        assert_eq!(m.traffic_of(MessageKind::Subscribe), 3);
+        assert_eq!(m.traffic_of(MessageKind::Advertise), 0);
     }
 
     #[test]
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut m = NetMetrics::default();
-        m.broker_messages.insert("publish", 1);
+        m.broker_messages.insert(MessageKind::Publish, 1);
         m.client_messages = 2;
         m.reset();
         assert_eq!(m.network_traffic(), 0);

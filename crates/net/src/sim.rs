@@ -603,6 +603,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::latency::ClusterLan;
+    use xdn_broker::MessageKind;
     use xdn_core::adv::AdvPath;
 
     fn xpe(s: &str) -> Xpe {
@@ -625,7 +626,12 @@ mod tests {
 
     #[test]
     fn end_to_end_delivery() {
-        let (mut net, publisher, subscriber) = two_broker_net(RoutingConfig::with_adv_with_cov());
+        let (mut net, publisher, subscriber) = two_broker_net(
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         net.advertise(publisher, adv(&["a", "b"]));
         net.run();
         net.subscribe(subscriber, xpe("/a/*"));
@@ -642,7 +648,12 @@ mod tests {
 
     #[test]
     fn non_matching_publication_not_delivered() {
-        let (mut net, publisher, subscriber) = two_broker_net(RoutingConfig::with_adv_with_cov());
+        let (mut net, publisher, subscriber) = two_broker_net(
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         net.advertise(publisher, adv(&["a", "b"]));
         net.subscribe(subscriber, xpe("/x"));
         net.run();
@@ -654,7 +665,12 @@ mod tests {
 
     #[test]
     fn duplicate_paths_single_notification() {
-        let (mut net, publisher, subscriber) = two_broker_net(RoutingConfig::with_adv_with_cov());
+        let (mut net, publisher, subscriber) = two_broker_net(
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         net.advertise(publisher, adv(&["a", "b"]));
         net.advertise(publisher, adv(&["a", "c"]));
         net.subscribe(subscriber, xpe("/a"));
@@ -690,10 +706,16 @@ mod tests {
             }
             net.subscribe(subscriber, xpe("/zzz"));
             net.run();
-            net.metrics().traffic_of("subscribe")
+            net.metrics().traffic_of(MessageKind::Subscribe)
         };
-        let flooded = run(RoutingConfig::no_adv_no_cov(), false);
-        let scoped = run(RoutingConfig::with_adv_with_cov(), true);
+        let flooded = run(RoutingConfig::builder().build(), false);
+        let scoped = run(
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+            true,
+        );
         assert_eq!(flooded, 4, "flooding reaches every broker");
         assert_eq!(scoped, 1, "no overlap -> dropped at the edge broker");
     }
@@ -707,17 +729,17 @@ mod tests {
             net.subscribe(subscriber, xpe("/a/b"));
             net.subscribe(subscriber, xpe("/a/c"));
             net.run();
-            net.metrics().traffic_of("subscribe")
+            net.metrics().traffic_of(MessageKind::Subscribe)
         };
         // Flooding: every subscription crosses to broker 0 (3 at B1 + 3 at B0).
-        assert_eq!(run(RoutingConfig::no_adv_no_cov()), 6);
+        assert_eq!(run(RoutingConfig::builder().build()), 6);
         // Covering: /a/b and /a/c stop at the edge broker.
-        assert_eq!(run(RoutingConfig::no_adv_with_cov()), 4);
+        assert_eq!(run(RoutingConfig::builder().covering(true).build()), 4);
     }
 
     #[test]
     fn run_returns_event_count_and_clock_advances() {
-        let (mut net, publisher, _s) = two_broker_net(RoutingConfig::no_adv_no_cov());
+        let (mut net, publisher, _s) = two_broker_net(RoutingConfig::builder().build());
         let before = net.now();
         net.publish_path(publisher, vec!["a".into()], 100);
         let events = net.run();
@@ -729,8 +751,8 @@ mod tests {
     #[should_panic(expected = "duplicate broker")]
     fn duplicate_broker_panics() {
         let mut net = Network::new(ClusterLan::default());
-        net.add_broker(BrokerId(0), RoutingConfig::no_adv_no_cov());
-        net.add_broker(BrokerId(0), RoutingConfig::no_adv_no_cov());
+        net.add_broker(BrokerId(0), RoutingConfig::builder().build());
+        net.add_broker(BrokerId(0), RoutingConfig::builder().build());
     }
 
     #[test]
@@ -745,6 +767,7 @@ mod tests {
 mod fault_tests {
     use super::*;
     use crate::latency::ClusterLan;
+    use xdn_broker::MessageKind;
     use xdn_core::adv::AdvPath;
 
     fn xpe(s: &str) -> Xpe {
@@ -758,8 +781,20 @@ mod fault_tests {
     fn two_broker_net() -> (Network, ClientId, ClientId) {
         let mut net = Network::new(ClusterLan::default());
         net.set_processing_model(ProcessingModel::Zero);
-        net.add_broker(BrokerId(0), RoutingConfig::with_adv_with_cov());
-        net.add_broker(BrokerId(1), RoutingConfig::with_adv_with_cov());
+        net.add_broker(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
+        net.add_broker(
+            BrokerId(1),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         net.connect(BrokerId(0), BrokerId(1));
         let publisher = net.attach_client(BrokerId(0));
         let subscriber = net.attach_client(BrokerId(1));
@@ -770,7 +805,13 @@ mod fault_tests {
         let mut net = Network::new(ClusterLan::default());
         net.set_processing_model(ProcessingModel::Zero);
         for i in 0..3 {
-            net.add_broker(BrokerId(i), RoutingConfig::with_adv_with_cov());
+            net.add_broker(
+                BrokerId(i),
+                RoutingConfig::builder()
+                    .advertisements(true)
+                    .covering(true)
+                    .build(),
+            );
         }
         net.connect(BrokerId(0), BrokerId(1));
         net.connect(BrokerId(1), BrokerId(2));
@@ -877,9 +918,9 @@ mod fault_tests {
         net.run();
         assert_eq!(net.parked_len(), 2);
         assert_eq!(net.metrics().dropped_crash, 2, "two publications shed");
-        let kinds: Vec<&str> = net.parked.iter().map(|p| p.event.msg.kind()).collect();
+        let kinds: Vec<MessageKind> = net.parked.iter().map(|p| p.event.msg.kind()).collect();
         assert!(
-            kinds.contains(&"subscribe"),
+            kinds.contains(&MessageKind::Subscribe),
             "control traffic survived: {kinds:?}"
         );
     }
@@ -930,8 +971,20 @@ mod reassembly_tests {
         let mut net = Network::new(ClusterLan::default());
         net.set_processing_model(ProcessingModel::Zero);
         net.set_record_deliveries(true);
-        net.add_broker(BrokerId(0), RoutingConfig::with_adv_with_cov());
-        net.add_broker(BrokerId(1), RoutingConfig::with_adv_with_cov());
+        net.add_broker(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
+        net.add_broker(
+            BrokerId(1),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         net.connect(BrokerId(0), BrokerId(1));
         let publisher = net.attach_client(BrokerId(0));
         let subscriber = net.attach_client(BrokerId(1));
@@ -973,8 +1026,20 @@ mod determinism_tests {
     fn run_once(latency_seed: u64) -> (u64, Duration) {
         let mut net = Network::new(PlanetLabWan::with_seed(latency_seed));
         net.set_processing_model(ProcessingModel::Zero);
-        net.add_broker(BrokerId(0), RoutingConfig::with_adv_with_cov());
-        net.add_broker(BrokerId(1), RoutingConfig::with_adv_with_cov());
+        net.add_broker(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
+        net.add_broker(
+            BrokerId(1),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
         net.connect(BrokerId(0), BrokerId(1));
         let publisher = net.attach_client(BrokerId(0));
         let subscriber = net.attach_client(BrokerId(1));
@@ -1014,7 +1079,7 @@ mod determinism_tests {
         let mut net = Network::new(ClusterLan::default());
         net.set_processing_model(ProcessingModel::Zero);
         for i in 0..5 {
-            net.add_broker(BrokerId(i), RoutingConfig::no_adv_no_cov());
+            net.add_broker(BrokerId(i), RoutingConfig::builder().build());
         }
         for i in 0..4 {
             net.connect(BrokerId(i), BrokerId(i + 1));
@@ -1037,7 +1102,7 @@ mod determinism_tests {
     fn total_effective_rts_reflects_covering() {
         let mut net = Network::new(ClusterLan::default());
         net.set_processing_model(ProcessingModel::Zero);
-        net.add_broker(BrokerId(0), RoutingConfig::no_adv_with_cov());
+        net.add_broker(BrokerId(0), RoutingConfig::builder().covering(true).build());
         let c = net.attach_client(BrokerId(0));
         net.subscribe(c, "/a/*".parse().expect("xpe"));
         net.subscribe(c, "/a/b".parse().expect("xpe"));

@@ -828,6 +828,7 @@ fn client_read(mut stream: TcpStream, tx: Sender<Message>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xdn_broker::MessageKind;
     use xdn_core::adv::{AdvPath, Advertisement};
     use xdn_core::rtable::{AdvId, SubId};
     use xdn_xml::{DocId, PathId};
@@ -863,14 +864,20 @@ mod tests {
         // Node 1 first (no peers), node 0 dials it.
         let n1 = TcpNode::start(
             BrokerId(1),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[],
         )
         .expect("node 1");
         let n0 = TcpNode::start(
             BrokerId(0),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[(BrokerId(1), n1.addr())],
         )
@@ -908,7 +915,7 @@ mod tests {
     fn tcp_non_matching_not_delivered() {
         let n = TcpNode::start(
             BrokerId(0),
-            RoutingConfig::no_adv_no_cov(),
+            RoutingConfig::builder().build(),
             ephemeral(),
             &[],
         )
@@ -931,7 +938,7 @@ mod tests {
     fn tcp_attribute_predicates_over_the_wire() {
         let n = TcpNode::start(
             BrokerId(0),
-            RoutingConfig::no_adv_with_cov(),
+            RoutingConfig::builder().covering(true).build(),
             ephemeral(),
             &[],
         )
@@ -969,14 +976,20 @@ mod tests {
     fn severed_link_reconnects_and_delivery_resumes() {
         let n1 = TcpNode::start(
             BrokerId(1),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[],
         )
         .expect("node 1");
         let n0 = TcpNode::start_with(
             BrokerId(0),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[(BrokerId(1), n1.addr())],
             fast_supervision(),
@@ -1037,14 +1050,20 @@ mod tests {
     fn frames_queued_during_outage_are_retransmitted() {
         let n1 = TcpNode::start(
             BrokerId(1),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[],
         )
         .expect("node 1");
         let n0 = TcpNode::start_with(
             BrokerId(0),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[(BrokerId(1), n1.addr())],
             fast_supervision(),
@@ -1080,14 +1099,20 @@ mod tests {
     fn restarted_peer_recovers_state_via_sync() {
         let n1 = TcpNode::start(
             BrokerId(1),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[],
         )
         .expect("node 1");
         let n0 = TcpNode::start_with(
             BrokerId(0),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[(BrokerId(1), n1.addr())],
             fast_supervision(),
@@ -1111,7 +1136,10 @@ mod tests {
         n1.shutdown();
         let n1b = TcpNode::start(
             BrokerId(1),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[],
         )
@@ -1156,7 +1184,11 @@ mod tests {
         while let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) {
             kinds.push(m.kind());
         }
-        assert_eq!(kinds, vec!["subscribe", "unsubscribe"], "control survived");
+        assert_eq!(
+            kinds,
+            vec![MessageKind::Subscribe, MessageKind::Unsubscribe],
+            "control survived"
+        );
         assert_eq!(q.dropped(), 4, "all four publications were shed");
     }
 
@@ -1166,7 +1198,10 @@ mod tests {
         let dead: SocketAddr = "127.0.0.1:1".parse().expect("addr");
         let n = TcpNode::start_with(
             BrokerId(0),
-            RoutingConfig::with_adv_with_cov(),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
             ephemeral(),
             &[(BrokerId(1), dead)],
             SupervisorConfig {
@@ -1220,7 +1255,7 @@ mod tests {
     fn oversized_frames_cut_the_connection() {
         let n = TcpNode::start(
             BrokerId(0),
-            RoutingConfig::no_adv_no_cov(),
+            RoutingConfig::builder().build(),
             ephemeral(),
             &[],
         )

@@ -18,7 +18,10 @@ use xdn::xml::DocId;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four brokers in a diamond: 0 - {1,2} - 3.
     let mut builder = LiveNetworkBuilder::new();
-    let cfg = RoutingConfig::with_adv_with_cov();
+    let cfg = RoutingConfig::builder()
+        .advertisements(true)
+        .covering(true)
+        .build();
     for b in 0..4 {
         builder.broker(BrokerId(b), cfg);
     }

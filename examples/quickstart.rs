@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use xdn::broker::RoutingConfig;
+use xdn::broker::{MessageKind, RoutingConfig};
 use xdn::core::adv::{derive_advertisements, DeriveOptions};
 use xdn::net::latency::ClusterLan;
 use xdn::net::topology::chain;
@@ -17,7 +17,14 @@ use xdn::xml::parse_document;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A chain of three content-based XML routers.
-    let mut net = chain(3, RoutingConfig::with_adv_with_cov(), ClusterLan::default());
+    let mut net = chain(
+        3,
+        RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build(),
+        ClusterLan::default(),
+    );
     net.set_record_deliveries(true);
     let broker_ids = net.broker_ids();
     let publisher = net.attach_client(broker_ids[0]);
@@ -77,9 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "total broker messages: {} (advertise={}, subscribe={}, publish={})",
         net.metrics().network_traffic(),
-        net.metrics().traffic_of("advertise"),
-        net.metrics().traffic_of("subscribe"),
-        net.metrics().traffic_of("publish"),
+        net.metrics().traffic_of(MessageKind::Advertise),
+        net.metrics().traffic_of(MessageKind::Subscribe),
+        net.metrics().traffic_of(MessageKind::Publish),
     );
     Ok(())
 }

@@ -79,7 +79,10 @@ fn signatures(net: &Network) -> Vec<String> {
 #[test]
 #[ignore = "chaos tier: run with --ignored"]
 fn middle_broker_crash_mid_stream_recovers_exactly() {
-    let config = RoutingConfig::with_adv_with_cov();
+    let config = RoutingConfig::builder()
+        .advertisements(true)
+        .covering(true)
+        .build();
 
     // Reference: the same workload with no failure.
     let (mut healthy, h_pub, _h_sub) = build(config);
@@ -145,7 +148,10 @@ fn middle_broker_crash_mid_stream_recovers_exactly() {
 #[test]
 #[ignore = "chaos tier: run with --ignored"]
 fn link_outage_mid_stream_recovers_exactly() {
-    let config = RoutingConfig::with_adv_with_cov();
+    let config = RoutingConfig::builder()
+        .advertisements(true)
+        .covering(true)
+        .build();
 
     let (mut healthy, h_pub, _h_sub) = build(config);
     publish_range(&mut healthy, h_pub, 0, N_DOCS);

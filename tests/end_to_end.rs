@@ -76,7 +76,7 @@ fn deliveries(
 #[test]
 fn all_strategies_deliver_identically() {
     for seed in [1u64, 2, 3] {
-        let baseline = deliveries(RoutingConfig::no_adv_no_cov(), 3, 30, 6, seed);
+        let baseline = deliveries(RoutingConfig::builder().build(), 3, 30, 6, seed);
         assert!(!baseline.is_empty(), "workload must produce deliveries");
         for (name, config) in RoutingConfig::all_strategies() {
             if name == "with-Adv-with-CovIPM" {
@@ -94,7 +94,14 @@ fn all_strategies_deliver_identically() {
 
 #[test]
 fn unsubscribe_stops_delivery_and_uncovers() {
-    let mut net = chain(3, RoutingConfig::with_adv_with_cov(), ClusterLan::default());
+    let mut net = chain(
+        3,
+        RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build(),
+        ClusterLan::default(),
+    );
     net.set_processing_model(ProcessingModel::Zero);
     let ids = net.broker_ids();
     let publisher = net.attach_client(ids[0]);
@@ -138,7 +145,14 @@ fn unsubscribe_stops_delivery_and_uncovers() {
     // Retract the narrow one too: nothing should be delivered.
     // (Re-subscribe bookkeeping: find its id via a fresh subscribe /
     // unsubscribe pair is unnecessary — we saved none, so re-issue.)
-    let mut net2 = chain(3, RoutingConfig::with_adv_with_cov(), ClusterLan::default());
+    let mut net2 = chain(
+        3,
+        RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build(),
+        ClusterLan::default(),
+    );
     net2.set_processing_model(ProcessingModel::Zero);
     let ids2 = net2.broker_ids();
     let p2 = net2.attach_client(ids2[0]);
@@ -161,7 +175,14 @@ fn unsubscribe_stops_delivery_and_uncovers() {
 fn subscription_before_advertisement_still_delivers() {
     // The adversarial ordering: the subscription floods first, the
     // advertisement arrives later; re-evaluation must build the path.
-    let mut net = chain(4, RoutingConfig::with_adv_with_cov(), ClusterLan::default());
+    let mut net = chain(
+        4,
+        RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build(),
+        ClusterLan::default(),
+    );
     net.set_processing_model(ProcessingModel::Zero);
     let ids = net.broker_ids();
     let publisher = net.attach_client(ids[0]);
@@ -193,7 +214,11 @@ fn covered_subscription_across_brokers_still_delivers() {
     // Subscriber A's wide filter covers subscriber B's narrow one at
     // B's edge broker; B must still receive matching documents even
     // though its subscription was never forwarded.
-    let mut net = binary_tree(2, RoutingConfig::no_adv_with_cov(), ClusterLan::default());
+    let mut net = binary_tree(
+        2,
+        RoutingConfig::builder().covering(true).build(),
+        ClusterLan::default(),
+    );
     net.set_processing_model(ProcessingModel::Zero);
     let publisher = net.attach_client(BrokerId(2));
     let wide_sub = net.attach_client(BrokerId(3));
@@ -226,7 +251,11 @@ fn coverer_from_one_direction_does_not_suppress_toward_it() {
     // q2 (covered by q1) registers at a right-side broker. q2 must
     // still be forwarded toward the rest of the network, or documents
     // published on the far side never reach it.
-    let mut net = chain(3, RoutingConfig::no_adv_with_cov(), ClusterLan::default());
+    let mut net = chain(
+        3,
+        RoutingConfig::builder().covering(true).build(),
+        ClusterLan::default(),
+    );
     net.set_processing_model(ProcessingModel::Zero);
     let ids = net.broker_ids();
     let left_sub = net.attach_client(ids[0]);

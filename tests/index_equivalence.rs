@@ -1,0 +1,102 @@
+//! The candidate-pruning index is a pure matching accelerator: with it
+//! enabled or disabled, a simulated overlay must produce bit-identical
+//! Table 2/3 observables — per-kind broker traffic, every notification
+//! (receiver, document, delay, hops), and client-message counts.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use xdn::broker::{ClientId, RoutingConfig};
+use xdn::core::adv::{derive_advertisements, DeriveOptions};
+use xdn::net::latency::ClusterLan;
+use xdn::net::metrics::NetMetrics;
+use xdn::net::sim::ProcessingModel;
+use xdn::net::topology::{binary_tree, binary_tree_leaves};
+use xdn::workloads::{docs, psd_dtd, sets};
+use xdn::xpath::generate::generate_distinct_xpes;
+
+/// Runs the Table 2-style workload (7-broker tree, per-leaf
+/// subscribers, one randomly placed publisher) and returns the metrics.
+fn run(config: RoutingConfig, seed: u64) -> NetMetrics {
+    let dtd = psd_dtd();
+    let mut net = binary_tree(3, config, ClusterLan::default());
+    net.set_processing_model(ProcessingModel::Zero);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ids = net.broker_ids();
+    let publisher = net.attach_client(ids[rng.gen_range(0..ids.len())]);
+
+    if config.advertisements {
+        net.advertise_all(
+            publisher,
+            derive_advertisements(&dtd, &DeriveOptions::default()),
+        );
+        net.run();
+    }
+    for (i, leaf) in binary_tree_leaves(3).into_iter().enumerate() {
+        let subscriber = net.attach_client(leaf);
+        let mut qrng = ChaCha8Rng::seed_from_u64(seed + 100 + i as u64);
+        for q in generate_distinct_xpes(&dtd, 120, &sets::set_a_config(), &mut qrng) {
+            net.subscribe(subscriber, q);
+        }
+    }
+    net.run();
+
+    for doc in docs::documents(&dtd, 6, seed + 1) {
+        net.publish_document(publisher, &doc);
+    }
+    net.run();
+    net.metrics().clone()
+}
+
+fn assert_bit_identical(with: &NetMetrics, without: &NetMetrics) {
+    assert_eq!(
+        with.broker_messages, without.broker_messages,
+        "per-kind broker traffic must not change"
+    );
+    assert_eq!(
+        with.client_messages, without.client_messages,
+        "client deliveries must not change"
+    );
+    assert_eq!(
+        with.notifications, without.notifications,
+        "every notification (receiver, doc, delay, hops) must be identical"
+    );
+    assert!(
+        !with.notifications.is_empty(),
+        "workload must actually deliver documents"
+    );
+}
+
+#[test]
+fn indexing_is_invisible_when_flooding() {
+    let base = RoutingConfig::builder();
+    let indexed = run(base.indexing(true).build(), 21);
+    let flat = run(base.indexing(false).build(), 21);
+    assert_bit_identical(&indexed, &flat);
+}
+
+#[test]
+fn indexing_is_invisible_with_advertisements() {
+    let base = RoutingConfig::builder().advertisements(true);
+    let indexed = run(base.indexing(true).build(), 22);
+    let flat = run(base.indexing(false).build(), 22);
+    assert_bit_identical(&indexed, &flat);
+}
+
+#[test]
+fn delivery_sets_match_the_covering_strategy() {
+    // Cross-check against the covering PRT: different traffic (that is
+    // the point of covering), same delivered (client, doc) pairs.
+    let pairs = |m: &NetMetrics| -> std::collections::BTreeSet<(ClientId, xdn::xml::DocId)> {
+        m.notifications.iter().map(|n| (n.client, n.doc)).collect()
+    };
+    let indexed = run(RoutingConfig::builder().advertisements(true).build(), 23);
+    let covering = run(
+        RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build(),
+        23,
+    );
+    assert_eq!(pairs(&indexed), pairs(&covering));
+}
