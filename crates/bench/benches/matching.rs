@@ -32,10 +32,10 @@ fn bench_overlap(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("overlap");
     group.bench_function("rel_naive", |b| {
-        b.iter(|| rel_expr_and_adv_naive(std::hint::black_box(&adv), std::hint::black_box(&sub)))
+        b.iter(|| rel_expr_and_adv_naive(std::hint::black_box(&adv), std::hint::black_box(&sub)));
     });
     group.bench_function("rel_kmp", |b| {
-        b.iter(|| rel_expr_and_adv(std::hint::black_box(&adv), std::hint::black_box(&sub)))
+        b.iter(|| rel_expr_and_adv(std::hint::black_box(&adv), std::hint::black_box(&sub)));
     });
 
     let abs_adv = AdvPath::from_names(&["a", "*", "c", "d", "e", "f", "g", "h"]);
@@ -46,7 +46,7 @@ fn bench_overlap(c: &mut Criterion) {
                 std::hint::black_box(&abs_adv),
                 std::hint::black_box(&abs_sub),
             )
-        })
+        });
     });
 
     let des_sub = xpe("*/a//d/*/c//b");
@@ -57,7 +57,7 @@ fn bench_overlap(c: &mut Criterion) {
                 std::hint::black_box(&des_adv),
                 std::hint::black_box(&des_sub),
             )
-        })
+        });
     });
 
     let a1 = AdvPath::from_names(&["a", "*", "c"]);
@@ -65,7 +65,7 @@ fn bench_overlap(c: &mut Criterion) {
     let a3 = AdvPath::from_names(&["*", "c", "e"]);
     let rec_sub = xpe("/*/a/c/*/d/e/d/*");
     group.bench_function("simple_recursive", |b| {
-        b.iter(|| abs_expr_and_sim_rec_adv(&a1, &a2, &a3, std::hint::black_box(&rec_sub)))
+        b.iter(|| abs_expr_and_sim_rec_adv(&a1, &a2, &a3, std::hint::black_box(&rec_sub)));
     });
     group.finish();
 }
@@ -75,22 +75,22 @@ fn bench_covering(c: &mut Criterion) {
     let wide = xpe("a/a/a");
     let narrow = xpe("/x/a/a/a/b/a/a/a/c");
     group.bench_function("rel_naive", |b| {
-        b.iter(|| rel_sim_cov_naive(std::hint::black_box(&wide), std::hint::black_box(&narrow)))
+        b.iter(|| rel_sim_cov_naive(std::hint::black_box(&wide), std::hint::black_box(&narrow)));
     });
     group.bench_function("rel_kmp", |b| {
-        b.iter(|| rel_sim_cov(std::hint::black_box(&wide), std::hint::black_box(&narrow)))
+        b.iter(|| rel_sim_cov(std::hint::black_box(&wide), std::hint::black_box(&narrow)));
     });
 
     let des1 = xpe("/a/*//*/d");
     let des2 = xpe("/a//b/c/d");
     group.bench_function("descendant", |b| {
-        b.iter(|| des_cov(std::hint::black_box(&des1), std::hint::black_box(&des2)))
+        b.iter(|| des_cov(std::hint::black_box(&des1), std::hint::black_box(&des2)));
     });
 
     let abs1 = xpe("/a/*/c/d");
     let abs2 = xpe("/a/b/c/d/e/f");
     group.bench_function("abs_dispatch", |b| {
-        b.iter(|| covers(std::hint::black_box(&abs1), std::hint::black_box(&abs2)))
+        b.iter(|| covers(std::hint::black_box(&abs1), std::hint::black_box(&abs2)));
     });
     group.finish();
 }

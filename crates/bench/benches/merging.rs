@@ -32,7 +32,7 @@ fn bench_merge_tree(c: &mut Criterion) {
                         t.root_count()
                     },
                     criterion::BatchSize::LargeInput,
-                )
+                );
             });
         }
     }
@@ -63,7 +63,7 @@ fn bench_degree(c: &mut Criterion) {
             &full
         };
         group.bench_with_input(BenchmarkId::from_parameter(cap), u, |b, u| {
-            b.iter(|| imperfect_degree(&merger, &[&s1, &s2], u))
+            b.iter(|| imperfect_degree(&merger, &[&s1, &s2], u));
         });
     }
     group.finish();

@@ -48,7 +48,7 @@ fn bench_routing(c: &mut Criterion) {
             let p = &ps[i % ps.len()];
             i += 1;
             flat.route(p).len()
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("covering", pubs.len()), &pubs, |b, ps| {
         let mut i = 0;
@@ -56,7 +56,7 @@ fn bench_routing(c: &mut Criterion) {
             let p = &ps[i % ps.len()];
             i += 1;
             covering.route(p).len()
-        })
+        });
     });
     group.bench_with_input(
         BenchmarkId::new("merged_ipm", pubs.len()),
@@ -67,7 +67,7 @@ fn bench_routing(c: &mut Criterion) {
                 let p = &ps[i % ps.len()];
                 i += 1;
                 merged.route(p).len()
-            })
+            });
         },
     );
     group.finish();

@@ -30,7 +30,7 @@ fn bench_insert(c: &mut Criterion) {
                             tree.root_count()
                         },
                         BatchSize::SmallInput,
-                    )
+                    );
                 },
             );
             // Eager super-pointer maintenance is O(n) per insert (a
@@ -50,7 +50,7 @@ fn bench_insert(c: &mut Criterion) {
                                 tree.root_count()
                             },
                             BatchSize::SmallInput,
-                        )
+                        );
                     },
                 );
             }
@@ -67,7 +67,7 @@ fn bench_insert(c: &mut Criterion) {
                             v.len()
                         },
                         BatchSize::SmallInput,
-                    )
+                    );
                 },
             );
         }

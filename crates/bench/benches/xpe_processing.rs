@@ -40,7 +40,7 @@ fn bench_processing(c: &mut Criterion) {
                 let x = &xs[i % xs.len()];
                 i += 1;
                 advs.iter().filter(|a| adv_overlaps_sub(a, x)).count()
-            })
+            });
         });
 
         // Prepared advertisement matching.
@@ -50,7 +50,7 @@ fn bench_processing(c: &mut Criterion) {
                 let x = &xs[i % xs.len()];
                 i += 1;
                 prepared.iter().filter(|a| a.overlaps(x)).count()
-            })
+            });
         });
 
         // Covering-first processing: the Figure 8 "with covering" path.
@@ -68,7 +68,7 @@ fn bench_processing(c: &mut Criterion) {
                 } else {
                     0
                 }
-            })
+            });
         });
     }
     group.finish();

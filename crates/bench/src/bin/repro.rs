@@ -48,7 +48,7 @@ fn main() {
             "fig6", "fig7", "fig8", "table1", "table2", "table3", "fig9", "fig10", "fig11",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     }
 
@@ -280,8 +280,7 @@ fn run_delay(which: delay::DelayDtd, title: &str, scale: &Scale) {
                 let cell = points
                     .iter()
                     .find(|p| p.hops == hops && p.doc_bytes == size && p.covering == covering)
-                    .map(|p| ms(p.delay))
-                    .unwrap_or_else(|| "-".to_string());
+                    .map_or_else(|| "-".to_string(), |p| ms(p.delay));
                 row.push(cell);
             }
             table.push(row);

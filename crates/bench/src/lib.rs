@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # xdn-bench — the reproduction harness
 //!
 //! One module per table/figure of the paper's evaluation (§5). Every

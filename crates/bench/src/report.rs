@@ -24,7 +24,10 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
         line.push('\n');
         line
     };
-    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> = header
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&fmt_row(&header_cells));
     let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     out.push_str(&"-".repeat(total));

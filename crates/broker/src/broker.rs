@@ -31,10 +31,6 @@ impl Merging {
     }
 }
 
-/// Former name of [`Merging`].
-#[deprecated(since = "0.2.0", note = "renamed to `Merging`")]
-pub type MergingMode = Merging;
-
 /// A broker's routing strategy — the experiment axis of Tables 2/3.
 ///
 /// Build one with [`RoutingConfig::builder`]:
@@ -133,65 +129,6 @@ impl RoutingConfig {
     /// baseline.
     pub fn builder() -> RoutingConfigBuilder {
         RoutingConfigBuilder::default()
-    }
-
-    /// `no-Adv-no-Cov`: flooding + flat tables.
-    #[deprecated(since = "0.2.0", note = "use `RoutingConfig::builder()`")]
-    pub fn no_adv_no_cov() -> Self {
-        Self::builder().build()
-    }
-
-    /// `no-Adv-with-Cov`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RoutingConfig::builder().covering(true)`"
-    )]
-    pub fn no_adv_with_cov() -> Self {
-        Self::builder().covering(true).build()
-    }
-
-    /// `with-Adv-no-Cov`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RoutingConfig::builder().advertisements(true)`"
-    )]
-    pub fn with_adv_no_cov() -> Self {
-        Self::builder().advertisements(true).build()
-    }
-
-    /// `with-Adv-with-Cov`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RoutingConfig::builder().advertisements(true).covering(true)`"
-    )]
-    pub fn with_adv_with_cov() -> Self {
-        Self::builder().advertisements(true).covering(true).build()
-    }
-
-    /// `with-Adv-with-CovPM` (perfect merging).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RoutingConfig::builder().advertisements(true).covering(true).merging(Merging::Perfect)`"
-    )]
-    pub fn with_adv_cov_pm() -> Self {
-        Self::builder()
-            .advertisements(true)
-            .covering(true)
-            .merging(Merging::Perfect)
-            .build()
-    }
-
-    /// `with-Adv-with-CovIPM` (imperfect merging, default degree 0.1).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RoutingConfig::builder().advertisements(true).covering(true).merging(Merging::Imperfect { .. })`"
-    )]
-    pub fn with_adv_cov_ipm(max_degree: f64) -> Self {
-        Self::builder()
-            .advertisements(true)
-            .covering(true)
-            .merging(Merging::Imperfect { max_degree })
-            .build()
     }
 
     /// All six strategies in the paper's order, for experiment sweeps.
@@ -471,7 +408,7 @@ impl Broker {
             .map(|(id, adv, hop)| format!("adv {} {} via {}", id.0, adv, hop))
             .collect();
         for (id, xpe, hops) in self.prt.forwarded_subs() {
-            let mut from: Vec<String> = hops.iter().map(|h| h.to_string()).collect();
+            let mut from: Vec<String> = hops.iter().map(std::string::ToString::to_string).collect();
             from.sort();
             from.dedup();
             lines.push(format!("sub {} {} from {}", id.0, xpe, from.join(",")));
@@ -692,7 +629,10 @@ mod tests {
         Publication {
             doc_id: DocId(1),
             path_id: PathId(0),
-            elements: elements.iter().map(|s| s.to_string()).collect(),
+            elements: elements
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             attributes: Vec::new(),
             doc_bytes: 1000,
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # xdn-broker — the content-based XML router
 //!
@@ -47,8 +48,6 @@ pub mod message;
 pub mod stats;
 pub mod wire;
 
-#[allow(deprecated)]
-pub use broker::MergingMode;
 pub use broker::{Broker, Merging, RoutingConfig, RoutingConfigBuilder};
 pub use message::{BrokerId, ClientId, Dest, Message, MessageKind, Publication};
 pub use stats::BrokerStats;

@@ -32,6 +32,12 @@ use xdn_core::adv::Advertisement;
 use xdn_core::rtable::{AdvId, SubId};
 use xdn_xml::{DocId, PathId};
 
+/// Frames whose declared body length exceeds this are a protocol
+/// violation: [`decode`] rejects them before allocating, and every
+/// transport (TCP readers, future substrates) must enforce the same
+/// cap when reading a length prefix off a socket.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
 const TAG_ADVERTISE: u8 = 1;
 const TAG_UNADVERTISE: u8 = 2;
 const TAG_SUBSCRIBE: u8 = 3;
@@ -136,6 +142,11 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
         return Err(WireError::new("truncated length prefix"));
     }
     let len = b.get_u32() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::new(format!(
+            "frame body of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
     if b.remaining() < len {
         return Err(WireError::new(format!(
             "truncated body: need {len}, have {}",
@@ -368,6 +379,16 @@ mod tests {
         for cut in [0, 2, 4, bytes.len() - 1] {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn oversized_declared_frame_rejected() {
+        let mut frame = BytesMut::new();
+        frame.put_u32((MAX_FRAME_BYTES + 1) as u32);
+        // No body needed: the cap check fires on the prefix alone,
+        // before any allocation.
+        let err = decode(&frame).expect_err("cap must reject");
+        assert!(err.to_string().contains("cap"));
     }
 
     #[test]

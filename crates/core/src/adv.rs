@@ -733,7 +733,7 @@ mod tests {
     fn expansions_cover_unrolls() {
         let a = adv("/a(/b)+/c");
         let exps = a.expansions(3, 10);
-        let strs: BTreeSet<String> = exps.iter().map(|e| e.to_string()).collect();
+        let strs: BTreeSet<String> = exps.iter().map(std::string::ToString::to_string).collect();
         assert!(strs.contains("/a/b/c"));
         assert!(strs.contains("/a/b/b/c"));
         assert!(strs.contains("/a/b/b/b/c"));
@@ -770,7 +770,7 @@ mod tests {
             Dtd::parse("<!ELEMENT a (b, c)><!ELEMENT b (d)><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
                 .unwrap();
         let advs = derive_advertisements(&dtd, &DeriveOptions::default());
-        let strs: BTreeSet<String> = advs.iter().map(|a| a.to_string()).collect();
+        let strs: BTreeSet<String> = advs.iter().map(std::string::ToString::to_string).collect();
         assert_eq!(
             strs,
             BTreeSet::from(["/a/b/d".to_string(), "/a/c".to_string()])
@@ -782,7 +782,7 @@ mod tests {
     fn derive_simple_recursion() {
         let dtd = Dtd::parse("<!ELEMENT a (a?, b)><!ELEMENT b EMPTY>").unwrap();
         let advs = derive_advertisements(&dtd, &DeriveOptions::default());
-        let strs: BTreeSet<String> = advs.iter().map(|a| a.to_string()).collect();
+        let strs: BTreeSet<String> = advs.iter().map(std::string::ToString::to_string).collect();
         // Direct exit and the cycled form.
         assert!(strs.contains("/a/b"), "missing /a/b in {strs:?}");
         assert!(

@@ -469,7 +469,7 @@ impl<T> SubscriptionTree<T> {
     /// only into children of matching nodes (a non-matching node covers
     /// its subtree, so the subtree cannot match).
     pub fn for_each_matching<S: AsRef<str>>(&self, path: &[S], f: impl FnMut(NodeId, &T)) {
-        self.for_each_matching_with_attrs(path, &[], f)
+        self.for_each_matching_with_attrs(path, &[], f);
     }
 
     /// [`Self::for_each_matching`] with per-element attribute data, for

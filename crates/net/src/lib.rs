@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # xdn-net — the overlay network substrate
 //!
@@ -45,6 +46,7 @@
 pub mod latency;
 pub mod live;
 pub mod metrics;
+pub mod queue;
 pub mod sim;
 pub mod tcp;
 pub mod topology;

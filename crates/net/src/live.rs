@@ -5,12 +5,18 @@
 //! exchanges messages over crossbeam channels, exactly as a deployment
 //! would over TCP sessions. Used by the `live_overlay` example.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
+
+/// Capacity of each broker's and client's inbox. Bounded so a producer
+/// outrunning a consumer blocks (backpressure) instead of growing an
+/// unbounded heap queue; generous enough that the overlay's
+/// request/reply cycles never fill it in practice.
+const INBOX_CAPACITY: usize = 1024;
 
 enum Wire {
     Data { from: Dest, msg: Message },
@@ -59,7 +65,7 @@ impl LiveNetworkBuilder {
         let mut broker_tx: HashMap<BrokerId, Sender<Wire>> = HashMap::new();
         let mut broker_rx: HashMap<BrokerId, Receiver<Wire>> = HashMap::new();
         for &(id, _) in &self.brokers {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(INBOX_CAPACITY);
             broker_tx.insert(id, tx);
             broker_rx.insert(id, rx);
         }
@@ -68,7 +74,7 @@ impl LiveNetworkBuilder {
         let mut client_home: HashMap<ClientId, BrokerId> = HashMap::new();
         for &(cid, home) in &self.clients {
             assert!(broker_tx.contains_key(&home), "unknown broker {home}");
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(INBOX_CAPACITY);
             client_tx.insert(cid, tx);
             client_rx.insert(cid, rx);
             client_home.insert(cid, home);
@@ -87,7 +93,11 @@ impl LiveNetworkBuilder {
                     broker.add_neighbor(a);
                 }
             }
-            let rx = broker_rx.remove(&id).expect("receiver");
+            // Absent only if the same broker id was registered twice;
+            // the duplicate simply gets no thread.
+            let Some(rx) = broker_rx.remove(&id) else {
+                continue;
+            };
             let peers = broker_tx.clone();
             let clients = client_tx.clone();
             let stats_slot: Arc<Mutex<Option<xdn_broker::BrokerStats>>> =
@@ -178,7 +188,7 @@ impl LiveNetwork {
     /// A point-in-time view of one broker's state, or `None` if the
     /// broker is unknown or shut down.
     pub fn snapshot(&self, broker: BrokerId) -> Option<crate::tcp::NodeSnapshot> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(1);
         self.broker_tx.get(&broker)?.send(Wire::Snapshot(tx)).ok()?;
         rx.recv_timeout(std::time::Duration::from_secs(5)).ok()
     }
@@ -201,6 +211,7 @@ impl LiveNetwork {
             if std::time::Instant::now() >= deadline {
                 return false;
             }
+            // xtask: allow(sleep) 2ms poll slice under an explicit caller deadline
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
     }
@@ -220,7 +231,9 @@ impl LiveNetwork {
         }
         let mut out = Vec::new();
         for (id, handle, slot) in self.handles {
-            handle.join().expect("broker thread panicked");
+            // A panicked broker thread never filled its stats slot;
+            // the survivors' statistics are still worth returning.
+            let _ = handle.join();
             if let Some(stats) = slot.lock().take() {
                 out.push((id, stats));
             }

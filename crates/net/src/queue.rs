@@ -1,0 +1,232 @@
+//! The supervisor's bounded outbound frame queue.
+//!
+//! Extracted from `tcp.rs` so its concurrency contract can be model-
+//! checked: under `--cfg loom` the synchronisation primitives come from
+//! the `loom` crate and `tests/loom.rs` drives [`FrameQueue`] through
+//! adversarial schedules. In normal builds the primitives are `std`'s
+//! and the queue behaves identically.
+//!
+//! Locking never panics: a poisoned mutex (a pusher panicked mid-
+//! operation) is recovered with [`PoisonError::into_inner`] — the
+//! queue's state is a `VecDeque` plus three scalars, every transition
+//! of which is panic-free, so the data behind a poisoned lock is still
+//! coherent and shedding a frame beats taking the whole node down.
+
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+use std::time::Duration;
+use xdn_broker::Message;
+
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// The result of one [`FrameQueue::pop_wait`] call.
+pub enum Pop {
+    /// A frame to write.
+    Msg(Box<Message>),
+    /// Nothing to send for a full heartbeat interval.
+    Idle,
+    /// The reader declared the current connection dead.
+    Down,
+    /// The node is shutting down.
+    Closed,
+}
+
+#[derive(Default)]
+struct QueueState {
+    q: VecDeque<Message>,
+    down: bool,
+    closed: bool,
+    dropped: u64,
+}
+
+/// The supervisor's bounded outbound queue. The broker loop pushes,
+/// the supervisor's writer pops; when full, buffered publications are
+/// evicted before any control message is touched (routing state must
+/// survive an outage; documents may be re-published).
+pub struct FrameQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl FrameQueue {
+    /// A queue holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        FrameQueue {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues at the back, shedding under pressure.
+    pub fn push_back(&self, msg: Message) {
+        self.push(msg, false);
+    }
+
+    /// Queue-jumps control traffic (the post-reconnect sync request).
+    pub fn push_front(&self, msg: Message) {
+        self.push(msg, true);
+    }
+
+    fn push(&self, msg: Message, front: bool) {
+        let mut s = self.lock();
+        if s.closed {
+            return;
+        }
+        if s.q.len() >= self.capacity {
+            if let Some(i) = s.q.iter().position(|m| matches!(m, Message::Publish(_))) {
+                s.q.remove(i);
+                s.dropped += 1;
+            } else if msg.is_payload() {
+                // Only control traffic is buffered; the arriving
+                // publication gives way.
+                s.dropped += 1;
+                return;
+            } else {
+                s.q.pop_front();
+                s.dropped += 1;
+            }
+        }
+        if front {
+            s.q.push_front(msg);
+        } else {
+            s.q.push_back(msg);
+        }
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next frame, or `timeout` of idleness. The
+    /// `Closed`/`Down` flags win over queued frames so a supervisor
+    /// reacts to shutdown and link death promptly.
+    pub fn pop_wait(&self, timeout: Duration) -> Pop {
+        let mut s = self.lock();
+        loop {
+            if s.closed {
+                return Pop::Closed;
+            }
+            if s.down {
+                return Pop::Down;
+            }
+            if let Some(m) = s.q.pop_front() {
+                return Pop::Msg(Box::new(m));
+            }
+            let (next, res) = self
+                .cv
+                .wait_timeout(s, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            s = next;
+            if res.timed_out() {
+                return if s.closed {
+                    Pop::Closed
+                } else if s.down {
+                    Pop::Down
+                } else {
+                    Pop::Idle
+                };
+            }
+        }
+    }
+
+    /// The reader's death notice: wakes the writer so the epoch ends.
+    pub fn mark_down(&self) {
+        self.lock().down = true;
+        self.cv.notify_all();
+    }
+
+    /// Starts a fresh connection epoch.
+    pub fn clear_down(&self) {
+        self.lock().down = false;
+    }
+
+    /// Permanent shutdown; subsequent pushes are discarded silently.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Total frames shed so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Frames currently buffered (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.lock().q.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use xdn_broker::{MessageKind, Publication};
+    use xdn_core::rtable::SubId;
+    use xdn_xml::{DocId, PathId};
+
+    fn publication(doc: u64) -> Message {
+        Message::Publish(Publication {
+            doc_id: DocId(doc),
+            path_id: PathId(0),
+            elements: vec!["a".to_owned()],
+            attributes: Vec::new(),
+            doc_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn queue_sheds_publications_before_control() {
+        let q = FrameQueue::new(2);
+        q.push_back(publication(1));
+        q.push_back(publication(2));
+        // Control traffic displaces the oldest publication.
+        q.push_back(Message::subscribe(SubId(1), "/a".parse().expect("xpe")));
+        // A publication arriving at a full queue of one pub + one
+        // control displaces the remaining pub...
+        q.push_back(publication(3));
+        // ...and one arriving with only control queued is itself shed.
+        q.push_back(Message::Unsubscribe { id: SubId(9) });
+        q.push_back(publication(4));
+        let mut kinds = Vec::new();
+        while let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) {
+            kinds.push(m.kind());
+        }
+        assert_eq!(
+            kinds,
+            vec![MessageKind::Subscribe, MessageKind::Unsubscribe],
+            "control survived"
+        );
+        assert_eq!(q.dropped(), 4, "all four publications were shed");
+    }
+
+    #[test]
+    fn closed_queue_discards_pushes() {
+        let q = FrameQueue::new(4);
+        q.close();
+        q.push_back(publication(1));
+        assert!(q.is_empty());
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Closed));
+    }
+
+    #[test]
+    fn down_epoch_toggles() {
+        let q = FrameQueue::new(4);
+        q.mark_down();
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Down));
+        q.clear_down();
+        q.push_back(publication(1));
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Msg(_)));
+    }
+}

@@ -26,23 +26,36 @@
 //! installation is idempotent and buffered frames are retransmitted,
 //! delivery across a link outage is at-least-once.
 
+use crate::queue::{FrameQueue, Pop};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use xdn_broker::wire::MAX_FRAME_BYTES;
 use xdn_broker::{wire, Broker, BrokerId, BrokerStats, ClientId, Dest, Message, RoutingConfig};
 
 const HELLO_BROKER: u8 = 0x01;
 const HELLO_CLIENT: u8 = 0x02;
 
-/// Frames above this size are a protocol violation on every connection
-/// type (broker peers and clients alike).
-const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+/// Capacity of the broker loop's input channel. Bounded so a flood of
+/// inbound frames exerts backpressure on the reader threads (and thus
+/// TCP flow control) instead of growing an unbounded heap queue.
+const INBOX_CAPACITY: usize = 4096;
+
+/// Capacity of a client's delivery channel; a slow client consumer
+/// backpressures its reader thread, not the node.
+const CLIENT_INBOX_CAPACITY: usize = 1024;
+
+/// Locks a std mutex, recovering from poisoning: the guarded values
+/// here (peer addresses) stay coherent even if a holder panicked.
+fn lock_clean<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Errors from the TCP transport.
 #[derive(Debug)]
@@ -135,134 +148,12 @@ pub struct NodeSnapshot {
 enum Input {
     FromPeer(Dest, Message),
     PeerWriter(Dest, Arc<Mutex<TcpStream>>),
-    Snapshot(Sender<NodeSnapshot>),
+    Snapshot(SyncSender<NodeSnapshot>),
     Stop,
 }
 
 // ---------------------------------------------------------------------
-// Bounded outbound frame queue
-// ---------------------------------------------------------------------
-
-enum Pop {
-    Msg(Box<Message>),
-    /// Nothing to send for a full heartbeat interval.
-    Idle,
-    /// The reader declared the current connection dead.
-    Down,
-    /// The node is shutting down.
-    Closed,
-}
-
-#[derive(Default)]
-struct QueueState {
-    q: VecDeque<Message>,
-    down: bool,
-    closed: bool,
-    dropped: u64,
-}
-
-/// The supervisor's bounded outbound queue. The broker loop pushes,
-/// the supervisor's writer pops; when full, buffered publications are
-/// evicted before any control message is touched.
-struct FrameQueue {
-    state: StdMutex<QueueState>,
-    cv: Condvar,
-    capacity: usize,
-}
-
-impl FrameQueue {
-    fn new(capacity: usize) -> Self {
-        FrameQueue {
-            state: StdMutex::new(QueueState::default()),
-            cv: Condvar::new(),
-            capacity,
-        }
-    }
-
-    fn push_back(&self, msg: Message) {
-        self.push(msg, false)
-    }
-
-    /// Queue-jumps control traffic (the post-reconnect sync request).
-    fn push_front(&self, msg: Message) {
-        self.push(msg, true)
-    }
-
-    fn push(&self, msg: Message, front: bool) {
-        let mut s = self.state.lock().expect("queue lock");
-        if s.closed {
-            return;
-        }
-        if s.q.len() >= self.capacity {
-            if let Some(i) = s.q.iter().position(|m| matches!(m, Message::Publish(_))) {
-                s.q.remove(i);
-                s.dropped += 1;
-            } else if msg.is_payload() {
-                // Only control traffic is buffered; the arriving
-                // publication gives way.
-                s.dropped += 1;
-                return;
-            } else {
-                s.q.pop_front();
-                s.dropped += 1;
-            }
-        }
-        if front {
-            s.q.push_front(msg);
-        } else {
-            s.q.push_back(msg);
-        }
-        drop(s);
-        self.cv.notify_one();
-    }
-
-    fn pop_wait(&self, timeout: Duration) -> Pop {
-        let mut s = self.state.lock().expect("queue lock");
-        loop {
-            if s.closed {
-                return Pop::Closed;
-            }
-            if s.down {
-                return Pop::Down;
-            }
-            if let Some(m) = s.q.pop_front() {
-                return Pop::Msg(Box::new(m));
-            }
-            let (next, res) = self.cv.wait_timeout(s, timeout).expect("queue lock");
-            s = next;
-            if res.timed_out() {
-                return if s.closed {
-                    Pop::Closed
-                } else if s.down {
-                    Pop::Down
-                } else {
-                    Pop::Idle
-                };
-            }
-        }
-    }
-
-    fn mark_down(&self) {
-        self.state.lock().expect("queue lock").down = true;
-        self.cv.notify_all();
-    }
-
-    fn clear_down(&self) {
-        self.state.lock().expect("queue lock").down = false;
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
-        self.cv.notify_all();
-    }
-
-    fn dropped(&self) -> u64 {
-        self.state.lock().expect("queue lock").dropped
-    }
-}
-
-// ---------------------------------------------------------------------
-// Peer supervisor
+// Peer supervisor (the bounded outbound queue lives in crate::queue)
 // ---------------------------------------------------------------------
 
 /// One supervised outbound link to a dialled peer.
@@ -306,6 +197,7 @@ fn sleep_watching(total: Duration, stopping: &AtomicBool) {
     let mut left = total;
     while !left.is_zero() && !stopping.load(Ordering::SeqCst) {
         let step = left.min(slice);
+        // xtask: allow(sleep) bounded 20ms backoff slice, stop-aware by construction
         std::thread::sleep(step);
         left = left.saturating_sub(step);
     }
@@ -319,7 +211,7 @@ fn supervise_peer(
     queue: Arc<FrameQueue>,
     stats: Arc<Mutex<LinkStats>>,
     current: Arc<Mutex<Option<TcpStream>>>,
-    inbox: Sender<Input>,
+    inbox: SyncSender<Input>,
     cfg: SupervisorConfig,
     stopping: Arc<AtomicBool>,
 ) {
@@ -338,7 +230,7 @@ fn supervise_peer(
             if stopping.load(Ordering::SeqCst) {
                 break 'epochs;
             }
-            match TcpStream::connect(*addr.lock().expect("addr lock")) {
+            match TcpStream::connect(*lock_clean(&addr)) {
                 Ok(s) => break s,
                 Err(_) => {
                     attempt += 1;
@@ -424,7 +316,7 @@ type ConnList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
 /// One broker node on a TCP socket.
 pub struct TcpNode {
     addr: SocketAddr,
-    inbox: Sender<Input>,
+    inbox: SyncSender<Input>,
     broker_thread: JoinHandle<()>,
     listener_handle: JoinHandle<()>,
     stopping: Arc<AtomicBool>,
@@ -467,7 +359,7 @@ impl TcpNode {
     ) -> Result<TcpNode, TcpError> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
-        let (tx, rx) = channel::<Input>();
+        let (tx, rx) = sync_channel::<Input>(INBOX_CAPACITY);
         let stopping = Arc::new(AtomicBool::new(false));
 
         let mut broker = Broker::new(id, config);
@@ -549,7 +441,7 @@ impl TcpNode {
     /// A point-in-time view of the broker's state, or `None` if the
     /// broker loop is gone.
     pub fn snapshot(&self) -> Option<NodeSnapshot> {
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(1);
         self.inbox.send(Input::Snapshot(tx)).ok()?;
         rx.recv_timeout(Duration::from_secs(5)).ok()
     }
@@ -572,6 +464,7 @@ impl TcpNode {
             if std::time::Instant::now() >= deadline {
                 return false;
             }
+            // xtask: allow(sleep) 5ms poll slice under an explicit caller deadline
             std::thread::sleep(Duration::from_millis(5));
         }
     }
@@ -609,7 +502,7 @@ impl TcpNode {
         let Some(link) = self.links.get(&peer) else {
             return false;
         };
-        *link.addr.lock().expect("addr lock") = addr;
+        *lock_clean(&link.addr) = addr;
         self.sever_peer(peer);
         true
     }
@@ -702,11 +595,14 @@ fn broker_loop(mut broker: Broker, rx: Receiver<Input>, queues: HashMap<Dest, Ar
 
 fn spawn_connection(
     mut stream: TcpStream,
-    tx: Sender<Input>,
+    tx: SyncSender<Input>,
 ) -> Result<(TcpStream, JoinHandle<()>), TcpError> {
     let mut hello = [0u8; 9];
     stream.read_exact(&mut hello)?;
-    let id = u64::from_be_bytes(hello[1..9].try_into().expect("9-byte hello"));
+    let id_bytes: [u8; 8] = hello[1..9]
+        .try_into()
+        .map_err(|_| TcpError::Protocol("malformed hello".into()))?;
+    let id = u64::from_be_bytes(id_bytes);
     let from = match hello[0] {
         HELLO_BROKER => Dest::Broker(BrokerId(id as u32)),
         HELLO_CLIENT => Dest::Client(ClientId(id)),
@@ -736,7 +632,7 @@ fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
     Some(frame)
 }
 
-fn read_frames(mut stream: TcpStream, from: Dest, tx: Sender<Input>) {
+fn read_frames(mut stream: TcpStream, from: Dest, tx: SyncSender<Input>) {
     while let Some(frame) = read_frame(&mut stream) {
         match wire::decode(&frame) {
             Ok((msg, _)) => {
@@ -761,6 +657,7 @@ fn connect_with_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, T
                 if std::time::Instant::now() >= deadline {
                     return Err(TcpError::Io(e));
                 }
+                // xtask: allow(sleep) 25ms redial slice under the caller's budget
                 std::thread::sleep(Duration::from_millis(25));
             }
         }
@@ -786,7 +683,7 @@ impl TcpClient {
         hello[0] = HELLO_CLIENT;
         hello[1..9].copy_from_slice(&id.0.to_be_bytes());
         stream.write_all(&hello)?;
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(CLIENT_INBOX_CAPACITY);
         let read_stream = stream.try_clone()?;
         let reader_thread = std::thread::spawn(move || {
             client_read(read_stream, tx);
@@ -814,7 +711,7 @@ impl TcpClient {
     }
 }
 
-fn client_read(mut stream: TcpStream, tx: Sender<Message>) {
+fn client_read(mut stream: TcpStream, tx: SyncSender<Message>) {
     while let Some(frame) = read_frame(&mut stream) {
         let Ok((msg, _)) = wire::decode(&frame) else {
             return;
@@ -828,7 +725,6 @@ fn client_read(mut stream: TcpStream, tx: Sender<Message>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xdn_broker::MessageKind;
     use xdn_core::adv::{AdvPath, Advertisement};
     use xdn_core::rtable::{AdvId, SubId};
     use xdn_xml::{DocId, PathId};
@@ -841,7 +737,10 @@ mod tests {
         Message::Publish(xdn_broker::Publication {
             doc_id: DocId(doc),
             path_id: PathId(0),
-            elements: elements.iter().map(|s| s.to_string()).collect(),
+            elements: elements
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             attributes: Vec::new(),
             doc_bytes: 32,
         })
@@ -1165,31 +1064,6 @@ mod tests {
         );
         n0.shutdown();
         n1b.shutdown();
-    }
-
-    #[test]
-    fn queue_sheds_publications_before_control() {
-        let q = FrameQueue::new(2);
-        q.push_back(publication(&["a"], 1));
-        q.push_back(publication(&["a"], 2));
-        // Control traffic displaces the oldest publication.
-        q.push_back(Message::subscribe(SubId(1), "/a".parse().expect("xpe")));
-        // A publication arriving at a full queue of one pub + one
-        // control displaces the remaining pub...
-        q.push_back(publication(&["a"], 3));
-        // ...and one arriving with only control queued is itself shed.
-        q.push_back(Message::Unsubscribe { id: SubId(9) });
-        q.push_back(publication(&["a"], 4));
-        let mut kinds = Vec::new();
-        while let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) {
-            kinds.push(m.kind());
-        }
-        assert_eq!(
-            kinds,
-            vec![MessageKind::Subscribe, MessageKind::Unsubscribe],
-            "control survived"
-        );
-        assert_eq!(q.dropped(), 4, "all four publications were shed");
     }
 
     #[test]

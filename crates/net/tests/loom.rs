@@ -1,0 +1,129 @@
+//! Concurrency models of the PR 1 primitives, run under `--cfg loom`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p xdn-net --test loom --release
+//! ```
+//!
+//! Each model drives [`xdn_net::queue::FrameQueue`] — the supervisor's
+//! bounded outbound buffer — through a small adversarial schedule and
+//! asserts a schedule-independent postcondition. Under the vendored
+//! offline `loom` stand-in, `loom::model` re-runs each closure many
+//! times (`LOOM_ITERS`, default 64) with real threads, sampling
+//! schedules; under the real `loom` crate the same code explores them
+//! exhaustively.
+#![cfg(loom)]
+
+use std::time::Duration;
+use xdn_broker::{Message, MessageKind, Publication};
+use xdn_core::rtable::SubId;
+use xdn_net::queue::{FrameQueue, Pop};
+use xdn_xml::{DocId, PathId};
+
+fn publication(doc: u64) -> Message {
+    Message::Publish(Publication {
+        doc_id: DocId(doc),
+        path_id: PathId(0),
+        elements: vec!["a".to_owned()],
+        attributes: Vec::new(),
+        doc_bytes: 16,
+    })
+}
+
+fn control() -> Message {
+    Message::subscribe(SubId(1), "/a".parse().expect("xpe"))
+}
+
+/// Drains the queue without blocking on timeouts longer than needed.
+fn drain(q: &FrameQueue) -> Vec<MessageKind> {
+    let mut kinds = Vec::new();
+    while let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) {
+        kinds.push(m.kind());
+    }
+    kinds
+}
+
+/// Concurrent pushers on a capacity-1 queue: whatever the interleaving,
+/// the control frame survives and exactly one publication is shed.
+/// (Either the publication lands first and is displaced, or it arrives
+/// at a full queue of control and gives way — both count one drop.)
+#[test]
+fn shedding_preserves_control_under_races() {
+    loom::model(|| {
+        let q = loom::sync::Arc::new(FrameQueue::new(1));
+        let qa = q.clone();
+        let qb = q.clone();
+        let a = loom::thread::spawn(move || qa.push_back(publication(1)));
+        let b = loom::thread::spawn(move || qb.push_back(control()));
+        a.join().expect("pusher a");
+        b.join().expect("pusher b");
+        let kinds = drain(&q);
+        assert_eq!(kinds, vec![MessageKind::Subscribe], "control survived");
+        assert_eq!(q.dropped(), 1, "exactly the publication was shed");
+    });
+}
+
+/// The supervisor shutdown handshake: a writer parked in `pop_wait`
+/// must observe `close()` from another thread and terminate, and
+/// pushes racing with the close never resurrect the queue.
+#[test]
+fn close_terminates_a_parked_writer() {
+    loom::model(|| {
+        let q = loom::sync::Arc::new(FrameQueue::new(4));
+        let qw = q.clone();
+        let writer = loom::thread::spawn(move || {
+            let mut popped = 0u32;
+            loop {
+                match qw.pop_wait(Duration::from_millis(5)) {
+                    Pop::Closed => return popped,
+                    Pop::Msg(_) => popped += 1,
+                    Pop::Idle | Pop::Down => {}
+                }
+            }
+        });
+        let qp = q.clone();
+        let pusher = loom::thread::spawn(move || {
+            qp.push_back(control());
+            qp.push_back(publication(2));
+        });
+        q.close();
+        pusher.join().expect("pusher");
+        let popped = writer.join().expect("writer must observe Closed");
+        assert!(popped <= 2, "never pops more than was pushed");
+        // Whatever raced the close, the queue stays closed and empty
+        // of effects: further pushes are discarded.
+        q.push_back(control());
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Closed));
+    });
+}
+
+/// The reader-death / reconnect epoch protocol: `mark_down` from the
+/// reader thread must wake and divert the writer (`Pop::Down` wins
+/// over queued frames), and `clear_down` starts a clean epoch in which
+/// buffered frames flow again.
+#[test]
+fn down_epochs_divert_then_recover() {
+    loom::model(|| {
+        let q = loom::sync::Arc::new(FrameQueue::new(4));
+        q.push_back(control());
+        let qr = q.clone();
+        let reader = loom::thread::spawn(move || qr.mark_down());
+        let qw = q.clone();
+        let writer = loom::thread::spawn(move || {
+            // Either the frame pops before the down marker lands, or
+            // the down marker wins; both are legal epochs endings.
+            matches!(qw.pop_wait(Duration::from_millis(5)), Pop::Down)
+        });
+        reader.join().expect("reader");
+        let _saw_down_first = writer.join().expect("writer");
+        // The epoch is now down regardless of pop order.
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Down));
+        // Reconnect: the next epoch must deliver queued + new frames.
+        q.clear_down();
+        q.push_back(publication(9));
+        let kinds = drain(&q);
+        assert!(
+            kinds.contains(&MessageKind::Publish),
+            "fresh epoch delivers frames, got {kinds:?}"
+        );
+    });
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # xdn-workloads — DTDs, query sets, and document workloads
 //!

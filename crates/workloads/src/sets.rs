@@ -94,7 +94,8 @@ mod tests {
         let b = set_b(&dtd, 2000, 1);
         assert!(a.len() >= 1900, "set A generated {} queries", a.len());
         assert!(b.len() >= 1900, "set B generated {} queries", b.len());
-        let ua: std::collections::HashSet<String> = a.iter().map(|x| x.to_string()).collect();
+        let ua: std::collections::HashSet<String> =
+            a.iter().map(std::string::ToString::to_string).collect();
         assert_eq!(ua.len(), a.len());
     }
 

@@ -98,12 +98,14 @@ impl TreeNode {
         let attrs = path.attributes.get(depth).cloned().unwrap_or_default();
         // Find an existing child with this name (paths are deduplicated
         // per element sequence, so one child per name per branch).
-        let key = self
+        let existing = self
             .children
             .iter()
             .find(|(_, (n, _))| n == name)
-            .map(|(&k, _)| k)
-            .unwrap_or_else(|| {
+            .map(|(&k, _)| k);
+        let key = match existing {
+            Some(k) => k,
+            None => {
                 let idx = self.order;
                 self.order += 1;
                 let node = TreeNode {
@@ -112,7 +114,8 @@ impl TreeNode {
                 };
                 self.children.insert(idx, (name.clone(), node));
                 idx
-            });
+            }
+        };
         let child = &mut self.children.get_mut(&key).expect("present").1;
         child.merge(path, depth + 1);
     }

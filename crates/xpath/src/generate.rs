@@ -295,7 +295,7 @@ mod tests {
         let dtd = dtd();
         let cfg = XpeGeneratorConfig::default();
         let xpes = generate_distinct_xpes(&dtd, 300, &cfg, &mut rng(5));
-        let unique: HashSet<String> = xpes.iter().map(|x| x.to_string()).collect();
+        let unique: HashSet<String> = xpes.iter().map(std::string::ToString::to_string).collect();
         assert_eq!(unique.len(), xpes.len());
         assert!(
             xpes.len() >= 250,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # xdn-xpath — XPath expressions (XPEs) for content-based routing
 //!

@@ -1,0 +1,143 @@
+//! Parser-robustness properties for [`xdn_xpath`]:
+//!
+//! 1. `Xpe::parse` (via `str::parse`) never panics, whatever bytes it
+//!    is fed — it either produces an expression or a typed
+//!    `XpeParseError`. The generator is fuzz-shaped: raw byte soup run
+//!    through lossy UTF-8 conversion (so replacement characters and
+//!    multi-byte boundaries appear), plus structured near-misses built
+//!    from XPE fragments (truncated predicates, unbalanced brackets,
+//!    doubled operators).
+//! 2. `Display` → `parse` round-trips every valid expression: the
+//!    canonical text is itself parsable and reproduces the AST. This
+//!    is the contract the wire codec relies on (XPEs travel as text).
+
+use proptest::prelude::*;
+use xdn_xpath::{Axis, NodeTest, Predicate, Step, Xpe};
+
+const ALPHABET: &[&str] = &["a", "b", "news", "x-y.z:w"];
+const ATTR_NAMES: &[&str] = &["p", "lang"];
+const ATTR_VALUES: &[&str] = &["1", "en us"];
+
+/// Fragments an adversarial input is assembled from: valid pieces,
+/// truncations, and junk — concatenations of these hit the parser's
+/// edge cases far more often than uniform bytes.
+const FRAGMENTS: &[&str] = &[
+    "/", "//", ".//", "*", "a", "news", "[", "]", "[@", "[@p", "[@p=", "[@p='", "[@p='v",
+    "[@p='v']", "@", "'", "\"", "=", "", " ", "\t", "][", "[[", "]]", "[]", "/a[", "a//",
+    "\u{fffd}", "\u{7f}", "\0",
+];
+
+fn arb_fragment_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..FRAGMENTS.len(), 0..8)
+        .prop_map(|ix| ix.into_iter().map(|i| FRAGMENTS[i]).collect::<String>())
+}
+
+fn arb_byte_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..40)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_predicates() -> impl Strategy<Value = Vec<Predicate>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (0..ATTR_NAMES.len()).prop_map(|i| Predicate::HasAttr(ATTR_NAMES[i].into())),
+            1 => ((0..ATTR_NAMES.len()), (0..ATTR_VALUES.len())).prop_map(|(i, j)| {
+                Predicate::AttrEq(ATTR_NAMES[i].into(), ATTR_VALUES[j].into())
+            }),
+        ],
+        0..3,
+    )
+}
+
+fn arb_xpe() -> impl Strategy<Value = Xpe> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            (
+                prop_oneof![3 => Just(Axis::Child), 1 => Just(Axis::Descendant)],
+                prop_oneof![
+                    3 => (0..ALPHABET.len()).prop_map(|i| NodeTest::Name(ALPHABET[i].into())),
+                    1 => Just(NodeTest::Wildcard),
+                ],
+                arb_predicates(),
+            ),
+            1..6,
+        ),
+    )
+        .prop_map(|(absolute, steps)| {
+            Xpe::new(
+                absolute,
+                steps
+                    .into_iter()
+                    .map(|(axis, test, predicates)| Step {
+                        axis,
+                        test,
+                        predicates,
+                    })
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    /// Arbitrary (lossy-decoded) bytes never panic the parser.
+    #[test]
+    fn parse_never_panics_on_byte_soup(s in arb_byte_soup()) {
+        let _ = s.parse::<Xpe>();
+    }
+
+    /// Concatenated XPE fragments — truncated predicates, unbalanced
+    /// brackets, doubled axes — never panic the parser either.
+    #[test]
+    fn parse_never_panics_on_fragment_soup(s in arb_fragment_soup()) {
+        let _ = s.parse::<Xpe>();
+    }
+
+    /// The canonical display form parses back to the same AST.
+    #[test]
+    fn display_then_parse_round_trips(xpe in arb_xpe()) {
+        let text = xpe.to_string();
+        let back: Xpe = text.parse().unwrap_or_else(|e| {
+            panic!("canonical form {text:?} must re-parse, got {e}")
+        });
+        prop_assert_eq!(back, xpe);
+    }
+}
+
+/// Deterministic nasty corpus, kept alongside the generators so a
+/// regression in any historically tricky case fails by name.
+#[test]
+fn nasty_corpus_never_panics() {
+    let cases: &[&str] = &[
+        "",
+        " ",
+        "/",
+        "//",
+        ".//",
+        "///",
+        "/a//",
+        "a[",
+        "a]",
+        "a[]",
+        "a[@",
+        "a[@p",
+        "a[@p=",
+        "a[@p='",
+        "a[@p='v",
+        "a[@p='v'",
+        "a[@p=\"v]",
+        "a[@p='v'][",
+        "a[[@p]]",
+        "a][@p[",
+        "/a/*[@p]['",
+        "*[@*]",
+        "a\u{0}b",
+        "\u{fffd}\u{fffd}",
+        "a/\u{1f600}/b",
+        "//*//*//*//",
+        "[@a]/b",
+    ];
+    for c in cases {
+        let _ = c.parse::<Xpe>();
+    }
+}

@@ -3,19 +3,70 @@
 //! `third_party/README.md`.
 
 /// Multi-producer channels (std-backed).
+///
+/// Mirrors crossbeam's unified `Sender` type: both [`unbounded`] and
+/// [`bounded`] return the same `Sender<T>`, which internally wraps
+/// `std::sync::mpsc::Sender` or `SyncSender`. As in crossbeam, a send
+/// on a full bounded channel blocks, and `bounded(0)` is a rendezvous
+/// channel.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, Sender};
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    use std::sync::mpsc;
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Inner<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+                Inner::Bounded(s) => Inner::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel (unbounded or bounded).
+    pub struct Sender<T>(Inner<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if the receiving half is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Unbounded(s) => s.send(t),
+                Inner::Bounded(s) => s.send(t),
+            }
+        }
+    }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = mpsc::channel();
+        (Sender(Inner::Unbounded(tx)), rx)
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight
+    /// values; senders block while it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Inner::Bounded(tx)), rx)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{bounded, unbounded};
     use std::time::Duration;
 
     #[test]
@@ -27,5 +78,25 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
         assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn bounded_send_recv() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).map_err(|_| ()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 2);
+        t.join().unwrap().unwrap();
     }
 }

@@ -1,0 +1,65 @@
+//! Offline stand-in for the [loom] model checker.
+//!
+//! The container has no network access, so the real `loom` crate (which
+//! instruments every atomic/lock operation and exhaustively enumerates
+//! thread interleavings under the C11 memory model) cannot be vendored.
+//! This stub keeps the *loom programming model* — tests written against
+//! `loom::sync`/`loom::thread` inside `loom::model(..)` closures, gated
+//! behind `--cfg loom` — so the models are ready to run under real loom
+//! on a networked CI runner, while still giving local value:
+//!
+//! * `loom::model(f)` re-runs `f` many times (`LOOM_ITERS`, default 64)
+//!   with real OS threads. This is brute-force schedule sampling, not
+//!   exhaustive exploration: it catches racy panics, deadlocks (via the
+//!   test harness timeout), and assertion failures under scheduling
+//!   jitter, but proves nothing.
+//! * The `sync`/`thread`/`hint` modules re-export `std`, so any API
+//!   used by a model is the API the production code uses.
+//!
+//! Swapping in the real crate is a one-line Cargo change; no test
+//! source changes are needed.
+//!
+//! [loom]: https://docs.rs/loom
+
+/// Runs `f` repeatedly with real threads to sample schedules.
+///
+/// Iteration count comes from `LOOM_ITERS` (default 64). Panics inside
+/// `f` propagate on the iteration that hits them, preserving loom's
+/// fail-fast behaviour.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: usize = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for _ in 0..iters {
+        f();
+    }
+}
+
+/// Re-exports of `std::sync` types under loom's module layout.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// `std::sync::atomic` under loom's path.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    /// `std::sync::mpsc` under loom's path.
+    pub mod mpsc {
+        pub use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+    }
+}
+
+/// Re-export of `std::thread` (loom models `spawn`/`yield_now`).
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Re-export of `std::hint` (loom models `spin_loop`).
+pub mod hint {
+    pub use std::hint::spin_loop;
+}

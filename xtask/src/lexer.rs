@@ -1,0 +1,343 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The container image is offline, so `syn` is unavailable; the lint
+//! pass instead works on a token stream produced here. The lexer's only
+//! obligations are the ones the lint rules depend on:
+//!
+//! * comments (line, doc, nested block) are stripped — so `unwrap()`
+//!   inside a doc example is never flagged — but their text is scanned
+//!   for `xtask: allow(<rule>)` suppression markers;
+//! * string/char/byte/raw-string literals are opaque `Lit` tokens, so
+//!   a log message mentioning "unwrap" cannot trip a rule;
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! * every token carries its 1-based source line for diagnostics.
+//!
+//! Everything else (numeric suffixes, multi-character operators) is
+//! deliberately loose: rules match on identifier/punct sequences, e.g.
+//! `.` `unwrap` `(`, which is robust to formatting but not to macro
+//! tricks — an acceptable trade for an offline, dependency-free pass.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` is two `Punct(':')`).
+    Punct(char),
+    /// A lifetime such as `'a` (name not retained).
+    Lifetime,
+    /// Any literal: string, raw string, char, byte, number.
+    Lit,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The significant tokens, in order.
+    pub tokens: Vec<Token>,
+    /// `(rule, line)` pairs from `xtask: allow(rule)` comment markers.
+    /// A marker suppresses findings of `rule` on its own line and the
+    /// line directly below it (so it can sit above the flagged code).
+    pub allows: Vec<(String, u32)>,
+}
+
+impl Lexed {
+    /// Whether a finding of `rule` on `line` is suppressed by a marker.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(r, l)| r == rule && (*l == line || l + 1 == line))
+    }
+}
+
+/// Lexes Rust source text.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                scan_allows(&text, line, &mut out.allows);
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let mut depth = 1usize;
+                let start = i + 2;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let text: String = bytes[start..end].iter().collect();
+                scan_allows(&text, start_line, &mut out.allows);
+            }
+            '"' => {
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = skip_string(&bytes, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime vs char literal.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                if next == Some('\\') {
+                    // '\n', '\u{..}', '\'': scan to the closing quote.
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i += 2; // consume ' and backslash
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else if after == Some('\'') {
+                    // 'x'
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i += 3;
+                } else if next.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    // 'a lifetime (or 'static): no closing quote.
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i += 2;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Punct('\''),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    // Stop `1..=2` from eating the range operator.
+                    if bytes[i] == '.' && bytes.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                // r"...", r#"..."#, b"...", br#"..."# are literals.
+                if matches!(word.as_str(), "r" | "b" | "br" | "rb")
+                    && matches!(bytes.get(i), Some('"') | Some('#'))
+                    && looks_like_raw_string(&bytes, i)
+                {
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = skip_raw_string(&bytes, i, &mut line);
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(word),
+                        line,
+                    });
+                }
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// After `r`/`b`/`br`, is this actually `#*"` or `"` (a raw/byte
+/// string) rather than, say, `r#raw_ident`?
+fn looks_like_raw_string(bytes: &[char], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&'"')
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn skip_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Skips `#*"..."#*` starting at the first `#` or `"`; returns the
+/// index just past the closing delimiter.
+fn skip_raw_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            *line += 1;
+        }
+        if bytes[i] == '"' {
+            let mut j = 0;
+            while j < hashes && bytes.get(i + 1 + j) == Some(&'#') {
+                j += 1;
+            }
+            if j == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Records every `xtask: allow(rule)` marker in a comment's text.
+fn scan_allows(text: &str, line: u32, allows: &mut Vec<(String, u32)>) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("xtask: allow(") {
+        let tail = &rest[pos + "xtask: allow(".len()..];
+        if let Some(end) = tail.find(')') {
+            allows.push((tail[..end].trim().to_owned(), line));
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "// x.unwrap()\n/* y.unwrap() */ fn main() {}\n/// doc unwrap()\nlet a = 1;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_owned()), "{ids:?}");
+        assert!(ids.contains(&"main".to_owned()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("/* a /* b */ c.unwrap() */ keep");
+        assert_eq!(ids, vec!["keep"]);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let ids = idents(r##"let s = "x.unwrap()"; let r = r#"unwrap"#; done"##);
+        assert!(!ids.contains(&"unwrap".to_owned()), "{ids:?}");
+        assert!(ids.contains(&"done".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let ids = idents("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_owned()));
+    }
+
+    #[test]
+    fn char_literals_are_literals() {
+        let lexed = lex("let c = 'x'; let n = '\\n';");
+        let lits = lexed.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_markers_are_collected() {
+        let lexed = lex("// xtask: allow(sleep) bounded poll\nfoo();\n// xtask: allow(unwrap)\n");
+        assert_eq!(
+            lexed.allows,
+            vec![("sleep".to_owned(), 1), ("unwrap".to_owned(), 3)]
+        );
+        assert!(lexed.allowed("sleep", 1));
+        assert!(lexed.allowed("sleep", 2));
+        assert!(!lexed.allowed("sleep", 3));
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace automation (`cargo xtask <command>`).
+//!
+//! Currently one command: `lint`, the custom policy pass described in
+//! [`lint`]. Run it as `cargo xtask lint`; it exits non-zero and prints
+//! `file:line: [rule] message` diagnostics when a policy is violated.
+
+mod lexer;
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo xtask lint [--root PATH]");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "lint" => {
+            let mut root = workspace_root();
+            let mut rest = args;
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--root" => {
+                        let Some(path) = rest.next() else {
+                            eprintln!("--root requires a path");
+                            return ExitCode::FAILURE;
+                        };
+                        root = PathBuf::from(path);
+                    }
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_lint(&root)
+        }
+        other => {
+            eprintln!("unknown command: {other}\nusage: cargo xtask lint [--root PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(root: &std::path::Path) -> ExitCode {
+    let findings = match lint::lint_workspace(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = lint::count_linted_files(root).unwrap_or(0);
+    if findings.is_empty() {
+        println!("xtask lint: {files} files checked, no policy violations");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "xtask lint: {} violation(s) across {files} files checked",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/..` when run via cargo,
+/// the current directory otherwise.
+fn workspace_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR").map_or_else(
+        || PathBuf::from("."),
+        |d| {
+            let d = PathBuf::from(d);
+            d.parent().map(PathBuf::from).unwrap_or(d)
+        },
+    )
+}
