@@ -201,7 +201,15 @@ fn run_fig8(scale: &Scale) {
 fn run_table1(scale: &Scale) {
     let t = table1::run(scale);
     let rows: Vec<Vec<String>> = (0..4)
-        .map(|i| vec![t.methods[i].to_string(), ms(t.set_a[i]), ms(t.set_b[i])])
+        .map(|i| {
+            vec![
+                t.methods[i].to_string(),
+                ms(t.set_a[i].mean()),
+                ms(t.set_a[i].p95()),
+                ms(t.set_b[i].mean()),
+                ms(t.set_b[i].p95()),
+            ]
+        })
         .collect();
     print!(
         "{}",
@@ -210,7 +218,13 @@ fn run_table1(scale: &Scale) {
                 "Table 1. Publication Routing Performance ({} publications)",
                 t.publications
             ),
-            &["Method", "Set A (ms)", "Set B (ms)"],
+            &[
+                "Method",
+                "Set A mean (ms)",
+                "Set A p95 (ms)",
+                "Set B mean (ms)",
+                "Set B p95 (ms)"
+            ],
             &rows,
         )
     );

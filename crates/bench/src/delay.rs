@@ -123,7 +123,12 @@ pub fn run(which: DelayDtd, sizes: &[usize], scale: &Scale) -> Vec<DelayPoint> {
                     .map(|n| n.delay)
                     .collect();
                 if !delays.is_empty() {
-                    let mean = delays.iter().sum::<Duration>() / delays.len() as u32;
+                    // Exact nanosecond arithmetic — dividing a Duration
+                    // by `len as u32` silently truncates large counts.
+                    let total: u128 = delays.iter().map(Duration::as_nanos).sum();
+                    let mean = Duration::from_nanos(
+                        u64::try_from(total / delays.len() as u128).unwrap_or(u64::MAX),
+                    );
                     out.push(DelayPoint {
                         hops,
                         doc_bytes: size,

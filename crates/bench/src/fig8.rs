@@ -9,15 +9,17 @@
 use crate::{Scale, SEED};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 use xdn_core::adv::{derive_advertisements, DeriveOptions};
 use xdn_core::advmatch::PreparedAdv;
 use xdn_core::subtree::SubscriptionTree;
+use xdn_obs::{Histogram, Stopwatch};
 use xdn_workloads::{nitf_dtd, psd_dtd, sets};
 use xdn_xpath::generate::generate_distinct_xpes;
 use xdn_xpath::Xpe;
 
-/// One averaged batch (the paper averages every 500 XPEs).
+/// One averaged batch (the paper averages every 500 XPEs). Timings
+/// come from per-XPE latency [`Histogram`]s, so each point also
+/// carries a tail quantile alongside the paper's mean.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Point {
     /// Index of the last XPE in the batch.
@@ -26,6 +28,10 @@ pub struct Fig8Point {
     pub with_covering_us: f64,
     /// Mean per-XPE time without covering, microseconds.
     pub without_covering_us: f64,
+    /// 95th-percentile per-XPE time with covering, microseconds.
+    pub with_covering_p95_us: f64,
+    /// 95th-percentile per-XPE time without covering, microseconds.
+    pub without_covering_p95_us: f64,
 }
 
 /// The Figure 8 result for both DTDs.
@@ -73,27 +79,31 @@ fn series(dtd: &xdn_xml::dtd::Dtd, n: usize, batches: usize, seed: u64) -> (Vec<
         let slice = &xpes[i..end];
 
         // Without covering: match every XPE against every advertisement.
-        let started = Instant::now();
+        let mut without = Histogram::new();
         for x in slice {
+            let sw = Stopwatch::start();
             std::hint::black_box(match_all(&advs, x));
+            without.record(sw.elapsed());
         }
-        let without = started.elapsed().as_secs_f64() * 1e6 / slice.len() as f64;
 
         // With covering: only uncovered XPEs reach advertisement
         // matching.
-        let started = Instant::now();
+        let mut with = Histogram::new();
         for x in slice {
+            let sw = Stopwatch::start();
             let insertion = tree.insert(x.clone(), ());
             if insertion.forward() {
                 std::hint::black_box(match_all(&advs, x));
             }
+            with.record(sw.elapsed());
         }
-        let with = started.elapsed().as_secs_f64() * 1e6 / slice.len() as f64;
 
         points.push(Fig8Point {
             batch_end: end,
-            with_covering_us: with,
-            without_covering_us: without,
+            with_covering_us: micros(with.mean()),
+            without_covering_us: micros(without.mean()),
+            with_covering_p95_us: micros(with.p95()),
+            without_covering_p95_us: micros(without.p95()),
         });
         i = end;
     }
@@ -102,6 +112,10 @@ fn series(dtd: &xdn_xml::dtd::Dtd, n: usize, batches: usize, seed: u64) -> (Vec<
 
 fn match_all(advs: &[PreparedAdv], x: &Xpe) -> usize {
     advs.iter().filter(|a| a.overlaps(x)).count()
+}
+
+fn micros(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
 }
 
 #[cfg(test)]

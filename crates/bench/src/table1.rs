@@ -6,24 +6,31 @@
 //! (`D = 0.1`). The paper reports covering cutting Set A's routing
 //! time by 84.6 % and Set B's by 47.5 %, with merging improving both
 //! further.
+//!
+//! Each publication is routed through a
+//! [`xdn_core::rtable::TimedRouter`], so every cell carries a full
+//! per-publication latency [`Histogram`] (mean, p50/p95/p99) instead
+//! of a single averaged duration.
 
 use crate::{universe_sample, Scale, SEED};
-use std::time::{Duration, Instant};
 use xdn_core::merge::MergeConfig;
-use xdn_core::rtable::{FlatPrt, Prt, SubId};
+use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, SubId, TimedRouter};
+use xdn_obs::Histogram;
 use xdn_workloads::{docs, nitf_dtd, sets};
 use xdn_xpath::Xpe;
 
-/// Mean routing time per publication for one (method, set) cell.
+/// Per-publication routing-time distribution for one (method, set)
+/// cell. [`Histogram::mean`] reproduces the paper's reported figure;
+/// the tail quantiles are this reproduction's addition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// Methods in paper order: no covering, covering, perfect merging,
     /// imperfect merging.
     pub methods: [&'static str; 4],
-    /// Per-publication mean for Set A.
-    pub set_a: [Duration; 4],
-    /// Per-publication mean for Set B.
-    pub set_b: [Duration; 4],
+    /// Per-publication routing-time histogram for Set A.
+    pub set_a: [Histogram; 4],
+    /// Per-publication routing-time histogram for Set B.
+    pub set_b: [Histogram; 4],
     /// Number of publications routed.
     pub publications: usize,
 }
@@ -52,20 +59,34 @@ pub fn run(scale: &Scale) -> Table1 {
     }
 }
 
-fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [Duration; 4] {
-    // Flat baseline.
-    let mut flat: FlatPrt<u32> = FlatPrt::new();
-    for (i, q) in queries.iter().enumerate() {
-        flat.subscribe(SubId(i as u64), q.clone(), i as u32);
+/// Routes every publication and returns the timing decorator's
+/// per-publication histogram, cleared for the next pass.
+fn route_all<H: Clone + Ord, R: PublicationRouter<H>>(
+    router: &TimedRouter<R>,
+    pubs: &[Vec<String>],
+) -> Histogram {
+    for p in pubs {
+        std::hint::black_box(router.matching_hops(p, &[]).len());
     }
-    let flat_time = time_per_pub(pubs, |p| flat.route(p).len());
+    let hist = router.route_times();
+    router.reset_times();
+    hist
+}
+
+fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [Histogram; 4] {
+    // Flat baseline.
+    let mut flat: TimedRouter<FlatPrt<u32>> = TimedRouter::new(FlatPrt::new());
+    for (i, q) in queries.iter().enumerate() {
+        flat.insert(SubId(i as u64), q.clone(), i as u32);
+    }
+    let flat_hist = route_all(&flat, pubs);
 
     // Covering.
-    let mut prt: Prt<u32> = Prt::new();
+    let mut prt: TimedRouter<Prt<u32>> = TimedRouter::new(Prt::new());
     for (i, q) in queries.iter().enumerate() {
-        prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+        prt.insert(SubId(i as u64), q.clone(), i as u32);
     }
-    let cov_time = time_per_pub(pubs, |p| prt.route(p).len());
+    let cov_hist = route_all(&prt, pubs);
 
     // Covering + perfect merging.
     let mut seq = 1_000_000u64;
@@ -73,11 +94,11 @@ fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [
         max_degree: 0.0,
         ..MergeConfig::default()
     };
-    prt.apply_merging(universe, &pm_cfg, || {
+    prt.apply_merging(universe, &pm_cfg, &mut || {
         seq += 1;
         SubId(seq)
     });
-    let pm_time = time_per_pub(pubs, |p| prt.route(p).len());
+    let pm_hist = route_all(&prt, pubs);
 
     // Covering + imperfect merging (on top of the perfect pass, as in
     // a broker that relaxes its degree budget).
@@ -85,21 +106,13 @@ fn run_set(queries: &[Xpe], pubs: &[Vec<String>], universe: &[Vec<String>]) -> [
         max_degree: 0.1,
         ..MergeConfig::default()
     };
-    prt.apply_merging(universe, &ipm_cfg, || {
+    prt.apply_merging(universe, &ipm_cfg, &mut || {
         seq += 1;
         SubId(seq)
     });
-    let ipm_time = time_per_pub(pubs, |p| prt.route(p).len());
+    let ipm_hist = route_all(&prt, pubs);
 
-    [flat_time, cov_time, pm_time, ipm_time]
-}
-
-fn time_per_pub(pubs: &[Vec<String>], mut route: impl FnMut(&[String]) -> usize) -> Duration {
-    let started = Instant::now();
-    for p in pubs {
-        std::hint::black_box(route(p));
-    }
-    started.elapsed() / pubs.len().max(1) as u32
+    [flat_hist, cov_hist, pm_hist, ipm_hist]
 }
 
 #[cfg(test)]
@@ -113,14 +126,17 @@ mod tests {
         // Table 1's ordering: covering < no covering, merging <= covering
         // (allowing jitter headroom on the small quick scale).
         for set in [&t.set_a, &t.set_b] {
+            assert_eq!(set[0].count(), t.publications as u64);
             assert!(
-                set[1] < set[0],
+                set[1].mean() < set[0].mean(),
                 "covering ({:?}) must beat flat ({:?})",
-                set[1],
-                set[0]
+                set[1].mean(),
+                set[0].mean()
             );
-            let merged_ok = set[2] <= set[1] + set[1] / 2;
-            assert!(merged_ok, "merging should not regress much: {set:?}");
+            let merged_ok = set[2].mean() <= set[1].mean() + set[1].mean() / 2;
+            assert!(merged_ok, "merging should not regress much");
+            // The distribution is populated, not just its mean.
+            assert!(set[0].p95() >= set[0].p50());
         }
     }
 }

@@ -3,10 +3,10 @@
 use crate::message::{BrokerId, Dest, Message};
 use crate::stats::BrokerStats;
 use std::sync::Arc;
-use std::time::Instant;
 use xdn_core::index::IndexedPrt;
 use xdn_core::merge::MergeConfig;
 use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, Srt, SubId};
+use xdn_obs::{Stopwatch, TraceEvent, Tracer};
 use xdn_xpath::Xpe;
 
 /// Which merging variant a broker runs (requires covering).
@@ -191,6 +191,27 @@ pub struct Broker {
     /// re-forwarding when advertisements arrive after subscriptions.
     sent_to: std::collections::HashMap<SubId, std::collections::BTreeSet<Dest>>,
     stats: BrokerStats,
+    /// Structured trace sink; `None` (the default) costs one branch on
+    /// the hot paths and constructs no events.
+    tracer: Option<TracerHandle>,
+}
+
+/// An installed [`Tracer`], opaque to `Debug` (trace sinks carry
+/// writers and buffers that have no useful debug form).
+struct TracerHandle(Arc<dyn Tracer>);
+
+impl std::fmt::Debug for TracerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TracerHandle(..)")
+    }
+}
+
+impl std::ops::Deref for TracerHandle {
+    type Target = dyn Tracer;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
 }
 
 impl Broker {
@@ -213,6 +234,7 @@ impl Broker {
             merger_seq: 0,
             sent_to: std::collections::HashMap::new(),
             stats: BrokerStats::default(),
+            tracer: None,
         }
     }
 
@@ -247,6 +269,17 @@ impl Broker {
     /// Performance counters.
     pub fn stats(&self) -> &BrokerStats {
         &self.stats
+    }
+
+    /// Installs a structured trace sink (see [`xdn_obs::trace`] for the
+    /// event vocabulary). Tracing is off by default.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = Some(TracerHandle(tracer));
+    }
+
+    /// Removes the trace sink, restoring the zero-cost disabled path.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
     }
 
     /// Resets the performance counters.
@@ -285,6 +318,15 @@ impl Broker {
         let out = match msg {
             Message::Advertise { id, adv } => {
                 self.srt.insert(id, adv.clone(), from);
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(&TraceEvent::point(
+                        "adv.process",
+                        self.id.0,
+                        "advertise",
+                        id.0,
+                        0,
+                    ));
+                }
                 // Advertisements are flooded through the overlay.
                 let mut out = self.broadcast_except(
                     from,
@@ -321,15 +363,34 @@ impl Broker {
             Message::Subscribe { id, xpe } => self.handle_subscribe(from, id, xpe),
             Message::Unsubscribe { id } => self.handle_unsubscribe(from, id),
             Message::Publish(p) => {
-                let started = Instant::now();
+                let sw = Stopwatch::start();
                 let dests = self.prt.matching_hops(&p.elements, &p.attributes);
-                self.stats.pub_routing += started.elapsed();
+                self.stats.pub_routing.record(sw.elapsed());
+                if let Some(tracer) = &self.tracer {
+                    tracer.record(&TraceEvent::span(
+                        "pub.route",
+                        self.id.0,
+                        "publish",
+                        p.doc_id.0,
+                        dests.len() as u64,
+                        sw.elapsed_ns(),
+                    ));
+                }
                 dests
                     .into_iter()
                     .filter(|d| *d != from)
                     .map(|d| {
-                        if d.is_client() {
+                        if let Dest::Client(c) = d {
                             self.stats.deliveries += 1;
+                            if let Some(tracer) = &self.tracer {
+                                tracer.record(&TraceEvent::point(
+                                    "pub.deliver",
+                                    self.id.0,
+                                    "publish",
+                                    p.doc_id.0,
+                                    c.0,
+                                ));
+                            }
                         }
                         (d, Message::Publish(p.clone()))
                     })
@@ -418,8 +479,19 @@ impl Broker {
     }
 
     fn handle_subscribe(&mut self, from: Dest, id: SubId, xpe: Xpe) -> Vec<(Dest, Message)> {
-        let started = Instant::now();
+        let sw = Stopwatch::start();
         let outcome = self.prt.insert(id, xpe.clone(), from);
+        if !outcome.forward {
+            if let Some(tracer) = &self.tracer {
+                tracer.record(&TraceEvent::point(
+                    "sub.covered",
+                    self.id.0,
+                    "subscribe",
+                    id.0,
+                    0,
+                ));
+            }
+        }
         let mut out = Vec::new();
         if outcome.forward {
             // Covered subscriptions skip advertisement matching
@@ -474,7 +546,17 @@ impl Broker {
                 }
             }
         }
-        self.stats.sub_processing += started.elapsed();
+        self.stats.sub_processing.record(sw.elapsed());
+        if let Some(tracer) = &self.tracer {
+            tracer.record(&TraceEvent::span(
+                "sub.process",
+                self.id.0,
+                "subscribe",
+                id.0,
+                out.len() as u64,
+                sw.elapsed_ns(),
+            ));
+        }
         out
     }
 
@@ -896,8 +978,10 @@ mod tests {
         b.add_neighbor(BrokerId(1));
         b.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
         b.handle(broker_hop(1), Message::Publish(publication(&["a"])));
-        assert_eq!(b.stats().received_subscribe, 1);
-        assert_eq!(b.stats().received_publish, 1);
+        assert_eq!(b.stats().received_of(MessageKind::Subscribe), 1);
+        assert_eq!(b.stats().received_of(MessageKind::Publish), 1);
+        assert_eq!(b.stats().sub_processing.count(), 1);
+        assert_eq!(b.stats().pub_routing.count(), 1);
         assert!(b.stats().received_total() >= 2);
         b.reset_stats();
         assert_eq!(b.stats().received_total(), 0);
@@ -996,7 +1080,7 @@ mod tests {
         );
         b.add_neighbor(BrokerId(1));
         assert!(b.handle(broker_hop(1), Message::Heartbeat).is_empty());
-        assert_eq!(b.stats().received_heartbeat, 1);
+        assert_eq!(b.stats().received_of(MessageKind::Heartbeat), 1);
         assert_eq!(b.routing_signature(), "");
     }
 

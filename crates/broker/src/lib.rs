@@ -50,4 +50,4 @@ pub mod wire;
 
 pub use broker::{Broker, Merging, RoutingConfig, RoutingConfigBuilder};
 pub use message::{BrokerId, ClientId, Dest, Message, MessageKind, Publication};
-pub use stats::BrokerStats;
+pub use stats::{BrokerStats, KindCounters};

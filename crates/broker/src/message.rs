@@ -139,6 +139,21 @@ impl MessageKind {
         MessageKind::SyncState,
     ];
 
+    /// Position of this kind in [`MessageKind::ALL`] — the array index
+    /// behind [`crate::stats::KindCounters`].
+    pub const fn index(self) -> usize {
+        match self {
+            MessageKind::Advertise => 0,
+            MessageKind::Unadvertise => 1,
+            MessageKind::Subscribe => 2,
+            MessageKind::Unsubscribe => 3,
+            MessageKind::Publish => 4,
+            MessageKind::Heartbeat => 5,
+            MessageKind::SyncRequest => 6,
+            MessageKind::SyncState => 7,
+        }
+    }
+
     /// The stable snake_case tag (wire logs, JSON reports).
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -313,6 +328,14 @@ mod tests {
         assert_eq!(MessageKind::SyncRequest.as_str(), "sync_request");
         assert_eq!(MessageKind::Publish.to_string(), "publish");
         assert_eq!(MessageKind::ALL.len(), 8);
+    }
+
+    #[test]
+    fn index_round_trips_through_all() {
+        for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind}");
+            assert_eq!(MessageKind::ALL[kind.index()], kind);
+        }
     }
 
     #[test]

@@ -2,118 +2,125 @@
 
 use crate::message::MessageKind;
 use std::time::Duration;
+use xdn_obs::Histogram;
+
+/// Message counts by [`MessageKind`], stored as a flat array indexed by
+/// [`MessageKind::index`].
+///
+/// This is the one per-kind data structure in the workspace:
+/// [`BrokerStats::received`] and `NetMetrics::broker_messages` both use
+/// it, replacing the eight parallel `received_*` fields and the
+/// `HashMap<MessageKind, u64>` that used to duplicate the same
+/// bookkeeping. Adding a `MessageKind` variant extends
+/// [`MessageKind::ALL`] and `index()`, and every counter follows —
+/// there is no match ladder left to forget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounters([u64; MessageKind::ALL.len()]);
+
+impl KindCounters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the counter for `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: MessageKind) {
+        self.0[kind.index()] += 1;
+    }
+
+    /// Adds `n` to the counter for `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: MessageKind, n: u64) {
+        self.0[kind.index()] += n;
+    }
+
+    /// The count for `kind`.
+    #[inline]
+    pub fn get(&self, kind: MessageKind) -> u64 {
+        self.0[kind.index()]
+    }
+
+    /// Sum over every kind.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(kind, count)` pairs in protocol order.
+    pub fn iter(&self) -> impl Iterator<Item = (MessageKind, u64)> + '_ {
+        MessageKind::ALL.into_iter().map(|k| (k, self.get(k)))
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &KindCounters) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn clear(&mut self) {
+        self.0 = [0; MessageKind::ALL.len()];
+    }
+}
 
 /// Counters a broker accumulates while processing messages. These feed
 /// the evaluation directly: routing-table size (Figures 6/7), XPE
 /// processing time (Figure 8), and publication routing time (Table 1).
+///
+/// Processing times are full [`Histogram`]s (p50/p95/p99, exact u128
+/// means), not bare `Duration` sums — the old mean helpers divided by
+/// `count as u32` and silently corrupted the divisor past `u32::MAX`
+/// observations.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BrokerStats {
     /// Messages received, by kind.
-    pub received_advertise: u64,
-    /// Unadvertise messages received.
-    pub received_unadvertise: u64,
-    /// Subscribe messages received.
-    pub received_subscribe: u64,
-    /// Unsubscribe messages received.
-    pub received_unsubscribe: u64,
-    /// Publish messages received.
-    pub received_publish: u64,
-    /// Heartbeat probes received (transport liveness, not routing).
-    pub received_heartbeat: u64,
-    /// Sync requests received from (re)connecting neighbours.
-    pub received_sync_request: u64,
-    /// Sync snapshots received and installed.
-    pub received_sync_state: u64,
+    pub received: KindCounters,
     /// Messages emitted toward neighbours or clients.
     pub sent: u64,
     /// Publications delivered to locally attached clients.
     pub deliveries: u64,
-    /// Wall-clock time spent processing subscriptions (covering check +
+    /// Wall-clock time per processed subscription (covering check +
     /// advertisement matching) — Figure 8's metric.
-    pub sub_processing: Duration,
-    /// Wall-clock time spent routing publications against the PRT —
-    /// Table 1's metric.
-    pub pub_routing: Duration,
+    pub sub_processing: Histogram,
+    /// Wall-clock time per routed publication — Table 1's metric.
+    pub pub_routing: Histogram,
 }
 
 impl BrokerStats {
     /// Counts one received message of `kind`.
     pub fn record_received(&mut self, kind: MessageKind) {
-        *self.received_mut(kind) += 1;
+        self.received.record(kind);
     }
 
     /// The received counter for `kind`.
     pub fn received_of(&self, kind: MessageKind) -> u64 {
-        match kind {
-            MessageKind::Advertise => self.received_advertise,
-            MessageKind::Unadvertise => self.received_unadvertise,
-            MessageKind::Subscribe => self.received_subscribe,
-            MessageKind::Unsubscribe => self.received_unsubscribe,
-            MessageKind::Publish => self.received_publish,
-            MessageKind::Heartbeat => self.received_heartbeat,
-            MessageKind::SyncRequest => self.received_sync_request,
-            MessageKind::SyncState => self.received_sync_state,
-        }
-    }
-
-    fn received_mut(&mut self, kind: MessageKind) -> &mut u64 {
-        match kind {
-            MessageKind::Advertise => &mut self.received_advertise,
-            MessageKind::Unadvertise => &mut self.received_unadvertise,
-            MessageKind::Subscribe => &mut self.received_subscribe,
-            MessageKind::Unsubscribe => &mut self.received_unsubscribe,
-            MessageKind::Publish => &mut self.received_publish,
-            MessageKind::Heartbeat => &mut self.received_heartbeat,
-            MessageKind::SyncRequest => &mut self.received_sync_request,
-            MessageKind::SyncState => &mut self.received_sync_state,
-        }
+        self.received.get(kind)
     }
 
     /// Total messages received.
     pub fn received_total(&self) -> u64 {
-        self.received_advertise
-            + self.received_unadvertise
-            + self.received_subscribe
-            + self.received_unsubscribe
-            + self.received_publish
-            + self.received_heartbeat
-            + self.received_sync_request
-            + self.received_sync_state
+        self.received.total()
     }
 
-    /// Mean time per processed subscription.
+    /// Exact mean time per processed subscription.
     pub fn mean_sub_processing(&self) -> Duration {
-        if self.received_subscribe == 0 {
-            Duration::ZERO
-        } else {
-            self.sub_processing / self.received_subscribe as u32
-        }
+        self.sub_processing.mean()
     }
 
-    /// Mean time per routed publication.
+    /// Exact mean time per routed publication.
     pub fn mean_pub_routing(&self) -> Duration {
-        if self.received_publish == 0 {
-            Duration::ZERO
-        } else {
-            self.pub_routing / self.received_publish as u32
-        }
+        self.pub_routing.mean()
     }
 
     /// Merges another broker's counters into this one (network-wide
     /// aggregation).
     pub fn merge(&mut self, other: &BrokerStats) {
-        self.received_advertise += other.received_advertise;
-        self.received_unadvertise += other.received_unadvertise;
-        self.received_subscribe += other.received_subscribe;
-        self.received_unsubscribe += other.received_unsubscribe;
-        self.received_publish += other.received_publish;
-        self.received_heartbeat += other.received_heartbeat;
-        self.received_sync_request += other.received_sync_request;
-        self.received_sync_state += other.received_sync_state;
+        self.received.merge(&other.received);
         self.sent += other.sent;
         self.deliveries += other.deliveries;
-        self.sub_processing += other.sub_processing;
-        self.pub_routing += other.pub_routing;
+        self.sub_processing.merge(&other.sub_processing);
+        self.pub_routing.merge(&other.pub_routing);
     }
 }
 
@@ -123,16 +130,20 @@ mod tests {
 
     #[test]
     fn totals_and_means() {
-        let s = BrokerStats {
-            received_subscribe: 4,
-            sub_processing: Duration::from_millis(8),
-            received_publish: 2,
-            pub_routing: Duration::from_millis(10),
-            ..Default::default()
-        };
+        let mut s = BrokerStats::default();
+        for _ in 0..4 {
+            s.record_received(MessageKind::Subscribe);
+            s.sub_processing.record(Duration::from_millis(2));
+        }
+        for _ in 0..2 {
+            s.record_received(MessageKind::Publish);
+            s.pub_routing.record(Duration::from_millis(5));
+        }
         assert_eq!(s.received_total(), 6);
         assert_eq!(s.mean_sub_processing(), Duration::from_millis(2));
         assert_eq!(s.mean_pub_routing(), Duration::from_millis(5));
+        assert_eq!(s.sub_processing.count(), 4);
+        assert_eq!(s.pub_routing.p99(), Duration::from_millis(5));
     }
 
     #[test]
@@ -147,7 +158,24 @@ mod tests {
             assert_eq!(s.received_of(kind), i as u64 + 1, "{kind}");
         }
         assert_eq!(s.received_total(), (1..=8).sum::<u64>());
-        assert_eq!(s.received_of(MessageKind::Subscribe), s.received_subscribe);
+        assert_eq!(
+            s.received_of(MessageKind::Subscribe),
+            s.received.get(MessageKind::Subscribe)
+        );
+    }
+
+    #[test]
+    fn kind_counters_iterate_in_protocol_order() {
+        let mut c = KindCounters::new();
+        c.add(MessageKind::Publish, 5);
+        c.record(MessageKind::Advertise);
+        let collected: Vec<(MessageKind, u64)> = c.iter().collect();
+        assert_eq!(collected.len(), MessageKind::ALL.len());
+        assert_eq!(collected[0], (MessageKind::Advertise, 1));
+        assert_eq!(collected[4], (MessageKind::Publish, 5));
+        assert_eq!(c.total(), 6);
+        c.clear();
+        assert_eq!(c.total(), 0);
     }
 
     #[test]
@@ -160,18 +188,24 @@ mod tests {
     #[test]
     fn merge_adds() {
         let mut a = BrokerStats {
-            received_publish: 1,
             sent: 2,
             ..Default::default()
         };
-        let b = BrokerStats {
-            received_publish: 3,
+        a.record_received(MessageKind::Publish);
+        a.pub_routing.record(Duration::from_micros(10));
+        let mut b = BrokerStats {
             deliveries: 1,
             ..Default::default()
         };
+        for _ in 0..3 {
+            b.record_received(MessageKind::Publish);
+        }
+        b.pub_routing.record(Duration::from_micros(30));
         a.merge(&b);
-        assert_eq!(a.received_publish, 4);
+        assert_eq!(a.received_of(MessageKind::Publish), 4);
         assert_eq!(a.sent, 2);
         assert_eq!(a.deliveries, 1);
+        assert_eq!(a.pub_routing.count(), 2);
+        assert_eq!(a.mean_pub_routing(), Duration::from_micros(20));
     }
 }

@@ -683,6 +683,115 @@ impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for FlatPrt<H> {
     }
 }
 
+/// A [`PublicationRouter`] decorator that records per-operation latency
+/// into [`xdn_obs::Histogram`]s: one for match/route calls
+/// ([`TimedRouter::route_times`]), one for subscription inserts
+/// ([`TimedRouter::insert_times`]).
+///
+/// This is the sanctioned timing hook for routing-table operations —
+/// benchmark reports read these histograms instead of re-deriving means
+/// from ad-hoc `Instant` arithmetic (which `cargo xtask lint` forbids
+/// in this crate).
+#[derive(Debug, Default)]
+pub struct TimedRouter<R> {
+    inner: R,
+    route_times: std::cell::RefCell<xdn_obs::Histogram>,
+    insert_times: std::cell::RefCell<xdn_obs::Histogram>,
+}
+
+impl<R> TimedRouter<R> {
+    /// Wraps `inner`, starting with empty histograms.
+    pub fn new(inner: R) -> Self {
+        TimedRouter {
+            inner,
+            route_times: std::cell::RefCell::new(xdn_obs::Histogram::new()),
+            insert_times: std::cell::RefCell::new(xdn_obs::Histogram::new()),
+        }
+    }
+
+    /// The wrapped router.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// The wrapped router, mutably. Operations through this reference
+    /// bypass timing.
+    pub fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Unwraps the router, dropping the recorded times.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Snapshot of the match/route latency distribution.
+    pub fn route_times(&self) -> xdn_obs::Histogram {
+        self.route_times.borrow().clone()
+    }
+
+    /// Snapshot of the insert latency distribution.
+    pub fn insert_times(&self) -> xdn_obs::Histogram {
+        self.insert_times.borrow().clone()
+    }
+
+    /// Clears both histograms (e.g. between a warm-up and a measured
+    /// phase).
+    pub fn reset_times(&self) {
+        *self.route_times.borrow_mut() = xdn_obs::Histogram::new();
+        *self.insert_times.borrow_mut() = xdn_obs::Histogram::new();
+    }
+}
+
+impl<H: Clone + Ord, R: PublicationRouter<H>> PublicationRouter<H> for TimedRouter<R> {
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        let sw = xdn_obs::Stopwatch::start();
+        let outcome = self.inner.insert(id, xpe, last_hop);
+        self.insert_times.borrow_mut().record(sw.elapsed());
+        outcome
+    }
+
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
+        self.inner.remove(id)
+    }
+
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    ) {
+        let sw = xdn_obs::Stopwatch::start();
+        self.inner.for_each_matching_with_attrs(path, attrs, f);
+        self.route_times.borrow_mut().record(sw.elapsed());
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        self.inner.xpe_of(id)
+    }
+
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        self.inner.forwarded_subs()
+    }
+
+    fn effective_size(&self) -> usize {
+        self.inner.effective_size()
+    }
+
+    fn apply_merging(
+        &mut self,
+        universe: &[Vec<String>],
+        cfg: &crate::merge::MergeConfig,
+        next_id: &mut dyn FnMut() -> SubId,
+    ) -> Vec<MergeApplication> {
+        self.inner.apply_merging(universe, cfg, next_id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +803,22 @@ mod tests {
 
     fn adv(names: &[&str]) -> Advertisement {
         Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    #[test]
+    fn timed_router_records_and_delegates() {
+        let mut r: TimedRouter<FlatPrt<u32>> = TimedRouter::new(FlatPrt::new());
+        r.insert(SubId(1), xpe("/a/b"), 7);
+        r.insert(SubId(2), xpe("//c"), 8);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.insert_times().count(), 2);
+        let hops = r.matching_hops(&["a".to_string(), "b".to_string()], &[]);
+        assert_eq!(hops.into_iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(r.route_times().count(), 1);
+        r.reset_times();
+        assert!(r.route_times().is_empty());
+        assert!(r.insert_times().is_empty());
+        assert_eq!(r.into_inner().len(), 2);
     }
 
     #[test]

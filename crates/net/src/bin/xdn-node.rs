@@ -10,6 +10,12 @@
 //! later simply list the earlier ones. Clients connect with the
 //! protocol in [`xdn_net::tcp`] (hello byte `0x02` + client id, then
 //! wire frames).
+//!
+//! The same port doubles as the node's control surface: an HTTP `GET`
+//! (e.g. `curl http://127.0.0.1:7001/metrics`) returns a Prometheus
+//! text snapshot — per-kind message traffic, routing-table sizes,
+//! subscription/publication latency histograms, and per-peer outbound
+//! queue depths.
 
 // A CLI entry point legitimately exits with a status code; the
 // workspace-wide `clippy::exit` deny protects library code.
@@ -95,9 +101,11 @@ fn main() {
     match TcpNode::start(BrokerId(id), strategy, listen, &peers) {
         Ok(node) => {
             println!(
-                "xdn-node {id} listening on {} ({} peers)",
+                "xdn-node {id} listening on {} ({} peers); \
+                 metrics: curl http://{}/metrics",
                 node.addr(),
-                peers.len()
+                peers.len(),
+                node.addr()
             );
             // Run until interrupted.
             loop {

@@ -5,6 +5,7 @@
 //! exchanges messages over crossbeam channels, exactly as a deployment
 //! would over TCP sessions. Used by the `live_overlay` example.
 
+use crate::metrics::{MetricsSink, NetMetrics, SharedMetrics};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -80,6 +81,12 @@ impl LiveNetworkBuilder {
             client_home.insert(cid, home);
         }
 
+        // One shared sink for the whole overlay — every broker thread
+        // records through the same MetricsSink interface the simulator
+        // and TCP transport use. The epoch anchors delay measurements.
+        let metrics = SharedMetrics::new();
+        let epoch = std::time::Instant::now();
+
         let mut handles = Vec::new();
         for &(id, config) in &self.brokers {
             let mut broker = Broker::new(id, config);
@@ -100,6 +107,7 @@ impl LiveNetworkBuilder {
             };
             let peers = broker_tx.clone();
             let clients = client_tx.clone();
+            let mut sink = metrics.clone();
             let stats_slot: Arc<Mutex<Option<xdn_broker::BrokerStats>>> =
                 Arc::new(Mutex::new(None));
             let slot = stats_slot.clone();
@@ -116,6 +124,10 @@ impl LiveNetworkBuilder {
                             });
                         }
                         Wire::Data { from, msg } => {
+                            sink.on_broker_message(id, msg.kind());
+                            if let (Dest::Client(_), Message::Publish(p)) = (&from, &msg) {
+                                sink.on_publish_injected(p.doc_id, epoch.elapsed());
+                            }
                             for (dest, out) in broker.handle(from, msg) {
                                 match dest {
                                     Dest::Broker(b) => {
@@ -126,6 +138,12 @@ impl LiveNetworkBuilder {
                                         });
                                     }
                                     Dest::Client(c) => {
+                                        sink.on_client_message(c, out.kind());
+                                        if let Message::Publish(p) = &out {
+                                            // Hop counts are not carried
+                                            // across threads; record 0.
+                                            sink.on_delivery(c, p, epoch.elapsed(), 0);
+                                        }
                                         if let Some(tx) = clients.get(&c) {
                                             let _ = tx.send(out);
                                         }
@@ -145,6 +163,7 @@ impl LiveNetworkBuilder {
             client_rx,
             client_home,
             handles,
+            metrics,
         }
     }
 }
@@ -162,6 +181,7 @@ pub struct LiveNetwork {
     client_rx: HashMap<ClientId, Receiver<Message>>,
     client_home: HashMap<ClientId, BrokerId>,
     handles: Vec<BrokerHandle>,
+    metrics: SharedMetrics,
 }
 
 impl LiveNetwork {
@@ -216,6 +236,13 @@ impl LiveNetwork {
         }
     }
 
+    /// Overlay-wide traffic and delivery metrics, recorded by every
+    /// broker thread through the shared [`crate::metrics::MetricsSink`].
+    /// Returns a snapshot copy; recording continues concurrently.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics.snapshot()
+    }
+
     /// Drains any already-delivered messages for `client`.
     pub fn drain(&self, client: ClientId) -> Vec<Message> {
         match self.client_rx.get(&client) {
@@ -247,6 +274,7 @@ impl LiveNetwork {
 mod tests {
     use super::*;
     use std::time::Duration;
+    use xdn_broker::MessageKind;
     use xdn_core::adv::{AdvPath, Advertisement};
     use xdn_core::rtable::{AdvId, SubId};
     use xdn_xml::{DocId, PathId};
@@ -302,6 +330,13 @@ mod tests {
             "expected delivery, got {got:?}"
         );
 
+        // The shared sink saw the delivery: exactly one notification,
+        // for the subscribing client, with a computable delay.
+        let m = net.metrics();
+        assert_eq!(m.notifications.len(), 1);
+        assert_eq!(m.notifications[0].client, ClientId(2));
+        assert!(m.broker_messages.get(MessageKind::Publish) >= 1);
+
         let stats = net.shutdown();
         assert_eq!(stats.len(), 2);
         let total: u64 = stats.iter().map(|(_, s)| s.received_total()).sum();
@@ -320,7 +355,7 @@ mod tests {
             Message::subscribe(SubId(1), "/x".parse().unwrap()),
         );
         assert!(net.await_state(BrokerId(0), Duration::from_secs(5), |s| {
-            s.stats.received_subscribe >= 1
+            s.stats.received_of(MessageKind::Subscribe) >= 1
         }));
         net.send(
             ClientId(1),

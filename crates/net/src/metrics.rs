@@ -1,8 +1,17 @@
-//! Network-wide measurements collected by the simulator.
+//! Network-wide measurements and the sink interface transports record
+//! through.
+//!
+//! Every transport — the discrete-event simulator (`sim.rs`), the
+//! threaded live network (`live.rs`), and the TCP overlay (`tcp.rs`) —
+//! reports observations through one [`MetricsSink`] interface instead
+//! of poking [`NetMetrics`] fields directly. [`NetMetrics`] is the
+//! canonical single-threaded implementation; [`SharedMetrics`] wraps it
+//! in `Arc<Mutex<…>>` for the threaded transports.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
-use xdn_broker::{ClientId, MessageKind};
+use xdn_broker::{BrokerId, ClientId, KindCounters, MessageKind, Publication};
 use xdn_xml::DocId;
 
 /// One document delivery observed at a subscriber.
@@ -19,18 +28,53 @@ pub struct Notification {
     pub hops: u32,
 }
 
-/// Aggregated counters for one simulation run.
+/// Which fault-injection mechanism discarded a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDrop {
+    /// A crashed broker's recovery buffer overflowed.
+    Crash,
+    /// A severed link's recovery buffer overflowed.
+    Link,
+}
+
+/// The one interface through which transports record observations.
+///
+/// Implementations must accept events in any order a transport can
+/// produce them (e.g. a delivery for a document whose publish was never
+/// recorded is counted as traffic but yields no notification).
+pub trait MetricsSink {
+    /// A broker received one message of `kind`.
+    fn on_broker_message(&mut self, broker: BrokerId, kind: MessageKind);
+
+    /// A client received one message of `kind` (notifications on the
+    /// last hop).
+    fn on_client_message(&mut self, client: ClientId, kind: MessageKind);
+
+    /// A producer injected a document at time `at` (transport clock).
+    fn on_publish_injected(&mut self, doc: DocId, at: Duration);
+
+    /// One publication path arrived at `client` at time `at` after
+    /// `hops` broker hops.
+    fn on_delivery(&mut self, client: ClientId, publication: &Publication, at: Duration, hops: u32);
+
+    /// Fault injection discarded a message.
+    fn on_fault_drop(&mut self, reason: FaultDrop);
+}
+
+/// Aggregated counters for one run.
 #[derive(Debug, Clone, Default)]
 pub struct NetMetrics {
     /// Messages received by brokers, by message kind. The paper's
-    /// *network traffic* metric is the sum over all kinds.
-    pub broker_messages: HashMap<MessageKind, u64>,
+    /// *network traffic* metric is the sum over all kinds. Shares
+    /// [`KindCounters`] with `BrokerStats` — one per-kind structure
+    /// workspace-wide.
+    pub broker_messages: KindCounters,
     /// Messages delivered to clients (notifications on the last hop).
     pub client_messages: u64,
     /// Document deliveries (first matching path per client and doc).
     pub notifications: Vec<Notification>,
-    /// Every delivered path, when recording is enabled
-    /// ([`crate::sim::Network::set_record_deliveries`]) — the input to
+    /// Every delivered path, when path recording is enabled
+    /// ([`NetMetrics::set_record_paths`]) — the input to
     /// subscriber-side document reassembly.
     pub delivered_paths: Vec<(ClientId, xdn_xml::DocPath)>,
     /// Messages discarded because a crashed broker's recovery buffer
@@ -39,33 +83,61 @@ pub struct NetMetrics {
     /// Messages discarded because a severed link's recovery buffer
     /// overflowed (fault injection).
     pub dropped_link: u64,
-    pub(crate) publish_times: HashMap<DocId, Duration>,
-    pub(crate) delivered: HashSet<(ClientId, DocId)>,
+    record_paths: bool,
+    publish_times: HashMap<DocId, Duration>,
+    delivered: HashSet<(ClientId, DocId)>,
 }
 
 impl NetMetrics {
     /// Total messages received by all brokers — the "Network Traffic"
     /// column of Tables 2 and 3.
     pub fn network_traffic(&self) -> u64 {
-        self.broker_messages.values().sum()
+        self.broker_messages.total()
     }
 
     /// Messages of one kind received by brokers.
     pub fn traffic_of(&self, kind: MessageKind) -> u64 {
-        self.broker_messages.get(&kind).copied().unwrap_or(0)
+        self.broker_messages.get(kind)
     }
 
-    /// Mean notification delay, if any notifications were observed.
+    /// Exact mean notification delay, if any notifications were
+    /// observed. Summed in u128 nanoseconds — the old implementation
+    /// divided by `len() as u32`, corrupting the divisor beyond
+    /// `u32::MAX` notifications.
     pub fn mean_notification_delay(&self) -> Option<Duration> {
         if self.notifications.is_empty() {
             return None;
         }
-        let total: Duration = self.notifications.iter().map(|n| n.delay).sum();
-        Some(total / self.notifications.len() as u32)
+        let total_ns: u128 = self.notifications.iter().map(|n| n.delay.as_nanos()).sum();
+        let mean_ns = total_ns / self.notifications.len() as u128;
+        Some(Duration::new(
+            u64::try_from(mean_ns / 1_000_000_000).unwrap_or(u64::MAX),
+            (mean_ns % 1_000_000_000) as u32,
+        ))
     }
 
-    /// Resets counters but keeps subscription state intact (used
-    /// between the setup phase and the measured publish phase).
+    /// Enables or disables accumulation of every delivered path into
+    /// [`NetMetrics::delivered_paths`]. Off by default: long runs would
+    /// otherwise accumulate every path.
+    pub fn set_record_paths(&mut self, on: bool) {
+        self.record_paths = on;
+    }
+
+    /// Whether delivered paths are being recorded.
+    pub fn record_paths(&self) -> bool {
+        self.record_paths
+    }
+
+    /// Resets every counter and buffer for a fresh measurement phase.
+    ///
+    /// Semantics (relied on by the setup-vs-measured-phase workflow in
+    /// benches and tests): routing state in the network is untouched —
+    /// only *measurements* are cleared. That includes the per-document
+    /// publish timestamps and the first-delivery dedup set, so a
+    /// document published before `reset` produces no notification
+    /// afterwards, and a re-publication after `reset` is measured
+    /// fresh. The [`NetMetrics::record_paths`] flag is configuration,
+    /// not measurement, and survives.
     pub fn reset(&mut self) {
         self.broker_messages.clear();
         self.client_messages = 0;
@@ -78,46 +150,230 @@ impl NetMetrics {
     }
 }
 
+impl MetricsSink for NetMetrics {
+    fn on_broker_message(&mut self, _broker: BrokerId, kind: MessageKind) {
+        self.broker_messages.record(kind);
+    }
+
+    fn on_client_message(&mut self, _client: ClientId, _kind: MessageKind) {
+        self.client_messages += 1;
+    }
+
+    fn on_publish_injected(&mut self, doc: DocId, at: Duration) {
+        self.publish_times.insert(doc, at);
+    }
+
+    fn on_delivery(
+        &mut self,
+        client: ClientId,
+        publication: &Publication,
+        at: Duration,
+        hops: u32,
+    ) {
+        if self.record_paths {
+            let path = xdn_xml::DocPath::new(
+                publication.doc_id,
+                publication.path_id,
+                publication.elements.clone(),
+            )
+            .with_attributes(
+                if publication.attributes.len() == publication.elements.len() {
+                    publication.attributes.clone()
+                } else {
+                    vec![Vec::new(); publication.elements.len()]
+                },
+            );
+            self.delivered_paths.push((client, path));
+        }
+        if self.delivered.insert((client, publication.doc_id)) {
+            if let Some(&sent) = self.publish_times.get(&publication.doc_id) {
+                self.notifications.push(Notification {
+                    client,
+                    doc: publication.doc_id,
+                    delay: at.saturating_sub(sent),
+                    hops,
+                });
+            }
+        }
+    }
+
+    fn on_fault_drop(&mut self, reason: FaultDrop) {
+        match reason {
+            FaultDrop::Crash => self.dropped_crash += 1,
+            FaultDrop::Link => self.dropped_link += 1,
+        }
+    }
+}
+
+/// Thread-shared [`NetMetrics`] for the threaded transports: every
+/// clone records into the same underlying counters through the same
+/// [`MetricsSink`] interface the simulator uses.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMetrics(Arc<Mutex<NetMetrics>>);
+
+impl SharedMetrics {
+    /// Fresh shared metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the current values.
+    pub fn snapshot(&self) -> NetMetrics {
+        self.lock().clone()
+    }
+
+    /// Runs `f` with the underlying metrics locked (e.g. for
+    /// [`NetMetrics::reset`] between phases).
+    pub fn with<R>(&self, f: impl FnOnce(&mut NetMetrics) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, NetMetrics> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl MetricsSink for SharedMetrics {
+    fn on_broker_message(&mut self, broker: BrokerId, kind: MessageKind) {
+        self.lock().on_broker_message(broker, kind);
+    }
+
+    fn on_client_message(&mut self, client: ClientId, kind: MessageKind) {
+        self.lock().on_client_message(client, kind);
+    }
+
+    fn on_publish_injected(&mut self, doc: DocId, at: Duration) {
+        self.lock().on_publish_injected(doc, at);
+    }
+
+    fn on_delivery(
+        &mut self,
+        client: ClientId,
+        publication: &Publication,
+        at: Duration,
+        hops: u32,
+    ) {
+        self.lock().on_delivery(client, publication, at, hops);
+    }
+
+    fn on_fault_drop(&mut self, reason: FaultDrop) {
+        self.lock().on_fault_drop(reason);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xdn_xml::PathId;
+
+    fn publication(doc: u64) -> Publication {
+        Publication {
+            doc_id: DocId(doc),
+            path_id: PathId(0),
+            elements: vec!["a".into(), "b".into()],
+            attributes: Vec::new(),
+            doc_bytes: 10,
+        }
+    }
 
     #[test]
     fn traffic_sums_kinds() {
         let mut m = NetMetrics::default();
-        m.broker_messages.insert(MessageKind::Subscribe, 3);
-        m.broker_messages.insert(MessageKind::Publish, 4);
+        for _ in 0..3 {
+            m.on_broker_message(BrokerId(0), MessageKind::Subscribe);
+        }
+        for _ in 0..4 {
+            m.on_broker_message(BrokerId(1), MessageKind::Publish);
+        }
         assert_eq!(m.network_traffic(), 7);
         assert_eq!(m.traffic_of(MessageKind::Subscribe), 3);
         assert_eq!(m.traffic_of(MessageKind::Advertise), 0);
     }
 
     #[test]
-    fn mean_delay() {
+    fn mean_delay_is_exact() {
         let mut m = NetMetrics::default();
         assert!(m.mean_notification_delay().is_none());
-        m.notifications.push(Notification {
-            client: ClientId(1),
-            doc: DocId(1),
-            delay: Duration::from_millis(2),
-            hops: 1,
-        });
-        m.notifications.push(Notification {
-            client: ClientId(2),
-            doc: DocId(1),
-            delay: Duration::from_millis(4),
-            hops: 2,
-        });
-        assert_eq!(m.mean_notification_delay(), Some(Duration::from_millis(3)));
+        m.on_publish_injected(DocId(1), Duration::ZERO);
+        m.on_delivery(ClientId(1), &publication(1), Duration::from_millis(2), 1);
+        m.on_delivery(ClientId(2), &publication(1), Duration::from_millis(5), 2);
+        assert_eq!(
+            m.mean_notification_delay(),
+            Some(Duration::from_micros(3500))
+        );
     }
 
     #[test]
-    fn reset_clears() {
+    fn delivery_dedups_per_client_and_doc() {
         let mut m = NetMetrics::default();
-        m.broker_messages.insert(MessageKind::Publish, 1);
-        m.client_messages = 2;
+        m.on_publish_injected(DocId(1), Duration::ZERO);
+        m.on_delivery(ClientId(1), &publication(1), Duration::from_millis(1), 1);
+        m.on_delivery(ClientId(1), &publication(1), Duration::from_millis(2), 1);
+        assert_eq!(
+            m.notifications.len(),
+            1,
+            "second path is not a new delivery"
+        );
+        assert_eq!(m.notifications[0].delay, Duration::from_millis(1));
+        // Unknown doc: traffic but no notification.
+        m.on_delivery(ClientId(1), &publication(9), Duration::from_millis(3), 1);
+        assert_eq!(m.notifications.len(), 1);
+    }
+
+    #[test]
+    fn path_recording_is_opt_in() {
+        let mut m = NetMetrics::default();
+        m.on_publish_injected(DocId(1), Duration::ZERO);
+        m.on_delivery(ClientId(1), &publication(1), Duration::from_millis(1), 1);
+        assert!(m.delivered_paths.is_empty());
+        m.set_record_paths(true);
+        m.on_delivery(ClientId(2), &publication(1), Duration::from_millis(1), 1);
+        assert_eq!(m.delivered_paths.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_measurements_keeps_config() {
+        let mut m = NetMetrics::default();
+        m.set_record_paths(true);
+        m.on_broker_message(BrokerId(0), MessageKind::Publish);
+        m.on_client_message(ClientId(1), MessageKind::Publish);
+        m.on_publish_injected(DocId(1), Duration::ZERO);
+        m.on_delivery(ClientId(1), &publication(1), Duration::from_millis(1), 1);
+        m.on_fault_drop(FaultDrop::Crash);
         m.reset();
         assert_eq!(m.network_traffic(), 0);
         assert_eq!(m.client_messages, 0);
+        assert!(m.notifications.is_empty());
+        assert!(m.delivered_paths.is_empty());
+        assert_eq!(m.dropped_crash, 0);
+        assert!(m.record_paths(), "configuration survives reset");
+        // Deliveries of pre-reset documents produce no notification…
+        m.on_delivery(ClientId(1), &publication(1), Duration::from_millis(2), 1);
+        assert!(m.notifications.is_empty());
+        // …while documents published in the measured phase are timed
+        // against their fresh publish timestamp.
+        m.on_publish_injected(DocId(2), Duration::from_millis(3));
+        m.on_delivery(ClientId(1), &publication(2), Duration::from_millis(5), 1);
+        assert_eq!(m.notifications.len(), 1);
+        assert_eq!(m.notifications[0].delay, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn shared_metrics_aggregate_across_clones() {
+        let shared = SharedMetrics::new();
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..10 {
+                a.on_broker_message(BrokerId(0), MessageKind::Publish);
+            }
+        });
+        for _ in 0..5 {
+            b.on_broker_message(BrokerId(1), MessageKind::Subscribe);
+        }
+        t.join().expect("join");
+        let snap = shared.snapshot();
+        assert_eq!(snap.network_traffic(), 15);
+        assert_eq!(snap.traffic_of(MessageKind::Publish), 10);
     }
 }

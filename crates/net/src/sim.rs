@@ -8,7 +8,7 @@
 //! notification delays, as it does on the paper's testbed.
 
 use crate::latency::LatencyModel;
-use crate::metrics::{NetMetrics, Notification};
+use crate::metrics::{FaultDrop, MetricsSink, NetMetrics};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
@@ -77,7 +77,6 @@ pub struct Network {
     next_doc: u64,
     metrics: NetMetrics,
     processing: ProcessingModel,
-    record_deliveries: bool,
     /// Safety valve against routing loops.
     max_events: u64,
     /// Crashed brokers (fault injection).
@@ -121,7 +120,6 @@ impl Network {
             next_doc: 0,
             metrics: NetMetrics::default(),
             processing: ProcessingModel::Measured,
-            record_deliveries: false,
             max_events: 100_000_000,
             down: std::collections::BTreeSet::new(),
             dropped_links: std::collections::BTreeSet::new(),
@@ -136,7 +134,16 @@ impl Network {
     /// document reassembly. Off by default: large experiments would
     /// accumulate every delivered path.
     pub fn set_record_deliveries(&mut self, on: bool) {
-        self.record_deliveries = on;
+        self.metrics.set_record_paths(on);
+    }
+
+    /// Installs a structured trace sink on every broker currently in
+    /// the network (see [`xdn_obs::trace`] for the event vocabulary).
+    /// Brokers added afterwards are untraced.
+    pub fn set_tracer(&mut self, tracer: std::sync::Arc<dyn xdn_obs::Tracer>) {
+        for broker in self.brokers.values_mut() {
+            broker.set_tracer(std::sync::Arc::clone(&tracer));
+        }
     }
 
     /// Selects whether broker compute time advances the clock.
@@ -358,10 +365,10 @@ impl Network {
     }
 
     fn count_fault_drop(&mut self, reason: FaultReason) {
-        match reason {
-            FaultReason::Crash(_) => self.metrics.dropped_crash += 1,
-            FaultReason::Link(..) => self.metrics.dropped_link += 1,
-        }
+        self.metrics.on_fault_drop(match reason {
+            FaultReason::Crash(_) => FaultDrop::Crash,
+            FaultReason::Link(..) => FaultDrop::Link,
+        });
     }
 
     fn park(&mut self, event: Event, reason: FaultReason) {
@@ -472,7 +479,7 @@ impl Network {
         let doc_id = DocId(self.next_doc);
         let bytes = doc.to_xml_string().len();
         let paths = dedup_paths(extract_paths(doc, doc_id));
-        self.metrics.publish_times.insert(doc_id, self.now);
+        self.metrics.on_publish_injected(doc_id, self.now);
         for p in paths {
             let publication = Publication::from_doc_path(&p, bytes);
             self.inject_from_client(client, Message::Publish(publication));
@@ -489,7 +496,7 @@ impl Network {
     ) -> DocId {
         self.next_doc += 1;
         let doc_id = DocId(self.next_doc);
-        self.metrics.publish_times.insert(doc_id, self.now);
+        self.metrics.on_publish_injected(doc_id, self.now);
         let publication = Publication {
             doc_id,
             path_id: xdn_xml::PathId(0),
@@ -552,11 +559,7 @@ impl Network {
             }
             match event.to {
                 Dest::Broker(b) => {
-                    *self
-                        .metrics
-                        .broker_messages
-                        .entry(event.msg.kind())
-                        .or_insert(0) += 1;
+                    self.metrics.on_broker_message(b, event.msg.kind());
                     let started = Instant::now();
                     let outputs = self
                         .brokers
@@ -569,28 +572,9 @@ impl Network {
                     self.dispatch_outputs(b, outputs, event.hops);
                 }
                 Dest::Client(c) => {
-                    self.metrics.client_messages += 1;
+                    self.metrics.on_client_message(c, event.msg.kind());
                     if let Message::Publish(p) = &event.msg {
-                        if self.record_deliveries {
-                            let path =
-                                xdn_xml::DocPath::new(p.doc_id, p.path_id, p.elements.clone())
-                                    .with_attributes(if p.attributes.len() == p.elements.len() {
-                                        p.attributes.clone()
-                                    } else {
-                                        vec![Vec::new(); p.elements.len()]
-                                    });
-                            self.metrics.delivered_paths.push((c, path));
-                        }
-                        if self.metrics.delivered.insert((c, p.doc_id)) {
-                            if let Some(&sent) = self.metrics.publish_times.get(&p.doc_id) {
-                                self.metrics.notifications.push(Notification {
-                                    client: c,
-                                    doc: p.doc_id,
-                                    delay: self.now - sent,
-                                    hops: event.hops,
-                                });
-                            }
-                        }
+                        self.metrics.on_delivery(c, p, self.now, event.hops);
                     }
                 }
             }

@@ -9,6 +9,11 @@
 //! Connection protocol: after connecting, a peer sends a 9-byte hello —
 //! `0x01 | u64 broker-id` for brokers, `0x02 | u64 client-id` for
 //! clients — then length-prefixed message frames in both directions.
+//! A connection whose first byte is `G` is treated as an HTTP `GET`
+//! instead: the node replies with a Prometheus text snapshot of its
+//! metrics (traffic by kind, routing-table sizes, latency histograms,
+//! peer queue depths) and closes — `curl http://node-addr/metrics`
+//! works against the same port the overlay uses.
 //!
 //! # Fault tolerance
 //!
@@ -26,6 +31,7 @@
 //! installation is idempotent and buffered frames are retransmitted,
 //! delivery across a link outage is at-least-once.
 
+use crate::metrics::{MetricsSink, SharedMetrics};
 use crate::queue::{FrameQueue, Pop};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -38,6 +44,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use xdn_broker::wire::MAX_FRAME_BYTES;
 use xdn_broker::{wire, Broker, BrokerId, BrokerStats, ClientId, Dest, Message, RoutingConfig};
+use xdn_obs::{render_prometheus, MetricData, MetricFamily};
 
 const HELLO_BROKER: u8 = 0x01;
 const HELLO_CLIENT: u8 = 0x02;
@@ -149,6 +156,8 @@ enum Input {
     FromPeer(Dest, Message),
     PeerWriter(Dest, Arc<Mutex<TcpStream>>),
     Snapshot(SyncSender<NodeSnapshot>),
+    /// Render a Prometheus text snapshot of the node's metrics.
+    MetricsText(SyncSender<String>),
     Stop,
 }
 
@@ -322,6 +331,7 @@ pub struct TcpNode {
     stopping: Arc<AtomicBool>,
     links: HashMap<BrokerId, PeerLink>,
     conns: ConnList,
+    metrics: SharedMetrics,
 }
 
 impl TcpNode {
@@ -401,7 +411,10 @@ impl TcpNode {
         }
 
         // Broker loop: single-threaded state machine fed by readers.
-        let broker_thread = std::thread::spawn(move || broker_loop(broker, rx, queues));
+        let metrics = SharedMetrics::new();
+        let loop_metrics = metrics.clone();
+        let broker_thread =
+            std::thread::spawn(move || broker_loop(broker, rx, queues, loop_metrics));
 
         // Accept loop. The stop flag is checked before handing each
         // accepted connection to a reader thread; shutdown() flips it
@@ -430,6 +443,7 @@ impl TcpNode {
             stopping,
             links,
             conns,
+            metrics,
         })
     }
 
@@ -443,6 +457,23 @@ impl TcpNode {
     pub fn snapshot(&self) -> Option<NodeSnapshot> {
         let (tx, rx) = sync_channel(1);
         self.inbox.send(Input::Snapshot(tx)).ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Traffic and delivery metrics recorded by the broker loop
+    /// through the same [`crate::metrics::MetricsSink`] interface the
+    /// simulator uses. Snapshot semantics: the returned value is a
+    /// copy; concurrent recording continues.
+    pub fn metrics(&self) -> crate::metrics::NetMetrics {
+        self.metrics.snapshot()
+    }
+
+    /// The node's metrics in the Prometheus text exposition format —
+    /// the same body an HTTP `GET` against [`TcpNode::addr`] returns —
+    /// or `None` if the broker loop is gone.
+    pub fn metrics_text(&self) -> Option<String> {
+        let (tx, rx) = sync_channel(1);
+        self.inbox.send(Input::MetricsText(tx)).ok()?;
         rx.recv_timeout(Duration::from_secs(5)).ok()
     }
 
@@ -539,7 +570,17 @@ impl TcpNode {
     }
 }
 
-fn broker_loop(mut broker: Broker, rx: Receiver<Input>, queues: HashMap<Dest, Arc<FrameQueue>>) {
+fn broker_loop(
+    mut broker: Broker,
+    rx: Receiver<Input>,
+    queues: HashMap<Dest, Arc<FrameQueue>>,
+    mut metrics: SharedMetrics,
+) {
+    // Timebase for this node's delay measurements. Publish→delivery
+    // delays are only computable for documents both injected and
+    // delivered through *this* node; cross-node deliveries still count
+    // as traffic but carry no delay sample.
+    let epoch = std::time::Instant::now();
     // Writers for *accepted* connections (clients, and brokers that
     // dialled us). Dialled peers go through their supervisor's queue.
     let mut writers: HashMap<Dest, Arc<Mutex<TcpStream>>> = HashMap::new();
@@ -565,11 +606,19 @@ fn broker_loop(mut broker: Broker, rx: Receiver<Input>, queues: HashMap<Dest, Ar
                     routing_signature: broker.routing_signature(),
                 });
             }
+            Input::MetricsText(reply) => {
+                let _ = reply.send(render_node_metrics(&broker, &queues));
+            }
             Input::PeerWriter(dest, writer) => {
                 writers.insert(dest, writer);
                 // A broker (re-)connected to us: both sides of a fresh
                 // broker⇄broker connection request the link's state.
-                if matches!(dest, Dest::Broker(_)) {
+                // The dialler is also a routing neighbour from now on —
+                // without this, a pure listener floods advertisements
+                // only to its statically configured peers and anything
+                // advertised on the accepting side never propagates.
+                if let Dest::Broker(b) = dest {
+                    broker.add_neighbor(b);
                     send(&mut writers, dest, &Message::SyncRequest);
                 }
             }
@@ -577,7 +626,19 @@ fn broker_loop(mut broker: Broker, rx: Receiver<Input>, queues: HashMap<Dest, Ar
                 let echo_heartbeat = matches!(msg, Message::Heartbeat)
                     && !queues.contains_key(&from)
                     && matches!(from, Dest::Broker(_));
+                metrics.on_broker_message(broker.id(), msg.kind());
+                if let (Dest::Client(_), Message::Publish(p)) = (&from, &msg) {
+                    metrics.on_publish_injected(p.doc_id, epoch.elapsed());
+                }
                 for (dest, out) in broker.handle(from, msg) {
+                    if let Dest::Client(c) = dest {
+                        metrics.on_client_message(c, out.kind());
+                        if let Message::Publish(p) = &out {
+                            // Hop counts are not carried on the wire;
+                            // TCP-transport notifications record 0.
+                            metrics.on_delivery(c, p, epoch.elapsed(), 0);
+                        }
+                    }
                     send(&mut writers, dest, &out);
                 }
                 // The accepting side does not run an idle timer; it
@@ -593,12 +654,138 @@ fn broker_loop(mut broker: Broker, rx: Receiver<Input>, queues: HashMap<Dest, Ar
     }
 }
 
+/// Assembles the node's metric families — per-kind traffic, routing
+/// table sizes, processing latency histograms, and per-peer outbound
+/// queue depth/shed counters — and renders them in the Prometheus text
+/// format. Runs on the broker-loop thread, which owns both the broker
+/// and the dialled peers' queues.
+fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>) -> String {
+    let stats = broker.stats();
+
+    let mut received = MetricFamily::new(
+        "xdn_broker_messages_received_total",
+        "Messages handled by the broker, by kind.",
+    );
+    for (kind, count) in stats.received.iter() {
+        received.push(&[("kind", kind.as_str())], MetricData::Counter(count));
+    }
+
+    let mut tables = MetricFamily::new(
+        "xdn_routing_table_size",
+        "Entries in the broker's routing tables.",
+    );
+    let srt = i64::try_from(broker.srt_size()).unwrap_or(i64::MAX);
+    let prt = i64::try_from(broker.prt_size()).unwrap_or(i64::MAX);
+    tables.push(&[("table", "srt")], MetricData::Gauge(srt));
+    tables.push(&[("table", "prt")], MetricData::Gauge(prt));
+
+    // Sort peers so the exposition is deterministic (HashMap order
+    // would make scrapes flap line order between runs).
+    let mut peers: Vec<(String, usize, u64)> = queues
+        .iter()
+        .map(|(dest, q)| {
+            let label = match dest {
+                Dest::Broker(b) => format!("broker-{}", b.0),
+                Dest::Client(c) => format!("client-{}", c.0),
+            };
+            (label, q.len(), q.dropped())
+        })
+        .collect();
+    peers.sort();
+    let mut depth = MetricFamily::new(
+        "xdn_peer_queue_depth",
+        "Frames buffered toward each dialled peer.",
+    );
+    let mut shed = MetricFamily::new(
+        "xdn_peer_queue_dropped_total",
+        "Frames shed by each dialled peer's bounded queue.",
+    );
+    for (label, len, dropped) in &peers {
+        let len = i64::try_from(*len).unwrap_or(i64::MAX);
+        depth.push(&[("peer", label)], MetricData::Gauge(len));
+        shed.push(&[("peer", label)], MetricData::Counter(*dropped));
+    }
+
+    render_prometheus(&[
+        MetricFamily::gauge(
+            "xdn_broker_id",
+            "Identifier of the broker serving this endpoint.",
+            i64::from(broker.id().0),
+        ),
+        received,
+        MetricFamily::counter(
+            "xdn_broker_messages_sent_total",
+            "Messages emitted by the broker.",
+            stats.sent,
+        ),
+        MetricFamily::counter(
+            "xdn_broker_deliveries_total",
+            "Publications delivered to local clients.",
+            stats.deliveries,
+        ),
+        tables,
+        MetricFamily::histogram(
+            "xdn_sub_processing_seconds",
+            "Subscription processing latency.",
+            stats.sub_processing.clone(),
+        ),
+        MetricFamily::histogram(
+            "xdn_pub_routing_seconds",
+            "Publication routing latency.",
+            stats.pub_routing.clone(),
+        ),
+        depth,
+        shed,
+    ])
+}
+
+/// Serves one HTTP metrics scrape on an accepted connection whose
+/// hello began with `b'G'` (i.e. an HTTP `GET`). Drains the request
+/// headers, asks the broker loop for a snapshot, writes a minimal
+/// `HTTP/1.0` response, and closes.
+fn serve_metrics(mut stream: TcpStream, tx: SyncSender<Input>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    // The 9-byte hello already consumed "GET /metr"; drain the rest of
+    // the request up to the blank line ending the headers (bounded, so
+    // a malformed request cannot pin this thread).
+    let mut seen: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 256];
+    while !seen.windows(4).any(|w| w == b"\r\n\r\n") && seen.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => seen.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let body = if tx.send(Input::MetricsText(reply_tx)).is_ok() {
+        reply_rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap_or_default()
+    } else {
+        String::new()
+    };
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
 fn spawn_connection(
     mut stream: TcpStream,
     tx: SyncSender<Input>,
 ) -> Result<(TcpStream, JoinHandle<()>), TcpError> {
     let mut hello = [0u8; 9];
     stream.read_exact(&mut hello)?;
+    if hello[0] == b'G' {
+        // Not a peer hello: an HTTP scrape ("GET …"). Serve it on its
+        // own thread so the accept loop keeps accepting.
+        let http_stream = stream.try_clone()?;
+        let handle = std::thread::spawn(move || serve_metrics(http_stream, tx));
+        return Ok((stream, handle));
+    }
     let id_bytes: [u8; 8] = hello[1..9]
         .try_into()
         .map_err(|_| TcpError::Protocol("malformed hello".into()))?;
@@ -725,6 +912,7 @@ fn client_read(mut stream: TcpStream, tx: SyncSender<Message>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xdn_broker::MessageKind;
     use xdn_core::adv::{AdvPath, Advertisement};
     use xdn_core::rtable::{AdvId, SubId};
     use xdn_xml::{DocId, PathId};
@@ -811,6 +999,67 @@ mod tests {
     }
 
     #[test]
+    fn tcp_end_to_end_listener_side_advertiser() {
+        // Mirror of `tcp_end_to_end_two_nodes`: the advertiser sits on
+        // the *listening* node and the subscriber on the dialler.
+        // Regression test for the accept path not registering the
+        // dialling broker as a routing neighbour — the advertisement
+        // would flood nowhere and the subscription stay local.
+        let n1 = TcpNode::start(
+            BrokerId(1),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node 1");
+        let n0 = TcpNode::start(
+            BrokerId(0),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+        )
+        .expect("node 0");
+
+        let mut publisher = TcpClient::connect(n1.addr(), ClientId(1)).expect("publisher");
+        let mut subscriber = TcpClient::connect(n0.addr(), ClientId(2)).expect("subscriber");
+
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        publisher
+            .send(&Message::advertise(AdvId(1), adv))
+            .expect("advertise");
+        // The advertisement must cross to the dialler before the
+        // subscription can route back along it.
+        assert!(
+            n0.await_state(Duration::from_secs(5), |s| s.srt_size >= 1),
+            "advertisement did not propagate to the dialling node"
+        );
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a/*".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(
+            n1.await_state(Duration::from_secs(5), |s| s.prt_size >= 1),
+            "subscription did not propagate to n1"
+        );
+
+        publisher
+            .send(&publication(&["a", "b"], 7))
+            .expect("publish");
+        let got = subscriber.recv_timeout(Duration::from_secs(5));
+        assert!(
+            matches!(got, Some(Message::Publish(_))),
+            "expected delivery over TCP, got {got:?}"
+        );
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
     fn tcp_non_matching_not_delivered() {
         let n = TcpNode::start(
             BrokerId(0),
@@ -824,12 +1073,79 @@ mod tests {
         subscriber
             .send(&Message::subscribe(SubId(1), "/x".parse().expect("xpe")))
             .expect("subscribe");
-        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.received_subscribe >= 1));
+        assert!(n.await_state(Duration::from_secs(5), |s| s
+            .stats
+            .received_of(MessageKind::Subscribe)
+            >= 1));
         publisher.send(&publication(&["a"], 1)).expect("publish");
         // The broker has routed the publication once it is counted;
         // nothing may reach the non-matching subscriber.
-        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.received_publish >= 1));
+        assert!(n.await_state(Duration::from_secs(5), |s| s
+            .stats
+            .received_of(MessageKind::Publish)
+            >= 1));
         assert!(subscriber.recv_timeout(Duration::from_millis(50)).is_none());
+        n.shutdown();
+    }
+
+    #[test]
+    fn tcp_metrics_scrape_over_http() {
+        let n = TcpNode::start(
+            BrokerId(7),
+            RoutingConfig::builder().build(),
+            ephemeral(),
+            &[],
+        )
+        .expect("node");
+        let mut publisher = TcpClient::connect(n.addr(), ClientId(1)).expect("pub");
+        let mut subscriber = TcpClient::connect(n.addr(), ClientId(2)).expect("sub");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(n.await_state(Duration::from_secs(5), |s| {
+            s.stats.received_of(MessageKind::Subscribe) >= 1
+        }));
+        publisher.send(&publication(&["a"], 1)).expect("publish");
+        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.deliveries >= 1));
+
+        // A plain HTTP GET against the same port the overlay uses.
+        let mut http = TcpStream::connect(n.addr()).expect("connect");
+        http.write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        http.read_to_string(&mut response).expect("response");
+        assert!(
+            response.starts_with("HTTP/1.0 200 OK\r\n"),
+            "bad status line: {response}"
+        );
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.contains("xdn_broker_id 7\n"), "{body}");
+        assert!(
+            body.contains("xdn_broker_messages_received_total{kind=\"subscribe\"} 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("xdn_broker_messages_received_total{kind=\"publish\"} 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("xdn_routing_table_size{table=\"prt\"} 1\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE xdn_sub_processing_seconds histogram\n"),
+            "{body}"
+        );
+        assert!(body.contains("xdn_pub_routing_seconds_count 1\n"), "{body}");
+
+        // The programmatic accessor serves the same families, and the
+        // MetricsSink path saw the same traffic and delivery.
+        let text = n.metrics_text().expect("metrics text");
+        assert!(text.contains("xdn_broker_deliveries_total 1\n"), "{text}");
+        let m = n.metrics();
+        assert_eq!(m.broker_messages.get(MessageKind::Subscribe), 1);
+        assert_eq!(m.broker_messages.get(MessageKind::Publish), 1);
+        assert_eq!(m.notifications.len(), 1);
         n.shutdown();
     }
 
@@ -850,7 +1166,10 @@ mod tests {
                 "//claim[@lang='en']".parse().expect("xpe"),
             ))
             .expect("subscribe");
-        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.received_subscribe >= 1));
+        assert!(n.await_state(Duration::from_secs(5), |s| s
+            .stats
+            .received_of(MessageKind::Subscribe)
+            >= 1));
         let doc = xdn_xml::parse_document(
             r#"<claims><claim lang="en"><amount>5</amount></claim></claims>"#,
         )
@@ -1052,7 +1371,10 @@ mod tests {
         subscriber
             .send(&Message::subscribe(SubId(1), "/a".parse().expect("xpe")))
             .expect("re-subscribe");
-        assert!(n0.await_state(Duration::from_secs(10), |s| s.stats.received_subscribe >= 2));
+        assert!(n0.await_state(Duration::from_secs(10), |s| s
+            .stats
+            .received_of(MessageKind::Subscribe)
+            >= 2));
 
         publisher
             .send(&publication(&["a", "b"], 3))

@@ -1,0 +1,270 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets follow a 1–2–5 ladder from 1µs to 10s (plus an overflow
+//! bucket), which brackets everything the evaluation measures: XPE
+//! processing is tens of µs, publication routing hundreds of µs to ms,
+//! notification delay up to seconds. Sums are kept in `u128`
+//! nanoseconds so means are exact — the old code divided a `Duration`
+//! by `count as u32`, silently corrupting the divisor past
+//! `u32::MAX` observations.
+
+use std::time::Duration;
+
+/// Upper bounds of the finite buckets, in nanoseconds.
+pub const BUCKET_BOUNDS_NS: [u64; 22] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Finite buckets plus the overflow (`+Inf`) bucket.
+const NUM_BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket duration histogram with an exact sum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one observation given in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations in nanoseconds (exact).
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Sum of all observations as a `Duration` (saturating).
+    pub fn sum(&self) -> Duration {
+        duration_from_ns(self.sum_ns)
+    }
+
+    /// Largest single observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Exact mean over all observations; zero when empty. Computed in
+    /// u128 nanoseconds, so counts beyond `u32::MAX` stay correct.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            duration_from_ns(self.sum_ns / u128::from(self.count))
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, resolved to the upper bound of the
+    /// bucket containing that rank (the usual fixed-bucket estimate,
+    /// biased at most one bucket high). Observations past the last
+    /// bound report the maximum seen. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), clamped to [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return if idx < BUCKET_BOUNDS_NS.len() {
+                    Duration::from_nanos(BUCKET_BOUNDS_NS[idx].min(self.max_ns))
+                } else {
+                    Duration::from_nanos(self.max_ns)
+                };
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Cumulative bucket view for exporters: `(upper_bound_ns, count ≤
+    /// bound)` for every finite bucket, in ascending order. The export
+    /// layer appends the `+Inf` bucket from [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cumulative = 0u64;
+        BUCKET_BOUNDS_NS.iter().enumerate().map(move |(i, &b)| {
+            cumulative += self.counts[i];
+            (b, cumulative)
+        })
+    }
+}
+
+fn duration_from_ns(ns: u128) -> Duration {
+    const NANOS_PER_SEC: u128 = 1_000_000_000;
+    let secs = u64::try_from(ns / NANOS_PER_SEC).unwrap_or(u64::MAX);
+    let frac = (ns % NANOS_PER_SEC) as u32;
+    Duration::new(secs, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new();
+        // Exactly on a bound lands in that bucket, one past it in the next.
+        h.record_ns(1_000);
+        h.record_ns(1_001);
+        let buckets: Vec<(u64, u64)> = h.cumulative_buckets().collect();
+        assert_eq!(buckets[0], (1_000, 1)); // the 1µs observation
+        assert_eq!(buckets[1], (2_000, 2)); // cumulative: both
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn zero_and_overflow_observations() {
+        let mut h = Histogram::new();
+        h.record_ns(0); // below every bound → first bucket
+        h.record_ns(u64::MAX); // past every bound → overflow bucket
+        assert_eq!(h.count(), 2);
+        let last_finite = h.cumulative_buckets().last().expect("buckets");
+        assert_eq!(last_finite.1, 1, "overflow sample not in finite buckets");
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn exact_mean_no_u32_truncation() {
+        let mut h = Histogram::new();
+        // The old Duration / (count as u32) API corrupts the divisor
+        // when count wraps u32; emulate with a merged count > u32::MAX.
+        let mut big = Histogram::new();
+        big.record_ns(100);
+        big.count = u64::from(u32::MAX) + 7;
+        big.sum_ns = u128::from(big.count) * 100;
+        h.merge(&big);
+        assert_eq!(h.mean(), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn quantiles_pick_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record_ns(900); // ≤ 1µs bucket
+        }
+        for _ in 0..10 {
+            h.record_ns(4_500_000); // ≤ 5ms bucket
+        }
+        // p50 resolves to the 1µs bucket's upper bound.
+        assert_eq!(h.p50(), Duration::from_micros(1));
+        // p95/p99 land in the 5ms bucket, capped at the observed max.
+        assert_eq!(h.p95(), Duration::from_nanos(4_500_000));
+        assert_eq!(h.p99(), h.p95());
+        assert_eq!(h.quantile(0.0), h.quantile(0.001));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.sum(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_micros(3));
+        let mut b = Histogram::new();
+        b.record(Duration::from_millis(7));
+        b.record(Duration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(
+            a.sum(),
+            Duration::from_micros(3) + 2 * Duration::from_millis(7)
+        );
+        assert_eq!(a.max(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn mean_is_exact_for_odd_divisions() {
+        let mut h = Histogram::new();
+        h.record_ns(1);
+        h.record_ns(2);
+        h.record_ns(4);
+        // (1+2+4)/3 = 2.33… → 2ns, floor division, no rounding drift.
+        assert_eq!(h.mean(), Duration::from_nanos(2));
+    }
+}

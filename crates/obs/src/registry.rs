@@ -1,0 +1,219 @@
+//! A lock-cheap registry of named atomic metrics.
+//!
+//! [`Counter`]s and [`Gauge`]s are plain atomics: recording is one
+//! relaxed RMW, never a lock. The registry itself takes a mutex only
+//! on registration and snapshot — both off the hot path. Threaded
+//! transports (`tcp.rs`, `live.rs`) clone the `Arc` handles once at
+//! spawn time and poke them lock-free afterwards.
+
+use crate::export::{MetricData, MetricFamily, Sample};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, connection
+/// counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+}
+
+type SeriesMap = BTreeMap<(String, Vec<(String, String)>), Metric>;
+
+/// Named metrics, keyed by `(name, labels)`.
+///
+/// Registering the same name+labels twice returns the same handle, so
+/// restarted supervisors keep accumulating into one series instead of
+/// shadowing it.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<SeriesMap>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter `name` (no labels), creating it if needed.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Returns the counter `name` with `labels`, creating it if needed.
+    ///
+    /// If the series was previously registered as a gauge, the gauge is
+    /// replaced — callers are expected to keep a series' type stable.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut metrics = self.lock();
+        let key = (name.to_owned(), own_labels(labels));
+        match metrics.get(&key) {
+            Some(Metric::Counter(c)) => Arc::clone(c),
+            _ => {
+                let c = Arc::new(Counter::default());
+                metrics.insert(key, Metric::Counter(Arc::clone(&c)));
+                c
+            }
+        }
+    }
+
+    /// Returns the gauge `name` (no labels), creating it if needed.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Returns the gauge `name` with `labels`, creating it if needed.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut metrics = self.lock();
+        let key = (name.to_owned(), own_labels(labels));
+        match metrics.get(&key) {
+            Some(Metric::Gauge(g)) => Arc::clone(g),
+            _ => {
+                let g = Arc::new(Gauge::default());
+                metrics.insert(key, Metric::Gauge(Arc::clone(&g)));
+                g
+            }
+        }
+    }
+
+    /// Snapshots every registered series into export families, one
+    /// family per metric name, samples sorted by labels.
+    pub fn snapshot(&self) -> Vec<MetricFamily> {
+        let metrics = self.lock();
+        let mut families: BTreeMap<String, MetricFamily> = BTreeMap::new();
+        for ((name, labels), metric) in metrics.iter() {
+            let data = match metric {
+                Metric::Counter(c) => MetricData::Counter(c.get()),
+                Metric::Gauge(g) => MetricData::Gauge(g.get()),
+            };
+            families
+                .entry(name.clone())
+                .or_insert_with(|| MetricFamily::new(name, ""))
+                .samples
+                .push(Sample {
+                    labels: labels.clone(),
+                    data,
+                });
+        }
+        families.into_values().collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SeriesMap> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("frames_total");
+        let b = reg.counter("frames_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+
+        let g = reg.gauge_with("queue_depth", &[("peer", "B2")]);
+        g.set(7);
+        g.dec();
+        assert_eq!(reg.gauge_with("queue_depth", &[("peer", "B2")]).get(), 6);
+        // Different labels are a different series.
+        assert_eq!(reg.gauge_with("queue_depth", &[("peer", "B3")]).get(), 0);
+    }
+
+    #[test]
+    fn snapshot_groups_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("msgs", &[("kind", "publish")]).add(2);
+        reg.counter_with("msgs", &[("kind", "subscribe")]).inc();
+        reg.gauge("up").set(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        let msgs = snap.iter().find(|f| f.name == "msgs").expect("msgs family");
+        assert_eq!(msgs.samples.len(), 2);
+        assert_eq!(msgs.samples[0].labels[0].1, "publish");
+    }
+
+    #[test]
+    fn handles_record_lock_free_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("races");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

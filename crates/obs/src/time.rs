@@ -1,0 +1,48 @@
+//! The one sanctioned wall-clock timing primitive.
+//!
+//! Hot paths in `xdn-broker` and `xdn-core` must not call
+//! `Instant::now()` directly (`cargo xtask lint`'s `instant` rule);
+//! they start a [`Stopwatch`] and feed the elapsed time into a
+//! [`crate::Histogram`]. Funnelling every measurement through one type
+//! keeps the overhead auditable and gives a single seam for virtual
+//! clocks later.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (~584 years).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_ns() >= b.as_nanos() as u64 || b.as_nanos() > u64::MAX as u128);
+    }
+}

@@ -1,0 +1,229 @@
+//! Structured trace events from the broker hot paths.
+//!
+//! Brokers hold an `Option<Arc<dyn Tracer>>` that defaults to `None`,
+//! so the disabled cost is a single branch — no event is even
+//! constructed. Events are flat and `Copy`: a static name plus numeric
+//! ids, deliberately free of owned strings so emitting one never
+//! allocates.
+//!
+//! Event vocabulary (names are stable, used by tests and log readers):
+//!
+//! | name           | id            | value            | nanos      |
+//! |----------------|---------------|------------------|------------|
+//! | `sub.process`  | subscription  | messages emitted | span time  |
+//! | `sub.covered`  | subscription  | 0                | 0          |
+//! | `adv.process`  | advertisement | 0                | 0          |
+//! | `pub.route`    | document      | matched hops     | span time  |
+//! | `pub.deliver`  | document      | client id        | 0          |
+
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+/// One structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stable event name, e.g. `"pub.route"`.
+    pub name: &'static str,
+    /// Id of the broker that emitted the event.
+    pub broker: u32,
+    /// Message-kind tag (`"publish"`, `"subscribe"`, …) or `""`.
+    pub kind: &'static str,
+    /// Primary subject id — doc, subscription, or advertisement id.
+    pub id: u64,
+    /// Event-specific auxiliary value (see the module table).
+    pub value: u64,
+    /// Span duration in nanoseconds; 0 for point events.
+    pub nanos: u64,
+}
+
+impl TraceEvent {
+    /// A point event (no duration).
+    pub fn point(name: &'static str, broker: u32, kind: &'static str, id: u64, value: u64) -> Self {
+        TraceEvent {
+            name,
+            broker,
+            kind,
+            id,
+            value,
+            nanos: 0,
+        }
+    }
+
+    /// A span event carrying a measured duration.
+    pub fn span(
+        name: &'static str,
+        broker: u32,
+        kind: &'static str,
+        id: u64,
+        value: u64,
+        nanos: u64,
+    ) -> Self {
+        TraceEvent {
+            name,
+            broker,
+            kind,
+            id,
+            value,
+            nanos,
+        }
+    }
+
+    /// The event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"broker\":{},\"kind\":{},\"id\":{},\"value\":{},\"nanos\":{}}}",
+            crate::export::json_string(self.name),
+            self.broker,
+            crate::export::json_string(self.kind),
+            self.id,
+            self.value,
+            self.nanos
+        )
+    }
+}
+
+/// A sink for trace events. Implementations must be cheap and
+/// non-blocking enough to sit on broker hot paths; anything expensive
+/// belongs behind buffering inside the tracer.
+pub trait Tracer: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// Discards every event. Useful where an API wants *a* tracer; where
+/// possible prefer `Option<Arc<dyn Tracer>>` = `None`, which skips
+/// event construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Buffers events in memory — the test workhorse.
+#[derive(Debug, Default)]
+pub struct CollectingTracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingTracer {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.lock().clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Recorded events with the given name.
+    pub fn named(&self, name: &str) -> Vec<TraceEvent> {
+        self.lock()
+            .iter()
+            .filter(|e| e.name == name)
+            .copied()
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Tracer for CollectingTracer {
+    fn record(&self, event: &TraceEvent) {
+        self.lock().push(*event);
+    }
+}
+
+/// Streams events as JSON lines to any writer (a file, a pipe,
+/// `Vec<u8>` in tests). Write errors are counted, not propagated — a
+/// full disk must not take down routing.
+#[derive(Debug)]
+pub struct JsonLinesTracer<W: Write + Send> {
+    writer: Mutex<W>,
+    errors: std::sync::atomic::AtomicU64,
+}
+
+impl<W: Write + Send> JsonLinesTracer<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonLinesTracer {
+            writer: Mutex::new(writer),
+            errors: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of write errors swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> Tracer for JsonLinesTracer<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if w.write_all(line.as_bytes()).is_err() {
+            self.errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_tracer_buffers_and_filters() {
+        let t = CollectingTracer::new();
+        t.record(&TraceEvent::point("pub.deliver", 1, "publish", 7, 42));
+        t.record(&TraceEvent::span("pub.route", 1, "publish", 7, 2, 1500));
+        assert_eq!(t.snapshot().len(), 2);
+        let routes = t.named("pub.route");
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].nanos, 1500);
+        assert_eq!(t.take().len(), 2);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_line() {
+        let t = JsonLinesTracer::new(Vec::new());
+        t.record(&TraceEvent::point("sub.process", 3, "subscribe", 11, 0));
+        t.record(&TraceEvent::point("pub.deliver", 3, "publish", 5, 9));
+        let buf = t.into_inner();
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"sub.process\",\"broker\":3,\"kind\":\"subscribe\",\"id\":11,\"value\":0,\"nanos\":0}"
+        );
+        assert!(lines[1].contains("\"pub.deliver\""));
+    }
+
+    #[test]
+    fn null_tracer_is_object_safe() {
+        let t: std::sync::Arc<dyn Tracer> = std::sync::Arc::new(NullTracer);
+        t.record(&TraceEvent::point("x", 0, "", 0, 0));
+    }
+}

@@ -16,6 +16,7 @@
 //!   tree, merging, and the routing tables (the paper's contribution);
 //! * [`broker`] — the content-based XML router;
 //! * [`net`] — the simulated and live overlay substrates;
+//! * [`obs`] — metrics, trace events, and text exporters;
 //! * [`workloads`] — DTDs and generated workloads for the evaluation.
 //!
 //! ```
@@ -30,6 +31,7 @@
 pub use xdn_broker as broker;
 pub use xdn_core as core;
 pub use xdn_net as net;
+pub use xdn_obs as obs;
 pub use xdn_workloads as workloads;
 pub use xdn_xml as xml;
 pub use xdn_xpath as xpath;

@@ -10,6 +10,7 @@
 //! | `sleep`             | no `thread::sleep` in non-test first-party code               |
 //! | `kind-match`        | no catch-all arm in a `Message`/`MessageKind` match (wire/stats) |
 //! | `kind-coverage`     | every `Message` variant is encoded *and* decoded in `wire.rs` |
+//! | `instant`           | no `Instant::now()` in broker/core hot paths — time through `xdn_obs::Stopwatch` |
 //!
 //! Suppression: a comment containing `xtask: allow(<rule>)` on the
 //! flagged line or the line above it, with a justification. Files under
@@ -26,6 +27,13 @@ use std::path::{Path, PathBuf};
 /// harness whose driver API panics on misuse by documented contract.
 const UNWRAP_CRATES: &[&str] = &["crates/broker", "crates/net"];
 const UNWRAP_EXEMPT: &[&str] = &["crates/net/src/sim.rs"];
+
+/// Crates whose non-test code must not sample `Instant::now()`
+/// directly (`instant` rule): broker and core hot paths time through
+/// the `xdn_obs::Stopwatch` facade so instrumentation stays uniform
+/// and greppable. Transports and the simulator own wall-clock
+/// concerns (deadlines, backoff) and are out of scope.
+const INSTANT_CRATES: &[&str] = &["crates/broker", "crates/core"];
 
 /// Files that must handle every `Message`/`MessageKind` variant
 /// explicitly (`kind-match` rule).
@@ -143,6 +151,9 @@ pub fn lint_file(rel: &Path, src: &str) -> Vec<Finding> {
     }
     check_unbounded_channel(rel, &lexed, &in_test, &mut findings);
     check_sleep(rel, &lexed, &in_test, &mut findings);
+    if INSTANT_CRATES.iter().any(|c| rel.starts_with(c)) {
+        check_instant(rel, &lexed, &in_test, &mut findings);
+    }
     if KIND_MATCH_FILES.iter().any(|f| rel == Path::new(f)) {
         check_kind_match(rel, &lexed, &in_test, &mut findings);
     }
@@ -367,6 +378,33 @@ fn check_sleep(rel: &Path, lexed: &Lexed, in_test: &[bool], findings: &mut Vec<F
                     message: "thread::sleep in non-test code — poll with a deadline \
                               (await_state) or park on a condvar; if the sleep is a bounded \
                               backoff slice, justify it with `xtask: allow(sleep)`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+fn check_instant(rel: &Path, lexed: &Lexed, in_test: &[bool], findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if ident_at(lexed, i) == Some("Instant")
+            && punct_at(lexed, i + 1, ':')
+            && punct_at(lexed, i + 2, ':')
+            && ident_at(lexed, i + 3) == Some("now")
+        {
+            let line = toks[i + 3].line;
+            if !lexed.allowed("instant", line) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line,
+                    rule: "instant",
+                    message: "Instant::now() in a broker/core hot path — time through \
+                              xdn_obs::Stopwatch (or justify with `xtask: allow(instant)`) so \
+                              instrumentation stays behind the observability facade"
                         .to_owned(),
                 });
             }
@@ -676,6 +714,25 @@ mod tests {
         assert_eq!(f[0].rule, "sleep");
         let ok = "// xtask: allow(sleep) bounded backoff slice\nfn f() { std::thread::sleep(d); }";
         assert!(lint("crates/broker/src/broker.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn instant_flagged_in_broker_and_core_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let f = lint("crates/broker/src/broker.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "instant");
+        assert_eq!(lint("crates/core/src/rtable.rs", src).len(), 1);
+        // Transports, the simulator, and obs itself own wall-clock
+        // concerns.
+        assert!(lint("crates/net/src/tcp.rs", src).is_empty());
+        assert!(lint("crates/obs/src/time.rs", src).is_empty());
+        // Tests and allow markers opt out.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t() { Instant::now(); }\n}";
+        assert!(lint("crates/broker/src/broker.rs", test_src).is_empty());
+        let allowed = "// xtask: allow(instant) deadline, not a latency sample\n\
+                       fn f() { Instant::now(); }";
+        assert!(lint("crates/core/src/rtable.rs", allowed).is_empty());
     }
 
     #[test]
