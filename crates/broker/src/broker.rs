@@ -1,7 +1,9 @@
 //! The broker: routing state plus the message-handling state machine.
 
-use crate::message::{BrokerId, Dest, Message};
+use crate::message::{BrokerId, Dest, Message, MessageKind};
+use crate::reliable::{Admit, DedupWindow, OutboundLink, ReliabilityState};
 use crate::stats::BrokerStats;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use xdn_core::index::IndexedPrt;
 use xdn_core::merge::MergeConfig;
@@ -194,7 +196,33 @@ pub struct Broker {
     /// Structured trace sink; `None` (the default) costs one branch on
     /// the hot paths and constructs no events.
     tracer: Option<TracerHandle>,
+    /// This incarnation's epoch, stamped on every sequenced frame.
+    epoch: u64,
+    /// Per-neighbour retransmit buffers for frames we sent.
+    links: BTreeMap<BrokerId, OutboundLink>,
+    /// Per-source dedup windows for sequenced frames we received.
+    windows: BTreeMap<Dest, DedupWindow>,
+    /// Neighbours whose [`Message::SyncState`] this broker still awaits
+    /// after a cold (re)start. While non-empty the broker is *warming
+    /// up* and defers payload frames instead of routing them.
+    sync_pending: BTreeSet<BrokerId>,
+    /// Payload frames deferred during warm-up, in arrival order. They
+    /// are *not* acknowledged while held, so a crash loses nothing the
+    /// senders cannot replay.
+    warmup: VecDeque<(Dest, Message)>,
+    /// Neighbours whose [`Message::SyncRequest`] arrived while this
+    /// broker was warming up. Answering immediately would hand them a
+    /// cold, possibly-empty snapshot they would then treat as complete;
+    /// the answer is held until every *other* awaited snapshot has
+    /// arrived. In a tree overlay the deferral wave resolves from the
+    /// leaves inward and cannot deadlock.
+    deferred_sync: BTreeSet<BrokerId>,
 }
+
+/// Most payload frames a warming broker will hold before shedding.
+/// Shed frames are unacknowledged, so the senders' retransmit buffers
+/// replay them after sync — the cap bounds memory, not correctness.
+const WARMUP_CAPACITY: usize = 4096;
 
 /// An installed [`Tracer`], opaque to `Debug` (trace sinks carry
 /// writers and buffers that have no useful debug form).
@@ -235,6 +263,12 @@ impl Broker {
             sent_to: std::collections::HashMap::new(),
             stats: BrokerStats::default(),
             tracer: None,
+            epoch: 1,
+            links: BTreeMap::new(),
+            windows: BTreeMap::new(),
+            sync_pending: BTreeSet::new(),
+            warmup: VecDeque::new(),
+            deferred_sync: BTreeSet::new(),
         }
     }
 
@@ -287,6 +321,76 @@ impl Broker {
         self.stats = BrokerStats::default();
     }
 
+    /// Sets this incarnation's epoch and resets the outbound links so
+    /// every neighbour sees a fresh sequence space. Call once at node
+    /// start, before any traffic; transports that restart with a
+    /// higher epoch (e.g. wall-clock-derived) implicitly retire frames
+    /// of their previous incarnation.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch.max(1);
+        self.links.clear();
+    }
+
+    /// The epoch stamped on outgoing sequenced frames.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Detaches the reliability state (epoch, retransmit buffers, dedup
+    /// windows) so a transport with durable storage can carry it across
+    /// a crash-restart. The broker is left with empty buffers in the
+    /// same epoch.
+    pub fn take_reliability_state(&mut self) -> ReliabilityState {
+        ReliabilityState {
+            epoch: self.epoch,
+            links: std::mem::take(&mut self.links),
+            windows: std::mem::take(&mut self.windows),
+        }
+    }
+
+    /// Restores reliability state detached by
+    /// [`Broker::take_reliability_state`]. Routing state is *not*
+    /// restored — that is rebuilt via `SyncRequest`/`SyncState`.
+    pub fn restore_reliability_state(&mut self, state: ReliabilityState) {
+        self.epoch = state.epoch.max(1);
+        self.links = state.links;
+        self.windows = state.windows;
+    }
+
+    /// Declares that this broker has requested sync from `peer` and
+    /// must not route payload until the answering
+    /// [`Message::SyncState`] arrives.
+    ///
+    /// A restarted broker's routing tables are empty until its
+    /// neighbours' snapshots land; publications processed before then
+    /// would be acknowledged yet silently unroutable — exactly the
+    /// window in which at-least-once quietly becomes at-most-once.
+    /// Transports call this for every reachable neighbour when they
+    /// issue the (re)connect `SyncRequest`; until each one has
+    /// answered, [`Broker::handle`] defers payload frames unacked and
+    /// replays them through the normal dedup/routing path once the
+    /// last snapshot is installed.
+    pub fn expect_sync_from(&mut self, peer: BrokerId) {
+        self.sync_pending.insert(peer);
+    }
+
+    /// True while the broker defers payload awaiting neighbour sync.
+    pub fn is_warming(&self) -> bool {
+        !self.sync_pending.is_empty()
+    }
+
+    /// Total sequenced frames still awaiting acknowledgement across
+    /// every neighbour link.
+    pub fn unacked_total(&self) -> usize {
+        self.links.values().map(OutboundLink::unacked_len).sum()
+    }
+
+    /// Total frames shed from full retransmit buffers — each one a
+    /// frame the reliability layer can no longer guarantee.
+    pub fn retransmit_overflow_total(&self) -> u64 {
+        self.links.values().map(OutboundLink::overflow).sum()
+    }
+
     /// Number of advertisements in the SRT.
     pub fn srt_size(&self) -> usize {
         self.srt.len()
@@ -313,7 +417,173 @@ impl Broker {
     /// Processes one message and returns the messages to transmit, as
     /// `(destination, message)` pairs. Never returns a message to
     /// `from`.
+    ///
+    /// This is the reliable entry point: payload frames bound for
+    /// neighbouring brokers come back wrapped in [`Message::Sequenced`]
+    /// headers and buffered for retransmission, inbound sequenced
+    /// frames are deduplicated and acknowledged, [`Message::Ack`]s
+    /// prune the retransmit buffers, and a neighbour's
+    /// [`Message::SyncRequest`] additionally triggers a replay of every
+    /// frame it has not acknowledged.
     pub fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+        if !self.sync_pending.is_empty() && msg.is_payload() {
+            // Warming up: routing tables are not rebuilt yet, so
+            // defer (without acking) rather than ack-and-misroute.
+            if self.warmup.len() < WARMUP_CAPACITY {
+                self.warmup.push_back((from, msg));
+            } else {
+                self.stats.warmup_shed += 1;
+            }
+            return Vec::new();
+        }
+        let sync_peer = match (&msg, from.as_broker()) {
+            (Message::SyncState { .. }, Some(nb)) => Some(nb),
+            _ => None,
+        };
+        let out = match msg {
+            Message::Ack { epoch, seq } => {
+                self.stats.record_received(MessageKind::Ack);
+                if let Some(nb) = from.as_broker() {
+                    if let Some(link) = self.links.get_mut(&nb) {
+                        for lag in link.on_ack(epoch, seq) {
+                            self.stats.ack_lag.record(lag);
+                        }
+                    }
+                }
+                return Vec::new();
+            }
+            Message::Sequenced {
+                epoch,
+                seq,
+                low,
+                inner,
+            } => {
+                let admit = self
+                    .windows
+                    .entry(from)
+                    .or_default()
+                    .observe(epoch, seq, low);
+                match admit {
+                    Admit::Stale => {
+                        // A dead incarnation's frame; its successor
+                        // re-sends anything that still matters.
+                        self.stats.stale_frames += 1;
+                        return Vec::new();
+                    }
+                    Admit::Duplicate => {
+                        // Already processed: suppress the payload but
+                        // re-ack so the sender can prune its buffer.
+                        self.stats.dup_frames += 1;
+                        let ack = self.ack_for(from, epoch, seq);
+                        self.stats.sent += 1;
+                        return vec![(from, ack)];
+                    }
+                    Admit::Fresh => {
+                        let mut out = self.handle_core(from, *inner);
+                        let ack = self.ack_for(from, epoch, seq);
+                        self.stats.sent += 1;
+                        out.push((from, ack));
+                        out
+                    }
+                }
+            }
+            Message::SyncRequest => match from.as_broker() {
+                Some(nb) => {
+                    if self.sync_pending.iter().any(|p| *p != nb) {
+                        // Warming up ourselves: our snapshot is still
+                        // incomplete, and the peer would install it as
+                        // if it were whole. Hold the answer until every
+                        // snapshot we await from *other* neighbours has
+                        // arrived (excluding the requester breaks the
+                        // mutual-wait a freshly synced pair would
+                        // otherwise deadlock on).
+                        self.deferred_sync.insert(nb);
+                        return Vec::new();
+                    }
+                    self.answer_sync(nb)
+                }
+                None => self.handle_core(from, Message::SyncRequest),
+            },
+            other => self.handle_core(from, other),
+        };
+        let mut out = self.wrap_outputs(out);
+        if let Some(nb) = sync_peer {
+            if self.sync_pending.remove(&nb) {
+                // Snapshots held back while we were colder than the
+                // requester may be ready now.
+                let ready: Vec<BrokerId> = self
+                    .deferred_sync
+                    .iter()
+                    .copied()
+                    .filter(|r| self.sync_pending.iter().all(|p| p == r))
+                    .collect();
+                for r in ready {
+                    self.deferred_sync.remove(&r);
+                    out.extend(self.answer_sync(r));
+                }
+                if self.sync_pending.is_empty() {
+                    // Last awaited snapshot installed: replay the
+                    // deferred frames through the normal handle path
+                    // (dedup, acks, sequencing all apply as if they
+                    // had just arrived).
+                    let held: Vec<_> = self.warmup.drain(..).collect();
+                    for (h_from, h_msg) in held {
+                        out.extend(self.handle(h_from, h_msg));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The full answer to a neighbour's [`Message::SyncRequest`]: the
+    /// routing snapshot plus a replay of every sequenced frame the peer
+    /// has not acknowledged (the reconnect may have eaten them).
+    fn answer_sync(&mut self, nb: BrokerId) -> Vec<(Dest, Message)> {
+        let from = Dest::Broker(nb);
+        let mut out = self.handle_core(from, Message::SyncRequest);
+        if let Some(link) = self.links.get(&nb) {
+            let replayed = link.replay();
+            self.stats.retransmits += replayed.len() as u64;
+            self.stats.sent += replayed.len() as u64;
+            out.extend(replayed.into_iter().map(|m| (from, m)));
+        }
+        out
+    }
+
+    /// The cumulative ack for `from`'s window (falling back to the
+    /// observed frame if the window vanished, which cannot happen in
+    /// practice — `observe` just created it).
+    fn ack_for(&self, from: Dest, epoch: u64, seq: u64) -> Message {
+        let (e, s) = self
+            .windows
+            .get(&from)
+            .map_or((epoch, seq), DedupWindow::ack_value);
+        Message::Ack { epoch: e, seq: s }
+    }
+
+    /// Wraps broker-bound payload messages in sequenced headers,
+    /// buffering each for retransmission. Control traffic, client
+    /// deliveries, and already-sequenced frames pass through untouched.
+    fn wrap_outputs(&mut self, out: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+        let epoch = self.epoch;
+        out.into_iter()
+            .map(|(dest, msg)| match dest {
+                Dest::Broker(nb)
+                    if msg.is_payload() && !matches!(msg, Message::Sequenced { .. }) =>
+                {
+                    let link = self.links.entry(nb).or_insert_with(|| {
+                        OutboundLink::new(epoch, crate::reliable::DEFAULT_RETRANSMIT_CAPACITY)
+                    });
+                    (dest, link.wrap(msg))
+                }
+                _ => (dest, msg),
+            })
+            .collect()
+    }
+
+    /// The routing state machine, below the reliability layer.
+    fn handle_core(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
         self.stats.record_received(msg.kind());
         let out = match msg {
             Message::Advertise { id, adv } => {
@@ -398,8 +668,18 @@ impl Broker {
             }
             Message::Heartbeat => {
                 // Liveness probes are consumed by the transport layer;
-                // one reaching the broker is a no-op.
-                Vec::new()
+                // one reaching the broker is normally a no-op. From a
+                // still-sync-pending neighbour, though, it doubles as a
+                // retry tick: the single SyncRequest sent on (re)connect
+                // can be lost, and a warming broker would otherwise
+                // defer payload forever. Re-asking is idempotent — the
+                // peer just answers with a fresh snapshot.
+                match from.as_broker() {
+                    Some(nb) if self.sync_pending.contains(&nb) => {
+                        vec![(from, Message::SyncRequest)]
+                    }
+                    _ => Vec::new(),
+                }
             }
             Message::SyncRequest => match from.as_broker() {
                 Some(nb) => vec![(from, self.export_routing_for(nb))],
@@ -414,13 +694,19 @@ impl Broker {
                 // route along them.
                 let mut out = Vec::new();
                 for (id, adv) in advs {
-                    out.extend(self.handle(from, Message::Advertise { id, adv }));
+                    out.extend(self.handle_core(from, Message::Advertise { id, adv }));
                 }
                 for (id, xpe) in subs {
-                    out.extend(self.handle(from, Message::Subscribe { id, xpe }));
+                    out.extend(self.handle_core(from, Message::Subscribe { id, xpe }));
                 }
-                // The recursive calls counted their own sends.
+                // The recursive calls counted their own sends; the
+                // top-level `handle` wraps the combined output once.
                 return out;
+            }
+            Message::Ack { .. } | Message::Sequenced { .. } => {
+                // Reliability frames are consumed by `handle` before
+                // the routing layer; one reaching here is a no-op.
+                Vec::new()
             }
         };
         self.stats.sent += out.len() as u64;
@@ -430,8 +716,22 @@ impl Broker {
     /// Exports the routing state a (re)connecting `neighbor` needs from
     /// this broker: every SRT advertisement this broker would have
     /// flooded over the link (last hop ≠ the neighbour) and every
-    /// subscription this broker had forwarded over the link. The
-    /// receiver installs it via [`Message::SyncState`] handling.
+    /// subscription the neighbour needs to route publications back
+    /// through this broker. The receiver installs it via
+    /// [`Message::SyncState`] handling.
+    ///
+    /// The subscription export is recomputed from the routing tables,
+    /// not read from forwarding history: a broker that itself restarted
+    /// has no `sent_to` memory, yet its snapshot must still carry the
+    /// subscriptions it holds, or a twice-faulted overlay acks frames
+    /// it cannot route. When this broker has advertisements learned via
+    /// the neighbour, the export is scoped exactly like live
+    /// forwarding (only overlapping subscriptions); on a cold link —
+    /// no advertisements from that side yet — every non-echo
+    /// subscription is exported. The superset is safe: installation is
+    /// idempotent and an extra PRT entry only routes matching
+    /// publications toward a subscriber that genuinely sits behind this
+    /// broker.
     pub fn export_routing_for(&self, neighbor: BrokerId) -> Message {
         let hop = Dest::Broker(neighbor);
         let mut advs: Vec<_> = self
@@ -441,17 +741,25 @@ impl Broker {
             .map(|(id, adv, _)| (id, adv.clone()))
             .collect();
         advs.sort_by_key(|(id, _)| id.0);
-        let xpe_of: std::collections::HashMap<SubId, Xpe> = self
+        let scope: Vec<&xdn_core::adv::Advertisement> = self
+            .srt
+            .iter()
+            .filter(|(_, _, h)| **h == hop)
+            .map(|(_, adv, _)| adv)
+            .collect();
+        let mut subs: Vec<_> = self
             .prt
             .forwarded_subs()
             .into_iter()
+            .filter(|(_, _, hops)| hops.iter().all(|h| *h != hop))
+            .filter(|(_, xpe, _)| {
+                !self.config.advertisements
+                    || scope.is_empty()
+                    || scope
+                        .iter()
+                        .any(|adv| xdn_core::advmatch::adv_overlaps_sub(adv, xpe))
+            })
             .map(|(id, xpe, _)| (id, xpe))
-            .collect();
-        let mut subs: Vec<_> = self
-            .sent_to
-            .iter()
-            .filter(|(_, dests)| dests.contains(&hop))
-            .filter_map(|(id, _)| xpe_of.get(id).map(|x| (*id, x.clone())))
             .collect();
         subs.sort_by_key(|(id, _)| id.0);
         Message::SyncState { advs, subs }
@@ -687,7 +995,7 @@ impl Broker {
             }
         }
         self.stats.sent += out.len() as u64;
-        out
+        self.wrap_outputs(out)
     }
 }
 
@@ -822,11 +1130,11 @@ mod tests {
         let out = b.handle(client(2), Message::subscribe(SubId(2), xpe("/a/*")));
         let unsubs: Vec<_> = out
             .iter()
-            .filter(|(_, m)| matches!(m, Message::Unsubscribe { .. }))
+            .filter(|(_, m)| matches!(m.payload(), Message::Unsubscribe { .. }))
             .collect();
         let subs: Vec<_> = out
             .iter()
-            .filter(|(_, m)| matches!(m, Message::Subscribe { .. }))
+            .filter(|(_, m)| matches!(m.payload(), Message::Subscribe { .. }))
             .collect();
         assert_eq!(unsubs.len(), 1);
         assert_eq!(subs.len(), 1);
@@ -932,7 +1240,7 @@ mod tests {
         assert_eq!(b.prt_effective_size(), 1);
         let subs: Vec<_> = out
             .iter()
-            .filter_map(|(_, m)| match m {
+            .filter_map(|(_, m)| match m.payload() {
                 Message::Subscribe { xpe, .. } => Some(xpe.to_string()),
                 _ => None,
             })
@@ -940,7 +1248,7 @@ mod tests {
         assert_eq!(subs, vec!["/a/b/*".to_string()]);
         let unsubs = out
             .iter()
-            .filter(|(_, m)| matches!(m, Message::Unsubscribe { .. }))
+            .filter(|(_, m)| matches!(m.payload(), Message::Unsubscribe { .. }))
             .count();
         assert_eq!(unsubs, 2);
     }
@@ -1011,11 +1319,18 @@ mod tests {
         // A local subscription forwarded toward B2's advertisement.
         b.handle(client(9), Message::subscribe(SubId(7), xpe("/a/*")));
         let out = b.handle(broker_hop(1), Message::SyncRequest);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].0, broker_hop(1));
-        let Message::SyncState { advs, subs } = &out[0].1 else {
-            panic!("expected SyncState, got {:?}", out[0].1)
-        };
+        // The answer carries the routing snapshot plus a replay of the
+        // unacked frames B1 may have lost (the flooded advertisement).
+        assert!(out.iter().all(|(d, _)| *d == broker_hop(1)));
+        let syncs: Vec<_> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Message::SyncState { advs, subs } => Some((advs, subs)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syncs.len(), 1);
+        let (advs, subs) = &syncs[0];
         assert_eq!(
             advs.len(),
             1,
@@ -1023,9 +1338,19 @@ mod tests {
         );
         assert_eq!(advs[0].0, AdvId(1));
         assert!(subs.is_empty(), "the subscription went toward B2, not B1");
+        let replays = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Sequenced { .. }))
+            .count();
+        assert_eq!(replays, 1, "the unacked flooded advertisement replays");
+        assert_eq!(b.stats().retransmits, 1);
         let out = b.handle(broker_hop(2), Message::SyncRequest);
-        let Message::SyncState { advs, subs } = &out[0].1 else {
-            panic!()
+        let Some(Message::SyncState { advs, subs }) = out
+            .iter()
+            .map(|(_, m)| m)
+            .find(|m| matches!(m, Message::SyncState { .. }))
+        else {
+            panic!("expected a SyncState answer")
         };
         assert_eq!(advs[0].0, AdvId(2));
         assert_eq!(subs, &[(SubId(7), xpe("/a/*"))]);
@@ -1070,6 +1395,73 @@ mod tests {
     }
 
     #[test]
+    fn warming_broker_defers_sync_answer_until_other_snapshots_arrive() {
+        let mut b = Broker::new(
+            BrokerId(1),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
+        b.add_neighbor(BrokerId(0));
+        b.add_neighbor(BrokerId(2));
+        b.expect_sync_from(BrokerId(0));
+        b.expect_sync_from(BrokerId(2));
+        // A request from B2 while B0's snapshot is still missing must
+        // not be answered with a cold, possibly-empty snapshot.
+        let out = b.handle(broker_hop(2), Message::SyncRequest);
+        assert!(out.is_empty(), "cold snapshot handed out: {out:?}");
+        // B0's snapshot arrives: the broker now knows everything B2's
+        // side cannot tell it, so the held answer is released.
+        let out = b.handle(
+            broker_hop(0),
+            Message::SyncState {
+                advs: vec![(AdvId(1), adv(&["a", "b"]))],
+                subs: Vec::new(),
+            },
+        );
+        let answers = out
+            .iter()
+            .filter(|(d, m)| *d == broker_hop(2) && matches!(m, Message::SyncState { .. }))
+            .count();
+        assert_eq!(answers, 1, "deferred answer not released: {out:?}");
+        assert!(b.is_warming(), "B2's own snapshot is still awaited");
+    }
+
+    #[test]
+    fn cold_restarted_broker_still_exports_its_subscriptions() {
+        // A restarted broker has no forwarding history, so the export
+        // must be recomputed from the tables: subscriptions re-learned
+        // from one side are handed to the other side's sync (full
+        // non-echo set — no advertisements to scope by yet), and never
+        // echoed back to the side they came from.
+        let mut b = Broker::new(
+            BrokerId(2),
+            RoutingConfig::builder()
+                .advertisements(true)
+                .covering(true)
+                .build(),
+        );
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(3));
+        b.handle(
+            broker_hop(3),
+            Message::SyncState {
+                advs: Vec::new(),
+                subs: vec![(SubId(5), xpe("/a/*"))],
+            },
+        );
+        let Message::SyncState { subs, .. } = b.export_routing_for(BrokerId(1)) else {
+            panic!("export must be a SyncState")
+        };
+        assert_eq!(subs, vec![(SubId(5), xpe("/a/*"))]);
+        let Message::SyncState { subs, .. } = b.export_routing_for(BrokerId(3)) else {
+            panic!("export must be a SyncState")
+        };
+        assert!(subs.is_empty(), "subscription echoed to its source");
+    }
+
+    #[test]
     fn heartbeat_is_inert() {
         let mut b = Broker::new(
             BrokerId(0),
@@ -1099,6 +1491,130 @@ mod tests {
         let out = b.handle(broker_hop(1), Message::Unadvertise { id: AdvId(1) });
         assert_eq!(b.srt_size(), 0);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn broker_traffic_is_sequenced_and_acked() {
+        let cfg = RoutingConfig::builder().build();
+        let mut a = Broker::new(BrokerId(0), cfg);
+        let mut b = Broker::new(BrokerId(1), cfg);
+        a.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(0));
+
+        // A client subscription floods from A toward B, wrapped.
+        let out = a.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
+        assert_eq!(out.len(), 1);
+        let (dest, frame) = out.into_iter().next().unwrap();
+        assert_eq!(dest, broker_hop(1));
+        assert!(matches!(
+            frame,
+            Message::Sequenced {
+                epoch: 1,
+                seq: 1,
+                ..
+            }
+        ));
+        assert_eq!(a.unacked_total(), 1);
+
+        // B processes it exactly once and acknowledges.
+        let replies = b.handle(broker_hop(0), frame.clone());
+        assert_eq!(b.prt_size(), 1);
+        let acks: Vec<_> = replies
+            .iter()
+            .filter(|(_, m)| matches!(m, Message::Ack { epoch: 1, seq: 1 }))
+            .collect();
+        assert_eq!(acks.len(), 1);
+
+        // The ack prunes A's retransmit buffer and records the lag.
+        for (d, m) in replies {
+            if d == broker_hop(0) {
+                a.handle(broker_hop(1), m);
+            }
+        }
+        assert_eq!(a.unacked_total(), 0);
+        assert_eq!(a.stats().ack_lag.count(), 1);
+    }
+
+    #[test]
+    fn replayed_frames_are_idempotent() {
+        let cfg = RoutingConfig::builder().build();
+        let mut a = Broker::new(BrokerId(0), cfg);
+        let mut b = Broker::new(BrokerId(1), cfg);
+        a.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(0));
+
+        let out = a.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
+        let frame = out.into_iter().next().unwrap().1;
+        b.handle(broker_hop(0), frame.clone());
+        let sig = b.routing_signature();
+
+        // The same frame again (a retransmission): no routing change,
+        // no re-forwarding, just a fresh cumulative ack.
+        let replies = b.handle(broker_hop(0), frame);
+        assert_eq!(b.routing_signature(), sig);
+        assert_eq!(b.stats().dup_frames, 1);
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(replies[0].1, Message::Ack { epoch: 1, seq: 1 }));
+    }
+
+    #[test]
+    fn stale_epoch_frames_counted() {
+        let cfg = RoutingConfig::builder().build();
+        let mut b = Broker::new(BrokerId(1), cfg);
+        b.add_neighbor(BrokerId(0));
+        // Epoch 5 first, then a leftover epoch-3 frame.
+        b.handle(
+            broker_hop(0),
+            Message::Sequenced {
+                epoch: 5,
+                seq: 1,
+                low: 1,
+                inner: Box::new(Message::Heartbeat),
+            },
+        );
+        let out = b.handle(
+            broker_hop(0),
+            Message::Sequenced {
+                epoch: 3,
+                seq: 7,
+                low: 1,
+                inner: Box::new(Message::Heartbeat),
+            },
+        );
+        assert!(out.is_empty(), "stale frames are dropped silently");
+        assert_eq!(b.stats().stale_frames, 1);
+    }
+
+    #[test]
+    fn reliability_state_survives_detach_and_restore() {
+        let cfg = RoutingConfig::builder().build();
+        let mut a = Broker::new(BrokerId(0), cfg);
+        a.add_neighbor(BrokerId(1));
+        a.set_epoch(9);
+        a.handle(client(1), Message::subscribe(SubId(1), xpe("/a")));
+        assert_eq!(a.unacked_total(), 1);
+
+        // Crash: the durable reliability state moves to the successor.
+        let state = a.take_reliability_state();
+        assert_eq!(a.unacked_total(), 0);
+        let mut a2 = Broker::new(BrokerId(0), cfg);
+        a2.add_neighbor(BrokerId(1));
+        a2.restore_reliability_state(state);
+        assert_eq!(a2.epoch(), 9);
+        assert_eq!(a2.unacked_total(), 1);
+
+        // A neighbour's sync request replays the inherited frame with
+        // its original (epoch, seq).
+        let out = a2.handle(broker_hop(1), Message::SyncRequest);
+        assert!(out.iter().any(|(_, m)| matches!(
+            m,
+            Message::Sequenced {
+                epoch: 9,
+                seq: 1,
+                ..
+            }
+        )));
+        assert_eq!(a2.stats().retransmits, 1);
     }
 }
 

@@ -45,9 +45,11 @@
 
 pub mod broker;
 pub mod message;
+pub mod reliable;
 pub mod stats;
 pub mod wire;
 
 pub use broker::{Broker, Merging, RoutingConfig, RoutingConfigBuilder};
 pub use message::{BrokerId, ClientId, Dest, Message, MessageKind, Publication};
+pub use reliable::{Admit, DedupWindow, OutboundLink, ReliabilityState};
 pub use stats::{BrokerStats, KindCounters};

@@ -1,0 +1,399 @@
+//! Per-link reliable-delivery primitives: retransmit buffers and
+//! dedup windows.
+//!
+//! The overlay's delivery decision lives in the PRT, but the decision
+//! is only as good as the links that carry it: a crash, redial, or
+//! backpressure shed between two brokers silently breaks the reverse
+//! path a subscription paid to establish. This module provides the two
+//! halves of the at-least-once repair loop:
+//!
+//! * [`OutboundLink`] — the sender side. Every payload frame toward a
+//!   neighbour is wrapped in a `(epoch, seq)` header and held in a
+//!   bounded buffer until the neighbour's cumulative
+//!   [`crate::Message::Ack`] covers it. On a neighbour's
+//!   `SyncRequest` (sent on every reconnect and restart) the whole
+//!   buffer replays.
+//! * [`DedupWindow`] — the receiver side. Tracks the highest
+//!   contiguously-processed sequence number per `(peer, epoch)` and
+//!   classifies each arriving frame as fresh, duplicate, or stale so
+//!   replays are idempotent against routing tables and delivery sets.
+//!
+//! Epochs identify sender incarnations: a broker that restarts with a
+//! fresh (higher) epoch implicitly retires its old sequence space.
+//! Each sequenced frame also carries the sender's `low` watermark (its
+//! lowest unacked seq); a receiver may safely fast-forward its dedup
+//! floor to `low - 1` because everything below `low` was cumulatively
+//! acknowledged by some receiver incarnation — this is what lets a
+//! restarted receiver rejoin an ongoing epoch without either dropping
+//! live frames as false duplicates or re-processing acked ones.
+
+use crate::message::{BrokerId, Dest, Message};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+use xdn_obs::Stopwatch;
+
+/// Default bound on an [`OutboundLink`]'s unacked buffer. Sized so the
+/// chaos workloads never overflow; an overflow sheds the oldest frame
+/// (counted, never silent) and weakens at-least-once for that frame.
+pub const DEFAULT_RETRANSMIT_CAPACITY: usize = 4096;
+
+/// Default bound on a [`DedupWindow`]'s out-of-order set.
+pub const DEFAULT_WINDOW_CAPACITY: usize = 65536;
+
+/// Classification of a sequenced frame by a [`DedupWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// First sighting: process the payload and ack.
+    Fresh,
+    /// Already processed (replay): drop the payload but re-ack so the
+    /// sender can prune its buffer.
+    Duplicate,
+    /// Carries an epoch older than the window's current one: the
+    /// sender incarnation that produced it is gone; drop silently.
+    Stale,
+}
+
+/// Sender-side state for one broker→broker link: the epoch, the next
+/// sequence number, and the bounded buffer of unacked frames.
+#[derive(Debug, Clone)]
+pub struct OutboundLink {
+    epoch: u64,
+    next_seq: u64,
+    capacity: usize,
+    /// `(seq, payload, sent-at)` in ascending seq order.
+    unacked: VecDeque<(u64, Message, Stopwatch)>,
+    overflow: u64,
+}
+
+impl OutboundLink {
+    /// Creates a link in `epoch` with an empty buffer.
+    pub fn new(epoch: u64, capacity: usize) -> Self {
+        OutboundLink {
+            epoch,
+            next_seq: 1,
+            capacity: capacity.max(1),
+            unacked: VecDeque::new(),
+            overflow: 0,
+        }
+    }
+
+    /// The sender incarnation this link stamps on frames.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of frames awaiting acknowledgement.
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Frames shed from a full buffer — each one is a frame the
+    /// reliability layer can no longer guarantee.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The lowest unacked sequence number (everything below it has
+    /// been cumulatively acknowledged), or the next seq if nothing is
+    /// outstanding.
+    pub fn low(&self) -> u64 {
+        self.unacked.front().map_or(self.next_seq, |(s, _, _)| *s)
+    }
+
+    /// Wraps `inner` in the next `(epoch, seq)` header, buffers a copy
+    /// for retransmission, and returns the frame to send. A full
+    /// buffer sheds its oldest frame first (counted via
+    /// [`OutboundLink::overflow`]).
+    pub fn wrap(&mut self, inner: Message) -> Message {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.unacked.len() >= self.capacity {
+            self.unacked.pop_front();
+            self.overflow += 1;
+        }
+        self.unacked
+            .push_back((seq, inner.clone(), Stopwatch::start()));
+        Message::Sequenced {
+            epoch: self.epoch,
+            seq,
+            low: self.low(),
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Applies a cumulative ack, pruning every frame with
+    /// `seq <= acked_seq` of the matching epoch. Returns the age of
+    /// each pruned frame (send-to-ack lag) for the histogram; acks for
+    /// other epochs are ignored.
+    pub fn on_ack(&mut self, epoch: u64, acked_seq: u64) -> Vec<Duration> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        let mut lags = Vec::new();
+        while let Some((seq, _, sent)) = self.unacked.front() {
+            if *seq > acked_seq {
+                break;
+            }
+            lags.push(sent.elapsed());
+            self.unacked.pop_front();
+        }
+        lags
+    }
+
+    /// Re-wraps every unacked frame for replay after the peer asks to
+    /// re-sync. Frames keep their original sequence numbers, so the
+    /// receiver's window drops any it already processed.
+    pub fn replay(&self) -> Vec<Message> {
+        let low = self.low();
+        self.unacked
+            .iter()
+            .map(|(seq, inner, _)| Message::Sequenced {
+                epoch: self.epoch,
+                seq: *seq,
+                low,
+                inner: Box::new(inner.clone()),
+            })
+            .collect()
+    }
+}
+
+/// Receiver-side dedup state for one inbound link.
+///
+/// Tracks `cumulative` — the highest seq with every frame at or below
+/// it processed — plus a bounded set of out-of-order seqs above it.
+/// If the out-of-order set overflows, the window abandons the oldest
+/// gap (favouring the no-duplicate half of the invariant over
+/// no-loss); the default capacity makes this unreachable in practice.
+#[derive(Debug, Clone)]
+pub struct DedupWindow {
+    epoch: u64,
+    cumulative: u64,
+    seen: BTreeSet<u64>,
+    capacity: usize,
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        DedupWindow::new(DEFAULT_WINDOW_CAPACITY)
+    }
+}
+
+impl DedupWindow {
+    /// Creates an empty window that accepts any first epoch.
+    pub fn new(capacity: usize) -> Self {
+        DedupWindow {
+            epoch: 0,
+            cumulative: 0,
+            seen: BTreeSet::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The epoch this window currently tracks.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The `(epoch, seq)` to acknowledge: the highest contiguously
+    /// processed sequence number of the current epoch.
+    pub fn ack_value(&self) -> (u64, u64) {
+        (self.epoch, self.cumulative)
+    }
+
+    /// Classifies a frame and, when [`Admit::Fresh`], records it as
+    /// processed. `low` is the sender's watermark from the frame
+    /// header; the floor advances to `low - 1` because everything
+    /// below `low` was already acked by some incarnation of us.
+    pub fn observe(&mut self, epoch: u64, seq: u64, low: u64) -> Admit {
+        if epoch < self.epoch {
+            return Admit::Stale;
+        }
+        if epoch > self.epoch {
+            // New sender incarnation: its sequence space starts fresh.
+            self.epoch = epoch;
+            self.cumulative = low.saturating_sub(1);
+            self.seen.clear();
+        } else if low.saturating_sub(1) > self.cumulative {
+            self.cumulative = low - 1;
+            self.seen = match self.cumulative.checked_add(1) {
+                Some(next) => self.seen.split_off(&next),
+                None => BTreeSet::new(),
+            };
+            self.compact();
+        }
+        if seq <= self.cumulative || self.seen.contains(&seq) {
+            return Admit::Duplicate;
+        }
+        self.seen.insert(seq);
+        self.compact();
+        if self.seen.len() > self.capacity {
+            // Abandon the lowest gap to stay bounded.
+            if let Some(&lowest) = self.seen.iter().next() {
+                self.cumulative = lowest;
+                self.seen.remove(&lowest);
+                self.compact();
+            }
+        }
+        Admit::Fresh
+    }
+
+    fn compact(&mut self) {
+        while self.cumulative < u64::MAX && self.seen.remove(&(self.cumulative + 1)) {
+            self.cumulative += 1;
+        }
+    }
+}
+
+/// A broker's complete reliability state, detachable so a transport
+/// with durable storage (or the simulator modelling one) can carry it
+/// across a crash-restart. Routing state is *not* carried — that is
+/// rebuilt by the existing `SyncRequest`/`SyncState` exchange.
+#[derive(Debug, Clone, Default)]
+pub struct ReliabilityState {
+    /// The broker's sender epoch.
+    pub epoch: u64,
+    /// Per-neighbour outbound links (retransmit buffers).
+    pub links: BTreeMap<BrokerId, OutboundLink>,
+    /// Per-source dedup windows.
+    pub windows: BTreeMap<Dest, DedupWindow>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb() -> Message {
+        Message::Heartbeat
+    }
+
+    #[test]
+    fn wrap_assigns_increasing_seqs_and_acks_prune() {
+        let mut link = OutboundLink::new(3, 16);
+        let f1 = link.wrap(hb());
+        let f2 = link.wrap(hb());
+        match (&f1, &f2) {
+            (
+                Message::Sequenced {
+                    epoch: 3, seq: 1, ..
+                },
+                Message::Sequenced {
+                    epoch: 3,
+                    seq: 2,
+                    low,
+                    ..
+                },
+            ) => assert_eq!(*low, 1),
+            other => panic!("unexpected frames: {other:?}"),
+        }
+        assert_eq!(link.unacked_len(), 2);
+        // An ack for a foreign epoch is ignored.
+        assert!(link.on_ack(2, 2).is_empty());
+        assert_eq!(link.unacked_len(), 2);
+        let lags = link.on_ack(3, 1);
+        assert_eq!(lags.len(), 1);
+        assert_eq!(link.unacked_len(), 1);
+        assert_eq!(link.low(), 2);
+        link.on_ack(3, 2);
+        assert_eq!(link.unacked_len(), 0);
+        assert_eq!(link.low(), 3, "low is next_seq when nothing is unacked");
+    }
+
+    #[test]
+    fn replay_preserves_original_seqs() {
+        let mut link = OutboundLink::new(1, 16);
+        for _ in 0..3 {
+            link.wrap(hb());
+        }
+        link.on_ack(1, 1);
+        let replayed = link.replay();
+        let seqs: Vec<u64> = replayed
+            .iter()
+            .map(|m| match m {
+                Message::Sequenced { seq, low, .. } => {
+                    assert_eq!(*low, 2);
+                    *seq
+                }
+                other => panic!("not sequenced: {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3]);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_and_counts() {
+        let mut link = OutboundLink::new(1, 2);
+        for _ in 0..5 {
+            link.wrap(hb());
+        }
+        assert_eq!(link.unacked_len(), 2);
+        assert_eq!(link.overflow(), 3);
+        assert_eq!(link.low(), 4);
+    }
+
+    #[test]
+    fn window_dedups_and_acks_cumulatively() {
+        let mut w = DedupWindow::new(64);
+        assert_eq!(w.observe(1, 1, 1), Admit::Fresh);
+        assert_eq!(w.observe(1, 1, 1), Admit::Duplicate);
+        // Out of order: 3 before 2.
+        assert_eq!(w.observe(1, 3, 1), Admit::Fresh);
+        assert_eq!(w.ack_value(), (1, 1), "3 is not contiguous yet");
+        assert_eq!(w.observe(1, 2, 1), Admit::Fresh);
+        assert_eq!(w.ack_value(), (1, 3));
+        assert_eq!(w.observe(1, 2, 1), Admit::Duplicate);
+    }
+
+    #[test]
+    fn stale_epochs_dropped_new_epochs_reset() {
+        let mut w = DedupWindow::new(64);
+        assert_eq!(w.observe(5, 1, 1), Admit::Fresh);
+        assert_eq!(w.observe(4, 9, 1), Admit::Stale);
+        // Epoch bump: old seq space retired, floor from the watermark.
+        assert_eq!(w.observe(6, 8, 8), Admit::Fresh);
+        assert_eq!(w.epoch(), 6);
+        assert_eq!(w.ack_value(), (6, 8), "floor 7 plus contiguous 8");
+        assert_eq!(w.observe(6, 7, 8), Admit::Duplicate, "below the floor");
+    }
+
+    #[test]
+    fn watermark_advances_floor_within_epoch() {
+        let mut w = DedupWindow::new(64);
+        assert_eq!(w.observe(1, 1, 1), Admit::Fresh);
+        // Sender says everything below 10 was acked by a previous
+        // incarnation of us: seqs 2..=9 must not be re-processed.
+        assert_eq!(w.observe(1, 10, 10), Admit::Fresh);
+        assert_eq!(w.ack_value(), (1, 10));
+        assert_eq!(w.observe(1, 5, 10), Admit::Duplicate);
+    }
+
+    #[test]
+    fn seq_wraparound_extremes_handled() {
+        let mut w = DedupWindow::new(64);
+        assert_eq!(w.observe(1, u64::MAX, u64::MAX), Admit::Fresh);
+        assert_eq!(w.observe(1, u64::MAX, u64::MAX), Admit::Duplicate);
+        assert_eq!(w.ack_value(), (1, u64::MAX));
+        let mut link = OutboundLink::new(u64::MAX, 4);
+        let f = link.wrap(hb());
+        assert!(matches!(
+            f,
+            Message::Sequenced {
+                epoch: u64::MAX,
+                seq: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn window_overflow_abandons_lowest_gap() {
+        let mut w = DedupWindow::new(2);
+        // All frames out of order with gaps: 10, 20, 30.
+        assert_eq!(w.observe(1, 10, 1), Admit::Fresh);
+        assert_eq!(w.observe(1, 20, 1), Admit::Fresh);
+        assert_eq!(w.observe(1, 30, 1), Admit::Fresh);
+        // The window stayed bounded; the abandoned gap below 10 now
+        // reads as duplicate (no-duplicate wins over no-loss here).
+        assert_eq!(w.observe(1, 5, 1), Admit::Duplicate);
+        assert_eq!(w.observe(1, 21, 1), Admit::Fresh);
+    }
+}

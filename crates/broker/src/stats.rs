@@ -85,6 +85,22 @@ pub struct BrokerStats {
     pub sub_processing: Histogram,
     /// Wall-clock time per routed publication — Table 1's metric.
     pub pub_routing: Histogram,
+    /// Sequenced frames replayed from a retransmit buffer in answer to
+    /// a neighbour's [`MessageKind::SyncRequest`].
+    pub retransmits: u64,
+    /// Sequenced frames dropped as already-processed duplicates by the
+    /// per-peer dedup window.
+    pub dup_frames: u64,
+    /// Sequenced frames dropped because they carried an epoch older
+    /// than the window's current one.
+    pub stale_frames: u64,
+    /// Time between sending a sequenced frame and its cumulative
+    /// acknowledgement — the ack-lag / retransmit-latency histogram.
+    pub ack_lag: Histogram,
+    /// Payload frames shed from a full warm-up buffer while the broker
+    /// awaited neighbour sync. Shed frames were never acknowledged, so
+    /// their senders replay them once sync completes.
+    pub warmup_shed: u64,
 }
 
 impl BrokerStats {
@@ -121,6 +137,10 @@ impl BrokerStats {
         self.deliveries += other.deliveries;
         self.sub_processing.merge(&other.sub_processing);
         self.pub_routing.merge(&other.pub_routing);
+        self.retransmits += other.retransmits;
+        self.dup_frames += other.dup_frames;
+        self.stale_frames += other.stale_frames;
+        self.ack_lag.merge(&other.ack_lag);
     }
 }
 
@@ -157,7 +177,7 @@ mod tests {
         for (i, kind) in MessageKind::ALL.into_iter().enumerate() {
             assert_eq!(s.received_of(kind), i as u64 + 1, "{kind}");
         }
-        assert_eq!(s.received_total(), (1..=8).sum::<u64>());
+        assert_eq!(s.received_total(), (1..=9).sum::<u64>());
         assert_eq!(
             s.received_of(MessageKind::Subscribe),
             s.received.get(MessageKind::Subscribe)

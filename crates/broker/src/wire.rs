@@ -46,6 +46,8 @@ const TAG_PUBLISH: u8 = 5;
 const TAG_HEARTBEAT: u8 = 6;
 const TAG_SYNC_REQUEST: u8 = 7;
 const TAG_SYNC_STATE: u8 = 8;
+const TAG_ACK: u8 = 9;
+const TAG_SEQUENCED: u8 = 10;
 
 /// An error produced while decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +123,25 @@ pub fn encode(msg: &Message) -> Bytes {
                 body.put_u64(id.0);
                 put_str(&mut body, &xpe.to_string());
             }
+        }
+        Message::Ack { epoch, seq } => {
+            body.put_u8(TAG_ACK);
+            body.put_u64(*epoch);
+            body.put_u64(*seq);
+        }
+        Message::Sequenced {
+            epoch,
+            seq,
+            low,
+            inner,
+        } => {
+            body.put_u8(TAG_SEQUENCED);
+            body.put_u64(*epoch);
+            body.put_u64(*seq);
+            body.put_u64(*low);
+            // The payload travels as a complete nested frame so the
+            // decoder reuses the whole codec, length checks included.
+            body.extend_from_slice(&encode(inner));
         }
     }
     let mut frame = BytesMut::with_capacity(4 + body.len());
@@ -240,6 +261,30 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
             }
             Message::SyncState { advs, subs }
         }
+        TAG_ACK => {
+            let epoch = get_u64(&mut body)?;
+            let seq = get_u64(&mut body)?;
+            Message::Ack { epoch, seq }
+        }
+        TAG_SEQUENCED => {
+            let epoch = get_u64(&mut body)?;
+            let seq = get_u64(&mut body)?;
+            let low = get_u64(&mut body)?;
+            let (inner, used) = decode(body)?;
+            // The reliability header wraps exactly one payload frame:
+            // nested reliability messages would let a hostile peer
+            // build recursion bombs and double-count sequence space.
+            if matches!(inner, Message::Sequenced { .. } | Message::Ack { .. }) {
+                return Err(WireError::new("reliability frame nested in sequenced"));
+            }
+            body.advance(used);
+            Message::Sequenced {
+                epoch,
+                seq,
+                low,
+                inner: Box::new(inner),
+            }
+        }
         other => return Err(WireError::new(format!("unknown tag {other}"))),
     };
     if body.has_remaining() {
@@ -343,6 +388,31 @@ mod tests {
                     (SubId(6), "section/article".parse().unwrap()),
                 ],
             },
+            Message::Ack {
+                epoch: 3,
+                seq: u64::MAX,
+            },
+            Message::Sequenced {
+                epoch: u64::MAX,
+                seq: 1,
+                low: 1,
+                inner: Box::new(Message::subscribe(
+                    SubId(11),
+                    "/news//headline".parse().unwrap(),
+                )),
+            },
+            Message::Sequenced {
+                epoch: 1,
+                seq: 9,
+                low: 4,
+                inner: Box::new(Message::Publish(Publication {
+                    doc_id: DocId(8),
+                    path_id: PathId(2),
+                    elements: vec!["a".into(), "b".into()],
+                    attributes: vec![vec![("v".into(), "1".into())], Vec::new()],
+                    doc_bytes: 512,
+                })),
+            },
         ]
     }
 
@@ -420,6 +490,45 @@ mod tests {
         grown.extend_from_slice(&bytes[4..]);
         grown.put_u8(0);
         assert!(decode(&grown).is_err());
+    }
+
+    #[test]
+    fn nested_reliability_frames_rejected() {
+        // Hand-build sequenced(sequenced(heartbeat)) and
+        // sequenced(ack): both must be refused by the depth guard.
+        let seq_hb = Message::Sequenced {
+            epoch: 1,
+            seq: 1,
+            low: 1,
+            inner: Box::new(Message::Heartbeat),
+        };
+        for evil_inner in [seq_hb, Message::Ack { epoch: 1, seq: 1 }] {
+            let mut body = BytesMut::new();
+            body.put_u8(TAG_SEQUENCED);
+            body.put_u64(2);
+            body.put_u64(5);
+            body.put_u64(1);
+            body.extend_from_slice(&encode(&evil_inner));
+            let mut frame = BytesMut::new();
+            frame.put_u32(body.len() as u32);
+            frame.extend_from_slice(&body);
+            let err = decode(&frame).expect_err("nested reliability frame must fail");
+            assert!(err.to_string().contains("nested"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sequenced_truncated_inner_rejected() {
+        let msg = Message::Sequenced {
+            epoch: 1,
+            seq: 2,
+            low: 1,
+            inner: Box::new(Message::Heartbeat),
+        };
+        let bytes = encode(&msg);
+        for cut in [5, 13, 29, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
     }
 
     #[test]

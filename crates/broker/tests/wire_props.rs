@@ -84,13 +84,49 @@ fn publication_strategy() -> impl Strategy<Value = Publication> {
         })
 }
 
-fn message_strategy() -> impl Strategy<Value = Message> {
+/// Payload messages: the kinds the reliability layer wraps in
+/// [`Message::Sequenced`] headers.
+fn payload_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<u64>(), adv_strategy()).prop_map(|(id, adv)| Message::advertise(AdvId(id), adv)),
         any::<u64>().prop_map(|id| Message::Unadvertise { id: AdvId(id) }),
         (any::<u64>(), xpe_strategy()).prop_map(|(id, xpe)| Message::subscribe(SubId(id), xpe)),
         any::<u64>().prop_map(|id| Message::Unsubscribe { id: SubId(id) }),
         publication_strategy().prop_map(Message::Publish),
+    ]
+}
+
+/// Sequence-counter values biased toward the numeric edges: the
+/// wraparound neighbourhood (`u64::MAX`), the window floor (0, 1), and
+/// arbitrary values in between.
+fn counter_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX - 1),
+        Just(u64::MAX),
+        any::<u64>(),
+    ]
+}
+
+fn sequenced_strategy() -> impl Strategy<Value = Message> {
+    (
+        counter_strategy(),
+        counter_strategy(),
+        counter_strategy(),
+        payload_strategy(),
+    )
+        .prop_map(|(epoch, seq, low, inner)| Message::Sequenced {
+            epoch,
+            seq,
+            low,
+            inner: Box::new(inner),
+        })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        payload_strategy(),
         Just(Message::Heartbeat),
         Just(Message::SyncRequest),
         (
@@ -101,6 +137,9 @@ fn message_strategy() -> impl Strategy<Value = Message> {
                 advs: advs.into_iter().map(|(id, a)| (AdvId(id), a)).collect(),
                 subs: subs.into_iter().map(|(id, x)| (SubId(id), x)).collect(),
             }),
+        (counter_strategy(), counter_strategy())
+            .prop_map(|(epoch, seq)| Message::Ack { epoch, seq }),
+        sequenced_strategy(),
     ]
 }
 
@@ -142,5 +181,79 @@ proptest! {
         let (decoded, consumed) = wire::decode(&stream).expect("framed prefix must decode");
         prop_assert_eq!(&decoded, &msg);
         prop_assert_eq!(consumed, frame.len());
+    }
+
+    /// Reliability headers at the numeric edges — `u64::MAX` epochs and
+    /// sequence numbers included — must survive the codec bit-exactly;
+    /// the dedup window's wraparound arithmetic depends on it.
+    #[test]
+    fn sequenced_extremes_round_trip(msg in prop_oneof![
+        sequenced_strategy(),
+        (counter_strategy(), counter_strategy())
+            .prop_map(|(epoch, seq)| Message::Ack { epoch, seq }),
+    ]) {
+        let frame = wire::encode(&msg);
+        let (decoded, consumed) = wire::decode(&frame).expect("own encoding must decode");
+        prop_assert_eq!(&decoded, &msg);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    /// A sequenced frame whose payload is itself a reliability frame is
+    /// hostile input (unbounded nesting): encode happily produces the
+    /// bytes, decode must refuse them — whatever the header values.
+    #[test]
+    fn nested_reliability_frames_are_rejected(
+        epoch in counter_strategy(),
+        seq in counter_strategy(),
+        low in counter_strategy(),
+        inner in prop_oneof![
+            sequenced_strategy(),
+            (counter_strategy(), counter_strategy())
+                .prop_map(|(e, s)| Message::Ack { epoch: e, seq: s }),
+        ],
+    ) {
+        let msg = Message::Sequenced { epoch, seq, low, inner: Box::new(inner) };
+        let frame = wire::encode(&msg);
+        prop_assert!(wire::decode(&frame).is_err(), "nested reliability frame must be refused");
+    }
+
+    /// Frames from a dead incarnation (an epoch older than the one the
+    /// receiver has already seen from the same peer) are dropped
+    /// without output and without panic, for every header combination.
+    #[test]
+    fn stale_epoch_frames_are_dropped(
+        inner in payload_strategy(),
+        new_epoch in counter_strategy(),
+        old_back in any::<u64>(),
+        seq in counter_strategy(),
+        low in counter_strategy(),
+    ) {
+        use xdn_broker::{Broker, BrokerId, Dest, RoutingConfig};
+        let new_epoch = new_epoch.max(2);
+        // Any epoch strictly below the established one is stale.
+        let old_epoch = 1 + old_back % (new_epoch - 1);
+        let config = RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build();
+        let mut b = Broker::new(BrokerId(0), config);
+        b.add_neighbor(BrokerId(1));
+        let from = Dest::Broker(BrokerId(1));
+        // Establish the new epoch first...
+        let _ = b.handle(from, Message::Sequenced {
+            epoch: new_epoch,
+            seq: 1,
+            low: 1,
+            inner: Box::new(Message::Heartbeat),
+        });
+        // ...then a straggler from the previous incarnation arrives.
+        let out = b.handle(from, Message::Sequenced {
+            epoch: old_epoch,
+            seq,
+            low,
+            inner: Box::new(inner),
+        });
+        prop_assert!(out.is_empty(), "stale frame must produce no output");
+        prop_assert_eq!(b.stats().stale_frames, 1);
     }
 }

@@ -28,7 +28,9 @@ use xdn_net::tcp::TcpNode;
 fn usage() -> ! {
     eprintln!(
         "usage: xdn-node --id <u32> --listen <addr:port> \
-         [--peer <id>=<addr:port>]... [--strategy <name>]\n\
+         [--peer <id>=<addr:port>]... [--expect <id>]... [--strategy <name>]\n\
+         --expect: neighbour that dials in (acceptor side); on a restart, \
+         payload is deferred until its state re-syncs\n\
          strategies: no-adv-no-cov | no-adv-with-cov | with-adv-no-cov | \
          with-adv-with-cov | with-adv-with-cov-pm | with-adv-with-cov-ipm"
     );
@@ -56,6 +58,7 @@ fn main() {
     let mut id: Option<u32> = None;
     let mut listen: Option<SocketAddr> = None;
     let mut peers: Vec<(BrokerId, SocketAddr)> = Vec::new();
+    let mut expected: Vec<BrokerId> = Vec::new();
     let mut strategy = RoutingConfig::builder()
         .advertisements(true)
         .covering(true)
@@ -82,6 +85,13 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--expect" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(pid) => expected.push(BrokerId(pid)),
+                    None => usage(),
+                }
+            }
             "--strategy" => {
                 i += 1;
                 strategy = match args.get(i).and_then(|s| strategy_by_name(s)) {
@@ -98,7 +108,14 @@ fn main() {
         usage()
     };
 
-    match TcpNode::start(BrokerId(id), strategy, listen, &peers) {
+    match TcpNode::start_expecting(
+        BrokerId(id),
+        strategy,
+        listen,
+        &peers,
+        &expected,
+        xdn_net::tcp::SupervisorConfig::default(),
+    ) {
         Ok(node) => {
             println!(
                 "xdn-node {id} listening on {} ({} peers); \

@@ -1,0 +1,436 @@
+//! Deterministic fault injection and zero-loss delivery proofs.
+//!
+//! A [`FaultScript`] is a seeded, reproducible schedule of crashes,
+//! restarts, and link flaps over a simulated overlay. Every fault the
+//! generator injects is repaired before the script ends, so a run is a
+//! *recovery* experiment: after [`run_script`] returns, the delivery
+//! multiset must equal a never-failed run of the same workload. The
+//! [`InvariantReport`] states that equality precisely — no missing
+//! notifications, no duplicates, no spurious extras — and serializes
+//! to JSON so CI can archive the proof per seed.
+//!
+//! Scripts never crash *protected* brokers (the ones clients attach
+//! to): frames between a client and its home broker ride no sequenced
+//! link, so losing the home broker loses client state the overlay is
+//! not responsible for. Every broker-to-broker hop, by contrast, is
+//! covered by the retransmit/ack machinery and fair game.
+
+use crate::sim::Network;
+use std::collections::BTreeMap;
+use std::fmt;
+use xdn_broker::{BrokerId, ClientId};
+use xdn_xml::{DocId, PathId};
+
+/// One fault (or repair) action against the simulated overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Crash a broker (routing state lost, inbound traffic parks).
+    Crash(BrokerId),
+    /// Restart a crashed broker (sync rebuilds state, parked replays).
+    Restart(BrokerId),
+    /// Sever a broker⇄broker link (crossing traffic parks).
+    DropLink(BrokerId, BrokerId),
+    /// Restore a severed link (sync + parked replay).
+    RestoreLink(BrokerId, BrokerId),
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::Crash(b) => write!(f, "crash {b}"),
+            FaultOp::Restart(b) => write!(f, "restart {b}"),
+            FaultOp::DropLink(a, b) => write!(f, "drop-link {a}-{b}"),
+            FaultOp::RestoreLink(a, b) => write!(f, "restore-link {a}-{b}"),
+        }
+    }
+}
+
+/// A reproducible fault schedule: `(slot, op)` pairs over `slots`
+/// workload slots. Ops at slot `i` are applied *before* slot `i`'s
+/// publications are injected; ops at slot `slots` form the repair
+/// tail, applied after the last injection. The generator guarantees
+/// every crash has a later restart and every drop a later restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScript {
+    /// The seed the script was generated from.
+    pub seed: u64,
+    /// Number of workload slots the script spans.
+    pub slots: usize,
+    /// The schedule, ordered by slot.
+    pub ops: Vec<(usize, FaultOp)>,
+}
+
+impl fmt::Display for FaultScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={} slots={}:", self.seed, self.slots)?;
+        for (slot, op) in &self.ops {
+            write!(f, " [{slot}] {op};")?;
+        }
+        Ok(())
+    }
+}
+
+/// xorshift64*: a seeded, dependency-free PRNG. Not cryptographic —
+/// only reproducibility matters here.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultScript {
+    /// Generates a deterministic script for an overlay of `brokers`
+    /// connected by `links`. The same arguments always produce the
+    /// same script. Brokers in `protected` are never crashed (crash a
+    /// broker clients attach to and the lost frames are the client's
+    /// problem, not the overlay's). Fault counts scale with what the
+    /// topology offers: up to two crashes and two link flaps, each
+    /// repaired at a strictly later slot, everything repaired by the
+    /// end of the script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn generate(
+        seed: u64,
+        brokers: &[BrokerId],
+        links: &[(BrokerId, BrokerId)],
+        slots: usize,
+        protected: &[BrokerId],
+    ) -> FaultScript {
+        assert!(slots > 0, "a script needs at least one workload slot");
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut victims: Vec<BrokerId> = brokers
+            .iter()
+            .copied()
+            .filter(|b| !protected.contains(b))
+            .collect();
+        let mut flappable: Vec<(BrokerId, BrokerId)> = links.to_vec();
+        let mut ops: Vec<(usize, FaultOp)> = Vec::new();
+
+        let n_crashes = victims.len().min(1 + (next_rand(&mut state) % 2) as usize);
+        for _ in 0..n_crashes {
+            let pick = (next_rand(&mut state) as usize) % victims.len();
+            let victim = victims.swap_remove(pick);
+            let fail = (next_rand(&mut state) as usize) % slots;
+            let repair = fail + 1 + (next_rand(&mut state) as usize) % (slots - fail);
+            ops.push((fail, FaultOp::Crash(victim)));
+            ops.push((repair, FaultOp::Restart(victim)));
+        }
+
+        let n_flaps = flappable
+            .len()
+            .min(1 + (next_rand(&mut state) % 2) as usize);
+        for _ in 0..n_flaps {
+            let pick = (next_rand(&mut state) as usize) % flappable.len();
+            let (a, b) = flappable.swap_remove(pick);
+            let fail = (next_rand(&mut state) as usize) % slots;
+            let repair = fail + 1 + (next_rand(&mut state) as usize) % (slots - fail);
+            ops.push((fail, FaultOp::DropLink(a, b)));
+            ops.push((repair, FaultOp::RestoreLink(a, b)));
+        }
+
+        // Stable order by slot; repairs of a fault sort after it
+        // because their slot is strictly greater.
+        ops.sort_by_key(|(slot, _)| *slot);
+        FaultScript { seed, slots, ops }
+    }
+
+    /// The ops scheduled for `slot`, in schedule order.
+    pub fn ops_at(&self, slot: usize) -> impl Iterator<Item = FaultOp> + '_ {
+        self.ops
+            .iter()
+            .filter(move |(s, _)| *s == slot)
+            .map(|(_, op)| *op)
+    }
+}
+
+/// Applies one op to the network.
+fn apply(net: &mut Network, op: FaultOp) {
+    match op {
+        FaultOp::Crash(b) => net.crash_broker(b),
+        FaultOp::Restart(b) => net.restart_broker(b),
+        FaultOp::DropLink(a, b) => net.drop_link(a, b),
+        FaultOp::RestoreLink(a, b) => net.restore_link(a, b),
+    }
+}
+
+/// Runs `script` against `net`: for each workload slot, applies the
+/// slot's faults, calls `inject` to publish that slot's share of the
+/// workload, and drains the event queue; then applies the repair tail
+/// (slot index `script.slots`) and drains again. On return every
+/// fault has been repaired and all recoverable traffic replayed.
+pub fn run_script(
+    net: &mut Network,
+    script: &FaultScript,
+    mut inject: impl FnMut(&mut Network, usize),
+) {
+    for slot in 0..script.slots {
+        for op in script.ops_at(slot) {
+            apply(net, op);
+        }
+        inject(net, slot);
+        net.run();
+    }
+    for op in script.ops_at(script.slots) {
+        apply(net, op);
+    }
+    net.run();
+}
+
+/// The delivery multiset: every `(client, doc, path)` notification
+/// with its delivery count. Requires the network to have been built
+/// with [`Network::set_record_deliveries`] on.
+pub fn delivery_counts(net: &Network) -> BTreeMap<(ClientId, DocId, PathId), usize> {
+    let mut counts = BTreeMap::new();
+    for (client, path) in &net.metrics().delivered_paths {
+        *counts
+            .entry((*client, path.doc_id, path.path_id))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The verdict of comparing a chaos run's deliveries against a
+/// never-failed reference run, plus the reliability counters that
+/// explain *how* the run recovered. Serializes to JSON for CI
+/// artifacts ([`InvariantReport::to_json`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Seed of the fault script the run executed.
+    pub seed: u64,
+    /// Human-readable rendering of the executed script.
+    pub script: String,
+    /// Notifications the reference run produced but the chaos run
+    /// lost. Must be empty.
+    pub missing: Vec<String>,
+    /// Notifications the chaos run delivered more than once. Must be
+    /// empty.
+    pub duplicates: Vec<String>,
+    /// Notifications the chaos run produced that the reference run
+    /// did not. Must be empty.
+    pub extra: Vec<String>,
+    /// Distinct notifications the reference run expects.
+    pub expected_total: usize,
+    /// Distinct notifications the chaos run delivered.
+    pub delivered_total: usize,
+    /// Frames replayed from retransmit buffers, summed over brokers.
+    pub retransmits: u64,
+    /// Duplicate frames suppressed by dedup windows, summed.
+    pub dup_frames: u64,
+    /// Stale-epoch frames dropped, summed.
+    pub stale_frames: u64,
+}
+
+fn render_key((client, doc, path): &(ClientId, DocId, PathId)) -> String {
+    format!("client={} doc={} path={}", client.0, doc.0, path.0)
+}
+
+impl InvariantReport {
+    /// True when the chaos run's deliveries are exactly the reference
+    /// run's: nothing missing, nothing duplicated, nothing extra.
+    pub fn ok(&self) -> bool {
+        self.missing.is_empty() && self.duplicates.is_empty() && self.extra.is_empty()
+    }
+
+    /// Hand-rolled JSON rendering (no serde in this crate). All
+    /// strings the report emits are built from integers and fixed
+    /// words, so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        fn array(items: &[String]) -> String {
+            let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+            format!("[{}]", quoted.join(","))
+        }
+        format!(
+            concat!(
+                "{{\"seed\":{},\"ok\":{},\"script\":\"{}\",",
+                "\"expected_total\":{},\"delivered_total\":{},",
+                "\"retransmits\":{},\"dup_frames\":{},\"stale_frames\":{},",
+                "\"missing\":{},\"duplicates\":{},\"extra\":{}}}"
+            ),
+            self.seed,
+            self.ok(),
+            self.script,
+            self.expected_total,
+            self.delivered_total,
+            self.retransmits,
+            self.dup_frames,
+            self.stale_frames,
+            array(&self.missing),
+            array(&self.duplicates),
+            array(&self.extra),
+        )
+    }
+}
+
+/// Compares the chaos run in `net` against the `expected` delivery
+/// multiset of a never-failed reference run and assembles the
+/// [`InvariantReport`], folding in the overlay-wide reliability
+/// counters.
+pub fn check_exact_delivery(
+    script: &FaultScript,
+    expected: &BTreeMap<(ClientId, DocId, PathId), usize>,
+    net: &Network,
+) -> InvariantReport {
+    let got = delivery_counts(net);
+    let missing = expected
+        .keys()
+        .filter(|k| !got.contains_key(*k))
+        .map(render_key)
+        .collect();
+    let duplicates = got
+        .iter()
+        .filter(|(_, &n)| n > 1)
+        .map(|(k, _)| render_key(k))
+        .collect();
+    let extra = got
+        .keys()
+        .filter(|k| !expected.contains_key(*k))
+        .map(render_key)
+        .collect();
+    let (mut retransmits, mut dup_frames, mut stale_frames) = (0, 0, 0);
+    for id in net.broker_ids() {
+        let stats = net.broker(id).stats();
+        retransmits += stats.retransmits;
+        dup_frames += stats.dup_frames;
+        stale_frames += stats.stale_frames;
+    }
+    InvariantReport {
+        seed: script.seed,
+        script: script.to_string(),
+        missing,
+        duplicates,
+        extra,
+        expected_total: expected.len(),
+        delivered_total: got.len(),
+        retransmits,
+        dup_frames,
+        stale_frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<BrokerId> {
+        (0..n).map(BrokerId).collect()
+    }
+
+    fn chain_links(brokers: &[BrokerId]) -> Vec<(BrokerId, BrokerId)> {
+        brokers.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let brokers = ids(5);
+        let links = chain_links(&brokers);
+        let protected = [brokers[0], brokers[4]];
+        let a = FaultScript::generate(42, &brokers, &links, 4, &protected);
+        let b = FaultScript::generate(42, &brokers, &links, 4, &protected);
+        assert_eq!(a, b, "same seed must yield the same script");
+        let c = FaultScript::generate(43, &brokers, &links, 4, &protected);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn every_fault_is_repaired_and_protected_brokers_survive() {
+        let brokers = ids(7);
+        let links = chain_links(&brokers);
+        let protected = [brokers[0], brokers[6]];
+        for seed in 0..50u64 {
+            let s = FaultScript::generate(seed, &brokers, &links, 5, &protected);
+            let mut down: Vec<BrokerId> = Vec::new();
+            let mut dropped: Vec<(BrokerId, BrokerId)> = Vec::new();
+            for (slot, op) in &s.ops {
+                assert!(*slot <= s.slots, "op beyond the repair tail: {op}");
+                match op {
+                    FaultOp::Crash(b) => {
+                        assert!(!protected.contains(b), "protected broker crashed");
+                        assert!(!down.contains(b), "double crash of {b}");
+                        down.push(*b);
+                    }
+                    FaultOp::Restart(b) => {
+                        let pos = down.iter().position(|x| x == b).expect("restart of up");
+                        down.remove(pos);
+                    }
+                    FaultOp::DropLink(a, b) => {
+                        assert!(!dropped.contains(&(*a, *b)), "double drop");
+                        dropped.push((*a, *b));
+                    }
+                    FaultOp::RestoreLink(a, b) => {
+                        let pos = dropped
+                            .iter()
+                            .position(|x| x == &(*a, *b))
+                            .expect("restore of live link");
+                        dropped.remove(pos);
+                    }
+                }
+            }
+            assert!(down.is_empty(), "seed {seed}: unrepaired crash");
+            assert!(dropped.is_empty(), "seed {seed}: unrepaired link");
+            assert!(!s.ops.is_empty(), "seed {seed}: script does nothing");
+        }
+    }
+
+    #[test]
+    fn repair_follows_fault_in_slot_order() {
+        let brokers = ids(5);
+        let links = chain_links(&brokers);
+        for seed in 0..20u64 {
+            let s = FaultScript::generate(seed, &brokers, &links, 3, &[brokers[0]]);
+            for (slot, op) in &s.ops {
+                let target_repair = match op {
+                    FaultOp::Crash(b) => Some(FaultOp::Restart(*b)),
+                    FaultOp::DropLink(a, b) => Some(FaultOp::RestoreLink(*a, *b)),
+                    _ => None,
+                };
+                if let Some(repair) = target_repair {
+                    let repair_slot = s
+                        .ops
+                        .iter()
+                        .find(|(_, o)| *o == repair)
+                        .map(|(s, _)| *s)
+                        .expect("repair exists");
+                    assert!(repair_slot > *slot, "repair must be strictly later");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let script = FaultScript {
+            seed: 7,
+            slots: 2,
+            ops: vec![
+                (0, FaultOp::Crash(BrokerId(1))),
+                (1, FaultOp::Restart(BrokerId(1))),
+            ],
+        };
+        let report = InvariantReport {
+            seed: 7,
+            script: script.to_string(),
+            missing: vec!["client=1 doc=2 path=3".into()],
+            duplicates: Vec::new(),
+            extra: Vec::new(),
+            expected_total: 4,
+            delivered_total: 3,
+            retransmits: 2,
+            dup_frames: 1,
+            stale_frames: 0,
+        };
+        assert!(!report.ok());
+        let json = report.to_json();
+        assert!(json.starts_with("{\"seed\":7,\"ok\":false,"), "{json}");
+        assert!(
+            json.contains("\"missing\":[\"client=1 doc=2 path=3\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\"duplicates\":[]"), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+    }
+}

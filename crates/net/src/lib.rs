@@ -43,6 +43,7 @@
 //! assert_eq!(net.metrics().notifications.len(), 1);
 //! ```
 
+pub mod chaos;
 pub mod latency;
 pub mod live;
 pub mod metrics;

@@ -344,6 +344,59 @@ mod tests {
     }
 
     #[test]
+    fn live_broker_traffic_is_acked() {
+        // Cross-broker traffic rides the sequenced channel: after a
+        // delivery over a broker⇄broker link, the receiving broker has
+        // acked the sequenced frames and the sender has seen the acks.
+        let mut b = LiveNetworkBuilder::new();
+        b.broker(
+            BrokerId(0),
+            RoutingConfig::builder().advertisements(true).build(),
+        )
+        .broker(
+            BrokerId(1),
+            RoutingConfig::builder().advertisements(true).build(),
+        )
+        .link(BrokerId(0), BrokerId(1))
+        .client(ClientId(1), BrokerId(0))
+        .client(ClientId(2), BrokerId(1));
+        let net = b.start();
+
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        net.send(ClientId(1), Message::advertise(AdvId(1), adv));
+        net.send(
+            ClientId(2),
+            Message::subscribe(SubId(1), "/a/*".parse().unwrap()),
+        );
+        assert!(net.await_state(BrokerId(0), Duration::from_secs(5), |s| s.prt_size >= 1));
+        net.send(
+            ClientId(1),
+            Message::Publish(xdn_broker::Publication {
+                doc_id: DocId(9),
+                path_id: PathId(0),
+                elements: vec!["a".into(), "b".into()],
+                attributes: Vec::new(),
+                doc_bytes: 64,
+            }),
+        );
+        assert!(matches!(
+            net.recv_timeout(ClientId(2), Duration::from_secs(5)),
+            Some(Message::Publish(_))
+        ));
+        // The publisher-side broker receives the subscriber broker's
+        // cumulative ack for the forwarded publication.
+        assert!(
+            net.await_state(BrokerId(0), Duration::from_secs(5), |s| {
+                s.stats.received_of(MessageKind::Ack) >= 1
+            }),
+            "acks must flow back over the live transport"
+        );
+        let m = net.metrics();
+        assert!(m.broker_messages.get(MessageKind::Ack) >= 1);
+        net.shutdown();
+    }
+
+    #[test]
     fn live_non_matching_not_delivered() {
         let mut b = LiveNetworkBuilder::new();
         b.broker(BrokerId(0), RoutingConfig::builder().build())

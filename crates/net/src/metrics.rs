@@ -8,7 +8,7 @@
 //! canonical single-threaded implementation; [`SharedMetrics`] wraps it
 //! in `Arc<Mutex<…>>` for the threaded transports.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 use xdn_broker::{BrokerId, ClientId, KindCounters, MessageKind, Publication};
@@ -59,6 +59,12 @@ pub trait MetricsSink {
 
     /// Fault injection discarded a message.
     fn on_fault_drop(&mut self, reason: FaultDrop);
+
+    /// A bounded buffer toward `peer` shed one frame of payload kind
+    /// `kind` — the loss that used to vanish into an opaque drop total.
+    fn on_frame_shed(&mut self, peer: BrokerId, kind: MessageKind) {
+        let _ = (peer, kind);
+    }
 }
 
 /// Aggregated counters for one run.
@@ -83,6 +89,9 @@ pub struct NetMetrics {
     /// Messages discarded because a severed link's recovery buffer
     /// overflowed (fault injection).
     pub dropped_link: u64,
+    /// Frames shed by bounded buffers, per destination peer and payload
+    /// kind ([`MetricsSink::on_frame_shed`]).
+    pub shed_frames: BTreeMap<BrokerId, KindCounters>,
     record_paths: bool,
     publish_times: HashMap<DocId, Duration>,
     delivered: HashSet<(ClientId, DocId)>,
@@ -128,6 +137,20 @@ impl NetMetrics {
         self.record_paths
     }
 
+    /// Publications shed by bounded buffers, summed over every peer —
+    /// the headline "did we silently lose documents" number.
+    pub fn shed_publications(&self) -> u64 {
+        self.shed_frames
+            .values()
+            .map(|c| c.get(MessageKind::Publish))
+            .sum()
+    }
+
+    /// Shed counters for one peer, zero if it never shed.
+    pub fn shed_of(&self, peer: BrokerId) -> KindCounters {
+        self.shed_frames.get(&peer).copied().unwrap_or_default()
+    }
+
     /// Resets every counter and buffer for a fresh measurement phase.
     ///
     /// Semantics (relied on by the setup-vs-measured-phase workflow in
@@ -145,6 +168,7 @@ impl NetMetrics {
         self.delivered_paths.clear();
         self.dropped_crash = 0;
         self.dropped_link = 0;
+        self.shed_frames.clear();
         self.publish_times.clear();
         self.delivered.clear();
     }
@@ -203,6 +227,10 @@ impl MetricsSink for NetMetrics {
             FaultDrop::Link => self.dropped_link += 1,
         }
     }
+
+    fn on_frame_shed(&mut self, peer: BrokerId, kind: MessageKind) {
+        self.shed_frames.entry(peer).or_default().record(kind);
+    }
 }
 
 /// Thread-shared [`NetMetrics`] for the threaded transports: every
@@ -258,6 +286,10 @@ impl MetricsSink for SharedMetrics {
 
     fn on_fault_drop(&mut self, reason: FaultDrop) {
         self.lock().on_fault_drop(reason);
+    }
+
+    fn on_frame_shed(&mut self, peer: BrokerId, kind: MessageKind) {
+        self.lock().on_frame_shed(peer, kind);
     }
 }
 
@@ -356,6 +388,20 @@ mod tests {
         m.on_delivery(ClientId(1), &publication(2), Duration::from_millis(5), 1);
         assert_eq!(m.notifications.len(), 1);
         assert_eq!(m.notifications[0].delay, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn frame_sheds_tracked_per_peer_and_kind() {
+        let mut m = NetMetrics::default();
+        m.on_frame_shed(BrokerId(2), MessageKind::Publish);
+        m.on_frame_shed(BrokerId(2), MessageKind::Publish);
+        m.on_frame_shed(BrokerId(3), MessageKind::Subscribe);
+        assert_eq!(m.shed_publications(), 2);
+        assert_eq!(m.shed_of(BrokerId(2)).get(MessageKind::Publish), 2);
+        assert_eq!(m.shed_of(BrokerId(3)).get(MessageKind::Subscribe), 1);
+        assert_eq!(m.shed_of(BrokerId(9)).total(), 0);
+        m.reset();
+        assert_eq!(m.shed_publications(), 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 use std::sync::PoisonError;
 use std::time::Duration;
-use xdn_broker::Message;
+use xdn_broker::{KindCounters, Message, MessageKind};
 
 #[cfg(loom)]
 use loom::sync::{Condvar, Mutex, MutexGuard};
@@ -40,6 +40,14 @@ struct QueueState {
     down: bool,
     closed: bool,
     dropped: u64,
+    /// Shed frames by payload kind — makes publication loss visible
+    /// instead of folding it into one opaque total.
+    shed: KindCounters,
+    /// Sequenced frames handed to the writer but not yet acknowledged
+    /// by the peer broker: `(epoch, seq, frame)` in pop order. Replayed
+    /// to the front of the queue when a fresh connection epoch starts,
+    /// so frames written into a dying socket are not lost.
+    inflight: VecDeque<(u64, u64, Message)>,
 }
 
 /// The supervisor's bounded outbound queue. The broker loop pushes,
@@ -66,33 +74,50 @@ impl FrameQueue {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Enqueues at the back, shedding under pressure.
-    pub fn push_back(&self, msg: Message) {
-        self.push(msg, false);
+    /// Enqueues at the back, shedding under pressure. Returns the
+    /// payload kind of the frame shed to make room, if any — callers
+    /// report it to their metrics sink so no loss is silent.
+    pub fn push_back(&self, msg: Message) -> Option<MessageKind> {
+        self.push(msg, false)
     }
 
     /// Queue-jumps control traffic (the post-reconnect sync request).
-    pub fn push_front(&self, msg: Message) {
-        self.push(msg, true);
+    /// Returns the payload kind of any frame shed to make room.
+    pub fn push_front(&self, msg: Message) -> Option<MessageKind> {
+        self.push(msg, true)
     }
 
-    fn push(&self, msg: Message, front: bool) {
+    fn push(&self, msg: Message, front: bool) -> Option<MessageKind> {
         let mut s = self.lock();
         if s.closed {
-            return;
+            return None;
         }
+        let mut shed = None;
         if s.q.len() >= self.capacity {
-            if let Some(i) = s.q.iter().position(|m| matches!(m, Message::Publish(_))) {
-                s.q.remove(i);
+            // Shed decisions look through reliability framing: a
+            // sequenced publication is still a publication.
+            if let Some(i) =
+                s.q.iter()
+                    .position(|m| matches!(m.payload(), Message::Publish(_)))
+            {
+                let kind = s.q.remove(i).map_or(MessageKind::Publish, |m| m.kind());
                 s.dropped += 1;
+                s.shed.record(kind);
+                shed = Some(kind);
             } else if msg.is_payload() {
                 // Only control traffic is buffered; the arriving
-                // publication gives way.
+                // payload frame gives way.
+                let kind = msg.kind();
                 s.dropped += 1;
-                return;
+                s.shed.record(kind);
+                return Some(kind);
             } else {
-                s.q.pop_front();
+                let kind = s.q.pop_front().map(|m| m.kind());
                 s.dropped += 1;
+                if let Some(kind) = kind {
+                    s.shed.record(kind);
+                }
+                shed = kind;
             }
         }
         if front {
@@ -102,6 +127,7 @@ impl FrameQueue {
         }
         drop(s);
         self.cv.notify_one();
+        shed
     }
 
     /// Blocks for the next frame, or `timeout` of idleness. The
@@ -117,6 +143,14 @@ impl FrameQueue {
                 return Pop::Down;
             }
             if let Some(m) = s.q.pop_front() {
+                if let Message::Sequenced { epoch, seq, .. } = &m {
+                    // Hold a copy until the peer's cumulative ack
+                    // covers it; a new connection epoch replays these.
+                    if s.inflight.len() >= self.capacity {
+                        s.inflight.pop_front();
+                    }
+                    s.inflight.push_back((*epoch, *seq, m.clone()));
+                }
                 return Pop::Msg(Box::new(m));
             }
             let (next, res) = self
@@ -142,9 +176,44 @@ impl FrameQueue {
         self.cv.notify_all();
     }
 
-    /// Starts a fresh connection epoch.
+    /// Starts a fresh connection epoch, replaying any in-flight
+    /// sequenced frames to the front of the queue — frames written
+    /// into the dying socket may never have arrived, and the peer's
+    /// dedup window makes over-replay harmless.
     pub fn clear_down(&self) {
-        self.lock().down = false;
+        let mut s = self.lock();
+        s.down = false;
+        let inflight = std::mem::take(&mut s.inflight);
+        for (_, _, m) in inflight.into_iter().rev() {
+            s.q.push_front(m);
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Applies a cumulative ack from the peer: drops every held
+    /// in-flight frame of `epoch` with `seq <= acked`, plus frames of
+    /// older epochs (their incarnation is gone).
+    pub fn ack(&self, epoch: u64, acked: u64) {
+        let mut s = self.lock();
+        s.inflight
+            .retain(|(e, q, _)| *e > epoch || (*e == epoch && *q > acked));
+    }
+
+    /// Returns a frame the writer failed to send. Sequenced frames are
+    /// dropped here — the in-flight hold already owns a copy that the
+    /// next connection epoch replays, and re-queueing would duplicate
+    /// it. Control frames go back to the front as before.
+    pub fn requeue_unsent(&self, msg: Message) {
+        if matches!(msg, Message::Sequenced { .. }) {
+            return;
+        }
+        self.push_front(msg);
+    }
+
+    /// Sequenced frames currently held awaiting acknowledgement.
+    pub fn inflight_len(&self) -> usize {
+        self.lock().inflight.len()
     }
 
     /// Permanent shutdown; subsequent pushes are discarded silently.
@@ -156,6 +225,18 @@ impl FrameQueue {
     /// Total frames shed so far.
     pub fn dropped(&self) -> u64 {
         self.lock().dropped
+    }
+
+    /// Shed counts by payload kind (a sequenced publication counts as
+    /// a publication).
+    pub fn shed_counters(&self) -> KindCounters {
+        self.lock().shed
+    }
+
+    /// Publications shed by this queue — the loss that used to be
+    /// invisible inside [`FrameQueue::dropped`].
+    pub fn shed_publications(&self) -> u64 {
+        self.shed_counters().get(MessageKind::Publish)
     }
 
     /// Frames currently buffered (test/diagnostic aid).
@@ -228,5 +309,61 @@ mod tests {
         q.clear_down();
         q.push_back(publication(1));
         assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Msg(_)));
+    }
+
+    fn sequenced(doc: u64, seq: u64) -> Message {
+        Message::Sequenced {
+            epoch: 1,
+            seq,
+            low: 1,
+            inner: Box::new(publication(doc)),
+        }
+    }
+
+    #[test]
+    fn shedding_reports_and_counts_kinds() {
+        let q = FrameQueue::new(1);
+        assert_eq!(q.push_back(publication(1)), None);
+        // A sequenced publication displaces the raw one — the shed
+        // policy looks through the reliability header.
+        assert_eq!(q.push_back(sequenced(2, 1)), Some(MessageKind::Publish));
+        assert_eq!(q.shed_publications(), 1);
+        assert_eq!(q.shed_counters().get(MessageKind::Publish), 1);
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn inflight_replays_on_new_epoch_and_prunes_on_ack() {
+        let q = FrameQueue::new(8);
+        q.push_back(sequenced(1, 1));
+        q.push_back(sequenced(2, 2));
+        // The writer pops both; they move to the in-flight hold.
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Msg(_)));
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Msg(_)));
+        assert_eq!(q.inflight_len(), 2);
+        // The peer acks seq 1: only seq 2 remains held.
+        q.ack(1, 1);
+        assert_eq!(q.inflight_len(), 1);
+        // Connection dies and a new epoch starts: the held frame is
+        // replayed at the front.
+        q.mark_down();
+        assert!(matches!(q.pop_wait(Duration::from_millis(1)), Pop::Down));
+        q.clear_down();
+        let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) else {
+            panic!("expected the replayed frame");
+        };
+        assert!(matches!(*m, Message::Sequenced { seq: 2, .. }));
+    }
+
+    #[test]
+    fn requeue_unsent_drops_sequenced_keeps_control() {
+        let q = FrameQueue::new(8);
+        // A sequenced frame that failed to write is NOT re-queued (the
+        // in-flight hold owns it)...
+        q.requeue_unsent(sequenced(1, 1));
+        assert!(q.is_empty());
+        // ...but control traffic goes back to the front.
+        q.requeue_unsent(Message::SyncRequest);
+        assert_eq!(q.len(), 1);
     }
 }

@@ -271,22 +271,42 @@ impl Network {
     /// messages parked during the outage for redelivery after the
     /// recovery grace period.
     ///
+    /// Reliability state (epoch, retransmit buffers, dedup windows) is
+    /// carried into the fresh broker — the simulator models a durable
+    /// transport log, so replays keep their original `(epoch, seq)`
+    /// identity and in-flight frames from the old incarnation are
+    /// neither re-processed nor falsely dropped. Routing state is NOT
+    /// carried; the sync exchange rebuilds it.
+    ///
     /// # Panics
     ///
     /// Panics if the broker is not down.
     pub fn restart_broker(&mut self, id: BrokerId) {
         assert!(self.down.remove(&id), "broker {id} is not down");
-        let old = self.brokers.get(&id).expect("unknown broker");
+        let old = self.brokers.get_mut(&id).expect("unknown broker");
         let config = *old.config();
         let neighbors: Vec<BrokerId> = old.neighbors().to_vec();
+        let reliability = old.take_reliability_state();
         let mut fresh = Broker::new(id, config);
         for &n in &neighbors {
             fresh.add_neighbor(n);
         }
+        fresh.restore_reliability_state(reliability);
         self.brokers.insert(id, fresh);
         for n in neighbors {
             if !self.down.contains(&n) && !self.dropped_links.contains(&link_key(id, n)) {
+                // `schedule_sync_pair` also arms the warm-up gate on
+                // both ends, so the fresh broker defers payload until
+                // each reachable neighbour's SyncState rebuilds its
+                // routing tables.
                 self.schedule_sync_pair(id, n);
+            } else if let Some(broker) = self.brokers.get_mut(&id) {
+                // The neighbour is crashed or cut off: its routing
+                // contribution cannot be recovered yet, so the fresh
+                // broker must keep deferring payload — otherwise it
+                // acks frames it has no route for. The repair's own
+                // sync pair delivers the awaited snapshot later.
+                broker.expect_sync_from(n);
             }
         }
         self.flush_parked(FaultReason::Crash(id));
@@ -336,6 +356,15 @@ impl Network {
 
     fn schedule_sync_pair(&mut self, a: BrokerId, b: BrokerId) {
         for (src, dst) in [(a, b), (b, a)] {
+            // Whoever sends a SyncRequest must not route payload until
+            // the answering SyncState arrives (the warm-up gate): a
+            // cold broker would otherwise ack publications it cannot
+            // route yet. Arming here — not only at restart — also
+            // covers a link restored *after* its endpoint restarted,
+            // where the restart-time sync could not reach this peer.
+            if let Some(broker) = self.brokers.get_mut(&src) {
+                broker.expect_sync_from(dst);
+            }
             let delay = self
                 .latency
                 .link_delay(src, dst, Message::SyncRequest.wire_bytes());
@@ -373,26 +402,41 @@ impl Network {
 
     fn park(&mut self, event: Event, reason: FaultReason) {
         if self.parked.len() >= self.park_capacity {
+            // Shed policy looks through reliability framing: a
+            // sequenced publication is still a publication.
             if let Some(pos) = self
                 .parked
                 .iter()
-                .position(|p| matches!(p.event.msg, Message::Publish(_)))
+                .position(|p| matches!(p.event.msg.payload(), Message::Publish(_)))
             {
                 // Shed the oldest buffered publication first: control
-                // messages are routing state and must survive.
+                // messages are routing state and must survive. A shed
+                // *sequenced* frame is not lost — its sender still
+                // holds it and replays on the post-repair sync.
                 let victim = self.parked.remove(pos).expect("position in bounds");
                 self.count_fault_drop(victim.reason);
-            } else if matches!(event.msg, Message::Publish(_)) {
+                self.count_frame_shed(&victim.event);
+            } else if matches!(event.msg.payload(), Message::Publish(_)) {
                 // Only control traffic is buffered; the arriving
                 // publication gives way.
                 self.count_fault_drop(reason);
+                self.count_frame_shed(&event);
                 return;
             } else {
                 let victim = self.parked.pop_front().expect("queue is full");
                 self.count_fault_drop(victim.reason);
+                self.count_frame_shed(&victim.event);
             }
         }
         self.parked.push_back(Parked { event, reason });
+    }
+
+    /// Reports a shed frame to the per-peer counters so the loss shows
+    /// up in metrics rather than only in the opaque drop totals.
+    fn count_frame_shed(&mut self, event: &Event) {
+        if let Dest::Broker(b) = event.to {
+            self.metrics.on_frame_shed(b, event.msg.kind());
+        }
     }
 
     /// The fault blocking delivery of `event`, if any.
@@ -520,6 +564,7 @@ impl Network {
         }
     }
 
+    /// Schedules a broker's outputs.
     fn dispatch_outputs(&mut self, from: BrokerId, outputs: Vec<(Dest, Message)>, hops: u32) {
         for (dest, msg) in outputs {
             let delay = match dest {

@@ -299,9 +299,12 @@ fn supervise_peer(
                 }
                 Pop::Msg(m) => {
                     if writer.write_all(&wire::encode(&m)).is_err() {
-                        // Retransmit after reconnecting — the peer
-                        // never saw it (at-least-once, not at-most).
-                        queue.push_front(*m);
+                        // Retransmit after reconnecting. Sequenced
+                        // frames are already held in the queue's
+                        // inflight buffer (and the broker's retransmit
+                        // buffer), so only unsequenced control frames
+                        // go back to the front of the queue.
+                        queue.requeue_unsent(*m);
                         break;
                     }
                 }
@@ -352,6 +355,34 @@ impl TcpNode {
         Self::start_with(id, config, listen, peers, SupervisorConfig::default())
     }
 
+    /// [`TcpNode::start`], additionally arming the warm-up gate for
+    /// `expected` — neighbours this node does not dial but that will
+    /// dial in (acceptor-side links).
+    ///
+    /// A restarted broker has empty routing tables, and the zero-loss
+    /// guarantee of the sequenced links holds only if it defers payload
+    /// until *every* neighbour's `SyncState` has arrived. Dialled peers
+    /// are armed automatically; acceptor-side neighbours are only
+    /// discovered when they reconnect, which can be after another
+    /// neighbour has already replayed its unacked frames — those would
+    /// be acked and dropped unroutable. Restart a listener-side node
+    /// with its known dialler ids here (the `--expect` flag of
+    /// `xdn-node`) to close that window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot bind.
+    pub fn start_expecting(
+        id: BrokerId,
+        config: RoutingConfig,
+        listen: SocketAddr,
+        peers: &[(BrokerId, SocketAddr)],
+        expected: &[BrokerId],
+        supervision: SupervisorConfig,
+    ) -> Result<TcpNode, TcpError> {
+        Self::start_inner(id, config, listen, peers, expected, supervision)
+    }
+
     /// [`TcpNode::start`] with explicit supervision parameters.
     ///
     /// Unlike earlier revisions, peers do not have to be up yet: each
@@ -367,14 +398,50 @@ impl TcpNode {
         peers: &[(BrokerId, SocketAddr)],
         supervision: SupervisorConfig,
     ) -> Result<TcpNode, TcpError> {
+        Self::start_inner(id, config, listen, peers, &[], supervision)
+    }
+
+    fn start_inner(
+        id: BrokerId,
+        config: RoutingConfig,
+        listen: SocketAddr,
+        peers: &[(BrokerId, SocketAddr)],
+        expected: &[BrokerId],
+        supervision: SupervisorConfig,
+    ) -> Result<TcpNode, TcpError> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let (tx, rx) = sync_channel::<Input>(INBOX_CAPACITY);
         let stopping = Arc::new(AtomicBool::new(false));
 
         let mut broker = Broker::new(id, config);
+        // Each node *incarnation* gets a later epoch than any previous
+        // life of the same broker id: peers' dedup windows key on the
+        // epoch, so a restarted node's frames must not be mistaken for
+        // duplicates of its pre-crash sequence numbers. Wall-clock
+        // microseconds are monotone across restarts for this purpose
+        // (a restart takes far longer than the clock's granularity).
+        let incarnation = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros() as u64;
+        broker.set_epoch(incarnation);
         for &(pid, _) in peers {
             broker.add_neighbor(pid);
+            // A fresh incarnation starts with empty routing tables;
+            // its supervisors send a SyncRequest to every dialled
+            // peer on connect. Until those peers answer with
+            // SyncState, payload is deferred unacked (the warm-up
+            // gate) rather than acknowledged and dropped unroutable.
+            broker.expect_sync_from(pid);
+        }
+        for &pid in expected {
+            // Acceptor-side neighbours: not dialled, but their
+            // snapshots are prerequisites for acking payload, exactly
+            // like the dialled ones. They arm the gate now and satisfy
+            // it when they dial back in and answer our SyncRequest.
+            broker.add_neighbor(pid);
+            broker.expect_sync_from(pid);
         }
 
         // Supervised outbound links, one per dialled peer.
@@ -584,16 +651,21 @@ fn broker_loop(
     // Writers for *accepted* connections (clients, and brokers that
     // dialled us). Dialled peers go through their supervisor's queue.
     let mut writers: HashMap<Dest, Arc<Mutex<TcpStream>>> = HashMap::new();
+    // Returns the payload kind of a frame the bounded queue shed to
+    // make room, so the caller can surface the loss in metrics.
     let send = |writers: &mut HashMap<Dest, Arc<Mutex<TcpStream>>>, dest: Dest, msg: &Message| {
         if let Some(q) = queues.get(&dest) {
-            q.push_back(msg.clone());
+            return q.push_back(msg.clone());
         } else if let Some(w) = writers.get(&dest) {
             if w.lock().write_all(&wire::encode(msg)).is_err() {
                 // An accepted peer died: drop the writer and rely on
-                // the remote supervisor (or client) to reconnect.
+                // the remote supervisor (or client) to reconnect. A
+                // dropped sequenced frame is replayed from the
+                // broker's retransmit buffer on the next sync.
                 writers.remove(&dest);
             }
         }
+        None
     };
     while let Ok(input) = rx.recv() {
         match input {
@@ -618,8 +690,23 @@ fn broker_loop(
                 // only to its statically configured peers and anything
                 // advertised on the accepting side never propagates.
                 if let Dest::Broker(b) = dest {
-                    broker.add_neighbor(b);
-                    send(&mut writers, dest, &Message::SyncRequest);
+                    // First sight of this peer means this broker holds
+                    // no routing state involving it — the situation of
+                    // a restarted listener whose neighbours dial back
+                    // in. Arm the warm-up gate so replayed payload from
+                    // one neighbour is deferred (unacked) until every
+                    // rediscovered neighbour's SyncState arrives;
+                    // otherwise frames get acked and dropped unroutable
+                    // before the far side's subscriptions install. A
+                    // re-accept of a known neighbour does not re-arm:
+                    // our own tables survived its outage.
+                    if !broker.neighbors().contains(&b) {
+                        broker.add_neighbor(b);
+                        broker.expect_sync_from(b);
+                    }
+                    if let Some(kind) = send(&mut writers, dest, &Message::SyncRequest) {
+                        metrics.on_frame_shed(b, kind);
+                    }
                 }
             }
             Input::FromPeer(from, msg) => {
@@ -630,6 +717,18 @@ fn broker_loop(
                 if let (Dest::Client(_), Message::Publish(p)) = (&from, &msg) {
                     metrics.on_publish_injected(p.doc_id, epoch.elapsed());
                 }
+                if let Message::Ack {
+                    epoch: ack_epoch,
+                    seq,
+                } = msg
+                {
+                    // A cumulative ack also prunes the supervised
+                    // queue's inflight hold, so a redial only replays
+                    // frames the peer has not confirmed.
+                    if let Some(q) = queues.get(&from) {
+                        q.ack(ack_epoch, seq);
+                    }
+                }
                 for (dest, out) in broker.handle(from, msg) {
                     if let Dest::Client(c) = dest {
                         metrics.on_client_message(c, out.kind());
@@ -639,7 +738,9 @@ fn broker_loop(
                             metrics.on_delivery(c, p, epoch.elapsed(), 0);
                         }
                     }
-                    send(&mut writers, dest, &out);
+                    if let (Some(kind), Dest::Broker(b)) = (send(&mut writers, dest, &out), dest) {
+                        metrics.on_frame_shed(b, kind);
+                    }
                 }
                 // The accepting side does not run an idle timer; it
                 // echoes the dialler's heartbeats instead, giving the
@@ -681,14 +782,14 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
 
     // Sort peers so the exposition is deterministic (HashMap order
     // would make scrapes flap line order between runs).
-    let mut peers: Vec<(String, usize, u64)> = queues
+    let mut peers: Vec<(String, usize, u64, u64)> = queues
         .iter()
         .map(|(dest, q)| {
             let label = match dest {
                 Dest::Broker(b) => format!("broker-{}", b.0),
                 Dest::Client(c) => format!("client-{}", c.0),
             };
-            (label, q.len(), q.dropped())
+            (label, q.len(), q.dropped(), q.shed_publications())
         })
         .collect();
     peers.sort();
@@ -700,10 +801,15 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
         "xdn_peer_queue_dropped_total",
         "Frames shed by each dialled peer's bounded queue.",
     );
-    for (label, len, dropped) in &peers {
+    let mut shed_pubs = MetricFamily::new(
+        "xdn_peer_shed_publications_total",
+        "Publications shed by each dialled peer's bounded queue.",
+    );
+    for (label, len, dropped, pubs) in &peers {
         let len = i64::try_from(*len).unwrap_or(i64::MAX);
         depth.push(&[("peer", label)], MetricData::Gauge(len));
         shed.push(&[("peer", label)], MetricData::Counter(*dropped));
+        shed_pubs.push(&[("peer", label)], MetricData::Counter(*pubs));
     }
 
     render_prometheus(&[
@@ -734,8 +840,29 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
             "Publication routing latency.",
             stats.pub_routing.clone(),
         ),
+        MetricFamily::counter(
+            "xdn_retransmits_total",
+            "Sequenced frames replayed from retransmit buffers.",
+            stats.retransmits,
+        ),
+        MetricFamily::counter(
+            "xdn_dup_frames_total",
+            "Duplicate sequenced frames suppressed by dedup windows.",
+            stats.dup_frames,
+        ),
+        MetricFamily::counter(
+            "xdn_stale_frames_total",
+            "Frames from superseded sender epochs, dropped.",
+            stats.stale_frames,
+        ),
+        MetricFamily::histogram(
+            "xdn_ack_lag_seconds",
+            "Time a sequenced frame waited in the retransmit buffer before its ack.",
+            stats.ack_lag.clone(),
+        ),
         depth,
         shed,
+        shed_pubs,
     ])
 }
 
@@ -1137,6 +1264,12 @@ mod tests {
             "{body}"
         );
         assert!(body.contains("xdn_pub_routing_seconds_count 1\n"), "{body}");
+        // Reliability families are always exposed, even at zero.
+        assert!(body.contains("xdn_retransmits_total"), "{body}");
+        assert!(body.contains("xdn_dup_frames_total"), "{body}");
+        assert!(body.contains("xdn_stale_frames_total"), "{body}");
+        assert!(body.contains("xdn_ack_lag_seconds"), "{body}");
+        assert!(body.contains("xdn_peer_shed_publications_total"), "{body}");
 
         // The programmatic accessor serves the same families, and the
         // MetricsSink path saw the same traffic and delivery.
@@ -1385,6 +1518,116 @@ mod tests {
             "delivery must resume after peer restart, got {got:?}"
         );
         n0.shutdown();
+        n1b.shutdown();
+    }
+
+    #[test]
+    fn outage_replay_waits_for_expected_neighbour() {
+        // Chain n0 — n1 — n2: publisher on n0, subscriber on n2, and
+        // the middle broker n1 a pure listener both ends dial. n1 dies
+        // with publications in flight, and on restart n0 reconnects
+        // (and replays its unacked frames) well before n2 does. The
+        // `--expect` roster is what makes this safe: without it the
+        // fresh n1 acks and drops the replayed frames as unroutable
+        // before n2's SyncState re-installs the subscription.
+        let cfg = RoutingConfig::builder()
+            .advertisements(true)
+            .covering(true)
+            .build();
+        let n1 = TcpNode::start(BrokerId(1), cfg, ephemeral(), &[]).expect("node 1");
+        let n0 = TcpNode::start_with(
+            BrokerId(0),
+            cfg,
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+            fast_supervision(),
+        )
+        .expect("node 0");
+        let n2 = TcpNode::start_with(
+            BrokerId(2),
+            cfg,
+            ephemeral(),
+            &[(BrokerId(1), n1.addr())],
+            fast_supervision(),
+        )
+        .expect("node 2");
+
+        let mut publisher = TcpClient::connect(n0.addr(), ClientId(1)).expect("publisher");
+        let mut subscriber = TcpClient::connect(n2.addr(), ClientId(2)).expect("subscriber");
+        let adv = Advertisement::non_recursive(AdvPath::from_names(&["a", "b"]));
+        publisher
+            .send(&Message::advertise(AdvId(1), adv))
+            .expect("advertise");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "/a/*".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(
+            n0.await_state(Duration::from_secs(5), |s| s.prt_size >= 1),
+            "subscription did not propagate to n0"
+        );
+        publisher.send(&publication(&["a", "b"], 1)).expect("pub 1");
+        assert!(
+            matches!(
+                subscriber.recv_timeout(Duration::from_secs(5)),
+                Some(Message::Publish(_))
+            ),
+            "healthy delivery"
+        );
+
+        // The middle broker dies; the stream keeps going. The frames
+        // stay unacked in n0's per-link retransmit buffer.
+        n1.shutdown();
+        for doc in 2..=4 {
+            publisher
+                .send(&publication(&["a", "b"], doc))
+                .expect("publish into outage");
+        }
+
+        // Restart with the dialler roster declared, then stage the
+        // reconnects worst-case-first: n0 replays before n2 even knows
+        // the new address.
+        let n1b = TcpNode::start_expecting(
+            BrokerId(1),
+            cfg,
+            ephemeral(),
+            &[],
+            &[BrokerId(0), BrokerId(2)],
+            fast_supervision(),
+        )
+        .expect("node 1 restarted");
+        assert!(n0.redial(BrokerId(1), n1b.addr()));
+        assert!(
+            n1b.await_state(Duration::from_secs(10), |s| s.srt_size >= 1),
+            "n0's snapshot must reach the restarted node"
+        );
+        // The replayed frames ride right behind n0's SyncState on the
+        // same connection; give them time to arrive (and be deferred).
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(n2.redial(BrokerId(1), n1b.addr()));
+
+        let mut got = Vec::new();
+        while let Some(msg) = subscriber.recv_timeout(Duration::from_secs(5)) {
+            if let Message::Publish(p) = msg {
+                got.push(p.doc_id.0);
+                if got.len() >= 3 {
+                    break;
+                }
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![2, 3, 4],
+            "outage publications must be replayed exactly once"
+        );
+        assert!(
+            subscriber
+                .recv_timeout(Duration::from_millis(500))
+                .is_none(),
+            "no duplicate deliveries after recovery"
+        );
+        n0.shutdown();
+        n2.shutdown();
         n1b.shutdown();
     }
 

@@ -11,6 +11,7 @@
 //! | `kind-match`        | no catch-all arm in a `Message`/`MessageKind` match (wire/stats) |
 //! | `kind-coverage`     | every `Message` variant is encoded *and* decoded in `wire.rs` |
 //! | `instant`           | no `Instant::now()` in broker/core hot paths — time through `xdn_obs::Stopwatch` |
+//! | `raw-publish-push`  | no queueing of a literal `Message::Publish` — publications reach the wire only through the broker's sequenced-send path |
 //!
 //! Suppression: a comment containing `xtask: allow(<rule>)` on the
 //! flagged line or the line above it, with a justification. Files under
@@ -157,6 +158,7 @@ pub fn lint_file(rel: &Path, src: &str) -> Vec<Finding> {
     if KIND_MATCH_FILES.iter().any(|f| rel == Path::new(f)) {
         check_kind_match(rel, &lexed, &in_test, &mut findings);
     }
+    check_raw_publish_push(rel, &lexed, &in_test, &mut findings);
     findings
 }
 
@@ -408,6 +410,68 @@ fn check_instant(rel: &Path, lexed: &Lexed, in_test: &[bool], findings: &mut Vec
                         .to_owned(),
                 });
             }
+        }
+    }
+}
+
+/// Flags `push_back(..)` / `push_front(..)` calls whose argument
+/// contains a literal `Message::Publish` (`raw-publish-push` rule).
+/// Publications must enter a transport queue only as the output of
+/// `Broker::handle`, which wraps them in `Message::Sequenced` headers
+/// and buffers them for retransmission; a hand-queued raw publication
+/// silently escapes the at-least-once channel — unsequenced, unacked,
+/// invisible to the dedup windows.
+fn check_raw_publish_push(
+    rel: &Path,
+    lexed: &Lexed,
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    for (i, tested) in in_test.iter().enumerate() {
+        if *tested {
+            continue;
+        }
+        let is_push = matches!(ident_at(lexed, i), Some("push_back" | "push_front"));
+        if !is_push || !punct_at(lexed, i + 1, '(') {
+            continue;
+        }
+        // Scan the argument list for `Message::Publish`, tracking
+        // paren depth so the scan stops at the call's closing paren.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(id)
+                    if id == "Message"
+                        && punct_at(lexed, j + 1, ':')
+                        && punct_at(lexed, j + 2, ':')
+                        && ident_at(lexed, j + 3) == Some("Publish") =>
+                {
+                    let line = toks[j].line;
+                    if !lexed.allowed("raw-publish-push", line) {
+                        findings.push(Finding {
+                            file: rel.to_path_buf(),
+                            line,
+                            rule: "raw-publish-push",
+                            message: "raw Message::Publish queued directly — publications \
+                                      must leave a broker as Broker::handle output so they \
+                                      ride the sequenced at-least-once channel; justify an \
+                                      exception with `xtask: allow(raw-publish-push)`"
+                                .to_owned(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
         }
     }
 }
@@ -702,6 +766,43 @@ mod tests {
         // sync_channel imports are fine.
         let ok = "use std::sync::mpsc::{sync_channel, Receiver};\nfn f() { sync_channel(4); }";
         assert!(lint(TCP, ok).is_empty());
+    }
+
+    #[test]
+    fn raw_publish_push_flagged() {
+        let f = lint(
+            TCP,
+            "fn f(q: &FrameQueue, p: Publication) { q.push_back(Message::Publish(p)); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "raw-publish-push");
+        let f = lint(
+            TCP,
+            "fn f() { queue.push_front(wrap(Message::Publish(p.clone()))); }",
+        );
+        assert_eq!(f.len(), 1, "nested in a call argument still flagged");
+    }
+
+    #[test]
+    fn raw_publish_push_ignores_clean_pushes() {
+        // Generic re-queues and control frames are the sanctioned uses.
+        assert!(lint(TCP, "fn f() { q.push_back(msg.clone()); }").is_empty());
+        assert!(lint(TCP, "fn f() { q.push_front(Message::SyncRequest); }").is_empty());
+        // A Message::Publish *outside* the argument list is not a push.
+        assert!(lint(
+            TCP,
+            "fn f() { q.push_back(x); let m = Message::Publish(p); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn raw_publish_push_allows_marker_and_tests() {
+        let src = "// xtask: allow(raw-publish-push) loopback fixture\n\
+                   fn f() { q.push_back(Message::Publish(p)); }";
+        assert!(lint(TCP, src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { q.push_back(Message::Publish(p)); }\n}";
+        assert!(lint(TCP, src).is_empty());
     }
 
     #[test]
