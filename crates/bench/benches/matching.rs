@@ -107,7 +107,7 @@ mod scaling {
     use std::time::Instant;
     use xdn_bench::SEED;
     use xdn_core::index::IndexedPrt;
-    use xdn_core::rtable::{FlatPrt, SubId};
+    use xdn_core::rtable::{FlatPrt, PublicationRouter, SubId};
     use xdn_workloads::{docs, nitf_dtd, sets};
 
     const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
@@ -160,7 +160,7 @@ mod scaling {
             let mut flat: FlatPrt<u32> = FlatPrt::new();
             let mut indexed: IndexedPrt<u32> = IndexedPrt::new();
             for (i, q) in subs.iter().enumerate() {
-                flat.subscribe(SubId(i as u64), q.clone(), i as u32);
+                flat.insert(SubId(i as u64), q.clone(), i as u32);
                 indexed.subscribe(SubId(i as u64), q.clone(), i as u32);
             }
 
@@ -168,7 +168,7 @@ mod scaling {
             let started = Instant::now();
             for _ in 0..iters {
                 for p in &paths {
-                    flat_matches += flat.route(std::hint::black_box(p)).len() as u64;
+                    flat_matches += flat.matching_hops(std::hint::black_box(p), &[]).len() as u64;
                 }
             }
             let flat_ns = started.elapsed().as_nanos() as f64 / routed as f64;

@@ -1,0 +1,162 @@
+//! Cores-vs-throughput bench for the sharded parallel matching engine.
+//!
+//! Routes the NITF `set_a` publication workload through
+//! [`ShardedRouter`]`<IndexedPrt>` at growing shard counts (one pool
+//! worker per shard) and compares against the sequential single-shard
+//! path, writing `BENCH_parallel.json` at the workspace root.
+//! Criterion's offline stand-in emits no reports, so this self-times
+//! with `Instant` like the matching bench.
+//!
+//! Speedup is bounded by the host's available parallelism, which the
+//! artifact records; on a single-core runner the curve is flat and the
+//! measurement degenerates to the pool's coordination overhead.
+//!
+//! Environment knobs (for CI smoke runs):
+//! * `XDN_BENCH_SUBS` — subscription count (default `50000`);
+//! * `XDN_BENCH_ITERS` — timed passes over the publication set
+//!   (default `3`);
+//! * `XDN_BENCH_SHARDS` — comma-separated shard counts
+//!   (default `1,2,4,8`).
+
+use std::time::Instant;
+use xdn_bench::SEED;
+use xdn_core::index::IndexedPrt;
+use xdn_core::rtable::{PublicationRouter, RouteRequest, SubId};
+use xdn_core::shard::ShardedRouter;
+use xdn_workloads::{docs, nitf_dtd, sets};
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+
+struct Level {
+    shards: usize,
+    threads: usize,
+    ns_per_pub: f64,
+    pubs_per_sec: f64,
+    speedup_vs_sequential: f64,
+}
+
+fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(key) {
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let subs_n = env_usize("XDN_BENCH_SUBS", 50_000).max(1);
+    let iters = env_usize("XDN_BENCH_ITERS", 3).max(1);
+    let shard_counts = env_usize_list("XDN_BENCH_SHARDS", &[1, 2, 4, 8]);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let dtd = nitf_dtd();
+    let queries = sets::set_a(&dtd, subs_n, SEED + 30);
+    let documents = docs::documents(&dtd, 40, SEED + 31);
+    let paths: Vec<Vec<String>> = docs::publication_paths(&documents)
+        .into_iter()
+        .map(|p| p.elements)
+        .collect();
+    let requests: Vec<RouteRequest<'_>> = paths
+        .iter()
+        .map(|p| RouteRequest {
+            path: p,
+            attrs: &[],
+        })
+        .collect();
+    let routed = (iters * paths.len()) as u64;
+
+    // The sequential single-shard path every shard count must agree
+    // with — one IndexedPrt, one matching_hops call per publication.
+    let mut reference: IndexedPrt<u32> = IndexedPrt::new();
+    for (i, q) in queries.iter().enumerate() {
+        reference.insert(SubId(i as u64), q.clone(), i as u32);
+    }
+    let mut seq_matches = 0u64;
+    let started = Instant::now();
+    for _ in 0..iters {
+        for p in &paths {
+            seq_matches += reference.matching_hops(std::hint::black_box(p), &[]).len() as u64;
+        }
+    }
+    let seq_ns = started.elapsed().as_nanos() as f64 / routed as f64;
+    println!(
+        "bench parallel subs={subs_n}: sequential {seq_ns:.0} ns/pub \
+         ({seq_matches} matches, {cores} cores)"
+    );
+
+    let mut levels = Vec::new();
+    for &shards in &shard_counts {
+        let shards = shards.max(1);
+        let mut router: ShardedRouter<IndexedPrt<u32>> =
+            ShardedRouter::with_threads(shards, shards);
+        for (i, q) in queries.iter().enumerate() {
+            router.insert(SubId(i as u64), q.clone(), i as u32);
+        }
+
+        let mut matches = 0u64;
+        let started = Instant::now();
+        for _ in 0..iters {
+            for set in router.route_batch(std::hint::black_box(&requests)) {
+                matches += set.len() as u64;
+            }
+        }
+        let ns = started.elapsed().as_nanos() as f64 / routed as f64;
+
+        assert_eq!(
+            matches, seq_matches,
+            "sharded routing must select exactly the sequential matches at shards={shards}"
+        );
+        let speedup = seq_ns / ns.max(f64::EPSILON);
+        let pubs_per_sec = 1e9 / ns.max(f64::EPSILON);
+        println!(
+            "bench parallel shards={shards}: {ns:.0} ns/pub, \
+             {pubs_per_sec:.0} pubs/s, speedup {speedup:.2}x vs sequential"
+        );
+        levels.push(Level {
+            shards,
+            threads: router.threads(),
+            ns_per_pub: ns,
+            pubs_per_sec,
+            speedup_vs_sequential: speedup,
+        });
+    }
+
+    let json = render_json(&levels, subs_n, paths.len(), iters, cores, seq_ns);
+    match std::fs::write(OUT_PATH, &json) {
+        Ok(()) => println!("wrote {OUT_PATH}"),
+        Err(e) => eprintln!("failed to write {OUT_PATH}: {e}"),
+    }
+}
+
+fn render_json(
+    levels: &[Level],
+    subs: usize,
+    paths: usize,
+    iters: usize,
+    cores: usize,
+    seq_ns: f64,
+) -> String {
+    let rows: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"shards\": {}, \"threads\": {}, \"ns_per_pub\": {:.1}, \
+                 \"pubs_per_sec\": {:.0}, \"speedup_vs_sequential\": {:.2}}}",
+                l.shards, l.threads, l.ns_per_pub, l.pubs_per_sec, l.speedup_vs_sequential,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"workload\": \"nitf set_a\",\n  \
+         \"subscriptions\": {subs},\n  \"publication_paths\": {paths},\n  \
+         \"iters\": {iters},\n  \"host_cores\": {cores},\n  \
+         \"sequential_ns_per_pub\": {seq_ns:.1},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xdn_bench::{universe_sample, SEED};
 use xdn_core::merge::MergeConfig;
-use xdn_core::rtable::{FlatPrt, Prt, SubId};
+use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, SubId};
 use xdn_workloads::{docs, nitf_dtd, sets};
 
 fn bench_routing(c: &mut Criterion) {
@@ -24,9 +24,9 @@ fn bench_routing(c: &mut Criterion) {
     let mut covering: Prt<u32> = Prt::new();
     let mut merged: Prt<u32> = Prt::new();
     for (i, q) in queries.iter().enumerate() {
-        flat.subscribe(SubId(i as u64), q.clone(), i as u32);
-        covering.subscribe(SubId(i as u64), q.clone(), i as u32);
-        merged.subscribe(SubId(i as u64), q.clone(), i as u32);
+        flat.insert(SubId(i as u64), q.clone(), i as u32);
+        covering.insert(SubId(i as u64), q.clone(), i as u32);
+        merged.insert(SubId(i as u64), q.clone(), i as u32);
     }
     let mut seq = 1_000_000u64;
     merged.apply_merging(
@@ -47,7 +47,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             let p = &ps[i % ps.len()];
             i += 1;
-            flat.route(p).len()
+            flat.matching_hops(p, &[]).len()
         });
     });
     group.bench_with_input(BenchmarkId::new("covering", pubs.len()), &pubs, |b, ps| {
@@ -55,7 +55,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             let p = &ps[i % ps.len()];
             i += 1;
-            covering.route(p).len()
+            covering.matching_hops(p, &[]).len()
         });
     });
     group.bench_with_input(
@@ -66,7 +66,7 @@ fn bench_routing(c: &mut Criterion) {
             b.iter(|| {
                 let p = &ps[i % ps.len()];
                 i += 1;
-                merged.route(p).len()
+                merged.matching_hops(p, &[]).len()
             });
         },
     );

@@ -11,7 +11,7 @@ use crate::{Scale, SEED};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xdn_core::merge::MergeConfig;
-use xdn_core::rtable::{Prt, SubId};
+use xdn_core::rtable::{Prt, PublicationRouter, SubId};
 use xdn_workloads::{docs, nitf_dtd};
 use xdn_xpath::generate::XpeGeneratorConfig;
 use xdn_xpath::Xpe;
@@ -89,7 +89,7 @@ pub fn run(scale: &Scale, degrees: &[f64]) -> Vec<Fig9Point> {
                 // Build the downstream table and merge at this degree.
                 let mut prt: Prt<u32> = Prt::new();
                 for (i, q) in group.iter().enumerate() {
-                    prt.subscribe(SubId(i as u64), q.clone(), 0);
+                    prt.insert(SubId(i as u64), q.clone(), 0);
                 }
                 if degree > 0.0 {
                     let cfg = MergeConfig {

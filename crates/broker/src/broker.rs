@@ -1,13 +1,14 @@
 //! The broker: routing state plus the message-handling state machine.
 
-use crate::message::{BrokerId, Dest, Message, MessageKind};
+use crate::message::{BrokerId, Dest, Message, MessageKind, Publication};
 use crate::reliable::{Admit, DedupWindow, OutboundLink, ReliabilityState};
 use crate::stats::BrokerStats;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use xdn_core::index::IndexedPrt;
 use xdn_core::merge::MergeConfig;
-use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, Srt, SubId};
+use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, RouteRequest, Srt, SubId};
+use xdn_core::shard::{ShardStats, ShardedRouter};
 use xdn_obs::{Stopwatch, TraceEvent, Tracer};
 use xdn_xpath::Xpe;
 
@@ -33,12 +34,33 @@ impl Merging {
     }
 }
 
+/// How a non-covering broker matches publications against its
+/// subscription table. Every variant returns identical destination
+/// sets; only the publication routing time changes. Ignored when
+/// [`RoutingConfig::covering`] is set (the covering tree is its own
+/// organization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchStrategy {
+    /// Linear scan over every subscription (`FlatPrt`) — the paper's
+    /// baseline.
+    Flat,
+    /// Candidate-pruning inverted index (`IndexedPrt`). The default.
+    Indexed,
+    /// Subscriptions hash-partitioned across `shards` independent
+    /// `IndexedPrt` tables, matched in parallel on the scoped worker
+    /// pool (`XDN_MATCH_THREADS` workers).
+    Sharded {
+        /// Number of shards (zero is clamped to one).
+        shards: usize,
+    },
+}
+
 /// A broker's routing strategy — the experiment axis of Tables 2/3.
 ///
 /// Build one with [`RoutingConfig::builder`]:
 ///
 /// ```
-/// use xdn_broker::broker::{Merging, RoutingConfig};
+/// use xdn_broker::broker::{MatchStrategy, Merging, RoutingConfig};
 ///
 /// let cfg = RoutingConfig::builder()
 ///     .advertisements(true)
@@ -46,6 +68,11 @@ impl Merging {
 ///     .merging(Merging::Imperfect { max_degree: 0.1 })
 ///     .build();
 /// assert!(cfg.advertisements && cfg.covering);
+///
+/// let parallel = RoutingConfig::builder()
+///     .strategy(MatchStrategy::Sharded { shards: 4 })
+///     .build();
+/// assert_eq!(parallel.strategy, MatchStrategy::Sharded { shards: 4 });
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoutingConfig {
@@ -56,11 +83,9 @@ pub struct RoutingConfig {
     pub covering: bool,
     /// Merging mode, if any.
     pub merging: Option<Merging>,
-    /// Use the candidate-pruning match index for non-covering tables
-    /// (`IndexedPrt` instead of the linear-scan `FlatPrt`). Matching
-    /// results are identical; only the publication routing time
-    /// changes. Ignored when `covering` is set.
-    pub indexing: bool,
+    /// Matching organization for non-covering tables. Replaces the old
+    /// boolean `indexing` knob.
+    pub strategy: MatchStrategy,
 }
 
 /// Staged construction of a [`RoutingConfig`]; see
@@ -73,7 +98,7 @@ pub struct RoutingConfigBuilder {
     advertisements: bool,
     covering: bool,
     merging: Option<Merging>,
-    indexing: bool,
+    strategy: MatchStrategy,
 }
 
 impl Default for RoutingConfigBuilder {
@@ -82,7 +107,7 @@ impl Default for RoutingConfigBuilder {
             advertisements: false,
             covering: false,
             merging: None,
-            indexing: true,
+            strategy: MatchStrategy::Indexed,
         }
     }
 }
@@ -108,11 +133,24 @@ impl RoutingConfigBuilder {
         self
     }
 
+    /// Selects the matching organization for non-covering tables.
+    pub fn strategy(mut self, strategy: MatchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Enables or disables the candidate-pruning match index for
     /// non-covering tables.
-    pub fn indexing(mut self, on: bool) -> Self {
-        self.indexing = on;
-        self
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `strategy(MatchStrategy::Indexed)` / `strategy(MatchStrategy::Flat)`"
+    )]
+    pub fn indexing(self, on: bool) -> Self {
+        self.strategy(if on {
+            MatchStrategy::Indexed
+        } else {
+            MatchStrategy::Flat
+        })
     }
 
     /// Finalizes the configuration.
@@ -121,7 +159,7 @@ impl RoutingConfigBuilder {
             advertisements: self.advertisements,
             covering: self.covering,
             merging: self.merging,
-            indexing: self.indexing,
+            strategy: self.strategy,
         }
     }
 }
@@ -224,6 +262,22 @@ pub struct Broker {
 /// replay them after sync — the cap bounds memory, not correctness.
 const WARMUP_CAPACITY: usize = 4096;
 
+/// One admitted batch entry awaiting the parallel routing flush in
+/// [`Broker::handle_batch`].
+enum PendingEntry {
+    /// A publication to route; `ack` is the cumulative ack owed for its
+    /// sequenced envelope (already computed at admission, when the
+    /// dedup window was advanced), emitted after the routed copies.
+    Route {
+        from: Dest,
+        publication: Publication,
+        ack: Option<Message>,
+    },
+    /// Pre-computed output (e.g. a duplicate's re-ack) held back so the
+    /// batch's output order matches sequential processing.
+    Emit(Vec<(Dest, Message)>),
+}
+
 /// An installed [`Tracer`], opaque to `Debug` (trace sinks carry
 /// writers and buffers that have no useful debug form).
 struct TracerHandle(Arc<dyn Tracer>);
@@ -247,10 +301,14 @@ impl Broker {
     pub fn new(id: BrokerId, config: RoutingConfig) -> Self {
         let prt: Box<dyn PublicationRouter<Dest> + Send> = if config.covering {
             Box::new(Prt::new())
-        } else if config.indexing {
-            Box::new(IndexedPrt::new())
         } else {
-            Box::new(FlatPrt::new())
+            match config.strategy {
+                MatchStrategy::Flat => Box::new(FlatPrt::new()),
+                MatchStrategy::Indexed => Box::new(IndexedPrt::new()),
+                MatchStrategy::Sharded { shards } => {
+                    Box::new(ShardedRouter::<IndexedPrt<Dest>>::new(shards))
+                }
+            }
         };
         Broker {
             id,
@@ -534,6 +592,175 @@ impl Broker {
             }
         }
         out
+    }
+
+    /// Processes a whole transport drain in one call, returning exactly
+    /// the messages [`Broker::handle`] would have produced for the same
+    /// sequence: `handle_batch(batch)` is observably equivalent to
+    /// concatenating `handle(from, msg)` over the batch in order.
+    ///
+    /// Control traffic (advertisements, subscriptions, sync, acks) is
+    /// order-sensitive and processed sequentially, acting as a flush
+    /// barrier; runs of publications between barriers are routed in one
+    /// [`PublicationRouter::route_batch`] call, which a sharded table
+    /// fans across its worker pool. Reliability bookkeeping happens at
+    /// admission time in arrival order (dedup windows advance and acks
+    /// are computed as each frame is scanned) and per-link sequencing
+    /// headers are assigned at flush time in arrival order, so the
+    /// sequencing/ack layer sees the same frame stream either way.
+    pub fn handle_batch(&mut self, batch: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+        let mut out = Vec::new();
+        let mut pending: Vec<PendingEntry> = Vec::new();
+        for (from, msg) in batch {
+            if self.sync_pending.is_empty() {
+                match msg {
+                    Message::Publish(p) => {
+                        pending.push(PendingEntry::Route {
+                            from,
+                            publication: p,
+                            ack: None,
+                        });
+                        continue;
+                    }
+                    Message::Sequenced {
+                        epoch,
+                        seq,
+                        low,
+                        inner,
+                    } if matches!(*inner, Message::Publish(_)) => {
+                        let admit = self
+                            .windows
+                            .entry(from)
+                            .or_default()
+                            .observe(epoch, seq, low);
+                        match admit {
+                            Admit::Stale => {
+                                self.stats.stale_frames += 1;
+                            }
+                            Admit::Duplicate => {
+                                self.stats.dup_frames += 1;
+                                let ack = self.ack_for(from, epoch, seq);
+                                self.stats.sent += 1;
+                                pending.push(PendingEntry::Emit(vec![(from, ack)]));
+                            }
+                            Admit::Fresh => {
+                                let ack = self.ack_for(from, epoch, seq);
+                                self.stats.sent += 1;
+                                let Message::Publish(p) = *inner else {
+                                    unreachable!("guard matched Publish");
+                                };
+                                pending.push(PendingEntry::Route {
+                                    from,
+                                    publication: p,
+                                    ack: Some(ack),
+                                });
+                            }
+                        }
+                        continue;
+                    }
+                    other => {
+                        // Order-sensitive traffic: flush the routed run,
+                        // then process sequentially as today.
+                        self.flush_publications(&mut pending, &mut out);
+                        out.extend(self.handle(from, other));
+                    }
+                }
+            } else {
+                self.flush_publications(&mut pending, &mut out);
+                out.extend(self.handle(from, msg));
+            }
+        }
+        self.flush_publications(&mut pending, &mut out);
+        out
+    }
+
+    /// Routes the pending publication run in one batched call and emits
+    /// its outputs (and held-back acks) in admission order.
+    fn flush_publications(
+        &mut self,
+        pending: &mut Vec<PendingEntry>,
+        out: &mut Vec<(Dest, Message)>,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(pending);
+        let requests: Vec<RouteRequest<'_>> = entries
+            .iter()
+            .filter_map(|e| match e {
+                PendingEntry::Route { publication, .. } => Some(RouteRequest {
+                    path: &publication.elements,
+                    attrs: &publication.attributes,
+                }),
+                PendingEntry::Emit(_) => None,
+            })
+            .collect();
+        let sw = Stopwatch::start();
+        let dest_sets = if requests.is_empty() {
+            Vec::new()
+        } else {
+            self.prt.route_batch(&requests)
+        };
+        // Spread the batch's wall time over its publications so the
+        // routing histogram keeps one sample per publication.
+        let n = requests.len().max(1) as u32;
+        let per_pub = sw.elapsed() / n;
+        let per_pub_ns = sw.elapsed_ns() / u64::from(n);
+        let mut sets = dest_sets.into_iter();
+        for entry in entries {
+            match entry {
+                PendingEntry::Emit(msgs) => out.extend(msgs),
+                PendingEntry::Route {
+                    from,
+                    publication: p,
+                    ack,
+                } => {
+                    self.stats.record_received(MessageKind::Publish);
+                    self.stats.pub_routing.record(per_pub);
+                    let dests = sets.next().unwrap_or_default();
+                    if let Some(tracer) = &self.tracer {
+                        tracer.record(&TraceEvent::span(
+                            "pub.route",
+                            self.id.0,
+                            "publish",
+                            p.doc_id.0,
+                            dests.len() as u64,
+                            per_pub_ns,
+                        ));
+                    }
+                    let routed: Vec<(Dest, Message)> = dests
+                        .into_iter()
+                        .filter(|d| *d != from)
+                        .map(|d| {
+                            if let Dest::Client(c) = d {
+                                self.stats.deliveries += 1;
+                                if let Some(tracer) = &self.tracer {
+                                    tracer.record(&TraceEvent::point(
+                                        "pub.deliver",
+                                        self.id.0,
+                                        "publish",
+                                        p.doc_id.0,
+                                        c.0,
+                                    ));
+                                }
+                            }
+                            (d, Message::Publish(p.clone()))
+                        })
+                        .collect();
+                    self.stats.sent += routed.len() as u64;
+                    out.extend(self.wrap_outputs(routed));
+                    if let Some(ack) = ack {
+                        out.push((from, ack));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parallel-matching metrics from the routing table, when the
+    /// configured [`MatchStrategy`] is sharded (`None` otherwise).
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        self.prt.shard_stats()
     }
 
     /// The full answer to a neighbour's [`Message::SyncRequest`]: the
@@ -1676,5 +1903,152 @@ mod srt_compact_tests {
         );
         assert_eq!(out.len(), 1);
         assert!(out[0].0.is_client());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::message::{ClientId, MessageKind, Publication};
+    use xdn_xml::{DocId, PathId};
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn publication(elements: &[&str]) -> Publication {
+        Publication {
+            doc_id: DocId(1),
+            path_id: PathId(0),
+            elements: elements
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            attributes: Vec::new(),
+            doc_bytes: 1000,
+        }
+    }
+
+    fn client(n: u64) -> Dest {
+        Dest::Client(ClientId(n))
+    }
+
+    fn broker_hop(n: u32) -> Dest {
+        Dest::Broker(BrokerId(n))
+    }
+
+    /// A broker with neighbours and subscriptions installed, identical
+    /// on every call — the fixture both sides of the batch-equivalence
+    /// tests start from.
+    fn batch_fixture(strategy: MatchStrategy) -> Broker {
+        let mut b = Broker::new(
+            BrokerId(0),
+            RoutingConfig::builder().strategy(strategy).build(),
+        );
+        b.add_neighbor(BrokerId(1));
+        b.add_neighbor(BrokerId(2));
+        b.handle(broker_hop(2), Message::subscribe(SubId(1), xpe("/a/b")));
+        b.handle(client(7), Message::subscribe(SubId(2), xpe("//c")));
+        b
+    }
+
+    /// Sequenced publication frames as a real neighbour would emit
+    /// them: produced by a peer broker whose table routes toward this
+    /// one, so epochs, sequence numbers, and low-watermarks are the
+    /// reliability layer's own.
+    fn sequenced_publications(n: usize) -> Vec<Message> {
+        let mut sender = Broker::new(BrokerId(1), RoutingConfig::builder().build());
+        sender.add_neighbor(BrokerId(0));
+        sender.handle(broker_hop(0), Message::subscribe(SubId(9), xpe("//b")));
+        (0..n)
+            .map(|i| {
+                let mut p = publication(&["a", "b"]);
+                p.doc_id = DocId(100 + i as u64);
+                let mut out = sender.handle(client(1), Message::Publish(p));
+                assert_eq!(out.len(), 1, "publication routes to broker 0");
+                out.remove(0).1
+            })
+            .collect()
+    }
+
+    /// The batch every equivalence test replays: a run of bare
+    /// publications, a control-plane barrier, fresh sequenced
+    /// publications, and a duplicated sequenced frame.
+    fn mixed_batch() -> Vec<(Dest, Message)> {
+        let seqs = sequenced_publications(2);
+        vec![
+            (broker_hop(1), Message::Publish(publication(&["a", "b"]))),
+            (broker_hop(1), Message::Publish(publication(&["a", "c"]))),
+            (client(9), Message::subscribe(SubId(3), xpe("/z"))),
+            (broker_hop(1), seqs[0].clone()),
+            (broker_hop(1), seqs[1].clone()),
+            (broker_hop(1), seqs[0].clone()),
+        ]
+    }
+
+    fn assert_batch_equivalent(strategy: MatchStrategy) {
+        let mut batched = batch_fixture(strategy);
+        let batched_out = batched.handle_batch(mixed_batch());
+
+        let mut sequential = batch_fixture(strategy);
+        let mut sequential_out = Vec::new();
+        for (from, msg) in mixed_batch() {
+            sequential_out.extend(sequential.handle(from, msg));
+        }
+
+        assert_eq!(
+            batched_out, sequential_out,
+            "handle_batch must emit exactly the sequential outputs, in order"
+        );
+        assert!(
+            batched_out
+                .iter()
+                .any(|(_, m)| matches!(m.kind(), MessageKind::Publish)),
+            "fixture must actually route publications"
+        );
+        let (bs, ss) = (batched.stats(), sequential.stats());
+        assert_eq!(bs.received, ss.received, "per-kind received counters");
+        assert_eq!(bs.sent, ss.sent);
+        assert_eq!(bs.deliveries, ss.deliveries);
+        assert_eq!(bs.dup_frames, ss.dup_frames);
+        assert_eq!(bs.stale_frames, ss.stale_frames);
+        assert_eq!(
+            bs.pub_routing.count(),
+            ss.pub_routing.count(),
+            "one routing sample per publication either way"
+        );
+        assert_eq!(batched.routing_signature(), sequential.routing_signature());
+        assert_eq!(batched.unacked_total(), sequential.unacked_total());
+    }
+
+    #[test]
+    fn handle_batch_matches_sequential_handle() {
+        assert_batch_equivalent(MatchStrategy::Indexed);
+    }
+
+    #[test]
+    fn handle_batch_matches_sequential_handle_when_sharded() {
+        assert_batch_equivalent(MatchStrategy::Sharded { shards: 4 });
+    }
+
+    #[test]
+    fn handle_batch_defers_payload_while_warming() {
+        let mut batched = batch_fixture(MatchStrategy::Indexed);
+        batched.expect_sync_from(BrokerId(1));
+        let mut sequential = batch_fixture(MatchStrategy::Indexed);
+        sequential.expect_sync_from(BrokerId(1));
+
+        let batch = vec![
+            (broker_hop(2), Message::Publish(publication(&["a", "b"]))),
+            (broker_hop(2), Message::Publish(publication(&["a", "c"]))),
+        ];
+        let batched_out = batched.handle_batch(batch.clone());
+        let mut sequential_out = Vec::new();
+        for (from, msg) in batch {
+            sequential_out.extend(sequential.handle(from, msg));
+        }
+        assert_eq!(batched_out, sequential_out);
+        assert!(batched_out.is_empty(), "warming brokers defer payloads");
+        assert_eq!(batched.stats().received, sequential.stats().received);
     }
 }

@@ -181,7 +181,7 @@ impl XpeCache {
 /// The indexed publication routing table: [`crate::rtable::FlatPrt`]
 /// semantics (no covering, every subscription forwarded) with
 /// sub-linear matching via the candidate index.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IndexedPrt<H> {
     entries: HashMap<SubId, (Arc<PreparedXpe>, H)>,
     /// `depth -> name -> subscriptions` for [`CandidateKey::Anchored`].
@@ -191,6 +191,12 @@ pub struct IndexedPrt<H> {
     /// Subscriptions that must be evaluated against every path.
     unkeyed: Vec<SubId>,
     cache: XpeCache,
+}
+
+impl<H> Default for IndexedPrt<H> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<H> IndexedPrt<H> {
@@ -435,7 +441,7 @@ mod tests {
         let mut flat = FlatPrt::new();
         let mut idx = IndexedPrt::new();
         for (i, s) in subs.iter().enumerate() {
-            flat.subscribe(SubId(i as u64), xpe(s), i);
+            flat.insert(SubId(i as u64), xpe(s), i);
             idx.subscribe(SubId(i as u64), xpe(s), i);
         }
         let paths: [&[&str]; 5] = [
@@ -446,7 +452,12 @@ mod tests {
             &["q"],
         ];
         for p in paths {
-            assert_eq!(idx.route(p), flat.route(p), "divergence on {p:?}");
+            let owned: Vec<String> = p.iter().map(|s| (*s).to_string()).collect();
+            assert_eq!(
+                idx.route(p),
+                flat.matching_hops(&owned, &[]),
+                "divergence on {p:?}"
+            );
         }
     }
 

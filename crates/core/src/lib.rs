@@ -25,6 +25,11 @@
 //!   over the element names of registered expressions plus a
 //!   prepared-XPE cache, making publication matching sub-linear in the
 //!   subscription count.
+//! * [`shard`] — the sharded parallel router: subscriptions
+//!   hash-partitioned across independent [`index::IndexedPrt`] shards,
+//!   matched concurrently on the [`pool`] worker pool.
+//! * [`pool`] — the fixed scoped-thread worker pool behind [`shard`],
+//!   the one sanctioned thread-spawning site in the routing crates.
 //!
 //! ```
 //! use xdn_core::cover::covers;
@@ -42,11 +47,15 @@ pub mod advmatch;
 pub mod cover;
 pub mod index;
 pub mod merge;
+pub mod pool;
 pub mod rtable;
+pub mod shard;
 pub mod subtree;
 
 pub use adv::{AdvKind, AdvPath, AdvSegment, Advertisement};
 pub use cover::covers;
 pub use index::{CandidateKey, IndexedPrt, PreparedXpe, XpeCache};
-pub use rtable::PublicationRouter;
+pub use pool::MatchPool;
+pub use rtable::{PublicationRouter, RouteRequest};
+pub use shard::{ShardStats, ShardedRouter};
 pub use subtree::{Insertion, NodeId, SubscriptionTree};

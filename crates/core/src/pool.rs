@@ -1,0 +1,175 @@
+//! The match worker pool: the one sanctioned place in `crates/core`
+//! and `crates/broker` that spawns threads (`cargo xtask lint` enforces
+//! this).
+//!
+//! [`MatchPool`] runs a fixed number of **named, scoped, joined**
+//! workers over an indexed task list. The work queue is an atomic
+//! cursor over `0..tasks` — inherently bounded (no channel can grow),
+//! and a task is claimed exactly once. Workers borrow the caller's
+//! stack via [`std::thread::scope`], so routing tables are shared by
+//! reference with no locks, no `Arc`, and no `unsafe`; every worker is
+//! joined before the call returns (the scope guarantees it even on
+//! panic).
+//!
+//! The caller's own thread participates as a worker, so the pool
+//! degrades gracefully: with one configured thread (or one task) the
+//! work runs inline with zero spawn overhead — the path the
+//! single-shard equivalence tests exercise.
+//!
+//! Sizing: [`configured_threads`] reads `XDN_MATCH_THREADS`, falling
+//! back to [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The pool-thread budget from the environment: `XDN_MATCH_THREADS` if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 if even that is unknown).
+pub fn configured_threads() -> usize {
+    std::env::var("XDN_MATCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// A fixed-size scoped worker pool over indexed tasks.
+#[derive(Debug)]
+pub struct MatchPool {
+    threads: usize,
+    /// Total tasks executed over the pool's lifetime.
+    tasks_run: AtomicU64,
+    /// Tasks enqueued by the most recent [`MatchPool::run`] call — the
+    /// depth the bounded work queue reached.
+    last_depth: AtomicU64,
+}
+
+impl MatchPool {
+    /// Creates a pool that will use at most `threads` workers
+    /// (including the calling thread). Zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        MatchPool {
+            threads: threads.max(1),
+            tasks_run: AtomicU64::new(0),
+            last_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total tasks executed since creation.
+    pub fn tasks_run(&self) -> u64 {
+        self.tasks_run.load(Ordering::Relaxed)
+    }
+
+    /// Tasks submitted by the most recent batch (work-queue depth).
+    pub fn last_depth(&self) -> u64 {
+        self.last_depth.load(Ordering::Relaxed)
+    }
+
+    /// Executes `task(0..tasks)`, each index exactly once, across up to
+    /// [`MatchPool::threads`] workers. Returns once every task has run
+    /// and every spawned worker has been joined. Tasks may run in any
+    /// order; callers index into shared output slots for determinism.
+    pub fn run<F>(&self, tasks: usize, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.last_depth.store(tasks as u64, Ordering::Relaxed);
+        self.tasks_run.fetch_add(tasks as u64, Ordering::Relaxed);
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            for t in 0..tasks {
+                task(t);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let drain = || loop {
+            let t = cursor.fetch_add(1, Ordering::Relaxed);
+            if t >= tasks {
+                break;
+            }
+            task(t);
+        };
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers - 1);
+            for w in 1..workers {
+                // A failed spawn (resource exhaustion) is not fatal:
+                // the remaining workers and the caller drain the queue.
+                if let Ok(h) = std::thread::Builder::new()
+                    .name(format!("xdn-match-{w}"))
+                    .spawn_scoped(scope, drain)
+                {
+                    handles.push(h);
+                }
+            }
+            drain();
+            for h in handles {
+                if h.join().is_err() {
+                    // The worker panicked mid-task; surface it rather
+                    // than return a partial result set.
+                    panic!("match pool worker panicked");
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = MatchPool::new(4);
+        let seen = Mutex::new(vec![0u32; 100]);
+        pool.run(100, |t| {
+            seen.lock().unwrap()[t] += 1;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&n| n == 1));
+        assert_eq!(pool.tasks_run(), 100);
+        assert_eq!(pool.last_depth(), 100);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = MatchPool::new(4);
+        pool.run(0, |_| panic!("no task to run"));
+        assert_eq!(pool.last_depth(), 0);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = MatchPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        pool.run(8, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        assert_eq!(MatchPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn tasks_run_accumulates_across_batches() {
+        let pool = MatchPool::new(2);
+        pool.run(3, |_| {});
+        pool.run(5, |_| {});
+        assert_eq!(pool.tasks_run(), 8);
+        assert_eq!(pool.last_depth(), 5);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -153,15 +153,27 @@ impl<H: Clone + Ord> Srt<H> {
     }
 }
 
+/// One publication in a [`PublicationRouter::route_batch`] call: the
+/// root-to-leaf element path and its aligned per-element attributes,
+/// borrowed from the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteRequest<'a> {
+    /// Element names from root to leaf.
+    pub path: &'a [String],
+    /// Per-element attributes aligned with `path` (may be empty).
+    pub attrs: &'a [Vec<(String, String)>],
+}
+
 /// The publication routing table abstraction: everything a broker needs
 /// from its PRT, independent of the matching strategy behind it.
 ///
 /// Implemented by the covering [`Prt`], the linear-scan [`FlatPrt`],
-/// and the candidate-pruning [`crate::index::IndexedPrt`]; brokers,
-/// the simulator, and the benches program against
-/// `Box<dyn PublicationRouter<H>>` and stop branching on strategy
-/// internals. The trait is dyn-compatible: the match visitor is a
-/// `&mut dyn FnMut`, and paths arrive as concrete `&[String]`.
+/// the candidate-pruning [`crate::index::IndexedPrt`], and the
+/// parallel [`crate::shard::ShardedRouter`]; brokers, the simulator,
+/// and the benches program against `Box<dyn PublicationRouter<H>>` and
+/// stop branching on strategy internals. The trait is dyn-compatible:
+/// the match visitor is a `&mut dyn FnMut`, and paths arrive as
+/// concrete `&[String]`.
 pub trait PublicationRouter<H: Clone + Ord>: fmt::Debug {
     /// Registers a subscription from `last_hop` and reports what the
     /// broker owes the wire (forwarding, retractions, owed directions).
@@ -225,10 +237,28 @@ pub trait PublicationRouter<H: Clone + Ord>: fmt::Debug {
     ) -> Vec<MergeApplication> {
         Vec::new()
     }
+
+    /// The forwarding sets for a whole batch of publications, in
+    /// request order. Sequential tables answer one request at a time;
+    /// [`crate::shard::ShardedRouter`] fans the batch across its
+    /// worker pool. Either way `route_batch(reqs)[i]` equals
+    /// `matching_hops(reqs[i].path, reqs[i].attrs)` exactly.
+    fn route_batch(&self, requests: &[RouteRequest<'_>]) -> Vec<BTreeSet<H>> {
+        requests
+            .iter()
+            .map(|r| self.matching_hops(r.path, r.attrs))
+            .collect()
+    }
+
+    /// Parallel-matching metrics (per-shard occupancy and latency,
+    /// pool counters); `None` for unsharded tables.
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        None
+    }
 }
 
-/// Result of a [`Prt::subscribe`] call, telling the broker what to do
-/// on the wire.
+/// Result of a [`PublicationRouter::insert`] call, telling the broker
+/// what to do on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubscribeOutcome<H = ()> {
     /// Forward this subscription to matching neighbours (it is not
@@ -247,7 +277,7 @@ pub struct SubscribeOutcome<H = ()> {
     pub covered_root_hops: Vec<H>,
 }
 
-/// Result of a [`Prt::unsubscribe`] call.
+/// Result of a [`PublicationRouter::remove`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnsubscribeOutcome {
     /// Forward the unsubscription (the subscription had been forwarded).
@@ -299,51 +329,6 @@ impl<H: Clone + Ord> Prt<H> {
         Self::default()
     }
 
-    /// Registers a subscription from `last_hop`.
-    ///
-    /// Equal expressions share a tree node (their hops are unioned); a
-    /// covered expression is stored but not forwarded; a covering
-    /// expression demotes the top-level expressions it covers, which
-    /// are reported in [`SubscribeOutcome::retract`].
-    pub fn subscribe(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
-        if let Some(&node) = self.by_xpe.get(&xpe) {
-            let payload = self.tree.payload_mut(node);
-            // Re-forwarded subscriptions (advertisement re-evaluation)
-            // are idempotent.
-            if !payload.contains(&(id, last_hop.clone())) {
-                payload.push((id, last_hop.clone()));
-            }
-            self.by_sub.insert(id, node);
-            // An equal expression was already handled upstream except
-            // toward the hops it arrived from (including this one, if
-            // it differs).
-            return SubscribeOutcome {
-                forward: false,
-                retract: Vec::new(),
-                covered_root_hops: self.root_hops_of(node, &last_hop),
-            };
-        }
-        let insertion = self.tree.insert(xpe.clone(), vec![(id, last_hop.clone())]);
-        let node = insertion.id();
-        self.by_xpe.insert(xpe, node);
-        self.by_sub.insert(id, node);
-        match insertion {
-            Insertion::CoveredBy { .. } => SubscribeOutcome {
-                forward: false,
-                retract: Vec::new(),
-                covered_root_hops: self.root_hops_of(node, &last_hop),
-            },
-            Insertion::NewTop { demoted, .. } => SubscribeOutcome {
-                forward: true,
-                retract: demoted
-                    .iter()
-                    .flat_map(|&d| self.tree.payload(d).iter().map(|(s, _)| *s))
-                    .collect(),
-                covered_root_hops: Vec::new(),
-            },
-        }
-    }
-
     /// The unique last hops of `node`'s top-level ancestor, excluding
     /// `arriving` (the coverer was never forwarded toward its own
     /// origins, so a covered subscription still owes those directions).
@@ -369,90 +354,9 @@ impl<H: Clone + Ord> Prt<H> {
         hops
     }
 
-    /// Removes a subscription. When the last subscriber of an
-    /// expression leaves, the node is dropped and any children it was
-    /// covering are promoted — those must be re-forwarded upstream.
-    ///
-    /// Unknown ids are ignored (duplicate unsubscriptions are routine
-    /// in a network that retracts covered subscriptions).
-    pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
-        let Some(node) = self.by_sub.remove(&id) else {
-            return UnsubscribeOutcome {
-                forward: false,
-                promote: Vec::new(),
-            };
-        };
-        let subs = self.tree.payload_mut(node);
-        subs.retain(|(s, _)| *s != id);
-        if !subs.is_empty() {
-            return UnsubscribeOutcome {
-                forward: false,
-                promote: Vec::new(),
-            };
-        }
-        let was_top = self.tree.parent(node).is_none();
-        self.by_xpe.remove(&self.tree.xpe(node).clone());
-        self.synthetic.remove(&node);
-        let (_, promoted) = self.tree.remove(node);
-        UnsubscribeOutcome {
-            forward: was_top,
-            promote: promoted
-                .iter()
-                .flat_map(|&p| {
-                    self.tree
-                        .payload(p)
-                        .iter()
-                        .map(|(s, _)| *s)
-                        .chain(self.synthetic.get(&p).copied())
-                })
-                .collect(),
-        }
-    }
-
-    /// The last hops subscribed to publications matching `path`,
-    /// deduplicated — where the publication must be forwarded.
-    pub fn route<S: AsRef<str>>(&self, path: &[S]) -> BTreeSet<H> {
-        self.route_with_attrs(path, &[])
-    }
-
-    /// [`Self::route`] with per-element attribute data.
-    pub fn route_with_attrs<S: AsRef<str>>(
-        &self,
-        path: &[S],
-        attrs: &[Vec<(String, String)>],
-    ) -> BTreeSet<H> {
-        let mut out = BTreeSet::new();
-        self.tree
-            .for_each_matching_with_attrs(path, attrs, |_, subs| {
-                out.extend(subs.iter().map(|(_, h)| h.clone()));
-            });
-        out
-    }
-
     /// The expression registered under `id`, if present.
     pub fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
         self.by_sub.get(&id).map(|&n| self.tree.xpe(n))
-    }
-
-    /// The top-level (forwarded) subscriptions: for each, a
-    /// representative id, the expression, and the last hops it was
-    /// received from. Used to re-forward state toward newly arrived
-    /// advertisements.
-    pub fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
-        self.tree
-            .roots()
-            .iter()
-            .filter_map(|&n| {
-                let payload = self.tree.payload(n);
-                let id = self
-                    .synthetic
-                    .get(&n)
-                    .copied()
-                    .or_else(|| payload.first().map(|(s, _)| *s))?;
-                let hops = payload.iter().map(|(_, h)| h.clone()).collect();
-                Some((id, self.tree.xpe(n).clone(), hops))
-            })
-            .collect()
     }
 
     /// Number of distinct expressions stored (tree nodes).
@@ -516,12 +420,86 @@ impl<H: Clone + Ord> Prt<H> {
 }
 
 impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for Prt<H> {
+    /// Equal expressions share a tree node (their hops are unioned); a
+    /// covered expression is stored but not forwarded; a covering
+    /// expression demotes the top-level expressions it covers, which
+    /// are reported in [`SubscribeOutcome::retract`].
     fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
-        self.subscribe(id, xpe, last_hop)
+        if let Some(&node) = self.by_xpe.get(&xpe) {
+            let payload = self.tree.payload_mut(node);
+            // Re-forwarded subscriptions (advertisement re-evaluation)
+            // are idempotent.
+            if !payload.contains(&(id, last_hop.clone())) {
+                payload.push((id, last_hop.clone()));
+            }
+            self.by_sub.insert(id, node);
+            // An equal expression was already handled upstream except
+            // toward the hops it arrived from (including this one, if
+            // it differs).
+            return SubscribeOutcome {
+                forward: false,
+                retract: Vec::new(),
+                covered_root_hops: self.root_hops_of(node, &last_hop),
+            };
+        }
+        let insertion = self.tree.insert(xpe.clone(), vec![(id, last_hop.clone())]);
+        let node = insertion.id();
+        self.by_xpe.insert(xpe, node);
+        self.by_sub.insert(id, node);
+        match insertion {
+            Insertion::CoveredBy { .. } => SubscribeOutcome {
+                forward: false,
+                retract: Vec::new(),
+                covered_root_hops: self.root_hops_of(node, &last_hop),
+            },
+            Insertion::NewTop { demoted, .. } => SubscribeOutcome {
+                forward: true,
+                retract: demoted
+                    .iter()
+                    .flat_map(|&d| self.tree.payload(d).iter().map(|(s, _)| *s))
+                    .collect(),
+                covered_root_hops: Vec::new(),
+            },
+        }
     }
 
+    /// When the last subscriber of an expression leaves, the node is
+    /// dropped and any children it was covering are promoted — those
+    /// must be re-forwarded upstream. Unknown ids are ignored
+    /// (duplicate unsubscriptions are routine in a network that
+    /// retracts covered subscriptions).
     fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
-        self.unsubscribe(id)
+        let Some(node) = self.by_sub.remove(&id) else {
+            return UnsubscribeOutcome {
+                forward: false,
+                promote: Vec::new(),
+            };
+        };
+        let subs = self.tree.payload_mut(node);
+        subs.retain(|(s, _)| *s != id);
+        if !subs.is_empty() {
+            return UnsubscribeOutcome {
+                forward: false,
+                promote: Vec::new(),
+            };
+        }
+        let was_top = self.tree.parent(node).is_none();
+        self.by_xpe.remove(&self.tree.xpe(node).clone());
+        self.synthetic.remove(&node);
+        let (_, promoted) = self.tree.remove(node);
+        UnsubscribeOutcome {
+            forward: was_top,
+            promote: promoted
+                .iter()
+                .flat_map(|&p| {
+                    self.tree
+                        .payload(p)
+                        .iter()
+                        .map(|(s, _)| *s)
+                        .chain(self.synthetic.get(&p).copied())
+                })
+                .collect(),
+        }
     }
 
     fn for_each_matching_with_attrs(
@@ -546,8 +524,24 @@ impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for Prt<H> {
         Prt::xpe_of(self, id)
     }
 
+    /// Each top-level tree node yields a representative id (the
+    /// synthetic merger's, or the first subscriber's) with the hops the
+    /// expression was received from.
     fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
-        Prt::forwarded_subs(self)
+        self.tree
+            .roots()
+            .iter()
+            .filter_map(|&n| {
+                let payload = self.tree.payload(n);
+                let id = self
+                    .synthetic
+                    .get(&n)
+                    .copied()
+                    .or_else(|| payload.first().map(|(s, _)| *s))?;
+                let hops = payload.iter().map(|(_, h)| h.clone()).collect();
+                Some((id, self.tree.xpe(n).clone(), hops))
+            })
+            .collect()
     }
 
     fn effective_size(&self) -> usize {
@@ -585,52 +579,6 @@ impl<H: Clone + Ord> FlatPrt<H> {
         Self::default()
     }
 
-    /// Registers a subscription; always forwarded (no covering).
-    pub fn subscribe(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
-        self.entries.insert(id, (xpe, last_hop));
-        SubscribeOutcome {
-            forward: true,
-            retract: Vec::new(),
-            covered_root_hops: Vec::new(),
-        }
-    }
-
-    /// Removes a subscription.
-    pub fn unsubscribe(&mut self, id: SubId) -> UnsubscribeOutcome {
-        let known = self.entries.remove(&id).is_some();
-        UnsubscribeOutcome {
-            forward: known,
-            promote: Vec::new(),
-        }
-    }
-
-    /// Scans every subscription for matches.
-    pub fn route<S: AsRef<str>>(&self, path: &[S]) -> BTreeSet<H> {
-        self.route_with_attrs(path, &[])
-    }
-
-    /// [`Self::route`] with per-element attribute data.
-    pub fn route_with_attrs<S: AsRef<str>>(
-        &self,
-        path: &[S],
-        attrs: &[Vec<(String, String)>],
-    ) -> BTreeSet<H> {
-        self.entries
-            .values()
-            .filter(|(xpe, _)| xdn_xpath::matching::matches_path_with_attrs(xpe, path, attrs))
-            .map(|(_, h)| h.clone())
-            .collect()
-    }
-
-    /// Every stored subscription with its last hop (all are forwarded
-    /// in the flat scheme).
-    pub fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
-        self.entries
-            .iter()
-            .map(|(&id, (xpe, h))| (id, xpe.clone(), vec![h.clone()]))
-            .collect()
-    }
-
     /// The expression registered under `id`, if present.
     pub fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
         self.entries.get(&id).map(|(xpe, _)| xpe)
@@ -649,12 +597,22 @@ impl<H: Clone + Ord> FlatPrt<H> {
 }
 
 impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for FlatPrt<H> {
+    /// Always forwarded (no covering).
     fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
-        self.subscribe(id, xpe, last_hop)
+        self.entries.insert(id, (xpe, last_hop));
+        SubscribeOutcome {
+            forward: true,
+            retract: Vec::new(),
+            covered_root_hops: Vec::new(),
+        }
     }
 
     fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
-        self.unsubscribe(id)
+        let known = self.entries.remove(&id).is_some();
+        UnsubscribeOutcome {
+            forward: known,
+            promote: Vec::new(),
+        }
     }
 
     fn for_each_matching_with_attrs(
@@ -678,8 +636,13 @@ impl<H: Clone + Ord + fmt::Debug> PublicationRouter<H> for FlatPrt<H> {
         FlatPrt::xpe_of(self, id)
     }
 
+    /// Every stored subscription with its last hop (all are forwarded
+    /// in the flat scheme).
     fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
-        FlatPrt::forwarded_subs(self)
+        self.entries
+            .iter()
+            .map(|(&id, (xpe, h))| (id, xpe.clone(), vec![h.clone()]))
+            .collect()
     }
 }
 
@@ -790,6 +753,26 @@ impl<H: Clone + Ord, R: PublicationRouter<H>> PublicationRouter<H> for TimedRout
     ) -> Vec<MergeApplication> {
         self.inner.apply_merging(universe, cfg, next_id)
     }
+
+    /// Delegates to the inner batch path (which may be parallel) and
+    /// spreads the batch's wall time over its requests so the
+    /// histogram's count stays one sample per routed publication.
+    fn route_batch(&self, requests: &[RouteRequest<'_>]) -> Vec<BTreeSet<H>> {
+        let sw = xdn_obs::Stopwatch::start();
+        let out = self.inner.route_batch(requests);
+        if !requests.is_empty() {
+            let per = sw.elapsed() / requests.len() as u32;
+            let mut times = self.route_times.borrow_mut();
+            for _ in requests {
+                times.record(per);
+            }
+        }
+        out
+    }
+
+    fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        self.inner.shard_stats()
+    }
 }
 
 #[cfg(test)]
@@ -803,6 +786,10 @@ mod tests {
 
     fn adv(names: &[&str]) -> Advertisement {
         Advertisement::non_recursive(AdvPath::from_names(names))
+    }
+
+    fn path(p: &[&str]) -> Vec<String> {
+        p.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -853,9 +840,9 @@ mod tests {
     #[test]
     fn prt_forwarding_and_covering() {
         let mut prt = Prt::new();
-        let wide = prt.subscribe(SubId(1), xpe("/a/*"), "hopA");
+        let wide = prt.insert(SubId(1), xpe("/a/*"), "hopA");
         assert!(wide.forward);
-        let narrow = prt.subscribe(SubId(2), xpe("/a/b"), "hopB");
+        let narrow = prt.insert(SubId(2), xpe("/a/b"), "hopB");
         assert!(!narrow.forward, "covered by /a/*");
         assert_eq!(prt.effective_size(), 1);
         assert_eq!(prt.len(), 2);
@@ -864,9 +851,9 @@ mod tests {
     #[test]
     fn prt_retracts_on_takeover() {
         let mut prt = Prt::new();
-        prt.subscribe(SubId(1), xpe("/a/b"), "h1");
-        prt.subscribe(SubId(2), xpe("/a/c"), "h2");
-        let top = prt.subscribe(SubId(3), xpe("/a/*"), "h3");
+        prt.insert(SubId(1), xpe("/a/b"), "h1");
+        prt.insert(SubId(2), xpe("/a/c"), "h2");
+        let top = prt.insert(SubId(3), xpe("/a/*"), "h3");
         assert!(top.forward);
         let mut retract = top.retract;
         retract.sort();
@@ -876,31 +863,31 @@ mod tests {
     #[test]
     fn prt_equal_xpes_share_node() {
         let mut prt = Prt::new();
-        let first = prt.subscribe(SubId(1), xpe("/a/b"), "h1");
+        let first = prt.insert(SubId(1), xpe("/a/b"), "h1");
         assert!(first.forward);
-        let second = prt.subscribe(SubId(2), xpe("/a/b"), "h2");
+        let second = prt.insert(SubId(2), xpe("/a/b"), "h2");
         assert!(!second.forward);
         assert_eq!(prt.len(), 1);
-        let hops = prt.route(&["a", "b"]);
+        let hops = prt.matching_hops(&path(&["a", "b"]), &[]);
         assert_eq!(hops.len(), 2);
     }
 
     #[test]
     fn prt_routing_collects_all_matching_hops() {
         let mut prt = Prt::new();
-        prt.subscribe(SubId(1), xpe("/a/*"), "h1");
-        prt.subscribe(SubId(2), xpe("/a/b"), "h2");
-        prt.subscribe(SubId(3), xpe("/x"), "h3");
-        let hops = prt.route(&["a", "b"]);
+        prt.insert(SubId(1), xpe("/a/*"), "h1");
+        prt.insert(SubId(2), xpe("/a/b"), "h2");
+        prt.insert(SubId(3), xpe("/x"), "h3");
+        let hops = prt.matching_hops(&path(&["a", "b"]), &[]);
         assert_eq!(hops.into_iter().collect::<Vec<_>>(), vec!["h1", "h2"]);
     }
 
     #[test]
     fn prt_unsubscribe_promotes() {
         let mut prt = Prt::new();
-        prt.subscribe(SubId(1), xpe("/a/*"), "h1");
-        prt.subscribe(SubId(2), xpe("/a/b"), "h2");
-        let out = prt.unsubscribe(SubId(1));
+        prt.insert(SubId(1), xpe("/a/*"), "h1");
+        prt.insert(SubId(2), xpe("/a/b"), "h2");
+        let out = prt.remove(SubId(1));
         assert!(out.forward, "the wide subscription had been forwarded");
         assert_eq!(out.promote, vec![SubId(2)], "/a/b is now uncovered");
         assert_eq!(prt.effective_size(), 1);
@@ -909,32 +896,32 @@ mod tests {
     #[test]
     fn prt_unsubscribe_shared_node_keeps_entry() {
         let mut prt = Prt::new();
-        prt.subscribe(SubId(1), xpe("/a/b"), "h1");
-        prt.subscribe(SubId(2), xpe("/a/b"), "h2");
-        let out = prt.unsubscribe(SubId(1));
+        prt.insert(SubId(1), xpe("/a/b"), "h1");
+        prt.insert(SubId(2), xpe("/a/b"), "h2");
+        let out = prt.remove(SubId(1));
         assert!(
             !out.forward,
             "another subscriber still needs the expression"
         );
-        assert_eq!(prt.route(&["a", "b"]).len(), 1);
+        assert_eq!(prt.matching_hops(&path(&["a", "b"]), &[]).len(), 1);
     }
 
     #[test]
     fn prt_unknown_unsubscribe_is_noop() {
         let mut prt = Prt::<&str>::new();
-        let out = prt.unsubscribe(SubId(42));
+        let out = prt.remove(SubId(42));
         assert!(!out.forward && out.promote.is_empty());
     }
 
     #[test]
     fn flat_prt_always_forwards() {
         let mut flat = FlatPrt::new();
-        assert!(flat.subscribe(SubId(1), xpe("/a/*"), "h1").forward);
-        assert!(flat.subscribe(SubId(2), xpe("/a/b"), "h2").forward);
+        assert!(flat.insert(SubId(1), xpe("/a/*"), "h1").forward);
+        assert!(flat.insert(SubId(2), xpe("/a/b"), "h2").forward);
         assert_eq!(flat.len(), 2);
-        assert_eq!(flat.route(&["a", "b"]).len(), 2);
-        assert!(flat.unsubscribe(SubId(1)).forward);
-        assert!(!flat.unsubscribe(SubId(1)).forward);
+        assert_eq!(flat.matching_hops(&path(&["a", "b"]), &[]).len(), 2);
+        assert!(flat.remove(SubId(1)).forward);
+        assert!(!flat.remove(SubId(1)).forward);
     }
 
     #[test]
@@ -943,13 +930,40 @@ mod tests {
         let mut prt = Prt::new();
         let mut flat = FlatPrt::new();
         for (i, s) in subs.iter().enumerate() {
-            prt.subscribe(SubId(i as u64), xpe(s), i);
-            flat.subscribe(SubId(i as u64), xpe(s), i);
+            prt.insert(SubId(i as u64), xpe(s), i);
+            flat.insert(SubId(i as u64), xpe(s), i);
         }
         let paths: [&[&str]; 4] = [&["a", "b"], &["a", "q", "c"], &["x", "y"], &["z", "b", "c"]];
         for p in paths {
-            assert_eq!(prt.route(p), flat.route(p), "divergence on {p:?}");
+            let p = path(p);
+            assert_eq!(
+                prt.matching_hops(&p, &[]),
+                flat.matching_hops(&p, &[]),
+                "divergence on {p:?}"
+            );
         }
+    }
+
+    #[test]
+    fn route_batch_default_matches_per_request_routing() {
+        let mut prt = Prt::new();
+        prt.insert(SubId(1), xpe("/a/*"), "h1");
+        prt.insert(SubId(2), xpe("/x"), "h2");
+        let (pa, px) = (path(&["a", "b"]), path(&["x"]));
+        let reqs = [
+            RouteRequest {
+                path: &pa,
+                attrs: &[],
+            },
+            RouteRequest {
+                path: &px,
+                attrs: &[],
+            },
+        ];
+        let batched = prt.route_batch(&reqs);
+        assert_eq!(batched[0], prt.matching_hops(&pa, &[]));
+        assert_eq!(batched[1], prt.matching_hops(&px, &[]));
+        assert!(prt.shard_stats().is_none(), "unsharded tables have none");
     }
 }
 

@@ -1,0 +1,431 @@
+//! The sharded parallel publication router.
+//!
+//! [`ShardedRouter`] hash-partitions subscriptions across N inner
+//! routing tables (shards) and fans each publication out to every
+//! shard on the [`crate::pool::MatchPool`], merging the per-shard
+//! destination sets. Matching is embarrassingly parallel — each shard
+//! holds a disjoint subset of the subscriptions and evaluates the same
+//! publication independently — so the union of the shard answers is
+//! *bit-identical* to a single table holding every subscription
+//! (property-tested in `crates/core/tests/shard_props.rs`).
+//!
+//! Mutation (`insert`/`remove`) routes to the single owning shard,
+//! selected by a deterministic hash of the [`SubId`] — no locks are
+//! needed because the router follows the same exclusive-`&mut`
+//! discipline as every other [`PublicationRouter`]. Read-side fan-out
+//! borrows the shards immutably from scoped pool workers.
+//!
+//! The pool is sized by `XDN_MATCH_THREADS` (default: available
+//! cores), clamped to the shard count: one shard routes sequentially,
+//! N shards use up to N workers. Per-shard match latency histograms
+//! and pool counters are exported via [`ShardStats`] for the
+//! Prometheus scrape.
+//!
+//! Batches additionally coalesce duplicate requests: a burst that
+//! repeats a hot (path, attrs) pair matches it once and clones the
+//! destination set into every duplicate slot, which amortizes matching
+//! independently of core count.
+
+use crate::pool::{configured_threads, MatchPool};
+use crate::rtable::{
+    MergeApplication, PublicationRouter, RouteRequest, SubId, SubscribeOutcome, UnsubscribeOutcome,
+};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use xdn_obs::{Histogram, Stopwatch};
+use xdn_xpath::Xpe;
+
+/// Dedup key for batched routing: a request's borrowed (path, attrs).
+type RequestKey<'a> = (&'a [String], &'a [Vec<(String, String)>]);
+
+/// A snapshot of a sharded router's parallelism state, for metrics:
+/// per-shard occupancy and match-latency histograms plus pool
+/// counters.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Subscriptions held by each shard (occupancy gauges).
+    pub shard_sizes: Vec<usize>,
+    /// Per-shard match latency distributions.
+    pub route_times: Vec<Histogram>,
+    /// Configured pool worker count.
+    pub threads: usize,
+    /// Tasks submitted by the most recent fan-out (work-queue depth).
+    pub queue_depth: u64,
+    /// Total pool tasks executed since creation.
+    pub tasks_run: u64,
+}
+
+/// A [`PublicationRouter`] that partitions subscriptions across N
+/// inner routers and matches them in parallel. See the module docs.
+#[derive(Debug)]
+pub struct ShardedRouter<R> {
+    shards: Vec<R>,
+    pool: MatchPool,
+    route_times: Vec<Mutex<Histogram>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// splitmix64: a deterministic, platform-independent mix so shard
+/// placement (and therefore every equivalence test) is reproducible.
+fn mix(v: u64) -> u64 {
+    let mut x = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl<R: Default> ShardedRouter<R> {
+    /// Creates a router with `shards` empty shards (zero is clamped to
+    /// one) and a pool sized by `XDN_MATCH_THREADS` / available cores.
+    pub fn new(shards: usize) -> Self {
+        Self::with_threads(shards, configured_threads())
+    }
+
+    /// [`ShardedRouter::new`] with an explicit thread budget, clamped
+    /// to the shard count (shards are the unit of read parallelism).
+    pub fn with_threads(shards: usize, threads: usize) -> Self {
+        let n = shards.max(1);
+        ShardedRouter {
+            shards: (0..n).map(|_| R::default()).collect(),
+            pool: MatchPool::new(threads.min(n)),
+            route_times: (0..n).map(|_| Mutex::new(Histogram::new())).collect(),
+        }
+    }
+}
+
+impl<R> ShardedRouter<R> {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The pool's configured worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The shard owning subscription `id`.
+    fn shard_of(&self, id: SubId) -> usize {
+        (mix(id.0) % self.shards.len() as u64) as usize
+    }
+
+    /// Runs `op(0..tasks)` on the pool, collecting results in task
+    /// order regardless of completion order.
+    fn fan<T: Send>(&self, tasks: usize, op: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        self.pool.run(tasks, |t| {
+            let out = op(t);
+            *lock(&slots[t]) = Some(out);
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("pool ran every task")
+            })
+            .collect()
+    }
+}
+
+impl<H, R> PublicationRouter<H> for ShardedRouter<R>
+where
+    H: Clone + Ord + Send,
+    R: PublicationRouter<H> + Sync,
+{
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        let k = self.shard_of(id);
+        self.shards[k].insert(id, xpe, last_hop)
+    }
+
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
+        let k = self.shard_of(id);
+        self.shards[k].remove(id)
+    }
+
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    ) {
+        // The visitor is `&mut` and cannot cross threads: collect the
+        // per-shard matches in parallel, then visit in shard order so
+        // the sequence is deterministic given deterministic shards.
+        let per_shard = self.fan(self.shards.len(), |si| {
+            let sw = Stopwatch::start();
+            let mut matches: Vec<(SubId, H)> = Vec::new();
+            self.shards[si].for_each_matching_with_attrs(path, attrs, &mut |id, h| {
+                matches.push((id, h.clone()));
+            });
+            lock(&self.route_times[si]).record(sw.elapsed());
+            matches
+        });
+        for shard_matches in &per_shard {
+            for (id, h) in shard_matches {
+                f(*id, h);
+            }
+        }
+    }
+
+    fn matching_hops(&self, path: &[String], attrs: &[Vec<(String, String)>]) -> BTreeSet<H> {
+        self.route_batch(&[RouteRequest { path, attrs }])
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn route_batch(&self, requests: &[RouteRequest<'_>]) -> Vec<BTreeSet<H>> {
+        let s = self.shards.len();
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Coalesce identical requests before fanning out: publication
+        // bursts repeat hot paths, and two equal (path, attrs) pairs
+        // have equal destination sets by definition, so each distinct
+        // request is matched once and its answer cloned into every
+        // duplicate slot.
+        let mut unique: Vec<RouteRequest<'_>> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut seen: HashMap<RequestKey<'_>, usize> = HashMap::new();
+        for req in requests {
+            let idx = *seen.entry((req.path, req.attrs)).or_insert_with(|| {
+                unique.push(*req);
+                unique.len() - 1
+            });
+            slot_of.push(idx);
+        }
+        // One task per (distinct publication, shard) pair; the merge
+        // unions the shard answers per publication, so the destination
+        // set equals the unsharded table's answer exactly.
+        let partials = self.fan(unique.len() * s, |t| {
+            let (req, si) = (&unique[t / s], t % s);
+            let sw = Stopwatch::start();
+            let hops = self.shards[si].matching_hops(req.path, req.attrs);
+            lock(&self.route_times[si]).record(sw.elapsed());
+            hops
+        });
+        let mut merged = Vec::with_capacity(unique.len());
+        let mut it = partials.into_iter();
+        for _ in 0..unique.len() {
+            let mut set = BTreeSet::new();
+            for _ in 0..s {
+                set.extend(it.next().expect("one partial per shard"));
+            }
+            merged.push(set);
+        }
+        slot_of.into_iter().map(|i| merged[i].clone()).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(PublicationRouter::len).sum()
+    }
+
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        self.shards[self.shard_of(id)].xpe_of(id)
+    }
+
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        self.shards
+            .iter()
+            .flat_map(PublicationRouter::forwarded_subs)
+            .collect()
+    }
+
+    fn effective_size(&self) -> usize {
+        self.shards
+            .iter()
+            .map(PublicationRouter::effective_size)
+            .sum()
+    }
+
+    fn apply_merging(
+        &mut self,
+        _universe: &[Vec<String>],
+        _cfg: &crate::merge::MergeConfig,
+        _next_id: &mut dyn FnMut() -> SubId,
+    ) -> Vec<MergeApplication> {
+        // Shards are non-covering tables; there is nothing to merge.
+        Vec::new()
+    }
+
+    fn shard_stats(&self) -> Option<ShardStats> {
+        Some(ShardStats {
+            shard_sizes: self.shards.iter().map(PublicationRouter::len).collect(),
+            route_times: self.route_times.iter().map(|m| lock(m).clone()).collect(),
+            threads: self.pool.threads(),
+            queue_depth: self.pool.last_depth(),
+            tasks_run: self.pool.tasks_run(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexedPrt;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn path(p: &[&str]) -> Vec<String> {
+        p.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn populated(shards: usize) -> ShardedRouter<IndexedPrt<u32>> {
+        let mut r = ShardedRouter::new(shards);
+        let subs = ["/a/*", "/a/b", "a//c", "/x/y", "//b", "/*/*"];
+        for (i, s) in subs.iter().enumerate() {
+            r.insert(SubId(i as u64), xpe(s), i as u32);
+        }
+        r
+    }
+
+    #[test]
+    fn matches_unsharded_reference() {
+        let mut reference: IndexedPrt<u32> = IndexedPrt::new();
+        let subs = ["/a/*", "/a/b", "a//c", "/x/y", "//b", "/*/*"];
+        for (i, s) in subs.iter().enumerate() {
+            reference.insert(SubId(i as u64), xpe(s), i as u32);
+        }
+        for shards in [1, 2, 8] {
+            let sharded = populated(shards);
+            assert_eq!(sharded.len(), reference.len());
+            for p in [&["a", "b"][..], &["a", "q", "c"], &["x", "y"], &["q"]] {
+                let p = path(p);
+                assert_eq!(
+                    sharded.matching_hops(&p, &[]),
+                    reference.matching_hops(&p, &[]),
+                    "divergence at {shards} shards on {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_batch_matches_per_publication_routing() {
+        let r = populated(4);
+        let paths = [path(&["a", "b"]), path(&["x", "y"]), path(&["q"])];
+        let requests: Vec<RouteRequest<'_>> = paths
+            .iter()
+            .map(|p| RouteRequest {
+                path: p,
+                attrs: &[],
+            })
+            .collect();
+        let batched = r.route_batch(&requests);
+        assert_eq!(batched.len(), 3);
+        for (req, got) in requests.iter().zip(&batched) {
+            assert_eq!(*got, r.matching_hops(req.path, req.attrs));
+        }
+    }
+
+    #[test]
+    fn route_batch_coalesces_duplicate_requests() {
+        let r = populated(4);
+        let a = path(&["a", "b"]);
+        let b = path(&["x", "y"]);
+        let requests = [
+            RouteRequest {
+                path: &a,
+                attrs: &[],
+            },
+            RouteRequest {
+                path: &b,
+                attrs: &[],
+            },
+            RouteRequest {
+                path: &a,
+                attrs: &[],
+            },
+        ];
+        let before = r.shard_stats().expect("stats").tasks_run;
+        let out = r.route_batch(&requests);
+        let stats = r.shard_stats().expect("stats");
+        assert_eq!(
+            stats.tasks_run - before,
+            2 * 4,
+            "duplicate request routed once: 2 distinct paths x 4 shards"
+        );
+        assert_eq!(stats.queue_depth, 8);
+        assert_eq!(out.len(), 3, "every slot still answered");
+        assert_eq!(out[0], out[2], "duplicates share the routed answer");
+        assert_eq!(out[0], r.matching_hops(&a, &[]));
+        assert_eq!(out[1], r.matching_hops(&b, &[]));
+    }
+
+    #[test]
+    fn removal_hits_the_owning_shard() {
+        let mut r = populated(8);
+        assert_eq!(r.len(), 6);
+        assert!(r.remove(SubId(1)).forward, "known id removed");
+        assert!(!r.remove(SubId(1)).forward, "second removal is a no-op");
+        assert_eq!(r.len(), 5);
+        assert!(r.xpe_of(SubId(1)).is_none());
+        assert_eq!(r.xpe_of(SubId(0)), Some(&xpe("/a/*")));
+    }
+
+    #[test]
+    fn forwarded_subs_cover_every_shard() {
+        let r = populated(3);
+        let mut ids: Vec<u64> = r.forwarded_subs().iter().map(|(id, _, _)| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(r.effective_size(), 6);
+    }
+
+    #[test]
+    fn visitor_sees_every_match_once() {
+        let r = populated(4);
+        let mut seen = Vec::new();
+        r.for_each_matching_with_attrs(&path(&["a", "b"]), &[], &mut |id, h| {
+            seen.push((id, *h));
+        });
+        seen.sort_unstable();
+        // Matching /a/b: "/a/*", "/a/b", "//b", "/*/*".
+        assert_eq!(
+            seen,
+            vec![(SubId(0), 0), (SubId(1), 1), (SubId(4), 4), (SubId(5), 5)]
+        );
+    }
+
+    #[test]
+    fn shard_stats_expose_occupancy_and_latency() {
+        let r = populated(4);
+        let _ = r.matching_hops(&path(&["a", "b"]), &[]);
+        let stats = r.shard_stats().expect("sharded router reports stats");
+        assert_eq!(stats.shard_sizes.len(), 4);
+        assert_eq!(stats.shard_sizes.iter().sum::<usize>(), 6);
+        assert_eq!(stats.route_times.len(), 4);
+        assert_eq!(
+            stats.route_times.iter().map(Histogram::count).sum::<u64>(),
+            4,
+            "one match timing per shard"
+        );
+        assert!(stats.threads >= 1);
+        assert_eq!(
+            stats.queue_depth, 4,
+            "one task per shard for one publication"
+        );
+        assert_eq!(stats.tasks_run, 4);
+    }
+
+    #[test]
+    fn zero_shards_clamped_to_one() {
+        let r: ShardedRouter<IndexedPrt<u32>> = ShardedRouter::new(0);
+        assert_eq!(r.shard_count(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = populated(8);
+        let b = populated(8);
+        let sizes =
+            |r: &ShardedRouter<IndexedPrt<u32>>| r.shard_stats().expect("stats").shard_sizes;
+        assert_eq!(sizes(&a), sizes(&b));
+    }
+}

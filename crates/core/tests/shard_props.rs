@@ -1,14 +1,20 @@
-//! Property test for the candidate-pruning index: under arbitrary
-//! subscribe/unsubscribe churn, [`IndexedPrt`] must route exactly like
-//! the linear [`FlatPrt`] scan — identical last-hop sets for every
-//! publication path, including attribute predicates (`[@a]`,
-//! `[@a='v']`). This is the exactness argument behind the pruning
-//! rule, checked mechanically.
+//! Property test for the sharded parallel router: under arbitrary
+//! subscribe/unsubscribe churn, [`ShardedRouter`] over 1, 2, and 8
+//! shards must route exactly like a single [`IndexedPrt`] holding
+//! every subscription — bit-identical destination sets for every
+//! publication, through both the per-publication path and the batched
+//! [`PublicationRouter::route_batch`] path. This is the exactness
+//! argument behind hash-partitioned parallel matching, checked
+//! mechanically.
 
 use proptest::prelude::*;
 use xdn_core::index::IndexedPrt;
-use xdn_core::rtable::{FlatPrt, PublicationRouter, SubId};
+use xdn_core::rtable::{PublicationRouter, RouteRequest, SubId};
+use xdn_core::shard::ShardedRouter;
 use xdn_xpath::{Axis, NodeTest, Predicate, Step, Xpe};
+
+/// A probe publication: element path plus per-element attribute lists.
+type Probe = (Vec<String>, Vec<Vec<(String, String)>>);
 
 const ALPHABET: &[&str] = &["a", "b", "c", "d"];
 const ATTR_NAMES: &[&str] = &["p", "q"];
@@ -93,15 +99,20 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn indexed_routes_like_flat(
+    fn sharded_routes_like_indexed(
         ops in arb_ops(),
         paths in prop::collection::vec(arb_path(), 6),
     ) {
-        let mut flat: FlatPrt<u32> = FlatPrt::new();
-        let mut indexed: IndexedPrt<u32> = IndexedPrt::new();
+        let mut reference: IndexedPrt<u32> = IndexedPrt::new();
+        // Two workers force the parallel fan-out even where a lone
+        // shard (or a single-core runner) would inline it.
+        let mut sharded: Vec<ShardedRouter<IndexedPrt<u32>>> = [1usize, 2, 8]
+            .iter()
+            .map(|&n| ShardedRouter::with_threads(n, 2.min(n)))
+            .collect();
         let mut live: Vec<SubId> = Vec::new();
         let mut next = 0u64;
         for op in ops {
@@ -109,8 +120,10 @@ proptest! {
                 Op::Subscribe(x) => {
                     next += 1;
                     let id = SubId(next);
-                    flat.insert(id, x.clone(), next as u32);
-                    indexed.insert(id, x, next as u32);
+                    reference.insert(id, x.clone(), next as u32);
+                    for r in &mut sharded {
+                        r.insert(id, x.clone(), next as u32);
+                    }
                     live.push(id);
                 }
                 Op::Unsubscribe(i) => {
@@ -118,8 +131,10 @@ proptest! {
                         continue;
                     }
                     let id = live.remove(i % live.len());
-                    flat.remove(id);
-                    indexed.remove(id);
+                    reference.remove(id);
+                    for r in &mut sharded {
+                        r.remove(id);
+                    }
                 }
                 Op::Resubscribe(i, x) => {
                     if live.is_empty() {
@@ -127,28 +142,46 @@ proptest! {
                     }
                     let id = live[i % live.len()];
                     next += 1;
-                    flat.insert(id, x.clone(), next as u32);
-                    indexed.insert(id, x, next as u32);
+                    reference.insert(id, x.clone(), next as u32);
+                    for r in &mut sharded {
+                        r.insert(id, x.clone(), next as u32);
+                    }
                 }
             }
         }
-        prop_assert_eq!(flat.len(), live.len());
-        prop_assert_eq!(indexed.len(), live.len());
-        for spec in &paths {
-            let path: Vec<String> = spec.iter().map(|(n, _)| n.clone()).collect();
-            let attrs: Vec<Vec<(String, String)>> =
-                spec.iter().map(|(_, a)| a.clone()).collect();
-            let from_flat = flat.matching_hops(&path, &attrs);
-            let from_index = indexed.matching_hops(&path, &attrs);
-            prop_assert_eq!(
-                &from_flat,
-                &from_index,
-                "divergence on path {:?} with attrs {:?}",
-                path,
-                attrs
-            );
-            // The attribute-free call must agree with empty attrs.
-            prop_assert_eq!(flat.matching_hops(&path, &[]), indexed.matching_hops(&path, &[]));
+        let paths: Vec<Probe> = paths
+            .into_iter()
+            .map(|spec| {
+                let path: Vec<String> = spec.iter().map(|(n, _)| n.clone()).collect();
+                let attrs: Vec<Vec<(String, String)>> =
+                    spec.into_iter().map(|(_, a)| a).collect();
+                (path, attrs)
+            })
+            .collect();
+        let requests: Vec<RouteRequest<'_>> = paths
+            .iter()
+            .map(|(p, a)| RouteRequest { path: p, attrs: a })
+            .collect();
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| reference.matching_hops(r.path, r.attrs))
+            .collect();
+        for r in &sharded {
+            prop_assert_eq!(r.len(), reference.len());
+            prop_assert_eq!(r.effective_size(), reference.effective_size());
+            // Per-publication path.
+            for (req, want) in requests.iter().zip(&expected) {
+                prop_assert_eq!(
+                    &r.matching_hops(req.path, req.attrs),
+                    want,
+                    "divergence at {} shards on {:?}",
+                    r.shard_count(),
+                    req.path
+                );
+            }
+            // Batched path, including any duplicate coalescing.
+            let batched = r.route_batch(&requests);
+            prop_assert_eq!(&batched, &expected, "batch divergence at {} shards", r.shard_count());
         }
     }
 }

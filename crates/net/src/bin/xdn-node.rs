@@ -22,15 +22,19 @@
 #![allow(clippy::exit)]
 
 use std::net::SocketAddr;
-use xdn_broker::{BrokerId, RoutingConfig};
+use xdn_broker::{BrokerId, MatchStrategy, RoutingConfig};
 use xdn_net::tcp::TcpNode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: xdn-node --id <u32> --listen <addr:port> \
-         [--peer <id>=<addr:port>]... [--expect <id>]... [--strategy <name>]\n\
+         [--peer <id>=<addr:port>]... [--expect <id>]... [--strategy <name>] \
+         [--shards <n>]\n\
          --expect: neighbour that dials in (acceptor side); on a restart, \
          payload is deferred until its state re-syncs\n\
+         --shards: hash-partition the match table across <n> shards and \
+         route publication batches on the worker pool (XDN_MATCH_THREADS); \
+         forces covering off\n\
          strategies: no-adv-no-cov | no-adv-with-cov | with-adv-no-cov | \
          with-adv-with-cov | with-adv-with-cov-pm | with-adv-with-cov-ipm"
     );
@@ -64,6 +68,7 @@ fn main() {
         .covering(true)
         .build();
 
+    let mut shards: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -99,6 +104,13 @@ fn main() {
                     None => usage(),
                 };
             }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => shards = Some(n),
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -107,6 +119,13 @@ fn main() {
     let (Some(id), Some(listen)) = (id, listen) else {
         usage()
     };
+    if let Some(n) = shards {
+        // Sharded matching replaces the covering organization (shards
+        // are non-covering by design; see DESIGN.md §12).
+        strategy.covering = false;
+        strategy.merging = None;
+        strategy.strategy = MatchStrategy::Sharded { shards: n };
+    }
 
     match TcpNode::start_expecting(
         BrokerId(id),

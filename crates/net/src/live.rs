@@ -19,6 +19,11 @@ use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, RoutingConfig};
 /// request/reply cycles never fill it in practice.
 const INBOX_CAPACITY: usize = 1024;
 
+/// Upper bound on frames handed to one [`Broker::handle_batch`] call.
+/// Keeps a flooded inbox from starving snapshot/stop requests queued
+/// behind data frames.
+const INBOX_BATCH_LIMIT: usize = 256;
+
 enum Wire {
     Data { from: Dest, msg: Message },
     Snapshot(Sender<crate::tcp::NodeSnapshot>),
@@ -112,7 +117,17 @@ impl LiveNetworkBuilder {
                 Arc::new(Mutex::new(None));
             let slot = stats_slot.clone();
             let handle = std::thread::spawn(move || {
-                while let Ok(wire) = rx.recv() {
+                // A control wire drained while gathering a data batch is
+                // carried into the next loop turn instead of dropped.
+                let mut carried: Option<Wire> = None;
+                loop {
+                    let wire = match carried.take() {
+                        Some(w) => w,
+                        None => match rx.recv() {
+                            Ok(w) => w,
+                            Err(_) => break,
+                        },
+                    };
                     match wire {
                         Wire::Stop => break,
                         Wire::Snapshot(reply) => {
@@ -124,11 +139,26 @@ impl LiveNetworkBuilder {
                             });
                         }
                         Wire::Data { from, msg } => {
-                            sink.on_broker_message(id, msg.kind());
-                            if let (Dest::Client(_), Message::Publish(p)) = (&from, &msg) {
-                                sink.on_publish_injected(p.doc_id, epoch.elapsed());
+                            // Drain whatever else is already queued so one
+                            // handle_batch call routes the whole burst.
+                            let mut batch = vec![(from, msg)];
+                            while batch.len() < INBOX_BATCH_LIMIT {
+                                match rx.try_recv() {
+                                    Ok(Wire::Data { from, msg }) => batch.push((from, msg)),
+                                    Ok(other) => {
+                                        carried = Some(other);
+                                        break;
+                                    }
+                                    Err(_) => break,
+                                }
                             }
-                            for (dest, out) in broker.handle(from, msg) {
+                            for (from, msg) in &batch {
+                                sink.on_broker_message(id, msg.kind());
+                                if let (Dest::Client(_), Message::Publish(p)) = (from, msg) {
+                                    sink.on_publish_injected(p.doc_id, epoch.elapsed());
+                                }
+                            }
+                            for (dest, out) in broker.handle_batch(batch) {
                                 match dest {
                                     Dest::Broker(b) => {
                                         // A send fails only during shutdown.

@@ -637,6 +637,11 @@ impl TcpNode {
     }
 }
 
+/// Most frames one `handle_batch` call will take off the inbox; bounds
+/// both batch memory and how long metrics/stop requests can queue
+/// behind a drain.
+const INBOX_BATCH_LIMIT: usize = 256;
+
 fn broker_loop(
     mut broker: Broker,
     rx: Receiver<Input>,
@@ -667,7 +672,17 @@ fn broker_loop(
         }
         None
     };
-    while let Ok(input) = rx.recv() {
+    // A non-`FromPeer` input drained while gathering a frame batch is
+    // carried into the next iteration instead of being dropped.
+    let mut carried: Option<Input> = None;
+    loop {
+        let input = match carried.take() {
+            Some(i) => i,
+            None => match rx.recv() {
+                Ok(i) => i,
+                Err(_) => break,
+            },
+        };
         match input {
             Input::Stop => break,
             Input::Snapshot(reply) => {
@@ -710,26 +725,54 @@ fn broker_loop(
                 }
             }
             Input::FromPeer(from, msg) => {
-                let echo_heartbeat = matches!(msg, Message::Heartbeat)
-                    && !queues.contains_key(&from)
-                    && matches!(from, Dest::Broker(_));
-                metrics.on_broker_message(broker.id(), msg.kind());
-                if let (Dest::Client(_), Message::Publish(p)) = (&from, &msg) {
-                    metrics.on_publish_injected(p.doc_id, epoch.elapsed());
-                }
-                if let Message::Ack {
-                    epoch: ack_epoch,
-                    seq,
-                } = msg
-                {
-                    // A cumulative ack also prunes the supervised
-                    // queue's inflight hold, so a redial only replays
-                    // frames the peer has not confirmed.
-                    if let Some(q) = queues.get(&from) {
-                        q.ack(ack_epoch, seq);
+                // Batch-drain: take every already-queued frame in one
+                // gulp so a sharded broker routes the publication run
+                // in parallel. Other input kinds end the batch and are
+                // carried into the next loop iteration.
+                let mut batch = vec![(from, msg)];
+                while batch.len() < INBOX_BATCH_LIMIT {
+                    match rx.try_recv() {
+                        Ok(Input::FromPeer(f, m)) => batch.push((f, m)),
+                        Ok(other) => {
+                            carried = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
                     }
                 }
-                for (dest, out) in broker.handle(from, msg) {
+                // Per-frame admission bookkeeping, in arrival order.
+                let mut echo_heartbeats: Vec<Dest> = Vec::new();
+                for (from, msg) in &batch {
+                    // The accepting side does not run an idle timer; it
+                    // echoes the dialler's heartbeats instead, giving
+                    // the dialler's silence detector traffic to
+                    // observe. (Dialled peers' heartbeats are NOT
+                    // echoed — both sides echoing would ping-pong
+                    // forever.)
+                    if matches!(msg, Message::Heartbeat)
+                        && !queues.contains_key(from)
+                        && matches!(from, Dest::Broker(_))
+                    {
+                        echo_heartbeats.push(*from);
+                    }
+                    metrics.on_broker_message(broker.id(), msg.kind());
+                    if let (Dest::Client(_), Message::Publish(p)) = (from, msg) {
+                        metrics.on_publish_injected(p.doc_id, epoch.elapsed());
+                    }
+                    if let Message::Ack {
+                        epoch: ack_epoch,
+                        seq,
+                    } = msg
+                    {
+                        // A cumulative ack also prunes the supervised
+                        // queue's inflight hold, so a redial only
+                        // replays frames the peer has not confirmed.
+                        if let Some(q) = queues.get(from) {
+                            q.ack(*ack_epoch, *seq);
+                        }
+                    }
+                }
+                for (dest, out) in broker.handle_batch(batch) {
                     if let Dest::Client(c) = dest {
                         metrics.on_client_message(c, out.kind());
                         if let Message::Publish(p) = &out {
@@ -742,13 +785,8 @@ fn broker_loop(
                         metrics.on_frame_shed(b, kind);
                     }
                 }
-                // The accepting side does not run an idle timer; it
-                // echoes the dialler's heartbeats instead, giving the
-                // dialler's silence detector traffic to observe.
-                // (Dialled peers' heartbeats are NOT echoed — both
-                // sides echoing would ping-pong forever.)
-                if echo_heartbeat {
-                    send(&mut writers, from, &Message::Heartbeat);
+                for hb_from in echo_heartbeats {
+                    send(&mut writers, hb_from, &Message::Heartbeat);
                 }
             }
         }
@@ -812,7 +850,7 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
         shed_pubs.push(&[("peer", label)], MetricData::Counter(*pubs));
     }
 
-    render_prometheus(&[
+    let mut families = vec![
         MetricFamily::gauge(
             "xdn_broker_id",
             "Identifier of the broker serving this endpoint.",
@@ -863,7 +901,45 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
         depth,
         shed,
         shed_pubs,
-    ])
+    ];
+    // Parallel-matching families, present only on sharded strategies.
+    if let Some(ss) = broker.shard_stats() {
+        let mut occupancy = MetricFamily::new(
+            "xdn_shard_subscriptions",
+            "Subscriptions held by each match shard.",
+        );
+        let mut shard_route = MetricFamily::new(
+            "xdn_shard_route_seconds",
+            "Per-shard publication match latency.",
+        );
+        for (i, size) in ss.shard_sizes.iter().enumerate() {
+            let label = i.to_string();
+            let size = i64::try_from(*size).unwrap_or(i64::MAX);
+            occupancy.push(&[("shard", &label)], MetricData::Gauge(size));
+        }
+        for (i, hist) in ss.route_times.iter().enumerate() {
+            let label = i.to_string();
+            shard_route.push(&[("shard", &label)], MetricData::Histogram(hist.clone()));
+        }
+        families.push(occupancy);
+        families.push(shard_route);
+        families.push(MetricFamily::gauge(
+            "xdn_match_pool_threads",
+            "Configured match pool workers.",
+            i64::try_from(ss.threads).unwrap_or(i64::MAX),
+        ));
+        families.push(MetricFamily::gauge(
+            "xdn_match_pool_queue_depth",
+            "Tasks submitted by the most recent parallel fan-out.",
+            i64::try_from(ss.queue_depth).unwrap_or(i64::MAX),
+        ));
+        families.push(MetricFamily::counter(
+            "xdn_match_pool_tasks_total",
+            "Match tasks executed by the worker pool.",
+            ss.tasks_run,
+        ));
+    }
+    render_prometheus(&families)
 }
 
 /// Serves one HTTP metrics scrape on an accepted connection whose

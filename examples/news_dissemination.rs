@@ -9,7 +9,7 @@
 use rand::SeedableRng;
 use std::time::Instant;
 use xdn::core::merge::MergeConfig;
-use xdn::core::rtable::{FlatPrt, Prt, SubId};
+use xdn::core::rtable::{FlatPrt, Prt, PublicationRouter, SubId};
 use xdn::workloads::{docs, nitf_dtd, sets, universe};
 
 fn main() {
@@ -30,8 +30,8 @@ fn main() {
     let mut flat: FlatPrt<u32> = FlatPrt::new();
     let mut tree: Prt<u32> = Prt::new();
     for (i, p) in profiles.iter().enumerate() {
-        flat.subscribe(SubId(i as u64), p.clone(), i as u32);
-        tree.subscribe(SubId(i as u64), p.clone(), i as u32);
+        flat.insert(SubId(i as u64), p.clone(), i as u32);
+        tree.insert(SubId(i as u64), p.clone(), i as u32);
     }
     println!("flat routing table: {} entries", flat.len());
     println!(
@@ -63,14 +63,14 @@ fn main() {
     let started = Instant::now();
     let mut flat_matches = 0usize;
     for p in &paths {
-        flat_matches += flat.route(&p.elements).len();
+        flat_matches += flat.matching_hops(&p.elements, &[]).len();
     }
     let flat_time = started.elapsed();
 
     let started = Instant::now();
     let mut tree_matches = 0usize;
     for p in &paths {
-        tree_matches += tree.route(&p.elements).len();
+        tree_matches += tree.matching_hops(&p.elements, &[]).len();
     }
     let tree_time = started.elapsed();
 

@@ -5,7 +5,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use xdn::broker::{ClientId, RoutingConfig};
+use xdn::broker::{ClientId, MatchStrategy, RoutingConfig};
 use xdn::core::adv::{derive_advertisements, DeriveOptions};
 use xdn::net::latency::ClusterLan;
 use xdn::net::metrics::NetMetrics;
@@ -70,16 +70,16 @@ fn assert_bit_identical(with: &NetMetrics, without: &NetMetrics) {
 #[test]
 fn indexing_is_invisible_when_flooding() {
     let base = RoutingConfig::builder();
-    let indexed = run(base.indexing(true).build(), 21);
-    let flat = run(base.indexing(false).build(), 21);
+    let indexed = run(base.strategy(MatchStrategy::Indexed).build(), 21);
+    let flat = run(base.strategy(MatchStrategy::Flat).build(), 21);
     assert_bit_identical(&indexed, &flat);
 }
 
 #[test]
 fn indexing_is_invisible_with_advertisements() {
     let base = RoutingConfig::builder().advertisements(true);
-    let indexed = run(base.indexing(true).build(), 22);
-    let flat = run(base.indexing(false).build(), 22);
+    let indexed = run(base.strategy(MatchStrategy::Indexed).build(), 22);
+    let flat = run(base.strategy(MatchStrategy::Flat).build(), 22);
     assert_bit_identical(&indexed, &flat);
 }
 

@@ -1,0 +1,191 @@
+//! The sharded parallel matcher is a pure routing accelerator: with
+//! `MatchStrategy::Sharded` a simulated overlay must produce
+//! bit-identical observables to the sequential `Indexed` strategy —
+//! per-kind broker traffic, every notification (receiver, document,
+//! delay, hops), and client-message counts — and under the chaos
+//! checker the delivery multiset must equal the sequential broker's
+//! exactly (no losses, no duplicates), proving the batched parallel
+//! ingest preserves the at-least-once sequencing layer.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use xdn::broker::{ClientId, MatchStrategy, RoutingConfig};
+use xdn::core::adv::{derive_advertisements, DeriveOptions};
+use xdn::net::chaos::{self, FaultOp, FaultScript};
+use xdn::net::latency::ClusterLan;
+use xdn::net::metrics::NetMetrics;
+use xdn::net::sim::{Network, ProcessingModel};
+use xdn::net::topology::{binary_tree, binary_tree_leaves, chain};
+use xdn::workloads::{docs, psd_dtd, sets};
+use xdn::xml::{DocId, PathId};
+use xdn::xpath::generate::generate_distinct_xpes;
+
+const SHARDS: usize = 4;
+const CHAOS_SEED: u64 = 31;
+const N_DOCS: usize = 12;
+
+/// Runs the Table 2-style workload (7-broker tree, per-leaf
+/// subscribers, one randomly placed publisher) and returns the metrics.
+fn run(config: RoutingConfig, seed: u64) -> NetMetrics {
+    let dtd = psd_dtd();
+    let mut net = binary_tree(3, config, ClusterLan::default());
+    net.set_processing_model(ProcessingModel::Zero);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ids = net.broker_ids();
+    let publisher = net.attach_client(ids[rng.gen_range(0..ids.len())]);
+
+    if config.advertisements {
+        net.advertise_all(
+            publisher,
+            derive_advertisements(&dtd, &DeriveOptions::default()),
+        );
+        net.run();
+    }
+    for (i, leaf) in binary_tree_leaves(3).into_iter().enumerate() {
+        let subscriber = net.attach_client(leaf);
+        let mut qrng = ChaCha8Rng::seed_from_u64(seed + 100 + i as u64);
+        for q in generate_distinct_xpes(&dtd, 120, &sets::set_a_config(), &mut qrng) {
+            net.subscribe(subscriber, q);
+        }
+    }
+    net.run();
+
+    for doc in docs::documents(&dtd, 6, seed + 1) {
+        net.publish_document(publisher, &doc);
+    }
+    net.run();
+    net.metrics().clone()
+}
+
+fn assert_bit_identical(sharded: &NetMetrics, sequential: &NetMetrics) {
+    assert_eq!(
+        sharded.broker_messages, sequential.broker_messages,
+        "per-kind broker traffic must not change"
+    );
+    assert_eq!(
+        sharded.client_messages, sequential.client_messages,
+        "client deliveries must not change"
+    );
+    assert_eq!(
+        sharded.notifications, sequential.notifications,
+        "every notification (receiver, doc, delay, hops) must be identical"
+    );
+    assert!(
+        !sharded.notifications.is_empty(),
+        "workload must actually deliver documents"
+    );
+}
+
+#[test]
+fn sharding_is_invisible_when_flooding() {
+    let base = RoutingConfig::builder();
+    let sharded = run(
+        base.strategy(MatchStrategy::Sharded { shards: SHARDS })
+            .build(),
+        41,
+    );
+    let sequential = run(base.strategy(MatchStrategy::Indexed).build(), 41);
+    assert_bit_identical(&sharded, &sequential);
+}
+
+#[test]
+fn sharding_is_invisible_with_advertisements() {
+    let base = RoutingConfig::builder().advertisements(true);
+    let sharded = run(
+        base.strategy(MatchStrategy::Sharded { shards: SHARDS })
+            .build(),
+        42,
+    );
+    let sequential = run(base.strategy(MatchStrategy::Indexed).build(), 42);
+    assert_bit_identical(&sharded, &sequential);
+}
+
+/// Builds an `n`-broker chain with a publisher on one end and a
+/// subscriber on the other, control plane fully settled.
+fn build(n: u32, config: RoutingConfig) -> (Network, ClientId) {
+    let dtd = psd_dtd();
+    let mut net = chain(n, config, ClusterLan::default());
+    net.set_processing_model(ProcessingModel::Zero);
+    net.set_record_deliveries(true);
+    let ids = net.broker_ids();
+    let publisher = net.attach_client(ids[0]);
+    let subscriber = net.attach_client(ids[n as usize - 1]);
+
+    net.advertise_all(
+        publisher,
+        derive_advertisements(&dtd, &DeriveOptions::default()),
+    );
+    net.run();
+    let mut qrng = ChaCha8Rng::seed_from_u64(CHAOS_SEED + 1);
+    for q in generate_distinct_xpes(&dtd, 25, &sets::set_a_config(), &mut qrng) {
+        net.subscribe(subscriber, q);
+    }
+    net.run();
+    (net, publisher)
+}
+
+/// Publishes documents `[from, to)` of the deterministic workload.
+fn publish_range(net: &mut Network, publisher: ClientId, from: usize, to: usize) {
+    let dtd = psd_dtd();
+    for d in &docs::documents(&dtd, N_DOCS, CHAOS_SEED + 500)[from..to] {
+        net.publish_document(publisher, d);
+    }
+}
+
+/// Chaos equivalence: the sharded broker's post-recovery delivery
+/// multiset must equal the *sequential* broker's never-failed run —
+/// the strongest form of "parallel matching changes nothing": same
+/// workload, different matching engine, one interior crash and one
+/// link flap, exactly-once equality across both axes at once.
+#[test]
+fn sharded_chaos_delivery_multiset_matches_sequential() {
+    let sequential = RoutingConfig::builder()
+        .advertisements(true)
+        .strategy(MatchStrategy::Indexed)
+        .build();
+    let sharded = RoutingConfig::builder()
+        .advertisements(true)
+        .strategy(MatchStrategy::Sharded { shards: SHARDS })
+        .build();
+
+    // Ground truth: the sequential broker, no faults.
+    let expected: BTreeMap<(ClientId, DocId, PathId), usize> = {
+        let (mut healthy, h_pub) = build(4, sequential);
+        publish_range(&mut healthy, h_pub, 0, N_DOCS);
+        healthy.run();
+        let counts = chaos::delivery_counts(&healthy);
+        assert!(!counts.is_empty(), "workload must produce deliveries");
+        counts
+    };
+
+    // Chaos run: the sharded broker under the tier-1 fault schedule.
+    let (mut net, publisher) = build(4, sharded);
+    let ids = net.broker_ids();
+    let script = FaultScript {
+        seed: CHAOS_SEED,
+        slots: 3,
+        ops: vec![
+            (1, FaultOp::Crash(ids[1])),
+            (1, FaultOp::DropLink(ids[2], ids[3])),
+            (2, FaultOp::Restart(ids[1])),
+            (3, FaultOp::RestoreLink(ids[2], ids[3])),
+        ],
+    };
+    chaos::run_script(&mut net, &script, |net, slot| {
+        publish_range(net, publisher, slot * N_DOCS / 3, (slot + 1) * N_DOCS / 3);
+    });
+
+    let report = chaos::check_exact_delivery(&script, &expected, &net);
+    assert!(
+        report.ok(),
+        "sharded delivery multiset diverged from the sequential reference: {}",
+        report.to_json()
+    );
+    assert!(
+        report.retransmits > 0,
+        "the crash must exercise the retransmit path: {}",
+        report.to_json()
+    );
+}

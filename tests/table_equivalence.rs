@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeSet;
 use xdn::core::merge::MergeConfig;
-use xdn::core::rtable::{FlatPrt, Prt, SubId};
+use xdn::core::rtable::{FlatPrt, Prt, PublicationRouter, SubId};
 use xdn::workloads::{docs, nitf_dtd, psd_dtd, sets, universe};
 use xdn::xpath::generate::generate_distinct_xpes;
 
@@ -34,13 +34,13 @@ fn covering_routes_like_flat() {
         let mut flat: FlatPrt<u32> = FlatPrt::new();
         let mut prt: Prt<u32> = Prt::new();
         for (i, q) in queries.iter().enumerate() {
-            flat.subscribe(SubId(i as u64), q.clone(), i as u32);
-            prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+            flat.insert(SubId(i as u64), q.clone(), i as u32);
+            prt.insert(SubId(i as u64), q.clone(), i as u32);
         }
         for p in &pubs {
             assert_eq!(
-                prt.route(p),
-                flat.route(p),
+                prt.matching_hops(p, &[]),
+                flat.matching_hops(p, &[]),
                 "covering changed routing for path {p:?}"
             );
         }
@@ -55,8 +55,8 @@ fn perfect_merging_routes_identically() {
     let mut flat: FlatPrt<u32> = FlatPrt::new();
     let mut prt: Prt<u32> = Prt::new();
     for (i, q) in queries.iter().enumerate() {
-        flat.subscribe(SubId(i as u64), q.clone(), i as u32);
-        prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+        flat.insert(SubId(i as u64), q.clone(), i as u32);
+        prt.insert(SubId(i as u64), q.clone(), i as u32);
     }
     let mut seq = 1_000_000u64;
     prt.apply_merging(
@@ -72,8 +72,8 @@ fn perfect_merging_routes_identically() {
     );
     for p in &pubs {
         assert_eq!(
-            prt.route(p),
-            flat.route(p),
+            prt.matching_hops(p, &[]),
+            flat.matching_hops(p, &[]),
             "perfect merging changed routing for {p:?}"
         );
     }
@@ -87,8 +87,8 @@ fn imperfect_merging_only_adds_hops() {
     let mut flat: FlatPrt<u32> = FlatPrt::new();
     let mut prt: Prt<u32> = Prt::new();
     for (i, q) in queries.iter().enumerate() {
-        flat.subscribe(SubId(i as u64), q.clone(), i as u32);
-        prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+        flat.insert(SubId(i as u64), q.clone(), i as u32);
+        prt.insert(SubId(i as u64), q.clone(), i as u32);
     }
     let mut seq = 1_000_000u64;
     prt.apply_merging(
@@ -103,8 +103,8 @@ fn imperfect_merging_only_adds_hops() {
         },
     );
     for p in &pubs {
-        let truth: BTreeSet<u32> = flat.route(p);
-        let got: BTreeSet<u32> = prt.route(p);
+        let truth: BTreeSet<u32> = flat.matching_hops(p, &[]);
+        let got: BTreeSet<u32> = prt.matching_hops(p, &[]);
         assert!(
             got.is_superset(&truth),
             "imperfect merging dropped hops for {p:?}: {got:?} vs {truth:?}"
@@ -118,15 +118,15 @@ fn unsubscribing_everyone_empties_the_table() {
     let (queries, pubs) = workload(&dtd, 300, 5, 11);
     let mut prt: Prt<u32> = Prt::new();
     for (i, q) in queries.iter().enumerate() {
-        prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+        prt.insert(SubId(i as u64), q.clone(), i as u32);
     }
     for i in 0..queries.len() {
-        prt.unsubscribe(SubId(i as u64));
+        prt.remove(SubId(i as u64));
     }
     assert!(prt.is_empty());
     assert_eq!(prt.effective_size(), 0);
     for p in &pubs {
-        assert!(prt.route(p).is_empty());
+        assert!(prt.matching_hops(p, &[]).is_empty());
     }
 }
 
@@ -138,20 +138,20 @@ fn interleaved_subscribe_unsubscribe_stays_consistent() {
     let mut prt: Prt<u32> = Prt::new();
     // Subscribe everything, then remove every third subscription.
     for (i, q) in queries.iter().enumerate() {
-        flat.subscribe(SubId(i as u64), q.clone(), i as u32);
-        prt.subscribe(SubId(i as u64), q.clone(), i as u32);
+        flat.insert(SubId(i as u64), q.clone(), i as u32);
+        prt.insert(SubId(i as u64), q.clone(), i as u32);
     }
     for i in (0..queries.len()).step_by(3) {
-        flat.unsubscribe(SubId(i as u64));
-        prt.unsubscribe(SubId(i as u64));
+        flat.remove(SubId(i as u64));
+        prt.remove(SubId(i as u64));
     }
     prt.tree()
         .check_invariants()
         .expect("tree invariants after churn");
     for p in &pubs {
         assert_eq!(
-            prt.route(p),
-            flat.route(p),
+            prt.matching_hops(p, &[]),
+            flat.matching_hops(p, &[]),
             "divergence after churn on {p:?}"
         );
     }
