@@ -139,20 +139,6 @@ impl RoutingConfigBuilder {
         self
     }
 
-    /// Enables or disables the candidate-pruning match index for
-    /// non-covering tables.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `strategy(MatchStrategy::Indexed)` / `strategy(MatchStrategy::Flat)`"
-    )]
-    pub fn indexing(self, on: bool) -> Self {
-        self.strategy(if on {
-            MatchStrategy::Indexed
-        } else {
-            MatchStrategy::Flat
-        })
-    }
-
     /// Finalizes the configuration.
     pub fn build(self) -> RoutingConfig {
         RoutingConfig {
@@ -628,6 +614,14 @@ impl Broker {
                         low,
                         inner,
                     } if matches!(*inner, Message::Publish(_)) => {
+                        // The guard proved the frame carries a
+                        // publication; move it out once, before any
+                        // bookkeeping, so no arm re-proves it. Should
+                        // the two ever disagree, dropping the frame
+                        // beats panicking the broker mid-drain.
+                        let Message::Publish(p) = *inner else {
+                            continue;
+                        };
                         let admit = self
                             .windows
                             .entry(from)
@@ -646,9 +640,6 @@ impl Broker {
                             Admit::Fresh => {
                                 let ack = self.ack_for(from, epoch, seq);
                                 self.stats.sent += 1;
-                                let Message::Publish(p) = *inner else {
-                                    unreachable!("guard matched Publish");
-                                };
                                 pending.push(PendingEntry::Route {
                                     from,
                                     publication: p,

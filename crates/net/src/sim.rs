@@ -27,6 +27,31 @@ pub enum ProcessingModel {
     Measured,
     /// Links only (deterministic; used by traffic-count tests).
     Zero,
+    /// Deterministic analytic compute time: each handled frame charges
+    /// `base + per_entry × prt_effective_size` of the handling broker.
+    /// Keeps the delay experiments' shape — covering compacts the
+    /// effective table, so per-hop cost genuinely drops — without the
+    /// host-load noise of `Measured` (the wall-clock model made
+    /// `delay_grows_with_hops_and_covering_wins` flaky on busy CI
+    /// runners).
+    Modeled {
+        /// Fixed per-frame handling cost.
+        base: Duration,
+        /// Marginal matching cost per effective routing-table entry.
+        per_entry: Duration,
+    },
+}
+
+impl ProcessingModel {
+    /// A [`ProcessingModel::Modeled`] with defaults in the paper's
+    /// ballpark: tens of microseconds per frame plus tens of
+    /// nanoseconds per table entry.
+    pub fn modeled() -> Self {
+        ProcessingModel::Modeled {
+            base: Duration::from_micros(20),
+            per_entry: Duration::from_nanos(50),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -613,12 +638,13 @@ impl Network {
                     // tables. Grouping is deterministic — heap order is
                     // (time, sequence) — and `handle_batch` is
                     // output-equivalent to per-frame `handle`. Under
-                    // `Measured` processing, frames stay unbatched: the
-                    // delay experiments attribute each frame's *own*
-                    // compute time to its outputs, and a batch would
-                    // charge every frame the whole batch's elapsed.
+                    // `Measured` and `Modeled` processing, frames stay
+                    // unbatched: the delay experiments attribute each
+                    // frame's *own* compute time to its outputs, and a
+                    // batch would charge every frame the whole batch's
+                    // elapsed.
                     let mut batch = vec![(event.from, event.msg)];
-                    while self.processing != ProcessingModel::Measured {
+                    while self.processing == ProcessingModel::Zero {
                         let Some(&Reverse((nat, nseq))) = self.queue.peek() else {
                             break;
                         };
@@ -654,8 +680,14 @@ impl Network {
                     } else {
                         broker.handle_batch(batch)
                     };
-                    if self.processing == ProcessingModel::Measured {
-                        self.now += started.elapsed();
+                    let effective_entries = broker.prt_effective_size();
+                    match self.processing {
+                        ProcessingModel::Measured => self.now += started.elapsed(),
+                        ProcessingModel::Modeled { base, per_entry } => {
+                            let entries = u32::try_from(effective_entries).unwrap_or(u32::MAX);
+                            self.now += base + per_entry * entries;
+                        }
+                        ProcessingModel::Zero => {}
                     }
                     self.dispatch_outputs(b, outputs, hops);
                 }
@@ -1096,8 +1128,12 @@ mod determinism_tests {
     use xdn_core::adv::AdvPath;
 
     fn run_once(latency_seed: u64) -> (u64, Duration) {
+        run_once_with(latency_seed, ProcessingModel::Zero)
+    }
+
+    fn run_once_with(latency_seed: u64, processing: ProcessingModel) -> (u64, Duration) {
         let mut net = Network::new(PlanetLabWan::with_seed(latency_seed));
-        net.set_processing_model(ProcessingModel::Zero);
+        net.set_processing_model(processing);
         net.add_broker(
             BrokerId(0),
             RoutingConfig::builder()
@@ -1136,6 +1172,26 @@ mod determinism_tests {
         let (t2, d2) = run_once(42);
         assert_eq!(t1, t2, "traffic must be reproducible");
         assert_eq!(d1, d2, "delays must be reproducible under Zero processing");
+    }
+
+    #[test]
+    fn modeled_processing_is_deterministic_and_slower_than_zero() {
+        let (t1, d1) = run_once_with(42, ProcessingModel::modeled());
+        let (t2, d2) = run_once_with(42, ProcessingModel::modeled());
+        assert_eq!(t1, t2, "traffic must be reproducible");
+        assert_eq!(
+            d1, d2,
+            "delays must be reproducible under Modeled processing"
+        );
+        let (tz, dz) = run_once_with(42, ProcessingModel::Zero);
+        assert_eq!(
+            t1, tz,
+            "the processing model must not affect message counts"
+        );
+        assert!(
+            d1 > dz,
+            "analytic compute time must lengthen delays: {d1:?} vs {dz:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! The lightweight AST behind `cargo xtask analyze`.
+//!
+//! This is not a faithful Rust grammar — it is the minimal shape the
+//! semantic passes need, produced by [`crate::parser`] from the token
+//! stream of [`crate::lexer`]:
+//!
+//! * every function (free, inherent, trait-provided), with its owner
+//!   type, source line, and test-ness;
+//! * every enum with its variants;
+//! * per-function *operation lists*: calls (method / path / bare /
+//!   macro), index expressions, string literals, enum-path references
+//!   split by pattern vs. expression position, and just enough block /
+//!   statement structure (`{`, `}`, `;`, `let`) for the lock pass to
+//!   approximate guard lifetimes.
+//!
+//! Control flow, types, and trait resolution are deliberately absent:
+//! the passes over-approximate (name-based call resolution, ratchet
+//! baselines for the long tail) rather than chase precision an
+//! offline, dependency-free tool cannot afford.
+
+use std::path::PathBuf;
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Every function found, flattened (module nesting is not kept).
+    pub fns: Vec<FnDef>,
+    /// Every enum found.
+    pub enums: Vec<EnumDef>,
+    /// `const`/`static` initializers, kept separate from functions so
+    /// they never become call-graph nodes but their enum references
+    /// stay visible (the `MessageKind::ALL` exhaustiveness check).
+    pub consts: Vec<ConstDef>,
+    /// `(rule, line)` waiver markers copied from the lexer.
+    pub allows: Vec<(String, u32)>,
+    /// The file mentions `RwLock`: only then do `.read()`/`.write()`
+    /// count as lock acquisitions (they are ubiquitous I/O names
+    /// otherwise).
+    pub mentions_rwlock: bool,
+}
+
+impl ParsedFile {
+    /// Whether a finding of `rule` on `line` is waived by an
+    /// `xtask: allow(rule)` marker on the line or the line above.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(r, l)| r == rule && (*l == line || l + 1 == line))
+    }
+}
+
+/// A function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's bare name.
+    pub name: String,
+    /// The `impl` (or `trait`) type the function is defined on, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` module or carrying a `#[test]`-ish
+    /// attribute.
+    pub is_test: bool,
+    /// The body's operation list, in token order.
+    pub body: Vec<Op>,
+}
+
+impl FnDef {
+    /// `Owner::name` for methods, `name` for free functions.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A `const` or `static` item with a scanned initializer.
+#[derive(Debug)]
+pub struct ConstDef {
+    /// The item's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the item.
+    pub line: u32,
+    /// Inside a test region.
+    pub is_test: bool,
+    /// Operations in the initializer expression.
+    pub body: Vec<Op>,
+}
+
+/// An enum definition.
+#[derive(Debug)]
+pub struct EnumDef {
+    /// The enum's name.
+    pub name: String,
+    /// `(variant, line)` pairs in declaration order.
+    pub variants: Vec<(String, u32)>,
+    /// Inside a test region.
+    pub is_test: bool,
+}
+
+/// One operation inside a function body, in token order.
+///
+/// `paren_depth` / `brace_depth` are measured from the body's opening
+/// brace (`0` = statement level); the lock pass uses them to scope
+/// guard lifetimes without a real expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `recv.name(..)`.
+    MethodCall {
+        /// The method name.
+        name: String,
+        /// The receiver is literally `self`.
+        recv_self: bool,
+        /// Last identifier of the receiver chain (`stats` for
+        /// `self.link.stats.lock()`), used to name locks.
+        recv_last: Option<String>,
+        /// Parenthesis depth at the call.
+        paren_depth: u32,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `a::b::name(..)`.
+    PathCall {
+        /// Second-to-last path segment (`mem` for `std::mem::take`).
+        qualifier: Option<String>,
+        /// Final segment.
+        name: String,
+        /// Last identifier inside the argument list, if any — lets the
+        /// lock pass name the lock behind `lock_clean(&self.addr)`.
+        arg_last: Option<String>,
+        /// Parenthesis depth at the call.
+        paren_depth: u32,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A bare `name(..)` call.
+    BareCall {
+        /// The callee name.
+        name: String,
+        /// Last identifier inside the argument list, if any.
+        arg_last: Option<String>,
+        /// Parenthesis depth at the call.
+        paren_depth: u32,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `name!(..)` / `name![..]` / `name!{..}`.
+    Macro {
+        /// Macro name without the `!`.
+        name: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// An index or slice expression `expr[..]`.
+    Index {
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A string literal in expression position.
+    Str {
+        /// The literal's inner text.
+        value: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `Enum::Variant` in *pattern* position (match arm, `if let`,
+    /// `matches!` pattern).
+    PatVariant {
+        /// The enum (path's second-to-last segment).
+        enumeration: String,
+        /// The variant.
+        variant: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `Enum::Variant` in *expression* position (construction or value
+    /// reference).
+    ExprVariant {
+        /// The enum.
+        enumeration: String,
+        /// The variant.
+        variant: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `{` inside the body.
+    Open,
+    /// `}` inside the body.
+    Close,
+    /// `;` at delimiter depth 0 (statement end). Semicolons inside
+    /// parens/brackets (`[0; 4]`) are not emitted.
+    Semi,
+    /// Start of a `let` statement.
+    LetStart {
+        /// Paren depth of the statement (non-zero inside closures).
+        paren_depth: u32,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// First binding identifier of a `let` pattern.
+    Bind {
+        /// The bound name.
+        name: String,
+    },
+}
+
+impl Op {
+    /// The source line, where the op has one.
+    pub fn line(&self) -> Option<u32> {
+        match self {
+            Op::MethodCall { line, .. }
+            | Op::PathCall { line, .. }
+            | Op::BareCall { line, .. }
+            | Op::Macro { line, .. }
+            | Op::Index { line }
+            | Op::Str { line, .. }
+            | Op::PatVariant { line, .. }
+            | Op::ExprVariant { line, .. }
+            | Op::LetStart { line, .. } => Some(*line),
+            Op::Open | Op::Close | Op::Semi | Op::Bind { .. } => None,
+        }
+    }
+}

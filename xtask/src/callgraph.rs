@@ -1,0 +1,393 @@
+//! Workspace symbol table and call graph over the parsed AST.
+//!
+//! Resolution is name-based (there is no type information):
+//!
+//! * `self.m(..)` resolves inside the enclosing impl's type first —
+//!   every `impl Broker` block in the workspace counts — then falls
+//!   back to any method named `m`;
+//! * `recv.m(..)` resolves to any workspace *method* named `m`, except
+//!   a deny-list of names that overwhelmingly mean the standard
+//!   library (`get`, `push`, `iter`, `lock`, …) — resolving those
+//!   would wire `HashMap::get` calls to unrelated workspace methods;
+//! * `Type::m(..)` / `Self::m(..)` resolves against the named owner,
+//!   falling back to free functions for module paths (`wire::encode`);
+//! * bare `m(..)` resolves to free functions named `m`.
+//!
+//! Unresolved calls are treated as leaves (std does not panic on the
+//! paths we model; where it can — indexing, `unwrap` — the *caller*
+//! carries the panic op, which the panic pass sees directly). The
+//! graph therefore over-approximates within the workspace and
+//! under-approximates across the std boundary, which is the right
+//! polarity for a ratcheted gate.
+
+use crate::ast::{FnDef, Op, ParsedFile};
+use std::collections::HashMap;
+
+/// Method names never resolved for a non-`self` receiver: these are
+/// std-container/iterator vocabulary, and wiring them to same-named
+/// workspace methods manufactures call edges that do not exist.
+const DENY_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clone",
+    "contains",
+    "contains_key",
+    "entry",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "take",
+    "drain",
+    "extend",
+    "clear",
+    "keys",
+    "values",
+    "first",
+    "last",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "retain",
+    "split_off",
+    "append",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "as_slice",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "try_into",
+    "try_from",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "ok_or",
+    "ok_or_else",
+    "collect",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "enumerate",
+    "rev",
+    "zip",
+    "chain",
+    "skip",
+    "step_by",
+    "any",
+    "all",
+    "find",
+    "position",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "parse",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "replace",
+    "split",
+    "chars",
+    "bytes",
+    "elapsed",
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "flush",
+    "borrow",
+    "borrow_mut",
+    "copied",
+    "cloned",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "join",
+    "abs",
+    "floor",
+    "ceil",
+    "front",
+    "back",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "contains_char",
+    "get_or_insert",
+];
+
+/// A call graph node id: index into [`Graph::nodes`].
+pub type NodeId = usize;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee.
+    pub to: NodeId,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct Graph<'a> {
+    /// All parsed files, in analysis order.
+    pub files: &'a [ParsedFile],
+    /// `(file index, fn index)` per node.
+    pub nodes: Vec<(usize, usize)>,
+    /// Outgoing edges per node (deduplicated per callee).
+    pub edges: Vec<Vec<Edge>>,
+    by_name: HashMap<&'a str, Vec<NodeId>>,
+    by_owner: HashMap<(&'a str, &'a str), Vec<NodeId>>,
+    free_by_name: HashMap<&'a str, Vec<NodeId>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the symbol table and resolves every call op.
+    pub fn build(files: &'a [ParsedFile]) -> Graph<'a> {
+        let mut nodes = Vec::new();
+        let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        let mut by_owner: HashMap<(&str, &str), Vec<NodeId>> = HashMap::new();
+        let mut free_by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (di, def) in file.fns.iter().enumerate() {
+                let id = nodes.len();
+                nodes.push((fi, di));
+                by_name.entry(def.name.as_str()).or_default().push(id);
+                match &def.owner {
+                    Some(o) => by_owner
+                        .entry((o.as_str(), def.name.as_str()))
+                        .or_default()
+                        .push(id),
+                    None => free_by_name.entry(def.name.as_str()).or_default().push(id),
+                }
+            }
+        }
+        let mut g = Graph {
+            files,
+            nodes,
+            edges: Vec::new(),
+            by_name,
+            by_owner,
+            free_by_name,
+        };
+        for id in 0..g.nodes.len() {
+            let def = g.def(id);
+            let mut out: Vec<Edge> = Vec::new();
+            for op in &def.body {
+                let line = op.line().unwrap_or(0);
+                for to in g.resolve_call(id, op) {
+                    if to != id && !out.iter().any(|e| e.to == to) {
+                        out.push(Edge { to, line });
+                    }
+                }
+            }
+            g.edges.push(out);
+        }
+        g
+    }
+
+    /// The function definition behind a node.
+    pub fn def(&self, id: NodeId) -> &'a FnDef {
+        let (fi, di) = self.nodes[id];
+        &self.files[fi].fns[di]
+    }
+
+    /// The file a node lives in.
+    pub fn file(&self, id: NodeId) -> &'a ParsedFile {
+        &self.files[self.nodes[id].0]
+    }
+
+    /// Resolves one call op from `caller` to workspace nodes. Non-call
+    /// ops resolve to nothing.
+    pub fn resolve_call(&self, caller: NodeId, op: &Op) -> Vec<NodeId> {
+        let targets: Option<Vec<NodeId>> = match op {
+            Op::MethodCall {
+                name, recv_self, ..
+            } => {
+                let owner = self.def(caller).owner.as_deref();
+                if *recv_self {
+                    owner
+                        .and_then(|o| self.by_owner.get(&(o, name.as_str())).cloned())
+                        .or_else(|| {
+                            if DENY_METHODS.contains(&name.as_str()) {
+                                None
+                            } else {
+                                self.methods_named(name)
+                            }
+                        })
+                } else if DENY_METHODS.contains(&name.as_str()) {
+                    None
+                } else {
+                    self.methods_named(name)
+                }
+            }
+            Op::PathCall {
+                qualifier, name, ..
+            } => match qualifier.as_deref() {
+                Some("Self") | Some("self") => {
+                    let owner = self.def(caller).owner.as_deref();
+                    owner.and_then(|o| self.by_owner.get(&(o, name.as_str())).cloned())
+                }
+                Some(q) => self
+                    .by_owner
+                    .get(&(q, name.as_str()))
+                    .cloned()
+                    .or_else(|| self.free_by_name.get(name.as_str()).cloned()),
+                None => self.free_by_name.get(name.as_str()).cloned(),
+            },
+            Op::BareCall { name, .. } => self.free_by_name.get(name.as_str()).cloned(),
+            _ => None,
+        };
+        // Test-only functions are not part of the production graph.
+        targets
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&t| !self.def(t).is_test)
+            .collect()
+    }
+
+    /// All non-test methods (owner present) with the given name.
+    fn methods_named(&self, name: &str) -> Option<Vec<NodeId>> {
+        self.by_name.get(name).map(|v| {
+            v.iter()
+                .copied()
+                .filter(|&id| self.def(id).owner.is_some())
+                .collect()
+        })
+    }
+
+    /// Nodes matching `(owner_pattern, name_pattern)`, where the owner
+    /// pattern `*` matches any owner (including none) and a trailing
+    /// `*` on the name pattern matches any suffix. Test fns excluded.
+    pub fn matching(&self, owner_pattern: &str, name_pattern: &str) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&id| {
+                let def = self.def(id);
+                if def.is_test {
+                    return false;
+                }
+                let owner_ok = owner_pattern == "*" || def.owner.as_deref() == Some(owner_pattern);
+                let name_ok = match name_pattern.strip_suffix('*') {
+                    Some(prefix) => def.name.starts_with(prefix),
+                    None => def.name == name_pattern,
+                };
+                owner_ok && name_ok
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use std::path::PathBuf;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> (Vec<ParsedFile>, Vec<(String, Vec<String>)>) {
+        let files: Vec<ParsedFile> = srcs
+            .iter()
+            .map(|(p, s)| parse_file(PathBuf::from(p), s))
+            .collect();
+        let g = Graph::build(&files);
+        let view = (0..g.nodes.len())
+            .map(|id| {
+                let mut callees: Vec<String> = g.edges[id]
+                    .iter()
+                    .map(|e| g.def(e.to).qualified())
+                    .collect();
+                callees.sort();
+                (g.def(id).qualified(), callees)
+            })
+            .collect();
+        (files, view)
+    }
+
+    #[test]
+    fn self_calls_resolve_within_owner_across_files() {
+        let (_f, view) = graph_of(&[
+            (
+                "a.rs",
+                "impl Broker { fn handle(&mut self) { self.dispatch(); } }",
+            ),
+            ("b.rs", "impl Broker { fn dispatch(&mut self) {} }"),
+            ("c.rs", "impl Other { fn dispatch(&mut self) {} }"),
+        ]);
+        let broker_handle = view.iter().find(|(n, _)| n == "Broker::handle").unwrap();
+        assert_eq!(broker_handle.1, vec!["Broker::dispatch"]);
+    }
+
+    #[test]
+    fn denied_std_names_do_not_resolve() {
+        let (_f, view) = graph_of(&[(
+            "a.rs",
+            "impl Counters { fn get(&self) {} }\n\
+             impl User { fn run(&self, m: Map) { m.get(1); } }",
+        )]);
+        let run = view.iter().find(|(n, _)| n == "User::run").unwrap();
+        assert!(run.1.is_empty(), "{:?}", run.1);
+    }
+
+    #[test]
+    fn method_path_and_free_calls_resolve() {
+        let (_f, view) = graph_of(&[(
+            "a.rs",
+            "fn helper() {}\n\
+             impl Window { fn observe(&mut self) {} }\n\
+             impl Broker { fn go(&mut self, w: &mut Window) { \
+                 w.observe(); Window::observe(w); helper(); } }",
+        )]);
+        let go = view.iter().find(|(n, _)| n == "Broker::go").unwrap();
+        assert_eq!(go.1, vec!["Window::observe", "helper"]);
+    }
+
+    #[test]
+    fn test_fns_stay_out_of_the_graph() {
+        let (_f, view) = graph_of(&[(
+            "a.rs",
+            "impl B { fn hot(&self) { self.helper(); } }\n\
+             #[cfg(test)] mod tests { impl B { fn helper(&self) {} } }",
+        )]);
+        let hot = view.iter().find(|(n, _)| n == "B::hot").unwrap();
+        assert!(hot.1.is_empty(), "{:?}", hot.1);
+    }
+
+    #[test]
+    fn matching_supports_globs() {
+        let files = vec![parse_file(
+            PathBuf::from("a.rs"),
+            "impl Broker { fn handle(&self) {} fn handle_batch(&self) {} fn other(&self) {} }",
+        )];
+        let g = Graph::build(&files);
+        assert_eq!(g.matching("Broker", "handle*").len(), 2);
+        assert_eq!(g.matching("*", "other").len(), 1);
+        assert_eq!(g.matching("Nope", "handle*").len(), 0);
+    }
+}

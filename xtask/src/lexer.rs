@@ -26,8 +26,12 @@ pub enum Tok {
     Punct(char),
     /// A lifetime such as `'a` (name not retained).
     Lifetime,
-    /// Any literal: string, raw string, char, byte, number.
-    Lit,
+    /// Any literal: string, raw string, char, byte, number. Carries the
+    /// literal's content — the inner text for (raw) strings, the source
+    /// text for numbers — so passes that inspect string payloads (the
+    /// metric-name drift check) can read it; rules that must *ignore*
+    /// literal content simply never match on `Lit`.
+    Lit(String),
 }
 
 /// A token plus its 1-based source line.
@@ -105,11 +109,14 @@ pub fn lex(src: &str) -> Lexed {
                 scan_allows(&text, start_line, &mut out.allows);
             }
             '"' => {
-                out.tokens.push(Token {
-                    tok: Tok::Lit,
-                    line,
-                });
+                let start_line = line;
+                let start = i + 1;
                 i = skip_string(&bytes, i, &mut line);
+                let end = i.saturating_sub(1).max(start);
+                out.tokens.push(Token {
+                    tok: Tok::Lit(bytes[start..end].iter().collect()),
+                    line: start_line,
+                });
             }
             '\'' => {
                 // Lifetime vs char literal.
@@ -118,7 +125,7 @@ pub fn lex(src: &str) -> Lexed {
                 if next == Some('\\') {
                     // '\n', '\u{..}', '\'': scan to the closing quote.
                     out.tokens.push(Token {
-                        tok: Tok::Lit,
+                        tok: Tok::Lit(String::new()),
                         line,
                     });
                     i += 2; // consume ' and backslash
@@ -132,7 +139,7 @@ pub fn lex(src: &str) -> Lexed {
                 } else if after == Some('\'') {
                     // 'x'
                     out.tokens.push(Token {
-                        tok: Tok::Lit,
+                        tok: Tok::Lit(bytes[i + 1].to_string()),
                         line,
                     });
                     i += 3;
@@ -155,10 +162,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             c if c.is_ascii_digit() => {
-                out.tokens.push(Token {
-                    tok: Tok::Lit,
-                    line,
-                });
+                let start = i;
                 while i < bytes.len()
                     && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
                 {
@@ -168,6 +172,10 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     i += 1;
                 }
+                out.tokens.push(Token {
+                    tok: Tok::Lit(bytes[start..i].iter().collect()),
+                    line,
+                });
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let start = i;
@@ -180,11 +188,18 @@ pub fn lex(src: &str) -> Lexed {
                     && matches!(bytes.get(i), Some('"') | Some('#'))
                     && looks_like_raw_string(&bytes, i)
                 {
-                    out.tokens.push(Token {
-                        tok: Tok::Lit,
-                        line,
-                    });
+                    let start_line = line;
+                    let mut hashes = 0usize;
+                    while bytes.get(i + hashes) == Some(&'#') {
+                        hashes += 1;
+                    }
+                    let start = i + hashes + 1;
                     i = skip_raw_string(&bytes, i, &mut line);
+                    let end = i.saturating_sub(hashes + 1).max(start);
+                    out.tokens.push(Token {
+                        tok: Tok::Lit(bytes[start..end.min(bytes.len())].iter().collect()),
+                        line: start_line,
+                    });
                 } else {
                     out.tokens.push(Token {
                         tok: Tok::Ident(word),
@@ -318,8 +333,26 @@ mod tests {
     #[test]
     fn char_literals_are_literals() {
         let lexed = lex("let c = 'x'; let n = '\\n';");
-        let lits = lexed.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lit(_)))
+            .count();
         assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn string_literals_carry_their_content() {
+        let lexed = lex(r##"let a = "xdn_messages_total"; let b = r#"raw body"#; let n = 42u8;"##);
+        let lits: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lit(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["xdn_messages_total", "raw body", "42u8"]);
     }
 
     #[test]

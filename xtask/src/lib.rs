@@ -1,0 +1,19 @@
+//! Workspace automation library backing the `cargo xtask` binary.
+//!
+//! Two gates:
+//!
+//! * [`lint`] — the token-level policy pass;
+//! * [`analyze`] — the AST/call-graph semantic analyzer (panic
+//!   reachability, lock ordering, protocol exhaustiveness, metric-name
+//!   drift).
+//!
+//! The pipeline underneath `analyze` is [`lexer`] → [`parser`] →
+//! [`ast`] → [`callgraph`]; it is exposed as a library so the fixture
+//! and property tests in `xtask/tests/` can drive each stage directly.
+
+pub mod analyze;
+pub mod ast;
+pub mod callgraph;
+pub mod lexer;
+pub mod lint;
+pub mod parser;

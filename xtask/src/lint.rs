@@ -121,7 +121,11 @@ pub fn count_linted_files(root: &Path) -> Result<usize, std::io::Error> {
     Ok(files.len())
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+pub(crate) fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), std::io::Error> {
     const SKIP_DIRS: &[&str] = &[
         "tests",
         "benches",

@@ -1,50 +1,69 @@
 //! Workspace automation (`cargo xtask <command>`).
 //!
-//! Currently one command: `lint`, the custom policy pass described in
-//! [`lint`]. Run it as `cargo xtask lint`; it exits non-zero and prints
-//! `file:line: [rule] message` diagnostics when a policy is violated.
+//! Two commands:
+//!
+//! * `lint` — the token-level policy pass described in [`lint`];
+//! * `analyze` — the AST/call-graph semantic analyzer described in
+//!   [`analyze`] (panic reachability, lock ordering, protocol
+//!   exhaustiveness, metric-name drift), which also writes a
+//!   machine-readable report to `target/analyze-report.json`.
+//!
+//! Both exit non-zero and print `file:line: [rule] message` diagnostics
+//! when a gate fails.
 
-mod lexer;
-mod lint;
-
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::{analyze, lint};
+
+const USAGE: &str = "usage: cargo xtask <lint|analyze> [--root PATH] \
+                     [--report PATH] [--write-baseline]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: cargo xtask lint [--root PATH]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    match cmd.as_str() {
-        "lint" => {
-            let mut root = workspace_root();
-            let mut rest = args;
-            while let Some(flag) = rest.next() {
-                match flag.as_str() {
-                    "--root" => {
-                        let Some(path) = rest.next() else {
-                            eprintln!("--root requires a path");
-                            return ExitCode::FAILURE;
-                        };
-                        root = PathBuf::from(path);
-                    }
-                    other => {
-                        eprintln!("unknown flag: {other}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+    let mut root = workspace_root();
+    let mut report_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                };
+                root = PathBuf::from(path);
             }
-            run_lint(&root)
+            "--report" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--report requires a path");
+                    return ExitCode::FAILURE;
+                };
+                report_path = Some(PathBuf::from(path));
+            }
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown flag: {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match cmd.as_str() {
+        "lint" => run_lint(&root),
+        "analyze" => {
+            let report = report_path.unwrap_or_else(|| root.join("target/analyze-report.json"));
+            run_analyze(&root, &report, write_baseline)
         }
         other => {
-            eprintln!("unknown command: {other}\nusage: cargo xtask lint [--root PATH]");
+            eprintln!("unknown command: {other}\n{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run_lint(root: &std::path::Path) -> ExitCode {
+fn run_lint(root: &Path) -> ExitCode {
     let findings = match lint::lint_workspace(root) {
         Ok(f) => f,
         Err(e) => {
@@ -66,6 +85,78 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
         println!(
             "xtask lint: {} violation(s) across {files} files checked",
             findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_analyze(root: &Path, report_path: &Path, write_baseline: bool) -> ExitCode {
+    let analysis = match analyze::analyze_workspace(root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "xtask analyze: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_baseline {
+        let path = root.join("xtask/analyze-baseline.txt");
+        let mut text = String::from(
+            "# Panic-path ratchet baseline for `cargo xtask analyze`.\n\
+             # One `file<TAB>function<TAB>kind` key per line; regenerate with\n\
+             # `cargo xtask analyze --write-baseline` and review the diff —\n\
+             # the baseline may only shrink.\n",
+        );
+        for key in &analysis.panic_keys {
+            text.push_str(key);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: wrote {} baseline entries to {}",
+            analysis.panic_keys.len(),
+            path.display()
+        );
+    }
+    if let Some(dir) = report_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(report_path, &analysis.report) {
+        eprintln!(
+            "xtask analyze: cannot write report {}: {e}",
+            report_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    for stale in &analysis.stale_baseline {
+        println!(
+            "xtask analyze: note: stale baseline entry (safe to delete): {}",
+            stale.replace('\t', " ")
+        );
+    }
+    if analysis.findings.is_empty() {
+        println!(
+            "xtask analyze: {} files, {} functions, no violations (report: {})",
+            analysis.files,
+            analysis.fns,
+            report_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        println!(
+            "xtask analyze: {} violation(s) across {} files ({} functions; report: {})",
+            analysis.findings.len(),
+            analysis.files,
+            analysis.fns,
+            report_path.display()
         );
         ExitCode::FAILURE
     }

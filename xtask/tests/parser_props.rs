@@ -1,0 +1,125 @@
+//! Robustness properties for the `xtask` lexer and Rust parser,
+//! mirroring `crates/xpath/tests/parse_props.rs`:
+//!
+//! 1. `lex` + `parse_file` never panic, whatever bytes they are fed.
+//!    The analyzer runs over every workspace file on every CI push; a
+//!    panic on a half-saved or adversarial source file would take the
+//!    whole gate down. The generator mixes raw byte soup (lossy UTF-8,
+//!    so replacement characters and split multi-byte sequences appear)
+//!    with structured near-misses assembled from Rust fragments —
+//!    truncated items, unbalanced delimiters, orphaned `=>` arms.
+//! 2. Parsing is total and deterministic: the same soup parses to the
+//!    same item counts twice (the fixpoint passes rely on stable
+//!    symbol tables).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use xtask::lexer::lex;
+use xtask::parser::parse_file;
+
+/// Fragments adversarial inputs are assembled from: valid Rust
+/// pieces, truncations, and junk — concatenations hit the parser's
+/// recovery paths far more often than uniform bytes.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "fn f",
+    "fn f(",
+    "fn f() {",
+    "}",
+    "{",
+    "impl ",
+    "impl Foo {",
+    "enum ",
+    "enum E { A, B(",
+    "match x {",
+    "=>",
+    "Some(x) =>",
+    "let ",
+    "let g = m.lock();",
+    "if let ",
+    "for p in ",
+    "matches!(",
+    "self.",
+    ".unwrap()",
+    "[0]",
+    "[..]",
+    "\"str",
+    "\"xdn_metric_total\"",
+    "'a",
+    "'a'",
+    "::",
+    "Message::Sequenced",
+    "#[test]",
+    "#[cfg(test)]",
+    "// xtask: allow(panic-path)",
+    "const ALL: [K; 2] = [",
+    "()",
+    ";;",
+    "r#\"",
+    "/* unterminated",
+    "\u{fffd}",
+    "\0",
+];
+
+fn arb_fragment_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..FRAGMENTS.len(), 0..24).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn arb_byte_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..120)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_byte_soup(src in arb_byte_soup()) {
+        let lexed = lex(&src);
+        // Token count is bounded by input length (no runaway loops).
+        prop_assert!(lexed.tokens.len() <= src.len() + 1);
+    }
+
+    #[test]
+    fn parser_never_panics_on_byte_soup(src in arb_byte_soup()) {
+        let _ = parse_file(PathBuf::from("soup.rs"), &src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_fragment_soup(src in arb_fragment_soup()) {
+        let _ = parse_file(PathBuf::from("soup.rs"), &src);
+    }
+
+    #[test]
+    fn parsing_is_deterministic(src in arb_fragment_soup()) {
+        let a = parse_file(PathBuf::from("soup.rs"), &src);
+        let b = parse_file(PathBuf::from("soup.rs"), &src);
+        prop_assert_eq!(a.fns.len(), b.fns.len());
+        prop_assert_eq!(a.enums.len(), b.enums.len());
+        prop_assert_eq!(a.consts.len(), b.consts.len());
+        let ops = |f: &xtask::ast::ParsedFile| -> usize {
+            f.fns.iter().map(|d| d.body.len()).sum()
+        };
+        prop_assert_eq!(ops(&a), ops(&b));
+    }
+
+    #[test]
+    fn valid_item_survives_junk_prefix_and_suffix(
+        prefix in arb_fragment_soup(),
+        suffix in arb_byte_soup(),
+    ) {
+        // A well-formed fn between arbitrary garbage still parses —
+        // the item scanner must resynchronize on brace structure.
+        let src = format!("{prefix}\nfn anchor_fn() {{ x.unwrap(); }}\n{suffix}");
+        let parsed = parse_file(PathBuf::from("soup.rs"), &src);
+        // The anchor may be swallowed when the prefix opens an
+        // unclosed brace before it, but parsing must stay total; when
+        // the anchor is found it must carry its unwrap op.
+        if let Some(f) = parsed.fns.iter().find(|f| f.name == "anchor_fn") {
+            prop_assert!(!f.body.is_empty());
+        }
+    }
+}
