@@ -3,6 +3,7 @@
 use crate::message::{BrokerId, Dest, Message, MessageKind, Publication};
 use crate::reliable::{Admit, DedupWindow, OutboundLink, ReliabilityState};
 use crate::stats::BrokerStats;
+use crate::wire::{FrameBuf, Outbound};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use xdn_core::index::IndexedPrt;
@@ -261,7 +262,7 @@ enum PendingEntry {
     },
     /// Pre-computed output (e.g. a duplicate's re-ack) held back so the
     /// batch's output order matches sequential processing.
-    Emit(Vec<(Dest, Message)>),
+    Emit(Vec<Outbound>),
 }
 
 /// An installed [`Tracer`], opaque to `Debug` (trace sinks carry
@@ -462,14 +463,28 @@ impl Broker {
     /// `(destination, message)` pairs. Never returns a message to
     /// `from`.
     ///
-    /// This is the reliable entry point: payload frames bound for
-    /// neighbouring brokers come back wrapped in [`Message::Sequenced`]
-    /// headers and buffered for retransmission, inbound sequenced
-    /// frames are deduplicated and acknowledged, [`Message::Ack`]s
-    /// prune the retransmit buffers, and a neighbour's
-    /// [`Message::SyncRequest`] additionally triggers a replay of every
-    /// frame it has not acknowledged.
+    /// Message-typed shim over [`Broker::handle_frames`], kept for one
+    /// release while transports migrate to the frame data plane.
     pub fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+        self.handle_frames(from, msg)
+            .into_iter()
+            .map(Into::into)
+            .collect()
+    }
+
+    /// Processes one message and returns the [`Outbound`] frames to
+    /// transmit. Never returns a frame to `from`.
+    ///
+    /// This is the reliable entry point: payload frames bound for
+    /// neighbouring brokers come back stamped with sequenced headers
+    /// and buffered for retransmission, inbound sequenced frames are
+    /// deduplicated and acknowledged, [`Message::Ack`]s prune the
+    /// retransmit buffers, and a neighbour's [`Message::SyncRequest`]
+    /// additionally triggers a replay of every frame it has not
+    /// acknowledged. A publication fanned out to `k` next-hops yields
+    /// `k` frames sharing one payload `Arc` (and, on the wire, one
+    /// encoded body).
+    pub fn handle_frames(&mut self, from: Dest, msg: Message) -> Vec<Outbound> {
         if !self.sync_pending.is_empty() && msg.is_payload() {
             // Warming up: routing tables are not rebuilt yet, so
             // defer (without acking) rather than ack-and-misroute.
@@ -520,13 +535,17 @@ impl Broker {
                         self.stats.dup_frames += 1;
                         let ack = self.ack_for(from, epoch, seq);
                         self.stats.sent += 1;
-                        return vec![(from, ack)];
+                        return vec![Outbound::from((from, ack))];
                     }
                     Admit::Fresh => {
-                        let mut out = self.handle_core(from, *inner);
+                        // Usually the sole owner (frames arrive freshly
+                        // decoded); fall back to a clone when shared.
+                        let inner =
+                            Arc::try_unwrap(inner).unwrap_or_else(|shared| (*shared).clone());
+                        let mut out = self.handle_core(from, inner);
                         let ack = self.ack_for(from, epoch, seq);
                         self.stats.sent += 1;
-                        out.push((from, ack));
+                        out.push(Outbound::from((from, ack)));
                         out
                     }
                 }
@@ -572,7 +591,7 @@ impl Broker {
                     // had just arrived).
                     let held: Vec<_> = self.warmup.drain(..).collect();
                     for (h_from, h_msg) in held {
-                        out.extend(self.handle(h_from, h_msg));
+                        out.extend(self.handle_frames(h_from, h_msg));
                     }
                 }
             }
@@ -582,8 +601,23 @@ impl Broker {
 
     /// Processes a whole transport drain in one call, returning exactly
     /// the messages [`Broker::handle`] would have produced for the same
-    /// sequence: `handle_batch(batch)` is observably equivalent to
-    /// concatenating `handle(from, msg)` over the batch in order.
+    /// sequence.
+    ///
+    /// Message-typed shim over [`Broker::handle_batch_frames`], kept
+    /// for one release while transports migrate to the frame data
+    /// plane.
+    pub fn handle_batch(&mut self, batch: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+        self.handle_batch_frames(batch)
+            .into_iter()
+            .map(Into::into)
+            .collect()
+    }
+
+    /// Processes a whole transport drain in one call, returning exactly
+    /// the frames [`Broker::handle_frames`] would have produced for the
+    /// same sequence: `handle_batch_frames(batch)` is observably
+    /// equivalent to concatenating `handle_frames(from, msg)` over the
+    /// batch in order.
     ///
     /// Control traffic (advertisements, subscriptions, sync, acks) is
     /// order-sensitive and processed sequentially, acting as a flush
@@ -594,7 +628,7 @@ impl Broker {
     /// are computed as each frame is scanned) and per-link sequencing
     /// headers are assigned at flush time in arrival order, so the
     /// sequencing/ack layer sees the same frame stream either way.
-    pub fn handle_batch(&mut self, batch: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+    pub fn handle_batch_frames(&mut self, batch: Vec<(Dest, Message)>) -> Vec<Outbound> {
         let mut out = Vec::new();
         let mut pending: Vec<PendingEntry> = Vec::new();
         for (from, msg) in batch {
@@ -619,7 +653,9 @@ impl Broker {
                         // bookkeeping, so no arm re-proves it. Should
                         // the two ever disagree, dropping the frame
                         // beats panicking the broker mid-drain.
-                        let Message::Publish(p) = *inner else {
+                        let Message::Publish(p) =
+                            Arc::try_unwrap(inner).unwrap_or_else(|shared| (*shared).clone())
+                        else {
                             continue;
                         };
                         let admit = self
@@ -635,7 +671,7 @@ impl Broker {
                                 self.stats.dup_frames += 1;
                                 let ack = self.ack_for(from, epoch, seq);
                                 self.stats.sent += 1;
-                                pending.push(PendingEntry::Emit(vec![(from, ack)]));
+                                pending.push(PendingEntry::Emit(vec![Outbound::from((from, ack))]));
                             }
                             Admit::Fresh => {
                                 let ack = self.ack_for(from, epoch, seq);
@@ -653,12 +689,12 @@ impl Broker {
                         // Order-sensitive traffic: flush the routed run,
                         // then process sequentially as today.
                         self.flush_publications(&mut pending, &mut out);
-                        out.extend(self.handle(from, other));
+                        out.extend(self.handle_frames(from, other));
                     }
                 }
             } else {
                 self.flush_publications(&mut pending, &mut out);
-                out.extend(self.handle(from, msg));
+                out.extend(self.handle_frames(from, msg));
             }
         }
         self.flush_publications(&mut pending, &mut out);
@@ -667,11 +703,7 @@ impl Broker {
 
     /// Routes the pending publication run in one batched call and emits
     /// its outputs (and held-back acks) in admission order.
-    fn flush_publications(
-        &mut self,
-        pending: &mut Vec<PendingEntry>,
-        out: &mut Vec<(Dest, Message)>,
-    ) {
+    fn flush_publications(&mut self, pending: &mut Vec<PendingEntry>, out: &mut Vec<Outbound>) {
         if pending.is_empty() {
             return;
         }
@@ -709,17 +741,21 @@ impl Broker {
                     self.stats.record_received(MessageKind::Publish);
                     self.stats.pub_routing.record(per_pub);
                     let dests = sets.next().unwrap_or_default();
+                    let doc_id = p.doc_id.0;
                     if let Some(tracer) = &self.tracer {
                         tracer.record(&TraceEvent::span(
                             "pub.route",
                             self.id.0,
                             "publish",
-                            p.doc_id.0,
+                            doc_id,
                             dests.len() as u64,
                             per_pub_ns,
                         ));
                     }
-                    let routed: Vec<(Dest, Message)> = dests
+                    // One shared payload for the whole fan-out: every
+                    // next-hop frame clones the `Arc`, not the paths.
+                    let payload = Arc::new(Message::Publish(p));
+                    let routed: Vec<Outbound> = dests
                         .into_iter()
                         .filter(|d| *d != from)
                         .map(|d| {
@@ -730,18 +766,18 @@ impl Broker {
                                         "pub.deliver",
                                         self.id.0,
                                         "publish",
-                                        p.doc_id.0,
+                                        doc_id,
                                         c.0,
                                     ));
                                 }
                             }
-                            (d, Message::Publish(p.clone()))
+                            Outbound::new(d, FrameBuf::from_payload(Arc::clone(&payload)))
                         })
                         .collect();
                     self.stats.sent += routed.len() as u64;
                     out.extend(self.wrap_outputs(routed));
                     if let Some(ack) = ack {
-                        out.push((from, ack));
+                        out.push(Outbound::from((from, ack)));
                     }
                 }
             }
@@ -757,14 +793,14 @@ impl Broker {
     /// The full answer to a neighbour's [`Message::SyncRequest`]: the
     /// routing snapshot plus a replay of every sequenced frame the peer
     /// has not acknowledged (the reconnect may have eaten them).
-    fn answer_sync(&mut self, nb: BrokerId) -> Vec<(Dest, Message)> {
+    fn answer_sync(&mut self, nb: BrokerId) -> Vec<Outbound> {
         let from = Dest::Broker(nb);
         let mut out = self.handle_core(from, Message::SyncRequest);
         if let Some(link) = self.links.get(&nb) {
-            let replayed = link.replay();
+            let replayed = link.replay_frames();
             self.stats.retransmits += replayed.len() as u64;
             self.stats.sent += replayed.len() as u64;
-            out.extend(replayed.into_iter().map(|m| (from, m)));
+            out.extend(replayed.into_iter().map(|f| Outbound::new(from, f)));
         }
         out
     }
@@ -780,30 +816,29 @@ impl Broker {
         Message::Ack { epoch: e, seq: s }
     }
 
-    /// Wraps broker-bound payload messages in sequenced headers,
-    /// buffering each for retransmission. Control traffic, client
-    /// deliveries, and already-sequenced frames pass through untouched.
-    fn wrap_outputs(&mut self, out: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+    /// Stamps broker-bound payload frames with sequenced headers,
+    /// buffering each (body shared, not cloned) for retransmission.
+    /// Control traffic, client deliveries, and already-sequenced frames
+    /// pass through untouched.
+    fn wrap_outputs(&mut self, out: Vec<Outbound>) -> Vec<Outbound> {
         let epoch = self.epoch;
         out.into_iter()
-            .map(|(dest, msg)| match dest {
-                Dest::Broker(nb)
-                    if msg.is_payload() && !matches!(msg, Message::Sequenced { .. }) =>
-                {
+            .map(|ob| match ob.dest {
+                Dest::Broker(nb) if ob.frame.is_payload() && ob.frame.seq_header().is_none() => {
                     let link = self.links.entry(nb).or_insert_with(|| {
                         OutboundLink::new(epoch, crate::reliable::DEFAULT_RETRANSMIT_CAPACITY)
                     });
-                    (dest, link.wrap(msg))
+                    Outbound::new(ob.dest, link.wrap_frame(ob.frame))
                 }
-                _ => (dest, msg),
+                _ => ob,
             })
             .collect()
     }
 
     /// The routing state machine, below the reliability layer.
-    fn handle_core(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+    fn handle_core(&mut self, from: Dest, msg: Message) -> Vec<Outbound> {
         self.stats.record_received(msg.kind());
-        let out = match msg {
+        let out: Vec<Outbound> = match msg {
             Message::Advertise { id, adv } => {
                 self.srt.insert(id, adv.clone(), from);
                 if let Some(tracer) = &self.tracer {
@@ -837,7 +872,7 @@ impl Broker {
                             && !already_sent
                             && xdn_core::advmatch::adv_overlaps_sub(&adv, &xpe)
                         {
-                            out.push((from, Message::Subscribe { id: sid, xpe }));
+                            out.push(Outbound::from((from, Message::Subscribe { id: sid, xpe })));
                             self.sent_to.entry(sid).or_default().insert(from);
                         }
                     }
@@ -848,22 +883,34 @@ impl Broker {
                 self.srt.remove(id);
                 self.broadcast_except(from, Message::Unadvertise { id })
             }
-            Message::Subscribe { id, xpe } => self.handle_subscribe(from, id, xpe),
-            Message::Unsubscribe { id } => self.handle_unsubscribe(from, id),
+            Message::Subscribe { id, xpe } => self
+                .handle_subscribe(from, id, xpe)
+                .into_iter()
+                .map(Outbound::from)
+                .collect(),
+            Message::Unsubscribe { id } => self
+                .handle_unsubscribe(from, id)
+                .into_iter()
+                .map(Outbound::from)
+                .collect(),
             Message::Publish(p) => {
                 let sw = Stopwatch::start();
                 let dests = self.prt.matching_hops(&p.elements, &p.attributes);
                 self.stats.pub_routing.record(sw.elapsed());
+                let doc_id = p.doc_id.0;
                 if let Some(tracer) = &self.tracer {
                     tracer.record(&TraceEvent::span(
                         "pub.route",
                         self.id.0,
                         "publish",
-                        p.doc_id.0,
+                        doc_id,
                         dests.len() as u64,
                         sw.elapsed_ns(),
                     ));
                 }
+                // One shared payload for the whole fan-out: every
+                // next-hop frame clones the `Arc`, not the paths.
+                let payload = Arc::new(Message::Publish(p));
                 dests
                     .into_iter()
                     .filter(|d| *d != from)
@@ -875,12 +922,12 @@ impl Broker {
                                     "pub.deliver",
                                     self.id.0,
                                     "publish",
-                                    p.doc_id.0,
+                                    doc_id,
                                     c.0,
                                 ));
                             }
                         }
-                        (d, Message::Publish(p.clone()))
+                        Outbound::new(d, FrameBuf::from_payload(Arc::clone(&payload)))
                     })
                     .collect()
             }
@@ -894,13 +941,13 @@ impl Broker {
                 // peer just answers with a fresh snapshot.
                 match from.as_broker() {
                     Some(nb) if self.sync_pending.contains(&nb) => {
-                        vec![(from, Message::SyncRequest)]
+                        vec![Outbound::from((from, Message::SyncRequest))]
                     }
                     _ => Vec::new(),
                 }
             }
             Message::SyncRequest => match from.as_broker() {
-                Some(nb) => vec![(from, self.export_routing_for(nb))],
+                Some(nb) => vec![Outbound::from((from, self.export_routing_for(nb)))],
                 None => Vec::new(),
             },
             Message::SyncState { advs, subs } => {
@@ -1156,10 +1203,13 @@ impl Broker {
             .collect()
     }
 
-    fn broadcast_except(&self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+    fn broadcast_except(&self, from: Dest, msg: Message) -> Vec<Outbound> {
+        // One frame, cloned per neighbour: the flood shares a payload
+        // `Arc` (and, on the wire, one encoded body).
+        let frame = FrameBuf::from_message(msg);
         self.flood_targets(Some(from))
             .into_iter()
-            .map(|d| (d, msg.clone()))
+            .map(|d| Outbound::new(d, frame.clone()))
             .collect()
     }
 
@@ -1167,10 +1217,24 @@ impl Broker {
     /// returns the control traffic: merger subscriptions plus
     /// retractions of absorbed subscriptions.
     ///
+    /// Message-typed shim over [`Broker::apply_merging_frames`], kept
+    /// for one release while transports migrate to the frame data
+    /// plane.
+    pub fn apply_merging(&mut self) -> Vec<(Dest, Message)> {
+        self.apply_merging_frames()
+            .into_iter()
+            .map(Into::into)
+            .collect()
+    }
+
+    /// Runs the merging pass (§4.3) if the strategy enables it, and
+    /// returns the control traffic as [`Outbound`] frames: merger
+    /// subscriptions plus retractions of absorbed subscriptions.
+    ///
     /// Requires [`Broker::set_universe`]; without a universe only
     /// structural perfect mergers could be scored, so the pass is
     /// skipped entirely.
-    pub fn apply_merging(&mut self) -> Vec<(Dest, Message)> {
+    pub fn apply_merging_frames(&mut self) -> Vec<Outbound> {
         let Some(mode) = self.config.merging else {
             return Vec::new();
         };
@@ -1193,13 +1257,13 @@ impl Broker {
         for app in apps {
             let targets = self.sub_targets(&app.xpe, None);
             for t in &targets {
-                out.push((
+                out.push(Outbound::from((
                     *t,
                     Message::Subscribe {
                         id: app.merger_id,
                         xpe: app.xpe.clone(),
                     },
-                ));
+                )));
             }
             self.sent_to
                 .entry(app.merger_id)
@@ -1207,7 +1271,7 @@ impl Broker {
                 .extend(targets.iter().copied());
             for rid in app.retract {
                 for t in &targets {
-                    out.push((*t, Message::Unsubscribe { id: rid }));
+                    out.push(Outbound::from((*t, Message::Unsubscribe { id: rid })));
                 }
                 self.sent_to.remove(&rid);
             }
@@ -1787,7 +1851,7 @@ mod tests {
                 epoch: 5,
                 seq: 1,
                 low: 1,
-                inner: Box::new(Message::Heartbeat),
+                inner: Arc::new(Message::Heartbeat),
             },
         );
         let out = b.handle(
@@ -1796,7 +1860,7 @@ mod tests {
                 epoch: 3,
                 seq: 7,
                 low: 1,
-                inner: Box::new(Message::Heartbeat),
+                inner: Arc::new(Message::Heartbeat),
             },
         );
         assert!(out.is_empty(), "stale frames are dropped silently");

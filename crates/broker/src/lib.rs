@@ -53,3 +53,4 @@ pub use broker::{Broker, MatchStrategy, Merging, RoutingConfig, RoutingConfigBui
 pub use message::{BrokerId, ClientId, Dest, Message, MessageKind, Publication};
 pub use reliable::{Admit, DedupWindow, OutboundLink, ReliabilityState};
 pub use stats::{BrokerStats, KindCounters};
+pub use wire::{FrameBuf, Outbound, SeqHeader};

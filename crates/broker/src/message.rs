@@ -1,6 +1,7 @@
 //! Message and addressing types of the dissemination network.
 
 use std::fmt;
+use std::sync::Arc;
 use xdn_core::adv::Advertisement;
 pub use xdn_core::rtable::{AdvId, SubId};
 use xdn_xml::{DocId, PathId};
@@ -248,8 +249,11 @@ pub enum Message {
         /// The sender's lowest unacked seq (everything below it was
         /// cumulatively acknowledged by some receiver incarnation).
         low: u64,
-        /// The wrapped payload message.
-        inner: Box<Message>,
+        /// The wrapped payload message. Shared (`Arc`) because the same
+        /// payload is simultaneously held by the sender's retransmit
+        /// buffer and by every per-peer frame of a fan-out — sequencing
+        /// stamps a header around the payload, it never copies it.
+        inner: Arc<Message>,
     },
 }
 
@@ -402,7 +406,7 @@ mod tests {
             epoch: 7,
             seq: 3,
             low: 1,
-            inner: Box::new(p.clone()),
+            inner: Arc::new(p.clone()),
         };
         assert_eq!(wrapped.kind(), MessageKind::Publish);
         assert!(wrapped.is_payload());

@@ -28,6 +28,7 @@
 //! live frames as false duplicates or re-processing acked ones.
 
 use crate::message::{BrokerId, Dest, Message};
+use crate::wire::{FrameBuf, SeqHeader};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 use xdn_obs::Stopwatch;
@@ -60,8 +61,11 @@ pub struct OutboundLink {
     epoch: u64,
     next_seq: u64,
     capacity: usize,
-    /// `(seq, payload, sent-at)` in ascending seq order.
-    unacked: VecDeque<(u64, Message, Stopwatch)>,
+    /// `(seq, payload frame, sent-at)` in ascending seq order. The
+    /// frames are unsequenced [`FrameBuf`]s, so the buffered copy
+    /// shares its payload and encoded body with every fan-out sibling
+    /// instead of owning a deep `Message` clone.
+    unacked: VecDeque<(u64, FrameBuf, Stopwatch)>,
     overflow: u64,
 }
 
@@ -100,11 +104,17 @@ impl OutboundLink {
         self.unacked.front().map_or(self.next_seq, |(s, _, _)| *s)
     }
 
-    /// Wraps `inner` in the next `(epoch, seq)` header, buffers a copy
-    /// for retransmission, and returns the frame to send. A full
-    /// buffer sheds its oldest frame first (counted via
-    /// [`OutboundLink::overflow`]).
-    pub fn wrap(&mut self, inner: Message) -> Message {
+    /// Stamps `frame` with the next `(epoch, seq)` header, buffers a
+    /// body-sharing copy for retransmission, and returns the sequenced
+    /// frame to send. The buffered copy and the returned frame share
+    /// one payload `Arc` and (once encoded) one body — sequencing no
+    /// longer clones the payload per neighbour. A full buffer sheds its
+    /// oldest frame first (counted via [`OutboundLink::overflow`]).
+    pub fn wrap_frame(&mut self, frame: FrameBuf) -> FrameBuf {
+        debug_assert!(
+            frame.seq_header().is_none(),
+            "wrap_frame takes unsequenced payload frames"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.unacked.len() >= self.capacity {
@@ -112,13 +122,22 @@ impl OutboundLink {
             self.overflow += 1;
         }
         self.unacked
-            .push_back((seq, inner.clone(), Stopwatch::start()));
-        Message::Sequenced {
+            .push_back((seq, frame.clone(), Stopwatch::start()));
+        frame.stamped(SeqHeader {
             epoch: self.epoch,
             seq,
             low: self.low(),
-            inner: Box::new(inner),
-        }
+        })
+    }
+
+    /// Wraps `inner` in the next `(epoch, seq)` header, buffers a copy
+    /// for retransmission, and returns the frame to send.
+    ///
+    /// Message-typed shim over [`OutboundLink::wrap_frame`], kept for
+    /// one release while callers migrate to the frame data plane.
+    pub fn wrap(&mut self, inner: Message) -> Message {
+        self.wrap_frame(FrameBuf::from_message(inner))
+            .into_message()
     }
 
     /// Applies a cumulative ack, pruning every frame with
@@ -140,19 +159,31 @@ impl OutboundLink {
         lags
     }
 
-    /// Re-wraps every unacked frame for replay after the peer asks to
-    /// re-sync. Frames keep their original sequence numbers, so the
-    /// receiver's window drops any it already processed.
-    pub fn replay(&self) -> Vec<Message> {
+    /// Re-stamps every unacked frame for replay after the peer asks to
+    /// re-sync. Frames keep their original sequence numbers (so the
+    /// receiver's window drops any it already processed) and share the
+    /// buffered bodies — only the 29-byte headers are fresh, carrying
+    /// the current `low` watermark.
+    pub fn replay_frames(&self) -> Vec<FrameBuf> {
         let low = self.low();
         self.unacked
             .iter()
-            .map(|(seq, inner, _)| Message::Sequenced {
-                epoch: self.epoch,
-                seq: *seq,
-                low,
-                inner: Box::new(inner.clone()),
+            .map(|(seq, frame, _)| {
+                frame.stamped(SeqHeader {
+                    epoch: self.epoch,
+                    seq: *seq,
+                    low,
+                })
             })
+            .collect()
+    }
+
+    /// Message-typed shim over [`OutboundLink::replay_frames`], kept
+    /// for one release while callers migrate to the frame data plane.
+    pub fn replay(&self) -> Vec<Message> {
+        self.replay_frames()
+            .into_iter()
+            .map(FrameBuf::into_message)
             .collect()
     }
 }

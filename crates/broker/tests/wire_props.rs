@@ -1,12 +1,15 @@
-//! Property tests for the wire codec.
+//! Property tests for the wire codec and the frame data plane.
 //!
-//! Two obligations for a codec fed by a network socket: `decode` must
-//! never panic, whatever bytes arrive (a peer is untrusted input), and
-//! every encodable message — the sync frames included — must round-trip
-//! exactly.
+//! Obligations for a codec fed by a network socket: `decode_frame`
+//! must never panic, whatever bytes arrive (a peer is untrusted
+//! input); every encodable message — the sync frames included — must
+//! round-trip exactly; and the encode-once fan-out path must be
+//! byte-identical to the flat per-peer encoding it replaced, with no
+//! stale bytes leaking across pooled-buffer reuse.
 
 use proptest::prelude::*;
-use xdn_broker::wire;
+use std::sync::Arc;
+use xdn_broker::wire::{self, FrameBuf, SeqHeader};
 use xdn_broker::{Message, Publication};
 use xdn_core::adv::{AdvPath, Advertisement};
 use xdn_core::rtable::{AdvId, SubId};
@@ -17,6 +20,13 @@ const NAMES: [&str; 6] = ["a", "b", "claim", "seq-data", "x1", "n"];
 
 fn name(ix: usize) -> String {
     NAMES[ix % NAMES.len()].to_string()
+}
+
+/// Reference encoding: one frame into a fresh buffer.
+fn enc(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::encode_into(msg, &mut out);
+    out
 }
 
 /// Always-valid XPE text built from known-good pieces: `/` or `//`
@@ -120,7 +130,7 @@ fn sequenced_strategy() -> impl Strategy<Value = Message> {
             epoch,
             seq,
             low,
-            inner: Box::new(inner),
+            inner: Arc::new(inner),
         })
 }
 
@@ -147,7 +157,7 @@ proptest! {
     #[test]
     fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         // Err is fine; tearing down the process is not.
-        let _ = wire::decode(&bytes);
+        let _ = wire::decode_frame(&bytes);
     }
 
     #[test]
@@ -156,16 +166,16 @@ proptest! {
         flip_at in any::<u16>(),
         flip_with in 1u8..=255,
     ) {
-        let mut frame = wire::encode(&msg).to_vec();
+        let mut frame = enc(&msg);
         let ix = flip_at as usize % frame.len();
         frame[ix] ^= flip_with;
-        let _ = wire::decode(&frame);
+        let _ = wire::decode_frame(&frame);
     }
 
     #[test]
     fn every_message_round_trips(msg in message_strategy()) {
-        let frame = wire::encode(&msg);
-        let (decoded, consumed) = wire::decode(&frame).expect("own encoding must decode");
+        let frame = enc(&msg);
+        let (decoded, consumed) = wire::decode_frame(&frame).expect("own encoding must decode");
         prop_assert_eq!(&decoded, &msg);
         prop_assert_eq!(consumed, frame.len());
     }
@@ -175,10 +185,10 @@ proptest! {
         msg in message_strategy(),
         trailer in proptest::collection::vec(any::<u8>(), 0..32),
     ) {
-        let frame = wire::encode(&msg);
-        let mut stream = frame.to_vec();
+        let frame = enc(&msg);
+        let mut stream = frame.clone();
         stream.extend_from_slice(&trailer);
-        let (decoded, consumed) = wire::decode(&stream).expect("framed prefix must decode");
+        let (decoded, consumed) = wire::decode_frame(&stream).expect("framed prefix must decode");
         prop_assert_eq!(&decoded, &msg);
         prop_assert_eq!(consumed, frame.len());
     }
@@ -192,10 +202,69 @@ proptest! {
         (counter_strategy(), counter_strategy())
             .prop_map(|(epoch, seq)| Message::Ack { epoch, seq }),
     ]) {
-        let frame = wire::encode(&msg);
-        let (decoded, consumed) = wire::decode(&frame).expect("own encoding must decode");
+        let frame = enc(&msg);
+        let (decoded, consumed) = wire::decode_frame(&frame).expect("own encoding must decode");
         prop_assert_eq!(&decoded, &msg);
         prop_assert_eq!(consumed, frame.len());
+    }
+
+    /// The encode-once shared-body path must be byte-identical to the
+    /// flat per-message encoding for every message variant — a
+    /// `FrameBuf` is a layout over the same bytes, not a new format.
+    #[test]
+    fn framebuf_is_byte_identical_to_flat_encode(msg in message_strategy()) {
+        let frame = FrameBuf::from_message(msg.clone());
+        prop_assert_eq!(frame.to_wire_bytes(), enc(&msg));
+        prop_assert_eq!(frame.encoded_len(), enc(&msg).len());
+        // The vectored write path produces the same bytes again.
+        let mut sink = Vec::new();
+        frame.write_to(&mut sink).expect("write to a Vec");
+        prop_assert_eq!(sink, enc(&msg));
+    }
+
+    /// Stamping one shared body for k peers must equal k independent
+    /// per-peer encodes of the equivalent `Sequenced` messages — the
+    /// 29-byte header rewrite cannot disturb the shared payload.
+    #[test]
+    fn stamped_fanout_matches_per_peer_encode(
+        inner in payload_strategy(),
+        epoch in counter_strategy(),
+        low in counter_strategy(),
+        peers in 1u64..8,
+    ) {
+        let base = FrameBuf::from_payload(Arc::new(inner.clone()));
+        for seq in 1..=peers {
+            let stamped = base.stamped(SeqHeader { epoch, seq, low });
+            let equivalent = Message::Sequenced {
+                epoch,
+                seq,
+                low,
+                inner: Arc::new(inner.clone()),
+            };
+            prop_assert_eq!(stamped.to_wire_bytes(), enc(&equivalent));
+        }
+    }
+
+    /// A pooled buffer full of junk from a previous frame must be fully
+    /// overwritten on reuse: the encode starts from a cleared buffer,
+    /// so no stale byte of `junk` can reach the wire.
+    #[test]
+    fn pooled_buffers_leak_no_stale_bytes(
+        first in message_strategy(),
+        second in message_strategy(),
+        junk in proptest::collection::vec(1u8..=255, 1..64),
+    ) {
+        let mut buf = wire::pool_acquire();
+        buf.extend_from_slice(&junk);
+        wire::pool_release(buf);
+        let mut buf = wire::pool_acquire();
+        prop_assert!(buf.is_empty(), "acquire must hand out cleared buffers");
+        wire::encode_into(&first, &mut buf);
+        prop_assert_eq!(&buf, &enc(&first));
+        buf.clear();
+        wire::encode_into(&second, &mut buf);
+        prop_assert_eq!(&buf, &enc(&second));
+        wire::pool_release(buf);
     }
 
     /// A sequenced frame whose payload is itself a reliability frame is
@@ -212,9 +281,9 @@ proptest! {
                 .prop_map(|(e, s)| Message::Ack { epoch: e, seq: s }),
         ],
     ) {
-        let msg = Message::Sequenced { epoch, seq, low, inner: Box::new(inner) };
-        let frame = wire::encode(&msg);
-        prop_assert!(wire::decode(&frame).is_err(), "nested reliability frame must be refused");
+        let msg = Message::Sequenced { epoch, seq, low, inner: Arc::new(inner) };
+        let frame = enc(&msg);
+        prop_assert!(wire::decode_frame(&frame).is_err(), "nested reliability frame must be refused");
     }
 
     /// Frames from a dead incarnation (an epoch older than the one the
@@ -244,14 +313,14 @@ proptest! {
             epoch: new_epoch,
             seq: 1,
             low: 1,
-            inner: Box::new(Message::Heartbeat),
+            inner: Arc::new(Message::Heartbeat),
         });
         // ...then a straggler from the previous incarnation arrives.
         let out = b.handle(from, Message::Sequenced {
             epoch: old_epoch,
             seq,
             low,
-            inner: Box::new(inner),
+            inner: Arc::new(inner),
         });
         prop_assert!(out.is_empty(), "stale frame must produce no output");
         prop_assert_eq!(b.stats().stale_frames, 1);

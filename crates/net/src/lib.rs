@@ -18,6 +18,8 @@
 //!   Figures 10/11).
 //! * [`latency`] — cluster-LAN and PlanetLab-like WAN link models.
 //! * [`metrics`] — network-wide message counts and notification delays.
+//! * [`sink`] — the [`FrameSink`] trait: the single broker→transport
+//!   send boundary every transport below implements.
 //! * [`live`] — a real threaded transport (crossbeam channels) running
 //!   the same brokers, demonstrating transport independence.
 //! * [`tcp`] — brokers over real TCP sockets with the binary wire
@@ -49,9 +51,11 @@ pub mod live;
 pub mod metrics;
 pub mod queue;
 pub mod sim;
+pub mod sink;
 pub mod tcp;
 pub mod topology;
 
 pub use latency::{ClusterLan, LatencyModel, PlanetLabWan};
 pub use metrics::NetMetrics;
 pub use sim::Network;
+pub use sink::FrameSink;

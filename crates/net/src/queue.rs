@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 use std::sync::PoisonError;
 use std::time::Duration;
-use xdn_broker::{KindCounters, Message, MessageKind};
+use xdn_broker::{FrameBuf, KindCounters, MessageKind};
 
 #[cfg(loom)]
 use loom::sync::{Condvar, Mutex, MutexGuard};
@@ -25,7 +25,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 /// The result of one [`FrameQueue::pop_wait`] call.
 pub enum Pop {
     /// A frame to write.
-    Msg(Box<Message>),
+    Msg(FrameBuf),
     /// Nothing to send for a full heartbeat interval.
     Idle,
     /// The reader declared the current connection dead.
@@ -36,7 +36,7 @@ pub enum Pop {
 
 #[derive(Default)]
 struct QueueState {
-    q: VecDeque<Message>,
+    q: VecDeque<FrameBuf>,
     down: bool,
     closed: bool,
     dropped: u64,
@@ -44,10 +44,12 @@ struct QueueState {
     /// instead of folding it into one opaque total.
     shed: KindCounters,
     /// Sequenced frames handed to the writer but not yet acknowledged
-    /// by the peer broker: `(epoch, seq, frame)` in pop order. Replayed
-    /// to the front of the queue when a fresh connection epoch starts,
-    /// so frames written into a dying socket are not lost.
-    inflight: VecDeque<(u64, u64, Message)>,
+    /// by the peer broker: `(epoch, seq, frame)` in pop order. The held
+    /// frames share their payload and encoded body with the written
+    /// copies (a `FrameBuf` clone is an `Arc` bump, not a deep copy).
+    /// Replayed to the front of the queue when a fresh connection epoch
+    /// starts, so frames written into a dying socket are not lost.
+    inflight: VecDeque<(u64, u64, FrameBuf)>,
 }
 
 /// The supervisor's bounded outbound queue. The broker loop pushes,
@@ -77,17 +79,19 @@ impl FrameQueue {
     /// Enqueues at the back, shedding under pressure. Returns the
     /// payload kind of the frame shed to make room, if any — callers
     /// report it to their metrics sink so no loss is silent.
-    pub fn push_back(&self, msg: Message) -> Option<MessageKind> {
-        self.push(msg, false)
+    /// Accepts anything convertible to a [`FrameBuf`] (`Message`
+    /// included) so tuple-era callers keep working for one release.
+    pub fn push_back(&self, frame: impl Into<FrameBuf>) -> Option<MessageKind> {
+        self.push(frame.into(), false)
     }
 
     /// Queue-jumps control traffic (the post-reconnect sync request).
     /// Returns the payload kind of any frame shed to make room.
-    pub fn push_front(&self, msg: Message) -> Option<MessageKind> {
-        self.push(msg, true)
+    pub fn push_front(&self, frame: impl Into<FrameBuf>) -> Option<MessageKind> {
+        self.push(frame.into(), true)
     }
 
-    fn push(&self, msg: Message, front: bool) -> Option<MessageKind> {
+    fn push(&self, frame: FrameBuf, front: bool) -> Option<MessageKind> {
         let mut s = self.lock();
         if s.closed {
             return None;
@@ -95,24 +99,23 @@ impl FrameQueue {
         let mut shed = None;
         if s.q.len() >= self.capacity {
             // Shed decisions look through reliability framing: a
-            // sequenced publication is still a publication.
-            if let Some(i) =
-                s.q.iter()
-                    .position(|m| matches!(m.payload(), Message::Publish(_)))
-            {
-                let kind = s.q.remove(i).map_or(MessageKind::Publish, |m| m.kind());
+            // sequenced publication is still a publication. The kind is
+            // precomputed on the frame, so pressure scans cost no
+            // per-frame re-derivation.
+            if let Some(i) = s.q.iter().position(|f| f.kind() == MessageKind::Publish) {
+                let kind = s.q.remove(i).map_or(MessageKind::Publish, |f| f.kind());
                 s.dropped += 1;
                 s.shed.record(kind);
                 shed = Some(kind);
-            } else if msg.is_payload() {
+            } else if frame.is_payload() {
                 // Only control traffic is buffered; the arriving
                 // payload frame gives way.
-                let kind = msg.kind();
+                let kind = frame.kind();
                 s.dropped += 1;
                 s.shed.record(kind);
                 return Some(kind);
             } else {
-                let kind = s.q.pop_front().map(|m| m.kind());
+                let kind = s.q.pop_front().map(|f| f.kind());
                 s.dropped += 1;
                 if let Some(kind) = kind {
                     s.shed.record(kind);
@@ -121,9 +124,9 @@ impl FrameQueue {
             }
         }
         if front {
-            s.q.push_front(msg);
+            s.q.push_front(frame);
         } else {
-            s.q.push_back(msg);
+            s.q.push_back(frame);
         }
         drop(s);
         self.cv.notify_one();
@@ -142,16 +145,18 @@ impl FrameQueue {
             if s.down {
                 return Pop::Down;
             }
-            if let Some(m) = s.q.pop_front() {
-                if let Message::Sequenced { epoch, seq, .. } = &m {
+            if let Some(f) = s.q.pop_front() {
+                if let Some(h) = f.seq_header() {
                     // Hold a copy until the peer's cumulative ack
                     // covers it; a new connection epoch replays these.
+                    // The clone shares the frame's body — the hold
+                    // costs a handful of pointers, not a payload copy.
                     if s.inflight.len() >= self.capacity {
                         s.inflight.pop_front();
                     }
-                    s.inflight.push_back((*epoch, *seq, m.clone()));
+                    s.inflight.push_back((h.epoch, h.seq, f.clone()));
                 }
-                return Pop::Msg(Box::new(m));
+                return Pop::Msg(f);
             }
             let (next, res) = self
                 .cv
@@ -204,11 +209,12 @@ impl FrameQueue {
     /// dropped here — the in-flight hold already owns a copy that the
     /// next connection epoch replays, and re-queueing would duplicate
     /// it. Control frames go back to the front as before.
-    pub fn requeue_unsent(&self, msg: Message) {
-        if matches!(msg, Message::Sequenced { .. }) {
+    pub fn requeue_unsent(&self, frame: impl Into<FrameBuf>) {
+        let frame = frame.into();
+        if frame.seq_header().is_some() {
             return;
         }
-        self.push_front(msg);
+        self.push_front(frame);
     }
 
     /// Sequenced frames currently held awaiting acknowledgement.
@@ -253,7 +259,7 @@ impl FrameQueue {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
-    use xdn_broker::{MessageKind, Publication};
+    use xdn_broker::{Message, MessageKind, Publication};
     use xdn_core::rtable::SubId;
     use xdn_xml::{DocId, PathId};
 
@@ -316,7 +322,7 @@ mod tests {
             epoch: 1,
             seq,
             low: 1,
-            inner: Box::new(publication(doc)),
+            inner: std::sync::Arc::new(publication(doc)),
         }
     }
 
@@ -352,7 +358,7 @@ mod tests {
         let Pop::Msg(m) = q.pop_wait(Duration::from_millis(1)) else {
             panic!("expected the replayed frame");
         };
-        assert!(matches!(*m, Message::Sequenced { seq: 2, .. }));
+        assert_eq!(m.seq_header().map(|h| h.seq), Some(2));
     }
 
     #[test]

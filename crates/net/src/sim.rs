@@ -9,10 +9,13 @@
 
 use crate::latency::LatencyModel;
 use crate::metrics::{FaultDrop, MetricsSink, NetMetrics};
+use crate::sink::FrameSink;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
-use xdn_broker::{Broker, BrokerId, ClientId, Dest, Message, Publication, RoutingConfig};
+use xdn_broker::{
+    Broker, BrokerId, ClientId, Dest, Message, MessageKind, Outbound, Publication, RoutingConfig,
+};
 use xdn_core::adv::Advertisement;
 use xdn_core::rtable::{AdvId, SubId};
 use xdn_xml::paths::{dedup_paths, extract_paths};
@@ -84,6 +87,38 @@ fn link_key(a: BrokerId, b: BrokerId) -> (BrokerId, BrokerId) {
         (a, b)
     } else {
         (b, a)
+    }
+}
+
+/// The simulator's [`FrameSink`]: "shipping" a frame schedules its
+/// arrival event after the modeled link delay. The frame body is never
+/// serialised — only its modeled wire size feeds the latency model, so
+/// the lazily-encoded [`xdn_broker::FrameBuf`] costs the simulator
+/// nothing.
+struct SimSink<'a> {
+    net: &'a mut Network,
+    from: BrokerId,
+    hops: u32,
+}
+
+impl FrameSink for SimSink<'_> {
+    fn ship(&mut self, out: Outbound) -> Option<MessageKind> {
+        let bytes = out.frame.wire_bytes();
+        let delay = match out.dest {
+            Dest::Broker(b) => self.net.latency.link_delay(self.from, b, bytes),
+            Dest::Client(_) => self.net.latency.client_delay(self.from, bytes),
+        };
+        let at = self.net.now + delay;
+        self.net.schedule(
+            at,
+            Event {
+                to: out.dest,
+                from: Dest::Broker(self.from),
+                msg: out.frame.into_message(),
+                hops: self.hops + 1,
+            },
+        );
+        None
     }
 }
 
@@ -584,28 +619,24 @@ impl Network {
     pub fn apply_merging(&mut self) {
         let ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
         for id in ids {
-            let outputs = self.brokers.get_mut(&id).expect("known").apply_merging();
+            let outputs = self
+                .brokers
+                .get_mut(&id)
+                .expect("known")
+                .apply_merging_frames();
             self.dispatch_outputs(id, outputs, 0);
         }
     }
 
-    /// Schedules a broker's outputs.
-    fn dispatch_outputs(&mut self, from: BrokerId, outputs: Vec<(Dest, Message)>, hops: u32) {
-        for (dest, msg) in outputs {
-            let delay = match dest {
-                Dest::Broker(b) => self.latency.link_delay(from, b, msg.wire_bytes()),
-                Dest::Client(_) => self.latency.client_delay(from, msg.wire_bytes()),
-            };
-            self.schedule(
-                self.now + delay,
-                Event {
-                    to: dest,
-                    from: Dest::Broker(from),
-                    msg,
-                    hops: hops + 1,
-                },
-            );
+    /// Schedules a broker's outputs through the simulator's
+    /// [`FrameSink`].
+    fn dispatch_outputs(&mut self, from: BrokerId, outputs: Vec<Outbound>, hops: u32) {
+        SimSink {
+            net: self,
+            from,
+            hops,
         }
+        .ship_all(outputs);
     }
 
     /// Drains the event queue. Returns the number of events processed.
@@ -676,9 +707,9 @@ impl Network {
                         .expect("unknown broker destination");
                     let outputs = if batch.len() == 1 {
                         let (from, msg) = batch.pop().expect("one frame");
-                        broker.handle(from, msg)
+                        broker.handle_frames(from, msg)
                     } else {
-                        broker.handle_batch(batch)
+                        broker.handle_batch_frames(batch)
                     };
                     let effective_entries = broker.prt_effective_size();
                     match self.processing {

@@ -1,0 +1,126 @@
+//! The unified broker→transport boundary.
+//!
+//! Every transport in this crate used to grow its own send path — the
+//! simulator injected events, the live transport pushed crossbeam
+//! messages, and the TCP transport called `write_all(&wire::encode(..))`
+//! per destination. [`FrameSink`] replaces those divergent paths with
+//! one contract: the broker loop routes a batch, gets back
+//! [`Outbound`] frames, and ships each through whatever sink the
+//! transport provides.
+//!
+//! The contract is deliberately small:
+//!
+//! * **Input** — an [`Outbound`]: destination, precomputed
+//!   [`MessageKind`], and a shared-body [`xdn_broker::FrameBuf`]. A
+//!   publication fanned out to *k* peers arrives as *k* `Outbound`s
+//!   whose frames share one encoded body; a sink that serialises
+//!   (TCP) pays for exactly one encode, and in-process sinks
+//!   (simulator, live threads) never encode at all.
+//! * **Output** — `Some(kind)` when the transport had to shed the
+//!   frame (a bounded queue was full), `None` when the frame was
+//!   accepted. Acceptance is not delivery: reliability is the
+//!   sequenced layer's job ([`xdn_broker::OutboundLink`]), not the
+//!   sink's.
+//! * **No blocking on peers** — a sink may buffer or drop, but must
+//!   not park the broker loop waiting for a slow destination.
+//!
+//! Implementations: `TcpSink` in [`crate::tcp`] (bounded per-peer
+//! queues + vectored socket writes), `LiveSink` in [`crate::live`]
+//! (crossbeam channels), and the simulator's event-scheduling sink in
+//! [`crate::sim`].
+
+use xdn_broker::{MessageKind, Outbound};
+
+/// A destination-addressed frame shipper: the single seam between a
+/// routing [`xdn_broker::Broker`] and the transport carrying its
+/// output. See the [module docs](self) for the contract.
+pub trait FrameSink {
+    /// Ships one routed frame toward its destination.
+    ///
+    /// Returns the shed frame's kind when the transport had to drop it
+    /// (e.g. a bounded outbound queue was full), `None` when the frame
+    /// was accepted for delivery.
+    fn ship(&mut self, out: Outbound) -> Option<MessageKind>;
+
+    /// Ships a whole routed batch, collecting any sheds as
+    /// `(kind, index)` pairs so callers can attribute losses without
+    /// re-deriving each frame's kind.
+    fn ship_all(&mut self, outs: Vec<Outbound>) -> Vec<(MessageKind, usize)> {
+        let mut shed = Vec::new();
+        for (i, out) in outs.into_iter().enumerate() {
+            if let Some(kind) = self.ship(out) {
+                shed.push((kind, i));
+            }
+        }
+        shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xdn_broker::{BrokerId, Dest, FrameBuf, Message, Publication};
+    use xdn_xml::{DocId, PathId};
+
+    /// A sink that records what it is asked to ship and sheds every
+    /// publication after the first.
+    struct RecordingSink {
+        shipped: Vec<Outbound>,
+        publications: usize,
+    }
+
+    impl FrameSink for RecordingSink {
+        fn ship(&mut self, out: Outbound) -> Option<MessageKind> {
+            if out.kind == MessageKind::Publish {
+                self.publications += 1;
+                if self.publications > 1 {
+                    return Some(out.kind);
+                }
+            }
+            self.shipped.push(out);
+            None
+        }
+    }
+
+    fn publish() -> Message {
+        Message::Publish(Publication {
+            doc_id: DocId(1),
+            path_id: PathId(0),
+            elements: vec!["a".into()],
+            attributes: Vec::new(),
+            doc_bytes: 16,
+        })
+    }
+
+    #[test]
+    fn ship_all_reports_sheds_by_kind_and_index() {
+        let payload = Arc::new(publish());
+        let outs: Vec<Outbound> = (0..3)
+            .map(|i| {
+                Outbound::new(
+                    Dest::Broker(BrokerId(i)),
+                    FrameBuf::from_payload(Arc::clone(&payload)),
+                )
+            })
+            .chain(std::iter::once(Outbound::from((
+                Dest::Broker(BrokerId(9)),
+                Message::Heartbeat,
+            ))))
+            .collect();
+        let mut sink = RecordingSink {
+            shipped: Vec::new(),
+            publications: 0,
+        };
+        let shed = sink.ship_all(outs);
+        assert_eq!(
+            shed,
+            vec![(MessageKind::Publish, 1), (MessageKind::Publish, 2)]
+        );
+        assert_eq!(sink.shipped.len(), 2);
+        assert_eq!(sink.shipped[0].kind, MessageKind::Publish);
+        assert_eq!(sink.shipped[1].kind, MessageKind::Heartbeat);
+        // The accepted fan-out frame still shares the routed body.
+        assert!(Arc::ptr_eq(sink.shipped[0].frame.payload_arc(), &payload));
+    }
+}

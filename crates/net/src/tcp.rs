@@ -33,6 +33,7 @@
 
 use crate::metrics::{MetricsSink, SharedMetrics};
 use crate::queue::{FrameQueue, Pop};
+use crate::sink::FrameSink;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -43,7 +44,10 @@ use std::sync::{Arc, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use xdn_broker::wire::MAX_FRAME_BYTES;
-use xdn_broker::{wire, Broker, BrokerId, BrokerStats, ClientId, Dest, Message, RoutingConfig};
+use xdn_broker::{
+    wire, Broker, BrokerId, BrokerStats, ClientId, Dest, FrameBuf, Message, MessageKind, Outbound,
+    RoutingConfig,
+};
 use xdn_obs::{render_prometheus, MetricData, MetricFamily};
 
 const HELLO_BROKER: u8 = 0x01;
@@ -231,6 +235,9 @@ fn supervise_peer(
             .as_nanos() as u64;
         t ^ ((peer.0 as u64) << 32) ^ self_id.0 as u64 | 1
     };
+    // Encoded lazily on first idle tick, then reused for the
+    // supervisor's whole lifetime: heartbeats never re-encode.
+    let heartbeat = FrameBuf::from_message(Message::Heartbeat);
     'epochs: while !stopping.load(Ordering::SeqCst) {
         // Connect with exponential backoff + jitter, first attempt
         // immediate.
@@ -290,21 +297,18 @@ fn supervise_peer(
                 }
                 Pop::Down => break,
                 Pop::Idle => {
-                    if writer
-                        .write_all(&wire::encode(&Message::Heartbeat))
-                        .is_err()
-                    {
+                    if heartbeat.write_to(&mut writer).is_err() {
                         break;
                     }
                 }
                 Pop::Msg(m) => {
-                    if writer.write_all(&wire::encode(&m)).is_err() {
+                    if m.write_to(&mut writer).is_err() {
                         // Retransmit after reconnecting. Sequenced
                         // frames are already held in the queue's
                         // inflight buffer (and the broker's retransmit
                         // buffer), so only unsequenced control frames
                         // go back to the front of the queue.
-                        queue.requeue_unsent(*m);
+                        queue.requeue_unsent(m);
                         break;
                     }
                 }
@@ -642,6 +646,36 @@ impl TcpNode {
 /// behind a drain.
 const INBOX_BATCH_LIMIT: usize = 256;
 
+/// The TCP transport's [`FrameSink`]: dialled peers go through their
+/// supervisor's bounded [`FrameQueue`] (which may shed — the returned
+/// kind), while *accepted* connections (clients, and brokers that
+/// dialled us) are written directly on the shared socket writer.
+///
+/// Borrows the broker loop's state per call site, so it is constructed
+/// inline wherever a frame leaves the loop.
+struct TcpSink<'a> {
+    queues: &'a HashMap<Dest, Arc<FrameQueue>>,
+    writers: &'a mut HashMap<Dest, Arc<Mutex<TcpStream>>>,
+}
+
+impl FrameSink for TcpSink<'_> {
+    fn ship(&mut self, out: Outbound) -> Option<MessageKind> {
+        if let Some(q) = self.queues.get(&out.dest) {
+            return q.push_back(out.frame);
+        }
+        if let Some(w) = self.writers.get(&out.dest) {
+            if out.frame.write_to(&mut *w.lock()).is_err() {
+                // An accepted peer died: drop the writer and rely on
+                // the remote supervisor (or client) to reconnect. A
+                // dropped sequenced frame is replayed from the
+                // broker's retransmit buffer on the next sync.
+                self.writers.remove(&out.dest);
+            }
+        }
+        None
+    }
+}
+
 fn broker_loop(
     mut broker: Broker,
     rx: Receiver<Input>,
@@ -654,24 +688,9 @@ fn broker_loop(
     // as traffic but carry no delay sample.
     let epoch = std::time::Instant::now();
     // Writers for *accepted* connections (clients, and brokers that
-    // dialled us). Dialled peers go through their supervisor's queue.
+    // dialled us). Dialled peers go through their supervisor's queue;
+    // `TcpSink` picks the right path per destination.
     let mut writers: HashMap<Dest, Arc<Mutex<TcpStream>>> = HashMap::new();
-    // Returns the payload kind of a frame the bounded queue shed to
-    // make room, so the caller can surface the loss in metrics.
-    let send = |writers: &mut HashMap<Dest, Arc<Mutex<TcpStream>>>, dest: Dest, msg: &Message| {
-        if let Some(q) = queues.get(&dest) {
-            return q.push_back(msg.clone());
-        } else if let Some(w) = writers.get(&dest) {
-            if w.lock().write_all(&wire::encode(msg)).is_err() {
-                // An accepted peer died: drop the writer and rely on
-                // the remote supervisor (or client) to reconnect. A
-                // dropped sequenced frame is replayed from the
-                // broker's retransmit buffer on the next sync.
-                writers.remove(&dest);
-            }
-        }
-        None
-    };
     // A non-`FromPeer` input drained while gathering a frame batch is
     // carried into the next iteration instead of being dropped.
     let mut carried: Option<Input> = None;
@@ -719,7 +738,11 @@ fn broker_loop(
                         broker.add_neighbor(b);
                         broker.expect_sync_from(b);
                     }
-                    if let Some(kind) = send(&mut writers, dest, &Message::SyncRequest) {
+                    let mut sink = TcpSink {
+                        queues: &queues,
+                        writers: &mut writers,
+                    };
+                    if let Some(kind) = sink.ship(Outbound::from((dest, Message::SyncRequest))) {
                         metrics.on_frame_shed(b, kind);
                     }
                 }
@@ -772,21 +795,32 @@ fn broker_loop(
                         }
                     }
                 }
-                for (dest, out) in broker.handle_batch(batch) {
-                    if let Dest::Client(c) = dest {
-                        metrics.on_client_message(c, out.kind());
-                        if let Message::Publish(p) = &out {
+                for ob in broker.handle_batch_frames(batch) {
+                    if let Dest::Client(c) = ob.dest {
+                        // `ob.kind` is precomputed at routing time; no
+                        // per-hop `kind()` recomputation here.
+                        metrics.on_client_message(c, ob.kind);
+                        if let Message::Publish(p) = ob.frame.payload() {
                             // Hop counts are not carried on the wire;
                             // TCP-transport notifications record 0.
                             metrics.on_delivery(c, p, epoch.elapsed(), 0);
                         }
                     }
-                    if let (Some(kind), Dest::Broker(b)) = (send(&mut writers, dest, &out), dest) {
+                    let dest = ob.dest;
+                    let mut sink = TcpSink {
+                        queues: &queues,
+                        writers: &mut writers,
+                    };
+                    if let (Some(kind), Dest::Broker(b)) = (sink.ship(ob), dest) {
                         metrics.on_frame_shed(b, kind);
                     }
                 }
                 for hb_from in echo_heartbeats {
-                    send(&mut writers, hb_from, &Message::Heartbeat);
+                    let mut sink = TcpSink {
+                        queues: &queues,
+                        writers: &mut writers,
+                    };
+                    sink.ship(Outbound::from((hb_from, Message::Heartbeat)));
                 }
             }
         }
@@ -902,6 +936,35 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
         shed,
         shed_pubs,
     ];
+    // Wire codec + frame-pool counters. Process-wide (the codec's
+    // atomics span every connection thread), exposed on each node so
+    // encode-per-fan-out and pool hit rates are scrapeable.
+    let codec = wire::codec_stats();
+    families.push(MetricFamily::counter(
+        "xdn_frame_encode_calls_total",
+        "Frame body encodes performed by the wire codec.",
+        codec.encode_calls,
+    ));
+    families.push(MetricFamily::counter(
+        "xdn_frame_encoded_bytes_total",
+        "Bytes produced by wire codec encodes.",
+        codec.encoded_bytes,
+    ));
+    families.push(MetricFamily::counter(
+        "xdn_frame_pool_hits_total",
+        "Frame buffer acquisitions served from the thread-local pool.",
+        codec.pool_hits,
+    ));
+    families.push(MetricFamily::counter(
+        "xdn_frame_pool_misses_total",
+        "Frame buffer acquisitions that had to allocate.",
+        codec.pool_misses,
+    ));
+    families.push(MetricFamily::counter(
+        "xdn_frame_pool_discards_total",
+        "Frame buffers dropped instead of pooled (oversized or pool full).",
+        codec.pool_discards,
+    ));
     // Parallel-matching families, present only on sharded strategies.
     if let Some(ss) = broker.shard_stats() {
         let mut occupancy = MetricFamily::new(
@@ -1006,9 +1069,11 @@ fn spawn_connection(
     Ok((stream, handle))
 }
 
-/// Reads one length-prefixed frame (including its 4-byte prefix),
-/// enforcing [`MAX_FRAME_BYTES`]. `None` on EOF, timeout, or an
-/// oversized frame — all reasons to drop the connection.
+/// Reads one length-prefixed frame (including its 4-byte prefix) into
+/// a pooled buffer, enforcing [`MAX_FRAME_BYTES`]. `None` on EOF,
+/// timeout, or an oversized frame — all reasons to drop the
+/// connection. Callers return the buffer via [`wire::pool_release`]
+/// once decoded.
 fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf).ok()?;
@@ -1016,7 +1081,8 @@ fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
     if len > MAX_FRAME_BYTES {
         return None;
     }
-    let mut frame = vec![0u8; 4 + len];
+    let mut frame = wire::pool_acquire();
+    frame.resize(4 + len, 0);
     frame[..4].copy_from_slice(&len_buf);
     stream.read_exact(&mut frame[4..]).ok()?;
     Some(frame)
@@ -1024,7 +1090,9 @@ fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
 
 fn read_frames(mut stream: TcpStream, from: Dest, tx: SyncSender<Input>) {
     while let Some(frame) = read_frame(&mut stream) {
-        match wire::decode(&frame) {
+        let decoded = wire::decode_frame(&frame);
+        wire::pool_release(frame);
+        match decoded {
             Ok((msg, _)) => {
                 if tx.send(Input::FromPeer(from, msg)).is_err() {
                     break;
@@ -1091,7 +1159,11 @@ impl TcpClient {
     ///
     /// Returns an error if the socket write fails.
     pub fn send(&mut self, msg: &Message) -> Result<(), TcpError> {
-        self.writer.write_all(&wire::encode(msg))?;
+        let mut buf = wire::pool_acquire();
+        wire::encode_into(msg, &mut buf);
+        let res = self.writer.write_all(&buf);
+        wire::pool_release(buf);
+        res?;
         Ok(())
     }
 
@@ -1103,7 +1175,9 @@ impl TcpClient {
 
 fn client_read(mut stream: TcpStream, tx: SyncSender<Message>) {
     while let Some(frame) = read_frame(&mut stream) {
-        let Ok((msg, _)) = wire::decode(&frame) else {
+        let decoded = wire::decode_frame(&frame);
+        wire::pool_release(frame);
+        let Ok((msg, _)) = decoded else {
             return;
         };
         if tx.send(msg).is_err() {
@@ -1346,6 +1420,11 @@ mod tests {
         assert!(body.contains("xdn_stale_frames_total"), "{body}");
         assert!(body.contains("xdn_ack_lag_seconds"), "{body}");
         assert!(body.contains("xdn_peer_shed_publications_total"), "{body}");
+        assert!(body.contains("xdn_frame_encode_calls_total"), "{body}");
+        assert!(body.contains("xdn_frame_encoded_bytes_total"), "{body}");
+        assert!(body.contains("xdn_frame_pool_hits_total"), "{body}");
+        assert!(body.contains("xdn_frame_pool_misses_total"), "{body}");
+        assert!(body.contains("xdn_frame_pool_discards_total"), "{body}");
 
         // The programmatic accessor serves the same families, and the
         // MetricsSink path saw the same traffic and delivery.

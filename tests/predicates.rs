@@ -159,8 +159,9 @@ fn wire_codec_preserves_attributes() {
     let path = &xdn::xml::paths::extract_paths(&doc, xdn::xml::DocId(1))[0];
     let publication = xdn::broker::Publication::from_doc_path(path, 99);
     let msg = xdn::broker::Message::Publish(publication);
-    let bytes = xdn::broker::wire::encode(&msg);
-    let (decoded, _) = xdn::broker::wire::decode(&bytes).unwrap();
+    let mut bytes = Vec::new();
+    xdn::broker::wire::encode_into(&msg, &mut bytes);
+    let (decoded, _) = xdn::broker::wire::decode_frame(&bytes).unwrap();
     assert_eq!(decoded, msg);
     // And the decoded publication still satisfies the predicate.
     if let xdn::broker::Message::Publish(p) = decoded {

@@ -13,6 +13,7 @@
 //! | `instant`           | no `Instant::now()` in broker/core hot paths — time through `xdn_obs::Stopwatch` |
 //! | `raw-publish-push`  | no queueing of a literal `Message::Publish` — publications reach the wire only through the broker's sequenced-send path |
 //! | `thread-spawn`      | no thread spawning in core/broker outside `core/src/pool.rs` — parallelism goes through the match pool, whose workers are named and joined |
+//! | `encode-in-loop`    | no `wire::encode` inside a loop body outside the frame builder — per-peer fan-out must share one `FrameBuf` body, not re-encode per destination |
 //!
 //! Suppression: a comment containing `xtask: allow(<rule>)` on the
 //! flagged line or the line above it, with a justification. Files under
@@ -53,6 +54,12 @@ const KIND_MATCH_FILES: &[&str] = &[
     "crates/broker/src/stats.rs",
     "crates/broker/src/message.rs",
 ];
+
+/// The frame builder: the one file allowed to call `wire::encode`
+/// inside a loop (`encode-in-loop` rule) — it owns the codec, and its
+/// deprecated compatibility shims are measured against by the wire
+/// bench's flat baseline.
+const ENCODE_IN_LOOP_EXEMPT: &[&str] = &["crates/broker/src/wire.rs"];
 
 /// One policy violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,6 +185,9 @@ pub fn lint_file(rel: &Path, src: &str) -> Vec<Finding> {
         check_kind_match(rel, &lexed, &in_test, &mut findings);
     }
     check_raw_publish_push(rel, &lexed, &in_test, &mut findings);
+    if !ENCODE_IN_LOOP_EXEMPT.iter().any(|e| rel == Path::new(e)) {
+        check_encode_in_loop(rel, &lexed, &in_test, &mut findings);
+    }
     findings
 }
 
@@ -522,6 +532,107 @@ fn check_raw_publish_push(
                 _ => {}
             }
             j += 1;
+        }
+    }
+}
+
+/// Marks token indices inside `for`/`while`/`loop` bodies. A `for`
+/// keyword only counts as a loop when a top-level `in` separates its
+/// pattern from the iterated expression — `impl Trait for Type { .. }`
+/// has none and is not a loop body.
+fn loop_regions(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.tokens;
+    let mut in_loop = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let kw = match ident_at(lexed, i) {
+            Some(k @ ("for" | "while" | "loop")) => k.to_owned(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Find the body's opening brace: the first `{` with the
+        // header's (), [] balanced. A `;` first means this was not a
+        // loop expression after all.
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut saw_in = false;
+        let mut found = false;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('[') => bracket += 1,
+                Tok::Punct(']') => bracket -= 1,
+                Tok::Punct('{') if paren == 0 && bracket == 0 => {
+                    found = true;
+                    break;
+                }
+                Tok::Punct(';') => break,
+                Tok::Ident(ref s) if s == "in" && paren == 0 && bracket == 0 => saw_in = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !found || (kw == "for" && !saw_in) {
+            i += 1;
+            continue;
+        }
+        // Mark body tokens through the matching close brace. Nested
+        // loops are re-detected inside; re-marking is idempotent.
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            in_loop[k] = true;
+            k += 1;
+        }
+        i = j + 1;
+    }
+    in_loop
+}
+
+/// Flags `wire::encode(..)` calls inside loop bodies (`encode-in-loop`
+/// rule). A per-peer send loop that re-encodes its message allocates
+/// and serialises once per destination; fan-out must go through
+/// `FrameBuf`, which encodes the shared body exactly once and stamps
+/// only the per-peer sequencing header.
+fn check_encode_in_loop(rel: &Path, lexed: &Lexed, in_test: &[bool], findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let in_loop = loop_regions(lexed);
+    for i in 0..toks.len() {
+        if in_test[i] || !in_loop[i] {
+            continue;
+        }
+        if ident_at(lexed, i) == Some("wire")
+            && punct_at(lexed, i + 1, ':')
+            && punct_at(lexed, i + 2, ':')
+            && ident_at(lexed, i + 3) == Some("encode")
+            && punct_at(lexed, i + 4, '(')
+        {
+            let line = toks[i + 3].line;
+            if !lexed.allowed("encode-in-loop", line) {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line,
+                    rule: "encode-in-loop",
+                    message: "wire::encode inside a loop — a per-peer send loop re-encodes the \
+                              frame once per destination; build one FrameBuf and stamp per-peer \
+                              headers instead, or justify with `xtask: allow(encode-in-loop)`"
+                        .to_owned(),
+                });
+            }
         }
     }
 }
@@ -908,6 +1019,52 @@ mod tests {
         let allowed = "// xtask: allow(thread-spawn) one-shot watchdog, joined below\n\
                        fn f() { std::thread::spawn(|| {}); }";
         assert!(lint("crates/core/src/shard.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn encode_in_loop_flagged() {
+        let src =
+            "fn f(peers: &[Dest]) {\n for d in peers {\n  w.write_all(&wire::encode(&m));\n }\n}";
+        let f = lint(TCP, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "encode-in-loop");
+        assert_eq!(f[0].line, 3);
+        // `while` and bare `loop` bodies count too.
+        let f = lint(TCP, "fn f() { while go() { wire::encode(&m); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = lint(TCP, "fn f() { loop { wire::encode(&m); break; } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn encode_outside_loops_and_in_builder_ok() {
+        // A single encode outside any loop is fine (it is merely
+        // deprecated, which rustc reports).
+        assert!(lint(TCP, "fn f() { let b = wire::encode(&m); }").is_empty());
+        // The frame builder itself is exempt.
+        let src = "fn f() { for m in msgs { wire::encode(m); } }";
+        assert!(lint("crates/broker/src/wire.rs", src).is_empty());
+        // encode_into in a loop is the sanctioned pooled path.
+        assert!(lint(
+            TCP,
+            "fn f() { for m in msgs { wire::encode_into(m, &mut buf); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn encode_in_loop_impl_for_is_not_a_loop() {
+        // `impl Trait for Type` must not mark the impl body as a loop.
+        let src = "impl FrameSink for TcpSink<'_> {\n fn ship(&mut self) { wire::encode(&m); }\n}";
+        assert!(lint(TCP, src).is_empty());
+    }
+
+    #[test]
+    fn encode_in_loop_allows_marker_and_tests() {
+        let src = "fn f() {\n for d in peers {\n  // xtask: allow(encode-in-loop) flat baseline\n  wire::encode(&m);\n }\n}";
+        assert!(lint(TCP, src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { for d in peers { wire::encode(&m); } }\n}";
+        assert!(lint(TCP, src).is_empty());
     }
 
     #[test]
