@@ -77,8 +77,9 @@ fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
     }
 }
 
-/// Encodes every frame of the flat (per-peer re-encode) fan-out.
-#[allow(deprecated)]
+/// Encodes every frame of the flat (per-peer re-encode) fan-out: a
+/// fresh buffer and a full body encode per peer, the pre-`FrameBuf`
+/// data plane this bench exists to compare against.
 fn flat_fanout(msg: &Message, peers: usize, epoch: u64, seq0: u64, sink: &mut NullWriter) {
     for p in 0..peers {
         let framed = Message::Sequenced {
@@ -87,7 +88,8 @@ fn flat_fanout(msg: &Message, peers: usize, epoch: u64, seq0: u64, sink: &mut Nu
             low: seq0,
             inner: Arc::new(msg.clone()),
         };
-        let bytes = wire::encode(std::hint::black_box(&framed));
+        let mut bytes = Vec::new();
+        wire::encode_into(std::hint::black_box(&framed), &mut bytes);
         sink.write_all(&bytes).expect("null writer");
     }
 }

@@ -6,6 +6,7 @@ use crate::stats::BrokerStats;
 use crate::wire::{FrameBuf, Outbound};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+use xdn_core::automaton::{AutomatonPrt, AutomatonStats};
 use xdn_core::index::IndexedPrt;
 use xdn_core::merge::MergeConfig;
 use xdn_core::rtable::{FlatPrt, Prt, PublicationRouter, RouteRequest, Srt, SubId};
@@ -51,6 +52,16 @@ pub enum MatchStrategy {
     /// `IndexedPrt` tables, matched in parallel on the scoped worker
     /// pool (`XDN_MATCH_THREADS` workers).
     Sharded {
+        /// Number of shards (zero is clamped to one).
+        shards: usize,
+    },
+    /// The whole subscription set compiled into one shared NFA
+    /// (`AutomatonPrt`): a publication is matched in a single
+    /// traversal, independent of the candidate count.
+    Automaton,
+    /// Subscriptions hash-partitioned across `shards` independent
+    /// `AutomatonPrt` tables, matched in parallel on the worker pool.
+    ShardedAutomaton {
         /// Number of shards (zero is clamped to one).
         shards: usize,
     },
@@ -197,8 +208,8 @@ impl RoutingConfig {
 
 /// One content-based XML router.
 ///
-/// A broker owns no I/O: [`Broker::handle`] consumes one incoming
-/// message and returns the messages to put on the wire, which makes the
+/// A broker owns no I/O: [`Broker::handle_frames`] consumes one incoming
+/// message and returns the frames to put on the wire, which makes the
 /// same implementation drivable by the discrete-event simulator, the
 /// threaded live transport, unit tests, and benchmarks.
 #[derive(Debug)]
@@ -294,6 +305,10 @@ impl Broker {
                 MatchStrategy::Indexed => Box::new(IndexedPrt::new()),
                 MatchStrategy::Sharded { shards } => {
                     Box::new(ShardedRouter::<IndexedPrt<Dest>>::new(shards))
+                }
+                MatchStrategy::Automaton => Box::new(AutomatonPrt::new()),
+                MatchStrategy::ShardedAutomaton { shards } => {
+                    Box::new(ShardedRouter::<AutomatonPrt<Dest>>::new(shards))
                 }
             }
         };
@@ -412,7 +427,7 @@ impl Broker {
     /// window in which at-least-once quietly becomes at-most-once.
     /// Transports call this for every reachable neighbour when they
     /// issue the (re)connect `SyncRequest`; until each one has
-    /// answered, [`Broker::handle`] defers payload frames unacked and
+    /// answered, [`Broker::handle_frames`] defers payload frames unacked and
     /// replays them through the normal dedup/routing path once the
     /// last snapshot is installed.
     pub fn expect_sync_from(&mut self, peer: BrokerId) {
@@ -457,19 +472,6 @@ impl Broker {
     /// covering (equals [`Self::prt_size`] for flat tables).
     pub fn prt_effective_size(&self) -> usize {
         self.prt.effective_size()
-    }
-
-    /// Processes one message and returns the messages to transmit, as
-    /// `(destination, message)` pairs. Never returns a message to
-    /// `from`.
-    ///
-    /// Message-typed shim over [`Broker::handle_frames`], kept for one
-    /// release while transports migrate to the frame data plane.
-    pub fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
-        self.handle_frames(from, msg)
-            .into_iter()
-            .map(Into::into)
-            .collect()
     }
 
     /// Processes one message and returns the [`Outbound`] frames to
@@ -597,20 +599,6 @@ impl Broker {
             }
         }
         out
-    }
-
-    /// Processes a whole transport drain in one call, returning exactly
-    /// the messages [`Broker::handle`] would have produced for the same
-    /// sequence.
-    ///
-    /// Message-typed shim over [`Broker::handle_batch_frames`], kept
-    /// for one release while transports migrate to the frame data
-    /// plane.
-    pub fn handle_batch(&mut self, batch: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
-        self.handle_batch_frames(batch)
-            .into_iter()
-            .map(Into::into)
-            .collect()
     }
 
     /// Processes a whole transport drain in one call, returning exactly
@@ -788,6 +776,13 @@ impl Broker {
     /// configured [`MatchStrategy`] is sharded (`None` otherwise).
     pub fn shard_stats(&self) -> Option<ShardStats> {
         self.prt.shard_stats()
+    }
+
+    /// Shared-automaton metrics from the routing table, when the
+    /// configured [`MatchStrategy`] is automaton-backed (`None`
+    /// otherwise; sharded automatons report merged shard stats).
+    pub fn automaton_stats(&self) -> Option<AutomatonStats> {
+        self.prt.automaton_stats()
     }
 
     /// The full answer to a neighbour's [`Message::SyncRequest`]: the
@@ -1214,20 +1209,6 @@ impl Broker {
     }
 
     /// Runs the merging pass (§4.3) if the strategy enables it, and
-    /// returns the control traffic: merger subscriptions plus
-    /// retractions of absorbed subscriptions.
-    ///
-    /// Message-typed shim over [`Broker::apply_merging_frames`], kept
-    /// for one release while transports migrate to the frame data
-    /// plane.
-    pub fn apply_merging(&mut self) -> Vec<(Dest, Message)> {
-        self.apply_merging_frames()
-            .into_iter()
-            .map(Into::into)
-            .collect()
-    }
-
-    /// Runs the merging pass (§4.3) if the strategy enables it, and
     /// returns the control traffic as [`Outbound`] frames: merger
     /// subscriptions plus retractions of absorbed subscriptions.
     ///
@@ -1288,6 +1269,39 @@ mod tests {
     use xdn_core::adv::{AdvPath, Advertisement};
     use xdn_core::rtable::AdvId;
     use xdn_xml::{DocId, PathId};
+
+    /// Message-typed views of the frame data plane, so assertions can
+    /// pattern-match `(Dest, Message)` pairs instead of unpacking
+    /// [`Outbound`] frames at every call site. Test-only: transports
+    /// use the frame API directly.
+    pub(crate) trait MessageView {
+        fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)>;
+        fn handle_batch(&mut self, batch: Vec<(Dest, Message)>) -> Vec<(Dest, Message)>;
+        fn apply_merging(&mut self) -> Vec<(Dest, Message)>;
+    }
+
+    impl MessageView for Broker {
+        fn handle(&mut self, from: Dest, msg: Message) -> Vec<(Dest, Message)> {
+            self.handle_frames(from, msg)
+                .into_iter()
+                .map(Into::into)
+                .collect()
+        }
+
+        fn handle_batch(&mut self, batch: Vec<(Dest, Message)>) -> Vec<(Dest, Message)> {
+            self.handle_batch_frames(batch)
+                .into_iter()
+                .map(Into::into)
+                .collect()
+        }
+
+        fn apply_merging(&mut self) -> Vec<(Dest, Message)> {
+            self.apply_merging_frames()
+                .into_iter()
+                .map(Into::into)
+                .collect()
+        }
+    }
 
     fn xpe(s: &str) -> Xpe {
         s.parse().unwrap()
@@ -1902,6 +1916,7 @@ mod tests {
 
 #[cfg(test)]
 mod srt_compact_tests {
+    use super::tests::MessageView;
     use super::*;
     use crate::message::{ClientId, Publication};
     use xdn_core::adv::{AdvPath, Advertisement};
@@ -1963,6 +1978,7 @@ mod srt_compact_tests {
 
 #[cfg(test)]
 mod batch_tests {
+    use super::tests::MessageView;
     use super::*;
     use crate::message::{ClientId, MessageKind, Publication};
     use xdn_xml::{DocId, PathId};
@@ -2084,6 +2100,36 @@ mod batch_tests {
     #[test]
     fn handle_batch_matches_sequential_handle_when_sharded() {
         assert_batch_equivalent(MatchStrategy::Sharded { shards: 4 });
+    }
+
+    #[test]
+    fn handle_batch_matches_sequential_handle_with_automaton() {
+        assert_batch_equivalent(MatchStrategy::Automaton);
+    }
+
+    #[test]
+    fn handle_batch_matches_sequential_handle_when_sharded_automaton() {
+        assert_batch_equivalent(MatchStrategy::ShardedAutomaton { shards: 4 });
+    }
+
+    #[test]
+    fn automaton_stats_present_only_on_automaton_strategies() {
+        for strategy in [
+            MatchStrategy::Automaton,
+            MatchStrategy::ShardedAutomaton { shards: 2 },
+        ] {
+            let b = batch_fixture(strategy);
+            let stats = b.automaton_stats().expect("automaton strategy has stats");
+            assert_eq!(stats.live_subs, 2, "fixture installed two subscriptions");
+            assert!(stats.states > 0);
+        }
+        for strategy in [
+            MatchStrategy::Flat,
+            MatchStrategy::Indexed,
+            MatchStrategy::Sharded { shards: 2 },
+        ] {
+            assert!(batch_fixture(strategy).automaton_stats().is_none());
+        }
     }
 
     #[test]

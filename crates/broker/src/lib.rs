@@ -31,16 +31,16 @@
 //!
 //! // A producer behind neighbor 1 advertises /quotes/nyse/price.
 //! let adv = Advertisement::non_recursive(AdvPath::from_names(&["quotes", "nyse", "price"]));
-//! broker.handle(Dest::Broker(BrokerId(1)), Message::advertise(AdvId(1), adv));
+//! broker.handle_frames(Dest::Broker(BrokerId(1)), Message::advertise(AdvId(1), adv));
 //!
 //! // A local client subscribes; the subscription is forwarded toward
-//! // the advertisement's last hop.
-//! let out = broker.handle(
+//! // the advertisement's last hop as an outbound frame.
+//! let out = broker.handle_frames(
 //!     Dest::Client(ClientId(7)),
 //!     Message::subscribe(SubId(1), "/quotes/*/price".parse().unwrap()),
 //! );
 //! assert_eq!(out.len(), 1);
-//! assert_eq!(out[0].0, Dest::Broker(BrokerId(1)));
+//! assert_eq!(out[0].dest, Dest::Broker(BrokerId(1)));
 //! ```
 
 pub mod broker;

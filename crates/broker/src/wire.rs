@@ -41,7 +41,7 @@
 //! ```
 
 use crate::message::{Dest, Message, MessageKind, Publication};
-use bytes::{Buf, BufMut, Bytes};
+use bytes::{Buf, BufMut};
 use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
@@ -287,19 +287,6 @@ fn encode_frame(msg: &Message, out: &mut Vec<u8>) {
     }
 }
 
-/// Encodes a message as one length-prefixed frame.
-#[deprecated(
-    note = "allocates a fresh buffer per call; encode through FrameBuf (shared fan-out \
-            bodies) or encode_into (pooled scratch) instead"
-)]
-pub fn encode(msg: &Message) -> Bytes {
-    let mut scratch = pool_acquire();
-    encode_into(msg, &mut scratch);
-    let bytes = Bytes::copy_from_slice(&scratch);
-    pool_release(scratch);
-    bytes
-}
-
 // ---------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------
@@ -448,16 +435,6 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
         )));
     }
     Ok((msg, consumed))
-}
-
-/// Decodes one frame from the front of `buf`.
-///
-/// # Errors
-///
-/// See [`decode_frame`].
-#[deprecated(note = "renamed to decode_frame (the FrameBuf-era codec entry point)")]
-pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
-    decode_frame(buf)
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
@@ -908,16 +885,6 @@ mod tests {
             let (decoded, consumed) = decode_frame(&bytes).expect("decode");
             assert_eq!(decoded, msg);
             assert_eq!(consumed, bytes.len());
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_agree_with_the_new_api() {
-        for msg in samples() {
-            let old = encode(&msg);
-            assert_eq!(&old[..], &frame_of(&msg)[..]);
-            assert_eq!(decode(&old).expect("decode"), (msg, old.len()));
         }
     }
 

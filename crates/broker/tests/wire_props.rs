@@ -309,14 +309,14 @@ proptest! {
         b.add_neighbor(BrokerId(1));
         let from = Dest::Broker(BrokerId(1));
         // Establish the new epoch first...
-        let _ = b.handle(from, Message::Sequenced {
+        let _ = b.handle_frames(from, Message::Sequenced {
             epoch: new_epoch,
             seq: 1,
             low: 1,
             inner: Arc::new(Message::Heartbeat),
         });
         // ...then a straggler from the previous incarnation arrives.
-        let out = b.handle(from, Message::Sequenced {
+        let out = b.handle_frames(from, Message::Sequenced {
             epoch: old_epoch,
             seq,
             low,

@@ -1,0 +1,321 @@
+//! The automaton-backed publication routing table.
+//!
+//! [`AutomatonPrt`] keeps the non-covering, always-forward semantics of
+//! [`crate::rtable::FlatPrt`] and [`crate::index::IndexedPrt`] but
+//! matches publications with the shared
+//! [`xdn_xpath::automaton::PathAutomaton`]: the whole subscription set
+//! is compiled into one NFA and a publication path is matched in a
+//! single traversal, independent of how many candidates would match —
+//! where [`crate::index::IndexedPrt`] still evaluates each surviving
+//! candidate individually.
+//!
+//! The router composes like every other [`PublicationRouter`]: wrap it
+//! in [`crate::rtable::TimedRouter`] for latency histograms or shard it
+//! under [`crate::shard::ShardedRouter`] for parallel matching (the
+//! automaton's traversal scratch is thread-local, so concurrent
+//! read-side fan-out over one shard is safe). Match results are
+//! bit-identical to the flat scan (property-tested in
+//! `crates/core/tests/automaton_props.rs`).
+//!
+//! Subscription churn is incremental: inserts thread new steps through
+//! the shared trie and removals tombstone structure, with an amortized
+//! compaction rebuild (timed here, into the
+//! [`AutomatonStats::rebuild_seconds`] histogram) once the stranded
+//! structure outweighs the live table.
+
+use crate::rtable::{PublicationRouter, SubId, SubscribeOutcome, UnsubscribeOutcome};
+use std::collections::HashMap;
+use xdn_obs::{Histogram, Stopwatch};
+use xdn_xpath::automaton::PathAutomaton;
+use xdn_xpath::Xpe;
+
+/// A snapshot of an automaton router's matching state, for metrics
+/// (the `xdn_automaton_*` Prometheus families). Sharded routers merge
+/// the per-shard snapshots with [`AutomatonStats::merge`].
+#[derive(Debug, Clone, Default)]
+pub struct AutomatonStats {
+    /// NFA states currently allocated (including tombstoned structure
+    /// awaiting compaction).
+    pub states: u64,
+    /// Live registered subscriptions.
+    pub live_subs: u64,
+    /// NFA edges traversed by all matches since creation.
+    pub transitions_total: u64,
+    /// Largest active-state set any single traversal reached (the
+    /// active-state high-water mark).
+    pub peak_active_states: u64,
+    /// Compaction rebuilds performed.
+    pub compactions_total: u64,
+    /// Compaction rebuild durations.
+    pub rebuild_seconds: Histogram,
+}
+
+impl AutomatonStats {
+    /// Folds another snapshot into this one (shard aggregation): sums
+    /// the sizes and counters, takes the maximum high-water mark, and
+    /// merges the rebuild histograms.
+    pub fn merge(&mut self, other: &AutomatonStats) {
+        self.states += other.states;
+        self.live_subs += other.live_subs;
+        self.transitions_total += other.transitions_total;
+        self.peak_active_states = self.peak_active_states.max(other.peak_active_states);
+        self.compactions_total += other.compactions_total;
+        self.rebuild_seconds.merge(&other.rebuild_seconds);
+    }
+}
+
+/// The automaton publication routing table. See the module docs.
+#[derive(Debug)]
+pub struct AutomatonPrt<H> {
+    nfa: PathAutomaton,
+    /// Last hop per subscription (expressions live in the automaton).
+    hops: HashMap<SubId, H>,
+    rebuild_seconds: Histogram,
+}
+
+impl<H> Default for AutomatonPrt<H> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<H> AutomatonPrt<H> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AutomatonPrt {
+            nfa: PathAutomaton::new(),
+            hops: HashMap::new(),
+            rebuild_seconds: Histogram::new(),
+        }
+    }
+
+    /// The underlying automaton (diagnostics).
+    pub fn automaton(&self) -> &PathAutomaton {
+        &self.nfa
+    }
+
+    /// The automaton metrics snapshot.
+    pub fn stats(&self) -> AutomatonStats {
+        let nfa = self.nfa.stats();
+        AutomatonStats {
+            states: nfa.states as u64,
+            live_subs: nfa.live_subs as u64,
+            transitions_total: nfa.transitions_total,
+            peak_active_states: nfa.peak_active_states,
+            compactions_total: nfa.compactions_total,
+            rebuild_seconds: self.rebuild_seconds.clone(),
+        }
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if no subscriptions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+impl<H: Clone + Ord + std::fmt::Debug> PublicationRouter<H> for AutomatonPrt<H> {
+    /// Always forwarded (no covering), like the flat and indexed
+    /// tables. Re-registering an id replaces its expression.
+    fn insert(&mut self, id: SubId, xpe: Xpe, last_hop: H) -> SubscribeOutcome<H> {
+        self.nfa.insert(id.0, xpe);
+        self.hops.insert(id, last_hop);
+        SubscribeOutcome {
+            forward: true,
+            retract: Vec::new(),
+            covered_root_hops: Vec::new(),
+        }
+    }
+
+    fn remove(&mut self, id: SubId) -> UnsubscribeOutcome {
+        let known = self.hops.remove(&id).is_some();
+        if known {
+            self.nfa.remove(id.0);
+            if self.nfa.needs_compaction() {
+                let sw = Stopwatch::start();
+                self.nfa.compact();
+                self.rebuild_seconds.record(sw.elapsed());
+            }
+        }
+        UnsubscribeOutcome {
+            forward: known,
+            promote: Vec::new(),
+        }
+    }
+
+    fn for_each_matching_with_attrs(
+        &self,
+        path: &[String],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(SubId, &H),
+    ) {
+        self.nfa.for_each_match(path, attrs, &mut |token| {
+            let id = SubId(token);
+            if let Some(hop) = self.hops.get(&id) {
+                f(id, hop);
+            }
+        });
+    }
+
+    fn len(&self) -> usize {
+        AutomatonPrt::len(self)
+    }
+
+    fn xpe_of(&self, id: SubId) -> Option<&Xpe> {
+        self.nfa.xpe(id.0)
+    }
+
+    /// Every stored subscription with its last hop (all are forwarded,
+    /// as in the flat scheme).
+    fn forwarded_subs(&self) -> Vec<(SubId, Xpe, Vec<H>)> {
+        self.hops
+            .iter()
+            .filter_map(|(&id, hop)| {
+                self.nfa
+                    .xpe(id.0)
+                    .map(|xpe| (id, xpe.clone(), vec![hop.clone()]))
+            })
+            .collect()
+    }
+
+    fn automaton_stats(&self) -> Option<AutomatonStats> {
+        Some(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtable::{FlatPrt, RouteRequest, TimedRouter};
+    use crate::shard::ShardedRouter;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn path(p: &[&str]) -> Vec<String> {
+        p.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn routes_like_flat_on_basics() {
+        let subs = ["/a/*", "/a/b", "a//c", "/x/y", "//b", "/*/*", "b/c[@k]"];
+        let mut flat = FlatPrt::new();
+        let mut aut = AutomatonPrt::new();
+        for (i, s) in subs.iter().enumerate() {
+            flat.insert(SubId(i as u64), xpe(s), i);
+            aut.insert(SubId(i as u64), xpe(s), i);
+        }
+        let paths: [&[&str]; 5] = [
+            &["a", "b"],
+            &["a", "q", "c"],
+            &["x", "y"],
+            &["z", "b", "c"],
+            &["q"],
+        ];
+        for p in paths {
+            let p = path(p);
+            assert_eq!(
+                aut.matching_hops(&p, &[]),
+                flat.matching_hops(&p, &[]),
+                "divergence on {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn attributes_respected() {
+        let mut aut = AutomatonPrt::new();
+        aut.insert(SubId(1), xpe("/a/b[@k='v']"), "h1");
+        let hit = vec![vec![], vec![("k".to_string(), "v".to_string())]];
+        let miss = vec![vec![], vec![("k".to_string(), "w".to_string())]];
+        assert_eq!(aut.matching_hops(&path(&["a", "b"]), &hit).len(), 1);
+        assert!(aut.matching_hops(&path(&["a", "b"]), &miss).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_and_resubscribe() {
+        let mut aut = AutomatonPrt::new();
+        aut.insert(SubId(1), xpe("/a/b"), "h1");
+        aut.insert(SubId(2), xpe("//b"), "h2");
+        assert!(aut.remove(SubId(1)).forward);
+        assert!(!aut.remove(SubId(1)).forward, "second removal no-op");
+        assert_eq!(aut.matching_hops(&path(&["a", "b"]), &[]).len(), 1);
+        aut.insert(SubId(1), xpe("/x/y"), "h1");
+        assert_eq!(aut.len(), 2);
+        assert_eq!(aut.xpe_of(SubId(1)), Some(&xpe("/x/y")));
+        assert_eq!(aut.matching_hops(&path(&["x", "y"]), &[]).len(), 1);
+    }
+
+    #[test]
+    fn churn_triggers_timed_compaction() {
+        let mut aut = AutomatonPrt::new();
+        for i in 0..200u64 {
+            aut.insert(SubId(i), xpe(&format!("/a/b{i}/c/d")), i as u32);
+        }
+        for i in 0..180u64 {
+            aut.remove(SubId(i));
+        }
+        let stats = aut.stats();
+        assert!(stats.compactions_total >= 1, "churn forced a rebuild");
+        assert_eq!(
+            stats.rebuild_seconds.count(),
+            stats.compactions_total,
+            "every rebuild was timed"
+        );
+        assert_eq!(stats.live_subs, 20);
+        for i in 180..200u64 {
+            let p = path(&["a", &format!("b{i}"), "c", "d"]);
+            assert_eq!(aut.matching_hops(&p, &[]).len(), 1);
+        }
+    }
+
+    #[test]
+    fn composes_under_timed_router() {
+        let mut r: TimedRouter<AutomatonPrt<u32>> = TimedRouter::new(AutomatonPrt::new());
+        r.insert(SubId(1), xpe("/a/b"), 7);
+        assert_eq!(r.matching_hops(&path(&["a", "b"]), &[]).len(), 1);
+        assert_eq!(r.route_times().count(), 1);
+        assert!(r.automaton_stats().is_some(), "stats pass through");
+    }
+
+    #[test]
+    fn composes_under_sharded_router() {
+        let mut sharded: ShardedRouter<AutomatonPrt<u32>> = ShardedRouter::new(4);
+        let mut flat = FlatPrt::new();
+        let subs = ["/a/*", "/a/b", "a//c", "/x/y", "//b", "/*/*"];
+        for (i, s) in subs.iter().enumerate() {
+            sharded.insert(SubId(i as u64), xpe(s), i as u32);
+            flat.insert(SubId(i as u64), xpe(s), i as u32);
+        }
+        let paths = [path(&["a", "b"]), path(&["a", "q", "c"]), path(&["q"])];
+        let reqs: Vec<RouteRequest<'_>> = paths
+            .iter()
+            .map(|p| RouteRequest {
+                path: p,
+                attrs: &[],
+            })
+            .collect();
+        let batched = sharded.route_batch(&reqs);
+        for (req, got) in reqs.iter().zip(&batched) {
+            assert_eq!(*got, flat.matching_hops(req.path, req.attrs));
+        }
+        let stats = sharded.automaton_stats().expect("merged shard stats");
+        assert_eq!(stats.live_subs, 6, "sums across shards");
+    }
+
+    #[test]
+    fn forwarded_subs_cover_everything() {
+        let mut aut = AutomatonPrt::new();
+        aut.insert(SubId(1), xpe("/a"), "h1");
+        aut.insert(SubId(2), xpe("/b"), "h2");
+        let mut ids: Vec<u64> = aut.forwarded_subs().iter().map(|(id, _, _)| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(aut.effective_size(), 2);
+    }
+}

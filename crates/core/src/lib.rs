@@ -25,6 +25,10 @@
 //!   over the element names of registered expressions plus a
 //!   prepared-XPE cache, making publication matching sub-linear in the
 //!   subscription count.
+//! * [`automaton`] — the automaton-backed table: the whole subscription
+//!   set compiled into one shared NFA
+//!   ([`xdn_xpath::automaton::PathAutomaton`]), matching a publication
+//!   in a single traversal regardless of the candidate count.
 //! * [`shard`] — the sharded parallel router: subscriptions
 //!   hash-partitioned across independent [`index::IndexedPrt`] shards,
 //!   matched concurrently on the [`pool`] worker pool.
@@ -44,6 +48,7 @@
 
 pub mod adv;
 pub mod advmatch;
+pub mod automaton;
 pub mod cover;
 pub mod index;
 pub mod merge;
@@ -53,6 +58,7 @@ pub mod shard;
 pub mod subtree;
 
 pub use adv::{AdvKind, AdvPath, AdvSegment, Advertisement};
+pub use automaton::{AutomatonPrt, AutomatonStats};
 pub use cover::covers;
 pub use index::{CandidateKey, IndexedPrt, PreparedXpe, XpeCache};
 pub use pool::MatchPool;

@@ -255,6 +255,13 @@ pub trait PublicationRouter<H: Clone + Ord>: fmt::Debug {
     fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
         None
     }
+
+    /// Shared-automaton metrics (state count, transitions, rebuild
+    /// timings); `None` unless the table matches with
+    /// [`crate::automaton::AutomatonPrt`].
+    fn automaton_stats(&self) -> Option<crate::automaton::AutomatonStats> {
+        None
+    }
 }
 
 /// Result of a [`PublicationRouter::insert`] call, telling the broker
@@ -772,6 +779,10 @@ impl<H: Clone + Ord, R: PublicationRouter<H>> PublicationRouter<H> for TimedRout
 
     fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
         self.inner.shard_stats()
+    }
+
+    fn automaton_stats(&self) -> Option<crate::automaton::AutomatonStats> {
+        self.inner.automaton_stats()
     }
 }
 

@@ -251,6 +251,21 @@ where
         Vec::new()
     }
 
+    /// Merges the per-shard automaton snapshots (sizes and counters
+    /// sum; the active-set high-water mark takes the maximum); `None`
+    /// unless the shards are automaton-backed.
+    fn automaton_stats(&self) -> Option<crate::automaton::AutomatonStats> {
+        let mut merged: Option<crate::automaton::AutomatonStats> = None;
+        for shard in &self.shards {
+            let stats = shard.automaton_stats()?;
+            match &mut merged {
+                Some(m) => m.merge(&stats),
+                None => merged = Some(stats),
+            }
+        }
+        merged
+    }
+
     fn shard_stats(&self) -> Option<ShardStats> {
         Some(ShardStats {
             shard_sizes: self.shards.iter().map(PublicationRouter::len).collect(),

@@ -1,0 +1,205 @@
+//! Property test for the automaton-backed router: under arbitrary
+//! subscribe/unsubscribe churn — which exercises the shared NFA's
+//! incremental inserts, tombstoned removals, and amortized compaction
+//! rebuilds — [`AutomatonPrt`] must route exactly like an
+//! [`IndexedPrt`] holding the same subscriptions: bit-identical
+//! `(SubId, hop)` match sets for every publication, through the
+//! per-publication path, the batched
+//! [`PublicationRouter::route_batch`] path, and sharded composition.
+//! This pins the one-traversal-per-publication engine to the
+//! candidate-by-candidate reference semantics.
+
+use proptest::prelude::*;
+use xdn_core::automaton::AutomatonPrt;
+use xdn_core::index::IndexedPrt;
+use xdn_core::rtable::{PublicationRouter, RouteRequest, SubId};
+use xdn_core::shard::ShardedRouter;
+use xdn_xpath::{Axis, NodeTest, Predicate, Step, Xpe};
+
+/// A probe publication: element path plus per-element attribute lists.
+type Probe = (Vec<String>, Vec<Vec<(String, String)>>);
+
+const ALPHABET: &[&str] = &["a", "b", "c", "d"];
+const ATTR_NAMES: &[&str] = &["p", "q"];
+const ATTR_VALUES: &[&str] = &["1", "2"];
+
+fn arb_predicates() -> impl Strategy<Value = Vec<Predicate>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (0..ATTR_NAMES.len()).prop_map(|i| Predicate::HasAttr(ATTR_NAMES[i].into())),
+            1 => ((0..ATTR_NAMES.len()), (0..ATTR_VALUES.len())).prop_map(|(i, j)| {
+                Predicate::AttrEq(ATTR_NAMES[i].into(), ATTR_VALUES[j].into())
+            }),
+        ],
+        0..3,
+    )
+}
+
+fn arb_xpe() -> impl Strategy<Value = Xpe> {
+    (
+        any::<bool>(),
+        prop::collection::vec(
+            (
+                prop_oneof![3 => Just(Axis::Child), 1 => Just(Axis::Descendant)],
+                prop_oneof![
+                    3 => (0..ALPHABET.len()).prop_map(|i| NodeTest::Name(ALPHABET[i].into())),
+                    1 => Just(NodeTest::Wildcard),
+                ],
+                arb_predicates(),
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(absolute, steps)| {
+            Xpe::new(
+                absolute,
+                steps
+                    .into_iter()
+                    .map(|(axis, test, predicates)| Step {
+                        axis,
+                        test,
+                        predicates,
+                    })
+                    .collect(),
+            )
+        })
+}
+
+/// An element name plus the attributes carried at that path position.
+fn arb_element() -> impl Strategy<Value = (String, Vec<(String, String)>)> {
+    (
+        (0..ALPHABET.len()).prop_map(|i| ALPHABET[i].to_owned()),
+        prop::collection::vec(
+            ((0..ATTR_NAMES.len()), (0..ATTR_VALUES.len()))
+                .prop_map(|(i, j)| (ATTR_NAMES[i].to_owned(), ATTR_VALUES[j].to_owned())),
+            0..3,
+        ),
+    )
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<(String, Vec<(String, String)>)>> {
+    prop::collection::vec(arb_element(), 1..7)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(Xpe),
+    /// Unsubscribe the i-th live subscription (modulo the live count).
+    Unsubscribe(usize),
+    /// Re-register the i-th live subscription under a new expression.
+    Resubscribe(usize, Xpe),
+    /// Match a probe path mid-churn (per-publication traversal).
+    Route(Vec<(String, Vec<(String, String)>)>),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => arb_xpe().prop_map(Op::Subscribe),
+            2 => (0usize..64).prop_map(Op::Unsubscribe),
+            1 => ((0usize..64), arb_xpe()).prop_map(|(i, x)| Op::Resubscribe(i, x)),
+            2 => arb_path().prop_map(Op::Route),
+        ],
+        1..48,
+    )
+}
+
+fn probe(spec: Vec<(String, Vec<(String, String)>)>) -> Probe {
+    let path: Vec<String> = spec.iter().map(|(n, _)| n.clone()).collect();
+    let attrs: Vec<Vec<(String, String)>> = spec.into_iter().map(|(_, a)| a).collect();
+    (path, attrs)
+}
+
+/// The exact `(SubId, hop)` match set, sorted for comparison.
+fn match_set(r: &dyn PublicationRouter<u32>, p: &Probe) -> Vec<(SubId, u32)> {
+    let mut out = Vec::new();
+    r.for_each_matching_with_attrs(&p.0, &p.1, &mut |id, h| out.push((id, *h)));
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn automaton_routes_like_indexed_under_churn(
+        ops in arb_ops(),
+        paths in prop::collection::vec(arb_path(), 6),
+    ) {
+        let mut reference: IndexedPrt<u32> = IndexedPrt::new();
+        let mut automaton: AutomatonPrt<u32> = AutomatonPrt::new();
+        // Two workers force the parallel fan-out even where a lone
+        // shard (or a single-core runner) would inline it.
+        let mut sharded: ShardedRouter<AutomatonPrt<u32>> = ShardedRouter::with_threads(4, 2);
+        let mut live: Vec<SubId> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Subscribe(x) => {
+                    next += 1;
+                    let id = SubId(next);
+                    reference.insert(id, x.clone(), next as u32);
+                    automaton.insert(id, x.clone(), next as u32);
+                    sharded.insert(id, x, next as u32);
+                    live.push(id);
+                }
+                Op::Unsubscribe(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.remove(i % live.len());
+                    reference.remove(id);
+                    automaton.remove(id);
+                    sharded.remove(id);
+                }
+                Op::Resubscribe(i, x) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[i % live.len()];
+                    next += 1;
+                    reference.insert(id, x.clone(), next as u32);
+                    automaton.insert(id, x.clone(), next as u32);
+                    sharded.insert(id, x, next as u32);
+                }
+                Op::Route(spec) => {
+                    // Mid-churn probe: the automaton must agree while
+                    // tombstones and half-threaded structure are live.
+                    let p = probe(spec);
+                    prop_assert_eq!(
+                        match_set(&automaton, &p),
+                        match_set(&reference, &p),
+                        "mid-churn divergence on {:?}",
+                        &p.0
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(automaton.len(), PublicationRouter::len(&reference));
+        prop_assert_eq!(sharded.len(), PublicationRouter::len(&reference));
+
+        let paths: Vec<Probe> = paths.into_iter().map(probe).collect();
+        let requests: Vec<RouteRequest<'_>> = paths
+            .iter()
+            .map(|(p, a)| RouteRequest { path: p, attrs: a })
+            .collect();
+        for p in &paths {
+            let want = match_set(&reference, p);
+            // Per-publication traversal, exact (SubId, hop) pairs.
+            prop_assert_eq!(match_set(&automaton, p), want.clone(), "divergence on {:?}", &p.0);
+            prop_assert_eq!(
+                match_set(&sharded, p),
+                want,
+                "sharded divergence on {:?}",
+                &p.0
+            );
+        }
+        // Batched path (hop sets, as route_batch returns them).
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| reference.matching_hops(r.path, r.attrs))
+            .collect();
+        prop_assert_eq!(&automaton.route_batch(&requests), &expected);
+        prop_assert_eq!(&sharded.route_batch(&requests), &expected);
+    }
+}

@@ -36,7 +36,10 @@ fn usage() -> ! {
          route publication batches on the worker pool (XDN_MATCH_THREADS); \
          forces covering off\n\
          strategies: no-adv-no-cov | no-adv-with-cov | with-adv-no-cov | \
-         with-adv-with-cov | with-adv-with-cov-pm | with-adv-with-cov-ipm"
+         with-adv-with-cov | with-adv-with-cov-pm | with-adv-with-cov-ipm | \
+         automaton\n\
+         automaton: match with the shared subscription NFA (one traversal \
+         per publication); forces covering off, composes with --shards"
     );
     std::process::exit(2);
 }
@@ -44,17 +47,19 @@ fn usage() -> ! {
 /// Strategy names compared on letters and digits only, so the CLI's
 /// `with-adv-with-cov-pm` finds the canonical `with-Adv-with-CovPM`.
 fn strategy_by_name(name: &str) -> Option<RoutingConfig> {
-    let canon = |s: &str| -> String {
-        s.chars()
-            .filter(char::is_ascii_alphanumeric)
-            .map(|c| c.to_ascii_lowercase())
-            .collect()
-    };
     let wanted = canon(name);
     RoutingConfig::all_strategies()
         .into_iter()
         .find(|(n, _)| canon(n) == wanted)
         .map(|(_, cfg)| cfg)
+}
+
+/// Case/punctuation-insensitive name comparison key.
+fn canon(s: &str) -> String {
+    s.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
 }
 
 fn main() {
@@ -69,6 +74,7 @@ fn main() {
         .build();
 
     let mut shards: Option<usize> = None;
+    let mut automaton = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -99,10 +105,14 @@ fn main() {
             }
             "--strategy" => {
                 i += 1;
-                strategy = match args.get(i).and_then(|s| strategy_by_name(s)) {
-                    Some(cfg) => cfg,
+                match args.get(i) {
+                    Some(s) if canon(s) == "automaton" => automaton = true,
+                    Some(s) => match strategy_by_name(s) {
+                        Some(cfg) => strategy = cfg,
+                        None => usage(),
+                    },
                     None => usage(),
-                };
+                }
             }
             "--shards" => {
                 i += 1;
@@ -119,7 +129,16 @@ fn main() {
     let (Some(id), Some(listen)) = (id, listen) else {
         usage()
     };
-    if let Some(n) = shards {
+    if automaton {
+        // Automaton matching replaces the covering organization (the
+        // shared NFA is non-covering by design; see DESIGN.md §15).
+        strategy.covering = false;
+        strategy.merging = None;
+        strategy.strategy = match shards {
+            Some(n) => MatchStrategy::ShardedAutomaton { shards: n },
+            None => MatchStrategy::Automaton,
+        };
+    } else if let Some(n) = shards {
         // Sharded matching replaces the covering organization (shards
         // are non-covering by design; see DESIGN.md §12).
         strategy.covering = false;

@@ -1002,6 +1002,35 @@ fn render_node_metrics(broker: &Broker, queues: &HashMap<Dest, Arc<FrameQueue>>)
             ss.tasks_run,
         ));
     }
+    // Shared-automaton families, present only on automaton strategies
+    // (sharded automatons report the merged per-shard snapshot).
+    if let Some(aut) = broker.automaton_stats() {
+        families.push(MetricFamily::gauge(
+            "xdn_automaton_states",
+            "NFA states allocated by the shared subscription automaton.",
+            i64::try_from(aut.states).unwrap_or(i64::MAX),
+        ));
+        families.push(MetricFamily::counter(
+            "xdn_automaton_transitions_total",
+            "NFA edges traversed while matching publications.",
+            aut.transitions_total,
+        ));
+        families.push(MetricFamily::gauge(
+            "xdn_automaton_active_states_peak",
+            "Largest active-state set any single traversal reached.",
+            i64::try_from(aut.peak_active_states).unwrap_or(i64::MAX),
+        ));
+        families.push(MetricFamily::counter(
+            "xdn_automaton_compactions_total",
+            "Compaction rebuilds triggered by subscription churn.",
+            aut.compactions_total,
+        ));
+        families.push(MetricFamily::histogram(
+            "xdn_automaton_rebuild_seconds",
+            "Duration of automaton compaction rebuilds.",
+            aut.rebuild_seconds.clone(),
+        ));
+    }
     render_prometheus(&families)
 }
 
@@ -1434,6 +1463,45 @@ mod tests {
         assert_eq!(m.broker_messages.get(MessageKind::Subscribe), 1);
         assert_eq!(m.broker_messages.get(MessageKind::Publish), 1);
         assert_eq!(m.notifications.len(), 1);
+        n.shutdown();
+    }
+
+    #[test]
+    fn tcp_automaton_metrics_scrape() {
+        let mut cfg = RoutingConfig::builder().build();
+        cfg.covering = false;
+        cfg.merging = None;
+        cfg.strategy = xdn_broker::MatchStrategy::Automaton;
+        let n = TcpNode::start(BrokerId(9), cfg, ephemeral(), &[]).expect("node");
+        let mut publisher = TcpClient::connect(n.addr(), ClientId(1)).expect("pub");
+        let mut subscriber = TcpClient::connect(n.addr(), ClientId(2)).expect("sub");
+        subscriber
+            .send(&Message::subscribe(SubId(1), "//a".parse().expect("xpe")))
+            .expect("subscribe");
+        assert!(n.await_state(Duration::from_secs(5), |s| {
+            s.stats.received_of(MessageKind::Subscribe) >= 1
+        }));
+        publisher.send(&publication(&["a"], 1)).expect("publish");
+        assert!(n.await_state(Duration::from_secs(5), |s| s.stats.deliveries >= 1));
+
+        let text = n.metrics_text().expect("metrics text");
+        assert!(
+            text.contains("# TYPE xdn_automaton_states gauge\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE xdn_automaton_transitions_total counter\n"),
+            "{text}"
+        );
+        assert!(text.contains("xdn_automaton_active_states_peak"), "{text}");
+        assert!(
+            text.contains("xdn_automaton_compactions_total 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE xdn_automaton_rebuild_seconds histogram\n"),
+            "{text}"
+        );
         n.shutdown();
     }
 

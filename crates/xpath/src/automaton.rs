@@ -1,0 +1,940 @@
+//! The shared path-matching automaton: every registered XPE compiled
+//! into one NFA over location steps, so a publication path is matched
+//! against the *whole* subscription set in a single traversal instead
+//! of one evaluation per candidate expression (the YFilter idea).
+//!
+//! # Construction
+//!
+//! States form a trie over location steps, shared between expressions
+//! with a common prefix:
+//!
+//! * a **child step** (`/x`) is an outgoing edge labelled with the
+//!   interned element name (or a wildcard edge for `*`) consuming one
+//!   path element;
+//! * a **descendant step** (`//x`) interposes a *slash state* — a
+//!   self-looping state reached by an ε-edge from its owner — before
+//!   the step's edge, so the edge may fire at any later depth. The
+//!   root's slash state doubles as the floating start for relative and
+//!   leading-`//` expressions (both place their first fragment at any
+//!   depth, so they share it);
+//! * a step with **attribute predicates** gets its own edge whose label
+//!   is the (node test, predicate list) pair; predicates are checked
+//!   against the consumed element's attributes when the edge fires,
+//!   which keeps interior predicates exact while unpredicated
+//!   expressions still share the plain name/wildcard edges.
+//!
+//! Each expression ends at exactly one *accepting* state carrying its
+//! caller-chosen `u64` token, so a traversal reports every token at
+//! most once.
+//!
+//! # Encoding and traversal
+//!
+//! States are `u32` ids into one dense `Vec`; per-state name edges are
+//! a sorted vec probed by binary search, promoted to a `HashMap` above
+//! a fan-out threshold. The traversal keeps an active-state set per
+//! path position, deduplicated with generation-stamped marks held in
+//! thread-local scratch (the automaton itself stays `Sync`, so sharded
+//! routers can match the same instance from several pool workers).
+//!
+//! # Churn
+//!
+//! `insert` threads new steps through the existing trie — no rebuild.
+//! `remove` detaches the token from its accepting state and *leaves the
+//! structure in place* (a tombstone), charging the expression's step
+//! count to a debt counter. When the debt exceeds the live step count
+//! (see [`PathAutomaton::needs_compaction`]) the caller runs
+//! [`PathAutomaton::compact`], which rebuilds the trie from the live
+//! entries and resets the debt — amortized O(1) structural work per
+//! removal, with the rebuild visible in [`NfaStats`].
+
+use crate::ast::{Axis, NodeTest, Predicate, Xpe};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Name-edge fan-out at which a state's sorted edge vec is promoted to
+/// a hash map (binary search loses to hashing around this size, and
+/// high-fan-out states sit on every traversal's hot path).
+const HASH_FANOUT: usize = 16;
+
+/// Scratch sets retained per thread before the pool is cleared
+/// (bounds memory when many short-lived automatons share a thread).
+const SCRATCH_POOL_CAP: usize = 8;
+
+/// Interned element name.
+type NameId = u32;
+
+/// Dense state id.
+type StateId = u32;
+
+/// The root state: anchored expressions start here.
+const ROOT: StateId = 0;
+
+/// Outgoing name edges of one state.
+#[derive(Debug, Clone)]
+enum NameEdges {
+    /// Sorted by name id; probed by binary search.
+    Sorted(Vec<(NameId, StateId)>),
+    /// Promoted above [`HASH_FANOUT`] distinct names.
+    Hashed(HashMap<NameId, StateId>),
+}
+
+impl NameEdges {
+    fn lookup(&self, name: NameId) -> Option<StateId> {
+        match self {
+            NameEdges::Sorted(v) => v
+                .binary_search_by_key(&name, |&(n, _)| n)
+                .ok()
+                .and_then(|i| v.get(i))
+                .map(|&(_, t)| t),
+            NameEdges::Hashed(m) => m.get(&name).copied(),
+        }
+    }
+
+    /// Inserts the edge `name -> target` (the name must not be present)
+    /// and promotes the representation past the fan-out threshold.
+    fn insert(&mut self, name: NameId, target: StateId) {
+        match self {
+            NameEdges::Sorted(v) => {
+                if let Err(i) = v.binary_search_by_key(&name, |&(n, _)| n) {
+                    v.insert(i, (name, target));
+                }
+                if v.len() > HASH_FANOUT {
+                    *self = NameEdges::Hashed(v.iter().copied().collect());
+                }
+            }
+            NameEdges::Hashed(m) => {
+                m.entry(name).or_insert(target);
+            }
+        }
+    }
+}
+
+/// An edge whose label carries attribute predicates (and possibly a
+/// wildcard test); matched by full label equality on insert so equal
+/// predicated steps share structure.
+#[derive(Debug, Clone)]
+struct PredEdge {
+    test: NodeTest,
+    predicates: Vec<Predicate>,
+    target: StateId,
+}
+
+/// One NFA state.
+#[derive(Debug, Clone)]
+struct State {
+    /// Plain name-test edges (no predicates).
+    names: NameEdges,
+    /// Plain wildcard edge (no predicates).
+    wildcard: Option<StateId>,
+    /// Predicated edges, scanned linearly (rare).
+    preds: Vec<PredEdge>,
+    /// The slash state hanging off this one (descendant closure);
+    /// activated whenever this state is.
+    eps_slash: Option<StateId>,
+    /// Slash states stay active once reached ("any later depth").
+    self_loop: bool,
+    /// Tokens of expressions ending here.
+    accepts: Vec<u64>,
+}
+
+impl State {
+    fn new(self_loop: bool) -> Self {
+        State {
+            names: NameEdges::Sorted(Vec::new()),
+            wildcard: None,
+            preds: Vec::new(),
+            eps_slash: None,
+            self_loop,
+            accepts: Vec::new(),
+        }
+    }
+}
+
+/// One registered expression: kept verbatim so compaction can rebuild
+/// the trie and so callers can look tokens back up.
+#[derive(Debug, Clone)]
+struct Entry {
+    xpe: Xpe,
+    /// The accepting state currently holding the token.
+    state: StateId,
+}
+
+/// Counters and gauges describing one automaton, for the observability
+/// scrape (the `xdn_automaton_*` families).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NfaStats {
+    /// States currently allocated (including tombstoned structure
+    /// awaiting compaction).
+    pub states: usize,
+    /// Live registered expressions.
+    pub live_subs: usize,
+    /// Edges traversed by all matches since creation.
+    pub transitions_total: u64,
+    /// Largest active-state set any single traversal reached.
+    pub peak_active_states: u64,
+    /// Compaction rebuilds performed.
+    pub compactions_total: u64,
+    /// Step debt left behind by removals since the last compaction.
+    pub tombstone_steps: usize,
+}
+
+/// The shared subscription automaton. See the module docs.
+///
+/// ```
+/// use xdn_xpath::automaton::PathAutomaton;
+///
+/// let mut nfa = PathAutomaton::new();
+/// nfa.insert(1, "/a/b".parse()?);
+/// nfa.insert(2, "//b".parse()?);
+/// let mut hits = Vec::new();
+/// nfa.for_each_match(&["a", "b"], &[], &mut |t| hits.push(t));
+/// hits.sort_unstable();
+/// assert_eq!(hits, [1, 2]);
+/// # Ok::<(), xdn_xpath::XpeParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct PathAutomaton {
+    /// Element-name intern table; unknown path elements can only take
+    /// wildcard or predicated edges.
+    names: HashMap<String, NameId>,
+    states: Vec<State>,
+    entries: HashMap<u64, Entry>,
+    /// Steps of live entries (denominator of the compaction trigger).
+    live_steps: usize,
+    /// Steps stranded by removals (numerator of the trigger).
+    tombstone_steps: usize,
+    compactions: u64,
+    /// Bumped on every mutation; stale thread-local marks from an
+    /// earlier shape of this automaton are discarded on mismatch.
+    version: u64,
+    /// Process-unique instance id keying the thread-local scratch.
+    instance: u64,
+    transitions: AtomicU64,
+    peak_active: AtomicU64,
+}
+
+impl Default for PathAutomaton {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for PathAutomaton {
+    fn clone(&self) -> Self {
+        PathAutomaton {
+            names: self.names.clone(),
+            states: self.states.clone(),
+            entries: self.entries.clone(),
+            live_steps: self.live_steps,
+            tombstone_steps: self.tombstone_steps,
+            compactions: self.compactions,
+            version: self.version,
+            // A clone is a distinct instance: it must not share scratch
+            // marks with its source.
+            instance: next_instance(),
+            transitions: AtomicU64::new(self.transitions.load(Ordering::Relaxed)),
+            peak_active: AtomicU64::new(self.peak_active.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Allocates a process-unique automaton instance id.
+fn next_instance() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl PathAutomaton {
+    /// Creates an empty automaton (just the root state).
+    pub fn new() -> Self {
+        PathAutomaton {
+            names: HashMap::new(),
+            states: vec![State::new(false)],
+            entries: HashMap::new(),
+            live_steps: 0,
+            tombstone_steps: 0,
+            compactions: 0,
+            version: 0,
+            instance: next_instance(),
+            transitions: AtomicU64::new(0),
+            peak_active: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of registered expressions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no expressions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The expression registered under `token`, if present.
+    pub fn xpe(&self, token: u64) -> Option<&Xpe> {
+        self.entries.get(&token).map(|e| &e.xpe)
+    }
+
+    /// Registered `(token, expression)` pairs, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Xpe)> {
+        self.entries.iter().map(|(&t, e)| (t, &e.xpe))
+    }
+
+    /// A stats snapshot for metrics export.
+    pub fn stats(&self) -> NfaStats {
+        NfaStats {
+            states: self.states.len(),
+            live_subs: self.entries.len(),
+            transitions_total: self.transitions.load(Ordering::Relaxed),
+            peak_active_states: self.peak_active.load(Ordering::Relaxed),
+            compactions_total: self.compactions,
+            tombstone_steps: self.tombstone_steps,
+        }
+    }
+
+    /// Registers `xpe` under `token`, threading its steps through the
+    /// shared trie (no rebuild). Re-registering a token replaces its
+    /// expression.
+    pub fn insert(&mut self, token: u64, xpe: Xpe) {
+        if self.entries.contains_key(&token) {
+            self.remove(token);
+        }
+        self.version = self.version.wrapping_add(1);
+        let state = self.thread_steps(&xpe);
+        if let Some(st) = self.states.get_mut(state as usize) {
+            st.accepts.push(token);
+        }
+        self.live_steps += xpe.len();
+        self.entries.insert(token, Entry { xpe, state });
+    }
+
+    /// Removes the expression registered under `token` (tombstoning its
+    /// trie structure; see the module docs). Returns false for unknown
+    /// tokens. Callers decide when to [`PathAutomaton::compact`] —
+    /// check [`PathAutomaton::needs_compaction`] after removals.
+    pub fn remove(&mut self, token: u64) -> bool {
+        let Some(entry) = self.entries.remove(&token) else {
+            return false;
+        };
+        self.version = self.version.wrapping_add(1);
+        if let Some(st) = self.states.get_mut(entry.state as usize) {
+            if let Some(i) = st.accepts.iter().position(|&t| t == token) {
+                st.accepts.swap_remove(i);
+            }
+        }
+        let steps = entry.xpe.len();
+        self.live_steps = self.live_steps.saturating_sub(steps);
+        self.tombstone_steps += steps;
+        true
+    }
+
+    /// True when removal debt warrants a compaction rebuild: the
+    /// stranded step count exceeds both a floor (so small tables never
+    /// rebuild) and the live step count (so the trie is at most ~2x its
+    /// minimal size between rebuilds).
+    pub fn needs_compaction(&self) -> bool {
+        self.tombstone_steps > 64 && self.tombstone_steps > self.live_steps
+    }
+
+    /// Rebuilds the trie from the live entries, discarding tombstoned
+    /// structure. Deterministic: entries are re-threaded in token
+    /// order, so two automatons holding the same set compact to the
+    /// same shape.
+    pub fn compact(&mut self) {
+        self.version = self.version.wrapping_add(1);
+        self.compactions += 1;
+        self.names.clear();
+        self.states.clear();
+        self.states.push(State::new(false));
+        self.tombstone_steps = 0;
+        self.live_steps = 0;
+        let mut tokens: Vec<u64> = self.entries.keys().copied().collect();
+        tokens.sort_unstable();
+        // Re-thread in place: take each entry's expression, rebuild its
+        // chain, and store the new accepting state.
+        for token in tokens {
+            let Some(xpe) = self.entries.get(&token).map(|e| e.xpe.clone()) else {
+                continue;
+            };
+            let state = self.thread_steps(&xpe);
+            if let Some(st) = self.states.get_mut(state as usize) {
+                st.accepts.push(token);
+            }
+            self.live_steps += xpe.len();
+            if let Some(e) = self.entries.get_mut(&token) {
+                e.state = state;
+            }
+        }
+    }
+
+    /// Calls `f` with the token of every registered expression matching
+    /// the root-to-leaf `path` (with per-element `attrs`, aligned like
+    /// [`crate::matching::matches_path_with_attrs`]) — one traversal
+    /// for the whole set; each token reported at most once.
+    pub fn for_each_match<S: AsRef<str>>(
+        &self,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(u64),
+    ) {
+        if path.is_empty() || self.entries.is_empty() {
+            return;
+        }
+        let mut scratch = take_scratch(self.instance);
+        scratch.ensure(self.version, self.states.len());
+        self.traverse(&mut scratch, path, attrs, f);
+        put_scratch(scratch);
+    }
+
+    /// The traversal proper, on checked-out scratch.
+    fn traverse<S: AsRef<str>>(
+        &self,
+        scratch: &mut Scratch,
+        path: &[S],
+        attrs: &[Vec<(String, String)>],
+        f: &mut dyn FnMut(u64),
+    ) {
+        const NO_ATTRS: &[(String, String)] = &[];
+        // Generation stamps: `start + pos` dedups the active set built
+        // for position `pos`; `start` itself stamps accept reporting
+        // (once per token per traversal). u64 generations never wrap in
+        // practice, so marks are reset only when the automaton mutates.
+        let start = scratch.generation + 1;
+        scratch.generation = start + path.len() as u64;
+        let mut transitions = 0u64;
+        let mut peak = 0u64;
+        scratch.current.clear();
+        activate(
+            &self.states,
+            ROOT,
+            start,
+            start,
+            &mut scratch.state_mark,
+            &mut scratch.accept_mark,
+            &mut scratch.current,
+            f,
+        );
+        for (pos, elem) in path.iter().enumerate() {
+            let elem = elem.as_ref();
+            let name_id = self.names.get(elem).copied();
+            let attrs_here = attrs.get(pos).map_or(NO_ATTRS, Vec::as_slice);
+            let next_stamp = start + pos as u64 + 1;
+            scratch.next.clear();
+            for &sid in &scratch.current {
+                let Some(st) = self.states.get(sid as usize) else {
+                    continue;
+                };
+                if st.self_loop {
+                    // Stays active at the next position; its accepts
+                    // (if any) were reported on first activation.
+                    if let Some(m) = scratch.state_mark.get_mut(sid as usize) {
+                        if *m != next_stamp {
+                            *m = next_stamp;
+                            scratch.next.push(sid);
+                        }
+                    }
+                }
+                if let Some(target) = name_id.and_then(|n| st.names.lookup(n)) {
+                    transitions += 1;
+                    activate(
+                        &self.states,
+                        target,
+                        next_stamp,
+                        start,
+                        &mut scratch.state_mark,
+                        &mut scratch.accept_mark,
+                        &mut scratch.next,
+                        f,
+                    );
+                }
+                if let Some(target) = st.wildcard {
+                    transitions += 1;
+                    activate(
+                        &self.states,
+                        target,
+                        next_stamp,
+                        start,
+                        &mut scratch.state_mark,
+                        &mut scratch.accept_mark,
+                        &mut scratch.next,
+                        f,
+                    );
+                }
+                for pe in &st.preds {
+                    if pe.test.accepts(elem) && pe.predicates.iter().all(|p| p.eval(attrs_here)) {
+                        transitions += 1;
+                        activate(
+                            &self.states,
+                            pe.target,
+                            next_stamp,
+                            start,
+                            &mut scratch.state_mark,
+                            &mut scratch.accept_mark,
+                            &mut scratch.next,
+                            f,
+                        );
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
+            peak = peak.max(scratch.current.len() as u64);
+            if scratch.current.is_empty() {
+                break;
+            }
+        }
+        self.transitions.fetch_add(transitions, Ordering::Relaxed);
+        self.peak_active.fetch_max(peak, Ordering::Relaxed);
+    }
+
+    /// Walks (creating as needed) the chain of states for `xpe` and
+    /// returns its accepting state.
+    fn thread_steps(&mut self, xpe: &Xpe) -> StateId {
+        let anchored =
+            xpe.is_absolute() && xpe.steps().first().is_some_and(|s| s.axis == Axis::Child);
+        // Relative and leading-`//` expressions both place their first
+        // fragment at any depth: they start from the root's slash state.
+        let mut cur = if anchored { ROOT } else { self.slash_of(ROOT) };
+        for (i, step) in xpe.steps().iter().enumerate() {
+            if i > 0 && step.axis == Axis::Descendant {
+                cur = self.slash_of(cur);
+            }
+            cur = self.edge_of(cur, step);
+        }
+        cur
+    }
+
+    /// The slash (descendant-closure) state hanging off `state`,
+    /// created on first use.
+    fn slash_of(&mut self, state: StateId) -> StateId {
+        if let Some(s) = self.states.get(state as usize).and_then(|s| s.eps_slash) {
+            return s;
+        }
+        let id = self.alloc(State::new(true));
+        if let Some(st) = self.states.get_mut(state as usize) {
+            st.eps_slash = Some(id);
+        }
+        id
+    }
+
+    /// The target of `state`'s edge labelled by `step`, created on
+    /// first use.
+    fn edge_of(&mut self, state: StateId, step: &crate::ast::Step) -> StateId {
+        if step.predicates.is_empty() {
+            match &step.test {
+                NodeTest::Name(n) => {
+                    let name = self.intern(n);
+                    if let Some(t) = self
+                        .states
+                        .get(state as usize)
+                        .and_then(|s| s.names.lookup(name))
+                    {
+                        return t;
+                    }
+                    let t = self.alloc(State::new(false));
+                    if let Some(st) = self.states.get_mut(state as usize) {
+                        st.names.insert(name, t);
+                    }
+                    t
+                }
+                NodeTest::Wildcard => {
+                    if let Some(t) = self.states.get(state as usize).and_then(|s| s.wildcard) {
+                        return t;
+                    }
+                    let t = self.alloc(State::new(false));
+                    if let Some(st) = self.states.get_mut(state as usize) {
+                        st.wildcard = Some(t);
+                    }
+                    t
+                }
+            }
+        } else {
+            let existing = self.states.get(state as usize).and_then(|s| {
+                s.preds
+                    .iter()
+                    .find(|e| e.test == step.test && e.predicates == step.predicates)
+                    .map(|e| e.target)
+            });
+            if let Some(t) = existing {
+                return t;
+            }
+            let t = self.alloc(State::new(false));
+            if let Some(st) = self.states.get_mut(state as usize) {
+                st.preds.push(PredEdge {
+                    test: step.test.clone(),
+                    predicates: step.predicates.clone(),
+                    target: t,
+                });
+            }
+            t
+        }
+    }
+
+    fn alloc(&mut self, state: State) -> StateId {
+        let id = self.states.len() as StateId;
+        self.states.push(state);
+        id
+    }
+
+    fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = self.names.len() as NameId;
+        self.names.insert(name.to_owned(), id);
+        id
+    }
+}
+
+/// Activates `target` into the set stamped `stamp`: dedups via the
+/// state marks, reports accepting tokens once per traversal (the
+/// `accept_stamp` marks), and follows the slash ε-closure.
+#[allow(clippy::too_many_arguments)]
+fn activate(
+    states: &[State],
+    target: StateId,
+    stamp: u64,
+    accept_stamp: u64,
+    state_mark: &mut [u64],
+    accept_mark: &mut [u64],
+    set: &mut Vec<StateId>,
+    f: &mut dyn FnMut(u64),
+) {
+    let mut t = target;
+    loop {
+        let Some(m) = state_mark.get_mut(t as usize) else {
+            return;
+        };
+        if *m == stamp {
+            return;
+        }
+        *m = stamp;
+        set.push(t);
+        let Some(st) = states.get(t as usize) else {
+            return;
+        };
+        if !st.accepts.is_empty() {
+            if let Some(am) = accept_mark.get_mut(t as usize) {
+                if *am != accept_stamp {
+                    *am = accept_stamp;
+                    for &token in &st.accepts {
+                        f(token);
+                    }
+                }
+            }
+        }
+        // ε-closure: activating a state activates its slash state.
+        match st.eps_slash {
+            Some(next) => t = next,
+            None => return,
+        }
+    }
+}
+
+/// Per-thread traversal scratch for one automaton instance.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Which automaton these marks belong to.
+    owner: u64,
+    /// The automaton version the marks were last valid for.
+    version: u64,
+    generation: u64,
+    state_mark: Vec<u64>,
+    accept_mark: Vec<u64>,
+    current: Vec<StateId>,
+    next: Vec<StateId>,
+}
+
+impl Scratch {
+    fn for_owner(owner: u64) -> Self {
+        Scratch {
+            owner,
+            ..Scratch::default()
+        }
+    }
+
+    /// Revalidates the marks for the automaton's current shape: on a
+    /// version change or growth, stale stamps are discarded.
+    fn ensure(&mut self, version: u64, states: usize) {
+        if self.version != version || self.state_mark.len() < states {
+            self.state_mark.clear();
+            self.state_mark.resize(states, 0);
+            self.accept_mark.clear();
+            self.accept_mark.resize(states, 0);
+            self.generation = 0;
+            self.version = version;
+        }
+    }
+}
+
+thread_local! {
+    /// Scratch checked out by owner id for the duration of a traversal
+    /// (checked out, not borrowed, so a match visitor that re-enters
+    /// the automaton simply gets fresh scratch instead of a borrow
+    /// panic).
+    static SCRATCH: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_scratch(owner: u64) -> Scratch {
+    SCRATCH.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        match pool.iter().position(|s| s.owner == owner) {
+            Some(i) => pool.swap_remove(i),
+            None => Scratch::for_owner(owner),
+        }
+    })
+}
+
+fn put_scratch(scratch: Scratch) {
+    SCRATCH.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() >= SCRATCH_POOL_CAP {
+            // Many automatons on one thread: drop the retained sets
+            // rather than growing without bound.
+            pool.clear();
+        }
+        pool.push(scratch);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::matches_path_with_attrs;
+
+    fn xpe(s: &str) -> Xpe {
+        s.parse().unwrap()
+    }
+
+    fn matches(nfa: &PathAutomaton, path: &[&str]) -> Vec<u64> {
+        matches_with_attrs(nfa, path, &[])
+    }
+
+    fn matches_with_attrs(
+        nfa: &PathAutomaton,
+        path: &[&str],
+        attrs: &[Vec<(String, String)>],
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        nfa.for_each_match(path, attrs, &mut |t| out.push(t));
+        out.sort_unstable();
+        out
+    }
+
+    fn single(expr: &str, path: &[&str]) -> bool {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe(expr));
+        matches(&nfa, path) == [1]
+    }
+
+    #[test]
+    fn absolute_anchored_prefix() {
+        assert!(single("/a/b", &["a", "b"]));
+        assert!(single("/a/b", &["a", "b", "c"]));
+        assert!(!single("/a/b", &["x", "a", "b"]));
+        assert!(!single("/a/b", &["a"]));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert!(single("/a/*/c", &["a", "b", "c"]));
+        assert!(single("/*/*", &["x", "y", "z"]));
+        assert!(!single("/a/*/c", &["a", "c"]));
+    }
+
+    #[test]
+    fn leading_descendant() {
+        assert!(single("//b", &["a", "b"]));
+        assert!(single("//b", &["b"]));
+        assert!(single("//b/c", &["a", "b", "c"]));
+        assert!(!single("//b/c", &["a", "c", "b"]));
+    }
+
+    #[test]
+    fn inner_descendant_strictly_below() {
+        assert!(single("/a//b", &["a", "b"]));
+        assert!(single("/a//b", &["a", "x", "y", "b"]));
+        assert!(!single("/a//b", &["a"]));
+        assert!(!single("/a//a", &["a"]));
+        assert!(single("/a//a", &["a", "a"]));
+    }
+
+    #[test]
+    fn relative_floats() {
+        assert!(single("b/c", &["a", "b", "c"]));
+        assert!(single("b/c", &["b", "c"]));
+        assert!(!single("b/c", &["a", "c", "b"]));
+        assert!(single(".//c", &["a", "b", "c"]));
+        assert!(single(".//c", &["c"]));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        // Greedy earliest placement must not lose later placements:
+        // the NFA explores all of them.
+        assert!(single("/a//b/c", &["a", "b", "x", "b", "c"]));
+        assert!(single(
+            "*/a//d/*/c//b",
+            &["r", "a", "e", "q", "d", "x", "c", "b"]
+        ));
+        assert!(single("/a//b//c", &["a", "x", "b", "y", "c"]));
+        assert!(!single("/a//b//c", &["a", "c", "b"]));
+    }
+
+    #[test]
+    fn empty_path_matches_nothing() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("//*"));
+        assert!(matches(&nfa, &[]).is_empty());
+    }
+
+    #[test]
+    fn predicates_on_edges() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("/a/b"));
+        nfa.insert(2, xpe("/a/b[@k]"));
+        nfa.insert(3, xpe("/a[@k='v']/b"));
+        let no_attrs: Vec<Vec<(String, String)>> = vec![];
+        assert_eq!(matches_with_attrs(&nfa, &["a", "b"], &no_attrs), [1]);
+        let leaf_attr = vec![vec![], vec![("k".to_string(), "x".to_string())]];
+        assert_eq!(matches_with_attrs(&nfa, &["a", "b"], &leaf_attr), [1, 2]);
+        let root_attr = vec![vec![("k".to_string(), "v".to_string())], vec![]];
+        assert_eq!(matches_with_attrs(&nfa, &["a", "b"], &root_attr), [1, 3]);
+    }
+
+    #[test]
+    fn shared_prefixes_report_each_token_once() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("/a/b"));
+        nfa.insert(2, xpe("/a/b"));
+        nfa.insert(3, xpe("/a/*"));
+        nfa.insert(4, xpe("//b"));
+        assert_eq!(matches(&nfa, &["a", "b"]), [1, 2, 3, 4]);
+        // A path where the same accepting state is reachable at several
+        // depths still reports once.
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(7, xpe("//b"));
+        assert_eq!(matches(&nfa, &["b", "b", "b"]), [7]);
+    }
+
+    #[test]
+    fn remove_tombstones_and_reinsert() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("/a/b"));
+        nfa.insert(2, xpe("//b"));
+        assert!(nfa.remove(1));
+        assert!(!nfa.remove(1), "second removal is a no-op");
+        assert_eq!(matches(&nfa, &["a", "b"]), [2]);
+        nfa.insert(1, xpe("/a/b"));
+        assert_eq!(matches(&nfa, &["a", "b"]), [1, 2]);
+        assert_eq!(nfa.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_expression() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("/a/b"));
+        nfa.insert(1, xpe("/x/y"));
+        assert_eq!(nfa.len(), 1);
+        assert!(matches(&nfa, &["a", "b"]).is_empty());
+        assert_eq!(matches(&nfa, &["x", "y"]), [1]);
+        assert_eq!(nfa.xpe(1), Some(&xpe("/x/y")));
+    }
+
+    #[test]
+    fn compaction_preserves_matches_and_resets_debt() {
+        let mut nfa = PathAutomaton::new();
+        for i in 0..100u64 {
+            nfa.insert(i, xpe(&format!("/a/b{i}/c")));
+        }
+        for i in 0..80u64 {
+            nfa.remove(i);
+        }
+        assert!(nfa.needs_compaction());
+        let states_before = nfa.stats().states;
+        nfa.compact();
+        let stats = nfa.stats();
+        assert!(stats.states < states_before, "tombstoned structure freed");
+        assert_eq!(stats.tombstone_steps, 0);
+        assert_eq!(stats.compactions_total, 1);
+        assert!(!nfa.needs_compaction());
+        for i in 80..100u64 {
+            assert_eq!(matches(&nfa, &["a", &format!("b{i}"), "c"]), [i]);
+        }
+        assert!(matches(&nfa, &["a", "b0", "c"]).is_empty());
+    }
+
+    #[test]
+    fn stats_track_traversal_work() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("/a/b"));
+        let before = nfa.stats();
+        assert_eq!(before.live_subs, 1);
+        let _ = matches(&nfa, &["a", "b"]);
+        let after = nfa.stats();
+        assert!(after.transitions_total > before.transitions_total);
+        assert!(after.peak_active_states >= 1);
+    }
+
+    #[test]
+    fn hash_promotion_keeps_lookups_exact() {
+        let mut nfa = PathAutomaton::new();
+        // Fan the root out past the promotion threshold.
+        for i in 0..3 * HASH_FANOUT as u64 {
+            nfa.insert(i, xpe(&format!("/e{i}")));
+        }
+        for i in 0..3 * HASH_FANOUT as u64 {
+            assert_eq!(matches(&nfa, &[&format!("e{i}")]), [i]);
+        }
+        assert!(matches(&nfa, &["nope"]).is_empty());
+    }
+
+    #[test]
+    fn clone_matches_independently() {
+        let mut nfa = PathAutomaton::new();
+        nfa.insert(1, xpe("/a/b"));
+        let copy = nfa.clone();
+        nfa.remove(1);
+        assert!(matches(&nfa, &["a", "b"]).is_empty());
+        assert_eq!(matches(&copy, &["a", "b"]), [1]);
+    }
+
+    /// Exhaustive-ish differential check against the reference matcher
+    /// over a small alphabet (the proptest suite in `xdn-core` extends
+    /// this across routers and churn).
+    #[test]
+    fn agrees_with_reference_matcher() {
+        let exprs = [
+            "/a/b", "/a/*", "//b", "a/b", "*/b", "/a//b", "/a//a", "a//c", ".//c", "//*",
+            "/a//b/c", "/*/*", "b", "/b",
+        ];
+        let names = ["a", "b", "c"];
+        let mut nfa = PathAutomaton::new();
+        for (i, e) in exprs.iter().enumerate() {
+            nfa.insert(i as u64, xpe(e));
+        }
+        let mut paths: Vec<Vec<&str>> = Vec::new();
+        for x in names {
+            paths.push(vec![x]);
+            for y in names {
+                paths.push(vec![x, y]);
+                for z in names {
+                    paths.push(vec![x, y, z]);
+                    for w in names {
+                        paths.push(vec![x, y, z, w]);
+                    }
+                }
+            }
+        }
+        for path in &paths {
+            let expected: Vec<u64> = exprs
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches_path_with_attrs(&xpe(e), path, &[]))
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(matches(&nfa, path), expected, "divergence on {path:?}");
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! * publication matching ([`Xpe::matches_path`],
 //!   [`matching::matches_document`]) — deciding whether a root-to-leaf
 //!   XML path satisfies a subscription,
+//! * the shared subscription automaton ([`automaton::PathAutomaton`]) —
+//!   every registered XPE compiled into one NFA so a publication is
+//!   matched against the whole set in a single traversal,
 //! * a DTD-guided random XPE generator ([`generate`]) standing in for
 //!   the XPath generator of Diao et al. used in the paper's evaluation,
 //!   parameterized by the wildcard probability `W` and the
@@ -29,6 +32,7 @@
 //! ```
 
 pub mod ast;
+pub mod automaton;
 pub mod generate;
 pub mod matching;
 pub mod parse;
